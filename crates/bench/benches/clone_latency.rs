@@ -1,0 +1,82 @@
+//! E1 micro-bench: real (wall-clock) cost of our VMM's provisioning paths.
+//!
+//! The *virtual-time* clone latencies come from the calibrated cost model
+//! (see `figures e1`); this bench measures what the bookkeeping itself costs
+//! on the machine running the reproduction — flash cloning must be far
+//! cheaper than an eager copy here too, since it only installs CoW mappings.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use potemkin_vmm::guest::GuestProfile;
+use potemkin_vmm::Host;
+
+fn host_with_image() -> (Host, potemkin_vmm::ImageId) {
+    let mut host = Host::new(8_000_000).with_overhead_pages(64);
+    let image = host.create_reference_image("bench", GuestProfile::windows_server()).unwrap();
+    (host, image)
+}
+
+fn bench_provisioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_provisioning");
+    group.sample_size(20);
+
+    group.bench_function("flash_clone_128MiB", |b| {
+        b.iter_batched(
+            host_with_image,
+            |(mut host, image)| host.flash_clone(image).unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("full_copy_clone_128MiB", |b| {
+        b.iter_batched(
+            host_with_image,
+            |(mut host, image)| host.full_copy_clone(image).unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("destroy_clean_clone", |b| {
+        b.iter_batched(
+            || {
+                let (mut host, image) = host_with_image();
+                let (dom, _) = host.flash_clone(image).unwrap();
+                (host, dom)
+            },
+            |(mut host, dom)| host.destroy(dom).unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("rollback_dirty_clone_1k_pages", |b| {
+        b.iter_batched(
+            || {
+                let (mut host, image) = host_with_image();
+                let (dom, _) = host.flash_clone(image).unwrap();
+                let pages: Vec<u64> = (0..1_000).collect();
+                host.touch_pages(dom, &pages, 1).unwrap();
+                (host, dom)
+            },
+            |(mut host, dom)| host.rollback(dom).unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("snapshot_dirty_clone_1k_pages", |b| {
+        b.iter_batched(
+            || {
+                let (mut host, image) = host_with_image();
+                let (dom, _) = host.flash_clone(image).unwrap();
+                let pages: Vec<u64> = (0..1_000).collect();
+                host.touch_pages(dom, &pages, 1).unwrap();
+                (host, dom)
+            },
+            |(mut host, dom)| host.snapshot_domain(dom, "forensic").unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_provisioning);
+criterion_main!(benches);

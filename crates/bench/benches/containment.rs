@@ -1,0 +1,42 @@
+//! E5 macro-bench: full outbreak scenarios under each containment mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use potemkin_core::farm::FarmConfig;
+use potemkin_core::scenario::{run_outbreak, OutbreakConfig};
+use potemkin_gateway::policy::PolicyConfig;
+use potemkin_sim::SimTime;
+use potemkin_workload::worm::WormSpec;
+
+fn config(policy: PolicyConfig) -> OutbreakConfig {
+    let mut farm = FarmConfig::small_test();
+    farm.gateway.policy = policy;
+    farm.gateway.policy.binding_idle_timeout = SimTime::from_secs(600);
+    farm.worm = Some(WormSpec::code_red("10.1.0.0/24".parse().unwrap()));
+    farm.frames_per_server = 2_000_000;
+    farm.max_domains_per_server = 2_048;
+    OutbreakConfig {
+        farm,
+        initial_infections: 1,
+        duration: SimTime::from_secs(20),
+        sample_interval: SimTime::from_secs(1),
+        tick_interval: SimTime::from_secs(10),
+    }
+}
+
+fn bench_outbreaks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_outbreak_20s_simulated");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("reflect", PolicyConfig::reflect()),
+        ("drop_all", PolicyConfig::drop_all()),
+        ("allow_all", PolicyConfig::allow_all()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, policy| {
+            b.iter(|| run_outbreak(config(policy.clone())).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_outbreaks);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E2 micro-bench: the delta-virtualization hot paths.
+//!
+//! CoW fault cost (first write to a shared page) vs. the no-fault write
+//! path, plus the per-request page-touch batch.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use potemkin_vmm::guest::GuestProfile;
+use potemkin_vmm::{DomainId, Host};
+
+fn cloned_host() -> (Host, DomainId) {
+    let mut host = Host::new(200_000).with_overhead_pages(64);
+    let image = host.create_reference_image("bench", GuestProfile::small()).unwrap();
+    let (dom, _) = host.flash_clone(image).unwrap();
+    (host, dom)
+}
+
+fn bench_cow_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_delta_virtualization");
+
+    group.bench_function("cow_fault_first_write", |b| {
+        b.iter_batched(
+            cloned_host,
+            |(mut host, dom)| host.write_page(dom, 100, 7).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("private_write_no_fault", |b| {
+        let (mut host, dom) = cloned_host();
+        host.write_page(dom, 100, 7).unwrap(); // take the fault once
+        b.iter(|| host.write_page(dom, 100, 8).unwrap());
+    });
+
+    group.bench_function("shared_read", |b| {
+        let (mut host, dom) = cloned_host();
+        b.iter(|| host.read_page(dom, 100).unwrap());
+    });
+
+    group.bench_function("apply_request_16_pages", |b| {
+        let (mut host, dom) = cloned_host();
+        let mut idx = 0u64;
+        b.iter(|| {
+            idx += 1;
+            host.apply_request(dom, idx).unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cow_paths);
+criterion_main!(benches);

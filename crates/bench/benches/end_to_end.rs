@@ -1,0 +1,69 @@
+//! E6 macro-bench: the full inbound pipeline and a telescope replay.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use potemkin_core::farm::{FarmConfig, Honeyfarm};
+use potemkin_core::scenario::{run_telescope, TelescopeConfig};
+use potemkin_net::PacketBuilder;
+use potemkin_sim::SimTime;
+use potemkin_workload::radiation::RadiationConfig;
+use std::net::Ipv4Addr;
+
+fn bench_inject(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_inject_external");
+
+    group.bench_function("first_contact_clone_bind_answer", |b| {
+        b.iter_batched(
+            || Honeyfarm::new(FarmConfig::small_test()).unwrap(),
+            |mut farm| {
+                let p = PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, 1))
+                    .tcp_syn(4_000, 445);
+                farm.inject_external(SimTime::ZERO, p);
+                farm
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("warm_path_existing_vm", |b| {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        let first = PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, 1))
+            .tcp_syn(4_000, 445);
+        farm.inject_external(SimTime::ZERO, first);
+        let mut i = 0u16;
+        b.iter(|| {
+            let p = PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, 1))
+                .tcp_syn(4_001 + (i % 1000), 445);
+            i += 1;
+            farm.inject_external(SimTime::from_secs(1), p);
+            farm.take_outputs()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_telescope_replay");
+    group.sample_size(10);
+    group.bench_function("replay_30s_simulated", |b| {
+        b.iter(|| {
+            let mut farm = FarmConfig::small_test();
+            farm.frames_per_server = 1_000_000;
+            farm.max_domains_per_server = 4_096;
+            farm.gateway.policy.binding_idle_timeout = SimTime::from_secs(10);
+            run_telescope(TelescopeConfig {
+                farm,
+                radiation: RadiationConfig::default(),
+                seed: 7,
+                duration: SimTime::from_secs(30),
+                sample_interval: SimTime::from_secs(5),
+                tick_interval: SimTime::from_secs(1),
+            })
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inject, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E7 micro-bench: dialogue driving cost for both responder kinds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use potemkin_core::baseline::{race_high_interaction, LowInteractionResponder};
+use potemkin_workload::dialogue::ExploitScript;
+
+fn bench_dialogues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_dialogue");
+    let deep = ExploitScript::new("deep", 445, 8, b"payload-marker");
+
+    group.bench_function("high_interaction_depth8", |b| {
+        b.iter(|| race_high_interaction(&deep));
+    });
+
+    group.bench_function("low_interaction_depth8_vs_script2", |b| {
+        b.iter(|| {
+            let mut low = LowInteractionResponder::new(2, vec![445]);
+            low.race(&deep)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dialogues);
+criterion_main!(benches);

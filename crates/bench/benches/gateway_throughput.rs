@@ -1,0 +1,76 @@
+//! E4 micro-bench: gateway pipeline per-packet cost vs. state size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use potemkin_bench::experiments::e4;
+use potemkin_gateway::binding::VmRef;
+use potemkin_net::PacketBuilder;
+use potemkin_sim::SimTime;
+use std::net::Ipv4Addr;
+
+fn bench_inbound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_inbound_bound_path");
+    for &n in &[100usize, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut g = e4::loaded_gateway(n);
+            let packets = e4::bound_packets(n, 4_096);
+            let mut i = 0usize;
+            let now = SimTime::from_secs(1);
+            b.iter(|| {
+                let p = packets[i % packets.len()].clone();
+                i += 1;
+                g.on_inbound(now, p)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_other_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_other_paths");
+
+    group.bench_function("clone_request_path", |b| {
+        let mut g = e4::loaded_gateway(0);
+        let mut i = 0u32;
+        let now = SimTime::from_secs(1);
+        b.iter(|| {
+            let p = PacketBuilder::new(
+                Ipv4Addr::from(0x0707_0000 + i),
+                Ipv4Addr::from(0x0A01_0000 + (i % 65_536)),
+            )
+            .tcp_syn(4_000, 445);
+            i += 1;
+            g.on_inbound(now, p)
+        });
+    });
+
+    group.bench_function("outbound_reflect_path", |b| {
+        let mut g = e4::loaded_gateway(1);
+        let vm_addr = Ipv4Addr::from(0x0A01_0000);
+        let mut i = 0u32;
+        let now = SimTime::from_secs(1);
+        b.iter(|| {
+            let p = PacketBuilder::new(vm_addr, Ipv4Addr::from(0x3000_0000 + i)).tcp_syn(1_025, 445);
+            i += 1;
+            g.on_outbound(now, VmRef(0), p)
+        });
+    });
+
+    group.bench_function("gre_decap_encap", |b| {
+        use potemkin_gateway::tunnel::{Telescope, TunnelEndpoint};
+        use potemkin_net::gre::GreHeader;
+        let mut ep = TunnelEndpoint::new();
+        ep.attach(Telescope { key: 1, prefix: "10.1.0.0/16".parse().unwrap() });
+        let inner =
+            PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, 5)).tcp_syn(1, 445);
+        let frame = GreHeader::encapsulate_ipv4(1, inner.wire());
+        b.iter(|| {
+            let (_, pkt) = ep.decapsulate(&frame).unwrap();
+            ep.encapsulate_reply(&pkt)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_inbound, bench_other_paths);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E3 micro-bench: the demand-analysis machinery.
+//!
+//! Sweep-line concurrency analysis over large session sets, and the binder's
+//! per-packet operations — the two costs behind the scalability figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use potemkin_bench::experiments::e3;
+use potemkin_gateway::binding::{AddressBinder, BindGranularity, VmRef};
+use potemkin_metrics::ConcurrencyAnalyzer;
+use potemkin_sim::{SimRng, SimTime};
+use potemkin_workload::radiation::{RadiationConfig, RadiationModel};
+use std::net::Ipv4Addr;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_demand_analysis");
+    group.sample_size(20);
+
+    // 100k synthetic intervals.
+    let mut rng = SimRng::seed_from(9);
+    let mut analyzer = ConcurrencyAnalyzer::new();
+    for _ in 0..100_000 {
+        analyzer.record_start(SimTime::from_millis(rng.below(600_000)));
+    }
+    group.bench_function("sweepline_100k_intervals", |b| {
+        b.iter(|| analyzer.analyze_with_lifetime(SimTime::from_secs(30)));
+    });
+
+    // Session derivation from a real trace.
+    let mut model = RadiationModel::new(RadiationConfig::default(), 9);
+    let trace = model.generate(SimTime::from_secs(300));
+    let per_dst = e3::arrivals_by_destination(&trace);
+    group.bench_function("sessions_from_trace_300s", |b| {
+        b.iter(|| e3::sessions_for_lifetime(&per_dst, SimTime::from_secs(60)));
+    });
+
+    group.finish();
+}
+
+fn bench_binder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_binder_ops");
+
+    group.bench_function("bind_lookup_expire_cycle", |b| {
+        let mut binder = AddressBinder::new(
+            BindGranularity::PerDestination,
+            SimTime::from_secs(1),
+            SimTime::MAX,
+            None,
+        );
+        let src = Ipv4Addr::new(6, 6, 6, 6);
+        let mut i = 0u32;
+        b.iter(|| {
+            let t = SimTime::from_millis(u64::from(i) * 10);
+            let dst = Ipv4Addr::from(0x0A01_0000 + (i % 65_536));
+            binder.bind(t, src, dst, VmRef(u64::from(i)));
+            binder.lookup_active(t, src, dst);
+            binder.expire(t);
+            i += 1;
+        });
+    });
+
+    group.bench_function("lookup_hit_10k_bindings", |b| {
+        let mut binder = AddressBinder::new(
+            BindGranularity::PerDestination,
+            SimTime::from_secs(3_600),
+            SimTime::MAX,
+            None,
+        );
+        let src = Ipv4Addr::new(6, 6, 6, 6);
+        for i in 0..10_000u32 {
+            binder.bind(SimTime::ZERO, src, Ipv4Addr::from(0x0A01_0000 + i), VmRef(u64::from(i)));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let dst = Ipv4Addr::from(0x0A01_0000 + (i % 10_000));
+            i += 1;
+            binder.lookup_active(SimTime::from_secs(1), src, dst)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_binder);
+criterion_main!(benches);

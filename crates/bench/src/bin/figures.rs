@@ -1,0 +1,113 @@
+//! Regenerates every table and figure of the Potemkin evaluation.
+//!
+//! ```text
+//! figures            # all experiments
+//! figures e1 e5      # a subset
+//! figures --fast     # all, with shortened runs
+//! figures --csv e3   # machine-readable output for plotting pipelines
+//! ```
+//!
+//! Output is plain aligned text; EXPERIMENTS.md quotes it directly.
+
+use potemkin_bench::experiments::{e1, e2, e3, e4, e5, e6, e7, e8, e9};
+use potemkin_sim::SimTime;
+
+struct Opts {
+    which: Vec<String>,
+    fast: bool,
+    csv: bool,
+}
+
+fn parse_args() -> Opts {
+    let mut which = Vec::new();
+    let mut fast = false;
+    let mut csv = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                println!("usage: figures [--fast] [--csv] [e1 e2 e3 e4 e5 e6 e7 e8 e9]");
+                std::process::exit(0);
+            }
+            other => which.push(other.trim_start_matches("--").to_string()),
+        }
+    }
+    Opts { which, fast, csv }
+}
+
+fn emit(opts: &Opts, table: &potemkin_metrics::Table) {
+    if opts.csv {
+        print!("{}", table.to_csv());
+        println!();
+    } else {
+        println!("{table}");
+    }
+}
+
+fn wants(opts: &Opts, id: &str) -> bool {
+    opts.which.is_empty() || opts.which.iter().any(|w| w == id)
+}
+
+fn main() {
+    let opts = parse_args();
+    println!("Potemkin virtual honeyfarm — evaluation harness");
+    println!("(paper: Vrable et al., SOSP 2005; see EXPERIMENTS.md for the mapping)\n");
+
+    if wants(&opts, "e1") {
+        let r = e1::run();
+        emit(&opts, &e1::breakdown_table(&r));
+        emit(&opts, &e1::comparison_table(&r));
+    }
+    if wants(&opts, "e2") {
+        let counts: &[u64] =
+            if opts.fast { &[1, 25, 50] } else { &[1, 10, 25, 50, 75, 100, 116] };
+        let r = e2::run(counts);
+        emit(&opts, &e2::table(&r));
+        println!(
+            "full-copy baseline capacity: {} VMs; delta virtualization: {} VMs\n",
+            r.full_copy_capacity, r.cow_capacity
+        );
+    }
+    if wants(&opts, "e3") {
+        let duration = if opts.fast { SimTime::from_secs(300) } else { SimTime::from_secs(1_800) };
+        let r = e3::run(duration, &e3::default_lifetimes(), 2005);
+        println!(
+            "trace: {} packets over {}, {} distinct telescope addresses",
+            r.packets, r.duration, r.addresses_touched
+        );
+        emit(&opts, &e3::table(&r));
+    }
+    if wants(&opts, "e4") {
+        let iters = if opts.fast { 20_000 } else { 200_000 };
+        let r = e4::run(&[100, 1_000, 10_000, 50_000], iters);
+        emit(&opts, &e4::table(&r));
+    }
+    if wants(&opts, "e5") {
+        let duration = if opts.fast { SimTime::from_secs(25) } else { SimTime::from_secs(60) };
+        let r = e5::run(duration);
+        emit(&opts, &e5::summary_table(&r));
+        emit(&opts, &e5::curve_table(&r));
+    }
+    if wants(&opts, "e6") {
+        let duration = if opts.fast { SimTime::from_secs(120) } else { SimTime::from_secs(600) };
+        let r = e6::run(duration, SimTime::from_secs(60), 1);
+        emit(&opts, &e6::summary_table(&r, duration));
+        emit(&opts, &e6::mix_table(&r));
+        emit(&opts, &e6::series_table(&r));
+    }
+    if wants(&opts, "e7") {
+        let r = e7::run(2);
+        emit(&opts, &e7::table(&r));
+    }
+    if wants(&opts, "e8") {
+        let duration = if opts.fast { SimTime::from_secs(60) } else { SimTime::from_secs(300) };
+        let r = e8::run(duration);
+        emit(&opts, &e8::table(&r));
+    }
+    if wants(&opts, "e9") {
+        let duration = if opts.fast { SimTime::from_secs(30) } else { SimTime::from_secs(90) };
+        let r = e9::run(duration, &e9::default_lifetimes());
+        emit(&opts, &e9::table(&r));
+    }
+}

@@ -1,0 +1,23 @@
+//! One module per reproduced experiment.
+//!
+//! | Module | Paper artifact | What it regenerates |
+//! |--------|----------------|---------------------|
+//! | [`e1`] | Table 1 | flash-cloning latency breakdown + provisioning comparison |
+//! | [`e2`] | delta-virtualization figure | memory vs. number of live VMs, CoW vs full copy |
+//! | [`e3`] | scalability figure | VMs required vs. VM recycle time for a /16 telescope |
+//! | [`e4`] | gateway scalability | gateway pipeline throughput vs. state size |
+//! | [`e5`] | containment | in-farm worm outbreak under each containment mode |
+//! | [`e6`] | "Potemkin in practice" | 10-minute telescope replay, end to end |
+//! | [`e7`] | fidelity motivation | exploit capture: scripted responder vs. real guest |
+//! | [`e8`] | (extension) | ablations: binding granularity, standby pool, recycle strategy, backscatter filter |
+//! | [`e9`] | (extension) | VM recycling as an internal-containment knob (SIS threshold) |
+
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;

@@ -1,0 +1,58 @@
+//! Controller-level errors.
+
+use core::fmt;
+
+use potemkin_vmm::VmmError;
+
+/// Errors from farm construction and operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FarmError {
+    /// A VMM operation failed.
+    Vmm(VmmError),
+    /// The configuration is invalid.
+    BadConfig {
+        /// What is wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::Vmm(e) => write!(f, "vmm: {e}"),
+            FarmError::BadConfig { what } => write!(f, "bad config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FarmError::Vmm(e) => Some(e),
+            FarmError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<VmmError> for FarmError {
+    fn from(e: VmmError) -> Self {
+        FarmError::Vmm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use potemkin_vmm::DomainId;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = FarmError::from(VmmError::NoSuchDomain(DomainId(3)));
+        assert!(e.to_string().contains("dom3"));
+        assert!(e.source().is_some());
+        let c = FarmError::BadConfig { what: "no servers" };
+        assert_eq!(c.to_string(), "bad config: no servers");
+        assert!(c.source().is_none());
+    }
+}

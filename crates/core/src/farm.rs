@@ -1,0 +1,1366 @@
+//! The honeyfarm controller.
+//!
+//! [`Honeyfarm`] wires the gateway decision engine to a pool of VMM servers
+//! and executes every gateway action: flash-cloning a VM on first contact,
+//! delivering packets into guests, feeding guest responses back through the
+//! containment policy, reflecting contained traffic onto fresh honeypots,
+//! and recycling idle VMs. Guest *network* behaviour (what a honeypot says
+//! back, when an exploit succeeds) is modeled here, on top of the page-level
+//! guest activity models in `potemkin-vmm`.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use potemkin_gateway::binding::VmRef;
+use potemkin_gateway::gateway::{Gateway, GatewayAction, GatewayConfig};
+use potemkin_gateway::policy::DropReason;
+use potemkin_metrics::{CounterSet, LogHistogram};
+use potemkin_net::icmp::IcmpMessage;
+use potemkin_net::tcp::TcpFlags;
+use potemkin_net::{Packet, PacketBuilder, PacketPayload};
+use potemkin_sim::{SimRng, SimTime};
+use potemkin_vmm::cost::CostModel;
+use potemkin_vmm::guest::GuestProfile;
+use potemkin_vmm::{CloneTiming, DomainId, Host, ImageId, VmmError};
+use potemkin_workload::worm::WormSpec;
+
+use crate::error::FarmError;
+use crate::report::FarmStats;
+
+/// How the farm reclaims a VM when its address binding expires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecycleStrategy {
+    /// Destroy the domain; the next binding flash-clones a fresh one.
+    DestroyAndClone,
+    /// Roll the domain back to the pristine image and keep it on the
+    /// standby pool (the paper's cheaper recycling path: domain structures
+    /// survive, only the memory/disk delta is discarded).
+    RollbackToPool,
+}
+
+/// Farm-level configuration.
+#[derive(Clone, Debug)]
+pub struct FarmConfig {
+    /// Gateway configuration (containment policy, binding granularity).
+    pub gateway: GatewayConfig,
+    /// Number of physical servers.
+    pub servers: usize,
+    /// Machine frames per server.
+    pub frames_per_server: u64,
+    /// The guest image every server hosts.
+    pub profile: GuestProfile,
+    /// The VMM latency model.
+    pub cost_model: CostModel,
+    /// Fixed per-domain page overhead.
+    pub overhead_pages: u64,
+    /// Max simultaneously live domains per server.
+    pub max_domains_per_server: usize,
+    /// The worm behaviour infected guests exhibit (None = no worm in play).
+    pub worm: Option<WormSpec>,
+    /// RNG seed for guest/worm randomness.
+    pub seed: u64,
+    /// How expired VMs are reclaimed.
+    pub recycle: RecycleStrategy,
+    /// Number of pre-cloned standby VMs kept per server to hide flash-clone
+    /// latency on first contact (0 disables the pool). Standby domains
+    /// count toward `max_domains_per_server` and always use the default
+    /// `profile`.
+    pub standby_per_host: usize,
+    /// Heterogeneous impersonation: addresses inside a listed prefix are
+    /// served by the mapped guest profile (first match wins); everything
+    /// else uses the default `profile`. Every server hosts a reference
+    /// image per profile.
+    pub address_profiles: Vec<(potemkin_net::addr::Ipv4Prefix, GuestProfile)>,
+    /// When the farm is full and a new address needs a VM, evict the oldest
+    /// binding instead of dropping the packet (the paper's replace-oldest
+    /// resource policy).
+    pub evict_on_pressure: bool,
+}
+
+impl FarmConfig {
+    /// A small configuration for tests and examples: one server, 256 MiB,
+    /// the small guest profile, default reflection policy.
+    #[must_use]
+    pub fn small_test() -> Self {
+        FarmConfig {
+            gateway: GatewayConfig::default(),
+            servers: 1,
+            frames_per_server: 65_536,
+            profile: GuestProfile::small(),
+            cost_model: CostModel::default(),
+            overhead_pages: 64,
+            max_domains_per_server: 1_024,
+            worm: None,
+            seed: 42,
+            recycle: RecycleStrategy::DestroyAndClone,
+            standby_per_host: 0,
+            address_profiles: Vec::new(),
+            evict_on_pressure: false,
+        }
+    }
+
+    /// The paper-scale configuration: a handful of servers backing a /16
+    /// telescope with 128 MiB Windows-like guests.
+    #[must_use]
+    pub fn paper_scale(servers: usize) -> Self {
+        FarmConfig {
+            gateway: GatewayConfig::default(),
+            servers,
+            frames_per_server: 2 * 1024 * 1024 / 4 * 1024, // 2 GiB in 4 KiB frames
+            profile: GuestProfile::windows_server(),
+            cost_model: CostModel::default(),
+            overhead_pages: potemkin_vmm::host::DOMAIN_OVERHEAD_PAGES,
+            max_domains_per_server: 116, // the Xen-era limit the paper hit
+            worm: None,
+            seed: 42,
+            recycle: RecycleStrategy::RollbackToPool,
+            standby_per_host: 8,
+            address_profiles: Vec::new(),
+            evict_on_pressure: true,
+        }
+    }
+}
+
+/// Provenance record of one infection — who infected whom, how (the
+/// attribution data the paper's per-source binding refinement enables).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InfectionRecord {
+    /// The newly infected VM.
+    pub vm: VmRef,
+    /// The address the VM impersonates.
+    pub victim_addr: Option<Ipv4Addr>,
+    /// The source address of the infecting packet (an external attacker or
+    /// an in-farm honeypot under reflection).
+    pub infected_by: Ipv4Addr,
+    /// The exploited destination port.
+    pub port: Option<u16>,
+    /// Whether the infecting source was itself a farm honeypot (internal
+    /// epidemic) rather than an external host.
+    pub internal_origin: bool,
+    /// Virtual time of the infection.
+    pub at: SimTime,
+}
+
+/// A captured exploit payload (deduplicated by content).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaptureRecord {
+    /// The payload bytes as delivered to the guest.
+    pub payload: Vec<u8>,
+    /// The service port it arrived on.
+    pub port: u16,
+    /// The first source observed delivering it.
+    pub first_source: Ipv4Addr,
+    /// Virtual time of first capture.
+    pub first_seen: SimTime,
+    /// How many times this exact payload has been delivered.
+    pub hits: u64,
+}
+
+/// Externally visible farm emissions, recorded for assertions and reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FarmOutput {
+    /// A packet left the farm toward the real Internet.
+    SentExternal(Packet),
+    /// An inbound packet was dropped with a reason.
+    DroppedInbound(DropReason),
+    /// An outbound (guest-emitted) packet was dropped with a reason.
+    DroppedOutbound(DropReason),
+}
+
+struct VmSlot {
+    host: usize,
+    domain: DomainId,
+}
+
+/// The honeyfarm: gateway + server pool + guest behaviour.
+pub struct Honeyfarm {
+    config: FarmConfig,
+    gateway: Gateway,
+    hosts: Vec<Host>,
+    /// Per host: one image per profile (index 0 = the default profile).
+    images: Vec<Vec<ImageId>>,
+    vms: HashMap<VmRef, VmSlot>,
+    /// Pre-cloned, unbound, pristine domains per host.
+    standby: Vec<Vec<DomainId>>,
+    next_vmref: u64,
+    next_host: usize,
+    rng: SimRng,
+    request_counter: u64,
+    /// VMs infected since the last drain (the scenario schedules their
+    /// scanning).
+    newly_infected: Vec<VmRef>,
+    /// Full provenance log of every infection.
+    infection_log: Vec<InfectionRecord>,
+    /// Captured exploit payloads, keyed by content hash.
+    captures: HashMap<u64, CaptureRecord>,
+    outputs: Vec<FarmOutput>,
+    counters: CounterSet,
+    clone_latency_us: LogHistogram,
+    last_clone_timing: Option<CloneTiming>,
+    /// Virtual time spent in VMM operations (clone + destroy + faults).
+    vmm_time: SimTime,
+}
+
+impl Honeyfarm {
+    /// Builds a farm: creates the servers and boots one reference image on
+    /// each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FarmError::BadConfig`] for zero servers and
+    /// [`FarmError::Vmm`] when an image does not fit in a server's memory.
+    pub fn new(config: FarmConfig) -> Result<Self, FarmError> {
+        if config.servers == 0 {
+            return Err(FarmError::BadConfig { what: "servers must be > 0" });
+        }
+        if config.frames_per_server == 0 {
+            return Err(FarmError::BadConfig { what: "frames_per_server must be > 0" });
+        }
+        let mut hosts = Vec::with_capacity(config.servers);
+        let mut images = Vec::with_capacity(config.servers);
+        for _ in 0..config.servers {
+            let mut host = Host::new(config.frames_per_server)
+                .with_cost_model(config.cost_model)
+                .with_overhead_pages(config.overhead_pages)
+                .with_max_domains(config.max_domains_per_server);
+            let mut host_images =
+                vec![host.create_reference_image("reference", config.profile.clone())?];
+            for (i, (_, profile)) in config.address_profiles.iter().enumerate() {
+                host_images.push(
+                    host.create_reference_image(&format!("profile-{}", i + 1), profile.clone())?,
+                );
+            }
+            hosts.push(host);
+            images.push(host_images);
+        }
+        // Pre-clone the standby pools so first contacts skip the expensive
+        // clone stages.
+        let mut standby: Vec<Vec<DomainId>> = Vec::with_capacity(config.servers);
+        for (host, host_images) in hosts.iter_mut().zip(&images) {
+            let mut pool = Vec::with_capacity(config.standby_per_host);
+            for _ in 0..config.standby_per_host {
+                let (dom, _) = host.flash_clone(host_images[0])?;
+                pool.push(dom);
+            }
+            standby.push(pool);
+        }
+        let gateway = Gateway::new(config.gateway.clone());
+        let rng = SimRng::seed_from(config.seed);
+        Ok(Honeyfarm {
+            config,
+            gateway,
+            hosts,
+            images,
+            standby,
+            vms: HashMap::new(),
+            next_vmref: 0,
+            next_host: 0,
+            rng,
+            request_counter: 0,
+            newly_infected: Vec::new(),
+            infection_log: Vec::new(),
+            captures: HashMap::new(),
+            outputs: Vec::new(),
+            counters: CounterSet::new(),
+            clone_latency_us: LogHistogram::new(32),
+            last_clone_timing: None,
+            vmm_time: SimTime::ZERO,
+        })
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &FarmConfig {
+        &self.config
+    }
+
+    /// Injects a packet arriving from the external world (telescope
+    /// traffic). Processes the entire causal chain synchronously: cloning,
+    /// delivery, guest responses, reflections.
+    pub fn inject_external(&mut self, now: SimTime, packet: Packet) {
+        let action = self.gateway.on_inbound(now, packet);
+        self.run_actions(now, vec![action]);
+    }
+
+    /// Emits a packet from a live VM (worm probes, delayed guest traffic)
+    /// and processes the causal chain.
+    ///
+    /// Returns `false` if the VM no longer exists.
+    pub fn emit_from_vm(&mut self, now: SimTime, vm: VmRef, packet: Packet) -> bool {
+        if !self.vms.contains_key(&vm) {
+            return false;
+        }
+        let action = self.gateway.on_outbound(now, vm, packet);
+        self.run_actions(now, vec![action]);
+        true
+    }
+
+    /// One probe from an infected VM's scan loop. Returns `false` when the
+    /// VM is gone or not infected (the scenario stops scheduling).
+    pub fn worm_probe(&mut self, now: SimTime, vm: VmRef, probe_idx: u64) -> bool {
+        let Some(worm) = self.config.worm.clone() else {
+            return false;
+        };
+        let Some(slot) = self.vms.get(&vm) else {
+            return false;
+        };
+        let Ok(dom) = self.hosts[slot.host].domain(slot.domain) else {
+            return false;
+        };
+        if !dom.is_infected() || !dom.is_running() {
+            return false;
+        }
+        let Some(src) = dom.bound_addr() else {
+            return false;
+        };
+        let Some(dst) = worm.pick_target(&mut self.rng, src, probe_idx) else {
+            return false;
+        };
+        if dst == src {
+            return true; // self-probe: skip but keep scanning
+        }
+        let src_port = 1024 + (probe_idx % 60_000) as u16;
+        let instance = probe_idx.wrapping_mul(0x9E37_79B9).wrapping_add(vm.0);
+        let probe = worm.probe_instance(src, src_port, dst, instance);
+        self.counters.incr("worm_probes");
+        self.emit_from_vm(now, vm, probe)
+    }
+
+    /// Advances time: expires idle bindings and reclaims their VMs
+    /// according to the configured [`RecycleStrategy`].
+    pub fn tick(&mut self, now: SimTime) {
+        for expired in self.gateway.expire(now) {
+            self.reclaim_vm(expired.vm);
+        }
+    }
+
+    /// Reclaims one VM per the configured [`RecycleStrategy`].
+    fn reclaim_vm(&mut self, vm: VmRef) {
+        let Some(slot) = self.vms.remove(&vm) else { return };
+        let result = match self.config.recycle {
+            RecycleStrategy::DestroyAndClone => self.hosts[slot.host].destroy(slot.domain),
+            RecycleStrategy::RollbackToPool => {
+                // The pool only holds default-profile domains; other
+                // profiles are destroyed (they are rare by design).
+                let is_default = self.hosts[slot.host]
+                    .domain(slot.domain)
+                    .is_ok_and(|d| d.image() == self.images[slot.host][0]);
+                if is_default {
+                    let r = self.hosts[slot.host].rollback(slot.domain);
+                    if r.is_ok() {
+                        self.standby[slot.host].push(slot.domain);
+                        self.counters.incr("vms_rolled_back");
+                    }
+                    r
+                } else {
+                    self.hosts[slot.host].destroy(slot.domain)
+                }
+            }
+        };
+        match result {
+            Ok(cost) => {
+                self.vmm_time += cost;
+                self.counters.incr("vms_recycled");
+            }
+            Err(_) => self.counters.incr("recycle_races"),
+        }
+    }
+
+    fn run_actions(&mut self, now: SimTime, actions: Vec<GatewayAction>) {
+        let mut queue: Vec<GatewayAction> = actions;
+        // Bound the causal chain defensively; real chains are short (a
+        // reflection plus a few dialogue rounds).
+        let mut budget = 256;
+        while let Some(action) = queue.pop() {
+            if budget == 0 {
+                self.counters.incr("action_budget_exhausted");
+                break;
+            }
+            budget -= 1;
+            match action {
+                GatewayAction::Deliver { vm, packet } => {
+                    let emissions = self.handle_delivery(now, vm, packet);
+                    for p in emissions {
+                        queue.push(self.gateway.on_outbound(now, vm, p));
+                    }
+                }
+                GatewayAction::CloneAndDeliver { addr, packet } => {
+                    let mut placed = self.place_clone(now, packet.src(), addr);
+                    if placed.is_none() && self.config.evict_on_pressure {
+                        // Resource pressure: replace the oldest binding.
+                        if let Some(evicted) = self.gateway.evict_oldest_binding(now) {
+                            self.reclaim_vm(evicted.vm);
+                            self.counters.incr("evicted_for_pressure");
+                            placed = self.place_clone(now, packet.src(), addr);
+                        }
+                    }
+                    match placed {
+                        Some(_) => queue.push(self.gateway.on_inbound(now, packet)),
+                        None => {
+                            self.counters.incr("dropped_no_capacity");
+                            self.outputs
+                                .push(FarmOutput::DroppedInbound(DropReason::SourceQuota));
+                        }
+                    }
+                }
+                GatewayAction::GatewayReply(packet) => {
+                    // A gateway-synthesized packet: deliver to a VM if its
+                    // destination is one, else it leaves the farm.
+                    if let Some(vm) = self.vm_for_addr(now, packet.dst()) {
+                        let emissions = self.handle_delivery(now, vm, packet);
+                        for p in emissions {
+                            queue.push(self.gateway.on_outbound(now, vm, p));
+                        }
+                    } else {
+                        self.counters.incr("sent_external");
+                        self.outputs.push(FarmOutput::SentExternal(packet));
+                    }
+                }
+                GatewayAction::ForwardExternal(packet) => {
+                    self.counters.incr("sent_external");
+                    self.outputs.push(FarmOutput::SentExternal(packet));
+                }
+                GatewayAction::Reflect { addr: _, packet } => {
+                    // Containment: the outbound packet re-enters as inbound.
+                    queue.push(self.gateway.on_inbound(now, packet));
+                }
+                GatewayAction::Drop { reason } => {
+                    self.outputs.push(FarmOutput::DroppedOutbound(reason));
+                }
+            }
+        }
+    }
+
+    /// Finds the VM bound to `addr` without consuming gateway state beyond
+    /// an activity refresh.
+    fn vm_for_addr(&mut self, _now: SimTime, addr: Ipv4Addr) -> Option<VmRef> {
+        self.vms
+            .iter()
+            .find(|(_, slot)| {
+                self.hosts[slot.host]
+                    .domain(slot.domain)
+                    .is_ok_and(|d| d.bound_addr() == Some(addr))
+            })
+            .map(|(&vm, _)| vm)
+    }
+
+    /// The profile index serving `addr` (0 = the default profile).
+    fn profile_index_for(&self, addr: Ipv4Addr) -> usize {
+        self.config
+            .address_profiles
+            .iter()
+            .position(|(prefix, _)| prefix.contains(addr))
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Provisions a VM for `addr` — from a standby pool when one is
+    /// available (cheap), else by flash-cloning — and binds it at the
+    /// gateway.
+    fn place_clone(&mut self, now: SimTime, src: Ipv4Addr, addr: Ipv4Addr) -> Option<VmRef> {
+        let n = self.hosts.len();
+        let profile_idx = self.profile_index_for(addr);
+        // Standby pool first: only the binding stages remain.
+        for offset in 0..n {
+            let h = (self.next_host + offset) % n;
+            if profile_idx != 0 {
+                break; // The pool only holds default-profile domains.
+            }
+            if let Some(domain) = self.standby[h].pop() {
+                self.next_host = (h + 1) % n;
+                let timing =
+                    CloneTiming::new(self.config.cost_model.standby_bind_stages());
+                self.counters.incr("standby_hits");
+                return Some(self.finish_placement(now, src, addr, h, domain, timing));
+            }
+        }
+        for offset in 0..n {
+            let h = (self.next_host + offset) % n;
+            match self.hosts[h].flash_clone(self.images[h][profile_idx]) {
+                Ok((domain, timing)) => {
+                    self.next_host = (h + 1) % n;
+                    return Some(self.finish_placement(now, src, addr, h, domain, timing));
+                }
+                Err(VmmError::TooManyDomains { .. }) | Err(VmmError::OutOfMemory { .. }) => {
+                    continue;
+                }
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+
+    fn finish_placement(
+        &mut self,
+        now: SimTime,
+        src: Ipv4Addr,
+        addr: Ipv4Addr,
+        host: usize,
+        domain: DomainId,
+        timing: CloneTiming,
+    ) -> VmRef {
+        let vm = VmRef(self.next_vmref);
+        self.next_vmref += 1;
+        self.hosts[host].domain_mut(domain).expect("live domain").bind_addr(addr);
+        self.vms.insert(vm, VmSlot { host, domain });
+        self.gateway.bind(now, src, addr, vm);
+        self.counters.incr("vms_cloned");
+        self.clone_latency_us.record(timing.total().as_micros());
+        self.vmm_time += timing.total();
+        self.last_clone_timing = Some(timing);
+        vm
+    }
+
+    /// Models the guest receiving a packet: page activity, infection, and
+    /// response emission.
+    fn handle_delivery(&mut self, now: SimTime, vm: VmRef, packet: Packet) -> Vec<Packet> {
+        let Some(slot) = self.vms.get(&vm) else {
+            return vec![];
+        };
+        let (host_idx, domain) = (slot.host, slot.domain);
+        if !self.hosts[host_idx].domain(domain).is_ok_and(|d| d.is_running()) {
+            return vec![];
+        }
+        self.counters.incr("packets_to_guests");
+        let me = packet.dst();
+        let remote = packet.src();
+        // The VM's behaviour comes from *its* image (farms can impersonate
+        // heterogeneous OS profiles across the address space).
+        let profile = {
+            let image = self.hosts[host_idx].domain(domain).expect("checked above").image();
+            self.hosts[host_idx].image(image).expect("images outlive domains").profile().clone()
+        };
+        let marker = self.config.worm.as_ref().map(|w| w.payload_marker);
+        let req_idx = self.request_counter;
+        self.request_counter += 1;
+
+        let mut emissions = Vec::new();
+        match packet.payload() {
+            PacketPayload::Icmp(msg) => {
+                if let Some(reply) = msg.reply_to() {
+                    emissions.push(PacketBuilder::new(me, remote).icmp(reply));
+                }
+            }
+            PacketPayload::Tcp { header, payload } => {
+                let flags = header.flags;
+                let listening = profile.listens_on_tcp(header.dst_port);
+                if flags.syn && !flags.ack {
+                    if listening {
+                        self.touch(now, host_idx, domain, req_idx);
+                        emissions.push(PacketBuilder::new(me, remote).tcp_segment(
+                            header.dst_port,
+                            header.src_port,
+                            TcpFlags::SYN_ACK,
+                            self.rng.next_u32(),
+                            header.seq.wrapping_add(1),
+                            &[],
+                        ));
+                    } else {
+                        emissions.push(PacketBuilder::new(me, remote).tcp_segment(
+                            header.dst_port,
+                            header.src_port,
+                            TcpFlags::RST,
+                            0,
+                            header.seq.wrapping_add(1),
+                            &[],
+                        ));
+                    }
+                } else if flags.syn && flags.ack {
+                    // Our connection attempt was accepted. An infected guest
+                    // is mid-exploit: send the payload.
+                    let infected =
+                        self.hosts[host_idx].domain(domain).is_ok_and(|d| d.is_infected());
+                    if infected {
+                        if let Some(worm) = self.config.worm.clone() {
+                            let instance = self.rng.next_u64();
+                            emissions.push(PacketBuilder::new(me, remote).tcp_segment(
+                                header.dst_port,
+                                header.src_port,
+                                TcpFlags::PSH_ACK,
+                                header.ack,
+                                header.seq.wrapping_add(1),
+                                &worm.payload_instance(instance),
+                            ));
+                        }
+                    }
+                } else if !payload.is_empty() {
+                    let carries_exploit =
+                        marker.is_some_and(|m| Self::contains(payload, m)) && listening;
+                    if carries_exploit {
+                        self.capture_payload(now, payload, header.dst_port, remote);
+                        self.infect(now, vm, (host_idx, domain), req_idx, remote, Some(header.dst_port));
+                        emissions.push(PacketBuilder::new(me, remote).tcp_segment(
+                            header.dst_port,
+                            header.src_port,
+                            TcpFlags::ACK,
+                            header.ack,
+                            header.seq.wrapping_add(payload.len() as u32),
+                            &[],
+                        ));
+                    } else if listening {
+                        self.touch(now, host_idx, domain, req_idx);
+                        emissions.push(PacketBuilder::new(me, remote).tcp_segment(
+                            header.dst_port,
+                            header.src_port,
+                            TcpFlags::PSH_ACK,
+                            header.ack,
+                            header.seq.wrapping_add(payload.len() as u32),
+                            b"220 service ready",
+                        ));
+                    } else {
+                        emissions.push(PacketBuilder::new(me, remote).tcp_segment(
+                            header.dst_port,
+                            header.src_port,
+                            TcpFlags::RST,
+                            0,
+                            header.seq,
+                            &[],
+                        ));
+                    }
+                }
+                // Bare ACK/FIN segments need no response in this model.
+            }
+            PacketPayload::Udp { header, payload } => {
+                let listening = profile.listens_on_udp(header.dst_port);
+                let carries_exploit =
+                    marker.is_some_and(|m| Self::contains(payload, m)) && listening;
+                if header.src_port == potemkin_net::dns::DNS_PORT {
+                    // A DNS response to the guest's own query: the resolver
+                    // consumes it (the guest had the socket open).
+                    self.counters.incr("dns_responses_consumed");
+                } else if carries_exploit {
+                    self.capture_payload(now, payload, header.dst_port, remote);
+                    self.infect(now, vm, (host_idx, domain), req_idx, remote, Some(header.dst_port));
+                    // Slammer-style worms elicit no reply.
+                } else if listening {
+                    self.touch(now, host_idx, domain, req_idx);
+                } else {
+                    // Closed UDP port: ICMP port unreachable, as a real
+                    // stack would.
+                    let original: Vec<u8> =
+                        packet.wire().iter().take(28).copied().collect();
+                    emissions.push(PacketBuilder::new(me, remote).icmp(
+                        IcmpMessage::DestUnreachable {
+                            code: IcmpMessage::CODE_PORT_UNREACHABLE,
+                            original,
+                        },
+                    ));
+                }
+            }
+            PacketPayload::Raw { .. } => {
+                // Unmodeled transports are absorbed silently.
+            }
+        }
+        emissions
+    }
+
+    fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+        !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+    }
+
+    fn touch(&mut self, _now: SimTime, host: usize, domain: DomainId, req_idx: u64) {
+        if let Ok(stats) = self.hosts[host].apply_request(domain, req_idx) {
+            self.vmm_time += stats.cost;
+        } else {
+            self.counters.incr("guest_memory_errors");
+        }
+    }
+
+    fn infect(
+        &mut self,
+        now: SimTime,
+        vm: VmRef,
+        slot: (usize, DomainId),
+        seed: u64,
+        infected_by: Ipv4Addr,
+        port: Option<u16>,
+    ) {
+        let (host, domain) = slot;
+        let already =
+            self.hosts[host].domain(domain).map_or(true, |d| d.is_infected());
+        if already {
+            return;
+        }
+        match self.hosts[host].apply_infection(domain, seed) {
+            Ok(stats) => {
+                self.vmm_time += stats.cost;
+                self.counters.incr("infections");
+                self.newly_infected.push(vm);
+                // Attribution: is the infecting source one of our own
+                // honeypots (internal epidemic) or an external host?
+                let internal_origin = self.vms.values().any(|slot| {
+                    self.hosts[slot.host]
+                        .domain(slot.domain)
+                        .is_ok_and(|d| d.bound_addr() == Some(infected_by))
+                });
+                if internal_origin {
+                    self.counters.incr("infections_internal");
+                } else {
+                    self.counters.incr("infections_external");
+                }
+                let victim_addr =
+                    self.hosts[host].domain(domain).ok().and_then(|d| d.bound_addr());
+                self.infection_log.push(InfectionRecord {
+                    vm,
+                    victim_addr,
+                    infected_by,
+                    port,
+                    internal_origin,
+                    at: now,
+                });
+            }
+            Err(_) => self.counters.incr("guest_memory_errors"),
+        }
+    }
+
+    /// Directly infects a VM (experiment seeding: "patient zero").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FarmError::Vmm`] if the VM does not exist.
+    pub fn seed_infection(&mut self, vm: VmRef) -> Result<(), FarmError> {
+        let slot = self
+            .vms
+            .get(&vm)
+            .ok_or(FarmError::Vmm(VmmError::NoSuchDomain(DomainId(vm.0))))?;
+        let (host, domain) = (slot.host, slot.domain);
+        self.hosts[host].apply_infection(domain, vm.0)?;
+        self.counters.incr("infections");
+        self.newly_infected.push(vm);
+        let victim_addr = self.hosts[host].domain(domain).ok().and_then(|d| d.bound_addr());
+        self.infection_log.push(InfectionRecord {
+            vm,
+            victim_addr,
+            infected_by: victim_addr.unwrap_or(Ipv4Addr::UNSPECIFIED),
+            port: None,
+            internal_origin: false,
+            at: SimTime::ZERO,
+        });
+        Ok(())
+    }
+
+    /// Materializes a VM for `addr` without waiting for traffic (experiment
+    /// seeding). The binding's "source" is the address itself.
+    ///
+    /// Returns `None` when no server has capacity.
+    pub fn materialize(&mut self, now: SimTime, addr: Ipv4Addr) -> Option<VmRef> {
+        self.place_clone(now, addr, addr)
+    }
+
+    /// Drains the list of VMs infected since the last call.
+    pub fn take_new_infections(&mut self) -> Vec<VmRef> {
+        std::mem::take(&mut self.newly_infected)
+    }
+
+    /// The full infection provenance log (who infected whom, when, how).
+    #[must_use]
+    pub fn infection_log(&self) -> &[InfectionRecord] {
+        &self.infection_log
+    }
+
+    /// The captured exploit payloads (deduplicated by content), in
+    /// first-seen order.
+    #[must_use]
+    pub fn captures(&self) -> Vec<&CaptureRecord> {
+        let mut v: Vec<&CaptureRecord> = self.captures.values().collect();
+        v.sort_by_key(|c| (c.first_seen, c.port));
+        v
+    }
+
+    /// Records a payload delivery into the capture store.
+    fn capture_payload(&mut self, now: SimTime, payload: &[u8], port: u16, src: Ipv4Addr) {
+        // FNV-1a content hash for dedup.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in payload {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        match self.captures.get_mut(&h) {
+            Some(rec) => rec.hits += 1,
+            None => {
+                self.counters.incr("unique_payloads_captured");
+                self.captures.insert(
+                    h,
+                    CaptureRecord {
+                        payload: payload.to_vec(),
+                        port,
+                        first_source: src,
+                        first_seen: now,
+                        hits: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Drains recorded farm outputs.
+    pub fn take_outputs(&mut self) -> Vec<FarmOutput> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Live (bound) VM count. Standby-pool domains are not included.
+    #[must_use]
+    pub fn live_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Standby-pool size across all hosts.
+    #[must_use]
+    pub fn standby_vms(&self) -> usize {
+        self.standby.iter().map(Vec::len).sum()
+    }
+
+    /// Count of currently infected live VMs.
+    #[must_use]
+    pub fn infected_vms(&self) -> usize {
+        self.vms
+            .values()
+            .filter(|slot| {
+                self.hosts[slot.host]
+                    .domain(slot.domain)
+                    .is_ok_and(|d| d.is_infected())
+            })
+            .count()
+    }
+
+    /// The gateway (read access for stats and assertions).
+    #[must_use]
+    pub fn gateway(&self) -> &Gateway {
+        &self.gateway
+    }
+
+    /// The server pool (read access).
+    #[must_use]
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Mutable access to the server pool, for VMM-level operations the
+    /// controller does not wrap (forensic snapshots, direct memory
+    /// inspection). Mutating domains the gateway has bound is the caller's
+    /// responsibility.
+    pub fn hosts_mut(&mut self) -> &mut [Host] {
+        &mut self.hosts
+    }
+
+    /// The most recent clone's stage breakdown.
+    #[must_use]
+    pub fn last_clone_timing(&self) -> Option<&CloneTiming> {
+        self.last_clone_timing.as_ref()
+    }
+
+    /// Aggregated statistics.
+    #[must_use]
+    pub fn stats(&self) -> FarmStats {
+        FarmStats::collect(self)
+    }
+
+    /// Farm-level counters (the gateway keeps its own; see
+    /// [`Honeyfarm::gateway`]).
+    #[must_use]
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Histogram of clone latencies (microseconds of virtual time).
+    #[must_use]
+    pub fn clone_latency_us(&self) -> &LogHistogram {
+        &self.clone_latency_us
+    }
+
+    /// Total virtual time spent inside VMM operations.
+    #[must_use]
+    pub fn vmm_time(&self) -> SimTime {
+        self.vmm_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use potemkin_gateway::policy::PolicyConfig;
+    use potemkin_net::addr::Ipv4Prefix;
+
+    const ATTACKER: Ipv4Addr = Ipv4Addr::new(6, 6, 6, 6);
+    const HP1: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 5);
+
+    fn syn(src: Ipv4Addr, dst: Ipv4Addr, dport: u16) -> Packet {
+        PacketBuilder::new(src, dst).tcp_syn(40_000, dport)
+    }
+
+    fn space() -> Ipv4Prefix {
+        "10.1.0.0/16".parse().unwrap()
+    }
+
+    #[test]
+    fn first_contact_materializes_a_vm_that_answers() {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, HP1, 445));
+        assert_eq!(farm.live_vms(), 1);
+        let outputs = farm.take_outputs();
+        let replies: Vec<&Packet> = outputs
+            .iter()
+            .filter_map(|o| match o {
+                FarmOutput::SentExternal(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].src(), HP1);
+        assert_eq!(replies[0].dst(), ATTACKER);
+        assert_eq!(replies[0].tcp_flags().unwrap(), TcpFlags::SYN_ACK);
+    }
+
+    #[test]
+    fn closed_port_elicits_rst() {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, HP1, 9_999));
+        let outputs = farm.take_outputs();
+        let rst = outputs
+            .iter()
+            .find_map(|o| match o {
+                FarmOutput::SentExternal(p) if p.tcp_flags().is_some_and(|f| f.rst) => Some(p),
+                _ => None,
+            })
+            .expect("expected a RST");
+        assert_eq!(rst.dst(), ATTACKER);
+    }
+
+    #[test]
+    fn second_packet_reuses_the_vm() {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, HP1, 445));
+        farm.inject_external(SimTime::from_secs(1), syn(ATTACKER, HP1, 80));
+        assert_eq!(farm.live_vms(), 1, "same destination address, same VM");
+        let (flash, _, _, _) = farm.hosts()[0].lifecycle_counts();
+        assert_eq!(flash, 1);
+    }
+
+    #[test]
+    fn distinct_addresses_get_distinct_vms() {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        for i in 1..=5u8 {
+            farm.inject_external(SimTime::ZERO, syn(ATTACKER, Ipv4Addr::new(10, 1, 0, i), 445));
+        }
+        assert_eq!(farm.live_vms(), 5);
+    }
+
+    #[test]
+    fn ping_answered_without_vm() {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        let ping = PacketBuilder::new(ATTACKER, HP1).icmp_echo(1, 1, b"x");
+        farm.inject_external(SimTime::ZERO, ping);
+        assert_eq!(farm.live_vms(), 0);
+        let outputs = farm.take_outputs();
+        assert!(matches!(&outputs[0], FarmOutput::SentExternal(p) if p.dst() == ATTACKER));
+    }
+
+    #[test]
+    fn idle_vms_are_recycled_and_memory_returned() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(30));
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        let baseline = farm.hosts()[0].memory_report().used_frames;
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, HP1, 445));
+        assert_eq!(farm.live_vms(), 1);
+        farm.tick(SimTime::from_secs(10));
+        assert_eq!(farm.live_vms(), 1, "still active window");
+        farm.tick(SimTime::from_secs(31));
+        assert_eq!(farm.live_vms(), 0, "recycled after idle timeout");
+        assert_eq!(farm.hosts()[0].memory_report().used_frames, baseline, "no frame leak");
+        assert_eq!(farm.counters().get("vms_recycled"), 1);
+    }
+
+    #[test]
+    fn slammer_probe_reflects_and_infects_internally() {
+        let mut cfg = FarmConfig::small_test();
+        // The small profile listens on UDP nowhere; use windows profile for
+        // the 1434 listener.
+        cfg.profile = GuestProfile::windows_server();
+        cfg.frames_per_server = 262_144;
+        cfg.worm = Some(WormSpec::slammer(space()));
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+
+        // Patient zero materializes and is seeded.
+        let vm0 = farm.materialize(SimTime::ZERO, HP1).unwrap();
+        farm.seed_infection(vm0).unwrap();
+        assert_eq!(farm.take_new_infections(), vec![vm0]);
+
+        // One scan probe: reflected, new VM cloned, infected on delivery.
+        let mut probes = 0;
+        loop {
+            assert!(farm.worm_probe(SimTime::from_millis(probes), vm0, probes));
+            probes += 1;
+            if farm.infected_vms() >= 2 {
+                break;
+            }
+            assert!(probes < 500, "worm failed to spread in 500 probes");
+        }
+        assert!(farm.live_vms() >= 2);
+        let infected = farm.take_new_infections();
+        assert_eq!(infected.len(), 1);
+        assert_ne!(infected[0], vm0);
+        // Nothing escaped.
+        let escapes = farm
+            .take_outputs()
+            .iter()
+            .filter(|o| matches!(o, FarmOutput::SentExternal(_)))
+            .count();
+        assert_eq!(escapes, 0, "reflection must keep worm traffic internal");
+        assert_eq!(farm.gateway().counters().get("escaped"), 0);
+    }
+
+    #[test]
+    fn tcp_worm_completes_dialogue_through_reflection() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.worm = Some(WormSpec::code_red(space()));
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        let vm0 = farm.materialize(SimTime::ZERO, HP1).unwrap();
+        farm.seed_infection(vm0).unwrap();
+        farm.take_new_infections();
+
+        let mut probes = 0u64;
+        while farm.infected_vms() < 2 {
+            assert!(farm.worm_probe(SimTime::from_millis(probes * 90), vm0, probes));
+            probes += 1;
+            assert!(probes < 2_000, "TCP worm failed to spread");
+        }
+        // The victim was infected through SYN → SYNACK → payload, all
+        // internal.
+        assert_eq!(farm.gateway().counters().get("escaped"), 0);
+        assert!(farm.gateway().counters().get("intra_farm_delivered") > 0);
+        assert_eq!(farm.counters().get("infections"), 2); // includes seed
+    }
+
+    #[test]
+    fn allow_all_lets_probes_escape() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.gateway.policy = PolicyConfig::allow_all();
+        cfg.worm = Some(WormSpec::code_red(space()));
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        let vm0 = farm.materialize(SimTime::ZERO, HP1).unwrap();
+        farm.seed_infection(vm0).unwrap();
+        for i in 0..10 {
+            farm.worm_probe(SimTime::from_millis(i * 100), vm0, i);
+        }
+        assert!(farm.gateway().counters().get("escaped") > 0);
+        let escapes = farm
+            .take_outputs()
+            .iter()
+            .filter(|o| matches!(o, FarmOutput::SentExternal(_)))
+            .count();
+        assert!(escapes > 0);
+    }
+
+    #[test]
+    fn drop_all_suppresses_probes_and_infections() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.gateway.policy = PolicyConfig::drop_all();
+        cfg.worm = Some(WormSpec::code_red(space()));
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        let vm0 = farm.materialize(SimTime::ZERO, HP1).unwrap();
+        farm.seed_infection(vm0).unwrap();
+        for i in 0..50 {
+            farm.worm_probe(SimTime::from_millis(i * 100), vm0, i);
+        }
+        assert_eq!(farm.gateway().counters().get("escaped"), 0);
+        assert_eq!(farm.infected_vms(), 1, "worm cannot spread under drop-all");
+        assert_eq!(farm.live_vms(), 1, "no reflection, no new VMs");
+    }
+
+    #[test]
+    fn pressure_eviction_replaces_the_oldest_binding() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.max_domains_per_server = 2;
+        cfg.evict_on_pressure = true;
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        // Fill the farm, with the first binding oldest.
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 1), 445));
+        farm.inject_external(SimTime::from_secs(1), syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 2), 445));
+        assert_eq!(farm.live_vms(), 2);
+        // A third address arrives: the oldest VM is replaced, nothing is
+        // dropped.
+        farm.inject_external(SimTime::from_secs(2), syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 3), 445));
+        assert_eq!(farm.live_vms(), 2);
+        assert_eq!(farm.counters().get("evicted_for_pressure"), 1);
+        assert_eq!(farm.counters().get("dropped_no_capacity"), 0);
+        // The evicted address re-binds on its next packet (evicting the now
+        // oldest, address 2).
+        farm.inject_external(SimTime::from_secs(3), syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 1), 445));
+        assert_eq!(farm.live_vms(), 2);
+        assert_eq!(farm.counters().get("evicted_for_pressure"), 2);
+    }
+
+    #[test]
+    fn capacity_exhaustion_drops_new_addresses() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.max_domains_per_server = 3;
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        for i in 1..=10u8 {
+            farm.inject_external(SimTime::ZERO, syn(ATTACKER, Ipv4Addr::new(10, 1, 0, i), 445));
+        }
+        assert_eq!(farm.live_vms(), 3);
+        assert_eq!(farm.counters().get("dropped_no_capacity"), 7);
+    }
+
+    #[test]
+    fn multiple_servers_share_load() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.servers = 3;
+        cfg.max_domains_per_server = 2;
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        for i in 1..=6u8 {
+            farm.inject_external(SimTime::ZERO, syn(ATTACKER, Ipv4Addr::new(10, 1, 0, i), 445));
+        }
+        assert_eq!(farm.live_vms(), 6);
+        for host in farm.hosts() {
+            assert_eq!(host.live_domains(), 2, "round-robin placement");
+        }
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.servers = 0;
+        assert!(matches!(Honeyfarm::new(cfg), Err(FarmError::BadConfig { .. })));
+        let mut cfg2 = FarmConfig::small_test();
+        cfg2.frames_per_server = 100; // image does not fit
+        assert!(matches!(Honeyfarm::new(cfg2), Err(FarmError::Vmm(_))));
+    }
+
+    #[test]
+    fn clone_latency_recorded() {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, HP1, 445));
+        assert_eq!(farm.clone_latency_us().count(), 1);
+        let timing = farm.last_clone_timing().unwrap();
+        assert!(timing.total() > SimTime::from_millis(100));
+        assert!(farm.vmm_time() >= timing.total());
+    }
+
+    #[test]
+    fn heterogeneous_profiles_by_prefix() {
+        let mut cfg = FarmConfig::small_test();
+        // Upper half of the /16 impersonates Linux servers (ssh open).
+        cfg.address_profiles =
+            vec![("10.1.128.0/17".parse().unwrap(), GuestProfile::linux_server())];
+        cfg.frames_per_server = 300_000;
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+
+        // ssh to a "Linux" address: accepted.
+        let linux_addr = Ipv4Addr::new(10, 1, 200, 1);
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, linux_addr, 22));
+        let r1 = farm.take_outputs();
+        assert!(
+            r1.iter().any(|o| matches!(o, FarmOutput::SentExternal(p)
+                if p.tcp_flags().is_some_and(|f| f.syn && f.ack))),
+            "Linux profile must accept tcp/22"
+        );
+
+        // ssh to a default (small-profile) address: refused.
+        let default_addr = Ipv4Addr::new(10, 1, 0, 1);
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, default_addr, 22));
+        let r2 = farm.take_outputs();
+        assert!(
+            r2.iter().any(|o| matches!(o, FarmOutput::SentExternal(p)
+                if p.tcp_flags().is_some_and(|f| f.rst))),
+            "default profile must refuse tcp/22"
+        );
+
+        // Both servers host both images.
+        let report = farm.hosts()[0].memory_report();
+        let expected_image_frames =
+            GuestProfile::small().memory_pages + GuestProfile::linux_server().memory_pages;
+        assert_eq!(report.image_frames, expected_image_frames);
+    }
+
+    #[test]
+    fn standby_pool_hides_clone_latency() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.standby_per_host = 2;
+        cfg.frames_per_server = 200_000;
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        assert_eq!(farm.standby_vms(), 2);
+
+        // First two contacts hit the pool: only bind stages.
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 1), 445));
+        let pool_timing = farm.last_clone_timing().unwrap().total();
+        assert!(pool_timing < SimTime::from_millis(200), "pool hit took {pool_timing}");
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 2), 445));
+        assert_eq!(farm.standby_vms(), 0);
+
+        // Third contact pays the full flash clone.
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 3), 445));
+        let cold_timing = farm.last_clone_timing().unwrap().total();
+        assert!(cold_timing > pool_timing * 3, "cold {cold_timing} vs pool {pool_timing}");
+        assert_eq!(farm.counters().get("standby_hits"), 2);
+        assert_eq!(farm.live_vms(), 3);
+    }
+
+    #[test]
+    fn rollback_recycling_refills_the_pool() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.standby_per_host = 1;
+        cfg.recycle = RecycleStrategy::RollbackToPool;
+        cfg.frames_per_server = 200_000;
+        cfg.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10));
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        let baseline = farm.hosts()[0].memory_report().used_frames;
+
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, HP1, 445));
+        assert_eq!(farm.standby_vms(), 0, "pool VM bound");
+        farm.tick(SimTime::from_secs(11));
+        assert_eq!(farm.live_vms(), 0);
+        assert_eq!(farm.standby_vms(), 1, "rolled back into the pool");
+        assert_eq!(farm.counters().get("vms_rolled_back"), 1);
+        assert_eq!(
+            farm.hosts()[0].memory_report().used_frames,
+            baseline,
+            "rollback returned the delta"
+        );
+
+        // The next contact reuses the rolled-back domain — pristine.
+        farm.inject_external(SimTime::from_secs(12), syn(ATTACKER, HP1, 445));
+        assert_eq!(farm.counters().get("standby_hits"), 2);
+        let (flash, _, _, destroys) = farm.hosts()[0].lifecycle_counts();
+        assert_eq!(flash, 1, "only the initial pool fill cloned");
+        assert_eq!(destroys, 0, "nothing destroyed under rollback recycling");
+    }
+
+    #[test]
+    fn rolled_back_vm_is_not_infected_anymore() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.recycle = RecycleStrategy::RollbackToPool;
+        cfg.worm = Some(WormSpec::code_red("10.1.0.0/24".parse().unwrap()));
+        cfg.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10));
+        cfg.frames_per_server = 200_000;
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        let vm0 = farm.materialize(SimTime::ZERO, HP1).unwrap();
+        farm.seed_infection(vm0).unwrap();
+        assert_eq!(farm.infected_vms(), 1);
+        farm.tick(SimTime::from_secs(11));
+        assert_eq!(farm.infected_vms(), 0);
+        assert_eq!(farm.standby_vms(), 1);
+        // Reuse: the standby domain serves a fresh address, uninfected.
+        farm.inject_external(SimTime::from_secs(12), syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 9), 445));
+        assert_eq!(farm.live_vms(), 1);
+        assert_eq!(farm.infected_vms(), 0);
+    }
+
+    #[test]
+    fn payload_capture_deduplicates_by_content() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.worm = Some(WormSpec::code_red("10.1.0.0/24".parse().unwrap()));
+        cfg.frames_per_server = 600_000;
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        let atk = Ipv4Addr::new(6, 6, 6, 6);
+        let atk2 = Ipv4Addr::new(7, 7, 7, 7);
+
+        // The same exploit delivered to two addresses by two attackers.
+        for (src, dst_octet) in [(atk, 1u8), (atk2, 2u8)] {
+            let dst = Ipv4Addr::new(10, 1, 0, dst_octet);
+            farm.inject_external(SimTime::ZERO, PacketBuilder::new(src, dst).tcp_syn(9_000, 80));
+            let payload = PacketBuilder::new(src, dst).tcp_segment(
+                9_000,
+                80,
+                TcpFlags::PSH_ACK,
+                1,
+                1,
+                b"GET /default.ida?NNNN-marker",
+            );
+            farm.inject_external(SimTime::from_millis(5), payload);
+        }
+        assert_eq!(farm.infected_vms(), 2);
+        let captures = farm.captures();
+        assert_eq!(captures.len(), 1, "identical payloads deduplicate");
+        assert_eq!(captures[0].hits, 2);
+        assert_eq!(captures[0].port, 80);
+        assert_eq!(captures[0].first_source, atk);
+        assert!(captures[0].payload.windows(6).any(|w| w == b"marker"));
+        assert_eq!(farm.counters().get("unique_payloads_captured"), 1);
+    }
+
+    #[test]
+    fn polymorphic_worm_defeats_content_dedup_but_not_capture() {
+        let run_with = |polymorphic: bool| {
+            let mut cfg = FarmConfig::small_test();
+            cfg.profile = GuestProfile::windows_server();
+            cfg.frames_per_server = 8_000_000;
+            cfg.max_domains_per_server = 4_096;
+            cfg.gateway.policy.binding_idle_timeout = SimTime::from_secs(600);
+            cfg.worm = Some(WormSpec {
+                polymorphic,
+                ..WormSpec::slammer("10.1.0.0/24".parse().unwrap())
+            });
+            let mut farm = Honeyfarm::new(cfg).unwrap();
+            let vm0 = farm.materialize(SimTime::ZERO, HP1).unwrap();
+            farm.seed_infection(vm0).unwrap();
+            for i in 0..40u64 {
+                farm.worm_probe(SimTime::from_millis(i), vm0, i);
+            }
+            (farm.infected_vms(), farm.captures().len())
+        };
+        let (mono_infected, mono_unique) = run_with(false);
+        let (poly_infected, poly_unique) = run_with(true);
+        assert!(mono_infected > 5 && poly_infected > 5, "both spread");
+        assert_eq!(mono_unique, 1, "monomorphic payloads collapse to one capture");
+        assert!(
+            poly_unique > mono_unique,
+            "polymorphic instances produce distinct captures: {poly_unique}"
+        );
+    }
+
+    #[test]
+    fn infection_provenance_distinguishes_internal_from_external() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.worm = Some(WormSpec::code_red("10.1.0.0/24".parse().unwrap()));
+        cfg.frames_per_server = 600_000;
+        cfg.max_domains_per_server = 4_096;
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+
+        // External attacker delivers the exploit by hand: SYN, then payload.
+        let atk = Ipv4Addr::new(6, 6, 6, 6);
+        farm.inject_external(SimTime::ZERO, PacketBuilder::new(atk, HP1).tcp_syn(9_000, 80));
+        let payload = PacketBuilder::new(atk, HP1).tcp_segment(
+            9_000,
+            80,
+            TcpFlags::PSH_ACK,
+            1,
+            1,
+            b"GET /default.ida?NNNN-marker",
+        );
+        farm.inject_external(SimTime::from_millis(5), payload);
+        assert_eq!(farm.infected_vms(), 1);
+        {
+            let log = farm.infection_log();
+            assert_eq!(log.len(), 1);
+            assert_eq!(log[0].infected_by, atk);
+            assert_eq!(log[0].victim_addr, Some(HP1));
+            assert_eq!(log[0].port, Some(80));
+            assert!(!log[0].internal_origin, "external attacker");
+        }
+
+        // The infected honeypot now spreads: reflected infections are
+        // attributed as internal.
+        let vm0 = farm.take_new_infections()[0];
+        let mut probes = 0u64;
+        while farm.infected_vms() < 2 {
+            farm.worm_probe(SimTime::from_millis(100 + probes * 90), vm0, probes);
+            probes += 1;
+            assert!(probes < 2_000);
+        }
+        let log = farm.infection_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1].infected_by, HP1, "spread by the first honeypot");
+        assert!(log[1].internal_origin, "internal epidemic");
+        assert_eq!(farm.counters().get("infections_internal"), 1);
+        assert_eq!(farm.counters().get("infections_external"), 1);
+    }
+
+    #[test]
+    fn emit_from_dead_vm_returns_false() {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        let pkt = PacketBuilder::new(HP1, ATTACKER).tcp_syn(1, 2);
+        assert!(!farm.emit_from_vm(SimTime::ZERO, VmRef(99), pkt));
+        assert!(!farm.worm_probe(SimTime::ZERO, VmRef(99), 0));
+    }
+}

@@ -1,0 +1,46 @@
+//! The Potemkin honeyfarm controller.
+//!
+//! This crate is the paper's *system*: it composes the gateway decision
+//! engine (`potemkin-gateway`), a pool of VMM servers (`potemkin-vmm`), and
+//! guest behaviour into a working honeyfarm.
+//!
+//! * [`farm`] — [`farm::Honeyfarm`]: executes every [`GatewayAction`]
+//!   (flash-cloning on demand, delivering packets into guests, reflecting
+//!   contained traffic back into the farm, recycling idle VMs) and models
+//!   guest responses (service replies, exploit infection, worm dialogue).
+//! * [`scenario`] — event-driven experiment drivers: telescope replay and
+//!   in-farm worm outbreaks, with time-series instrumentation.
+//! * [`baseline`] — the low-interaction (scripted) responder baseline for
+//!   the fidelity comparison.
+//! * [`report`] — aggregated farm statistics.
+//!
+//! [`GatewayAction`]: potemkin_gateway::GatewayAction
+//!
+//! # Examples
+//!
+//! ```
+//! use potemkin_core::farm::{FarmConfig, Honeyfarm};
+//! use potemkin_net::PacketBuilder;
+//! use potemkin_sim::SimTime;
+//! use std::net::Ipv4Addr;
+//!
+//! let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+//! // A scanner probes a telescope address: a VM materializes and answers.
+//! let probe = PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, 77))
+//!     .tcp_syn(4444, 445);
+//! farm.inject_external(SimTime::ZERO, probe);
+//! assert_eq!(farm.live_vms(), 1);
+//! let sent = farm.take_outputs();
+//! assert!(!sent.is_empty(), "the honeypot answered the scanner");
+//! ```
+
+pub mod baseline;
+pub mod error;
+pub mod farm;
+pub mod report;
+pub mod scenario;
+
+pub use baseline::{LowInteractionResponder, ResponderKind};
+pub use error::FarmError;
+pub use farm::{FarmConfig, Honeyfarm};
+pub use report::FarmStats;

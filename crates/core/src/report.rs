@@ -1,0 +1,124 @@
+//! Aggregated farm statistics.
+
+use potemkin_metrics::CounterSet;
+use potemkin_sim::SimTime;
+use potemkin_vmm::MemoryReport;
+
+use crate::farm::Honeyfarm;
+
+/// A point-in-time snapshot of the whole farm.
+#[derive(Clone, Debug)]
+pub struct FarmStats {
+    /// Live VMs across all servers.
+    pub live_vms: usize,
+    /// Currently infected live VMs.
+    pub infected_vms: usize,
+    /// Per-server memory reports.
+    pub memory: Vec<MemoryReport>,
+    /// Merged farm + gateway counters.
+    pub counters: CounterSet,
+    /// VMs cloned over the farm's lifetime.
+    pub vms_cloned: u64,
+    /// VMs recycled over the farm's lifetime.
+    pub vms_recycled: u64,
+    /// Median flash-clone latency (virtual time).
+    pub clone_latency_p50: SimTime,
+    /// 99th-percentile flash-clone latency (virtual time).
+    pub clone_latency_p99: SimTime,
+    /// Total virtual time spent in VMM operations.
+    pub vmm_time: SimTime,
+}
+
+impl FarmStats {
+    /// Collects a snapshot from a farm.
+    #[must_use]
+    pub fn collect(farm: &Honeyfarm) -> FarmStats {
+        let mut counters = farm.counters().clone();
+        counters.merge(farm.gateway().counters());
+        let h = farm.clone_latency_us();
+        FarmStats {
+            live_vms: farm.live_vms(),
+            infected_vms: farm.infected_vms(),
+            memory: farm.hosts().iter().map(|h| h.memory_report()).collect(),
+            vms_cloned: counters.get("vms_cloned"),
+            vms_recycled: counters.get("vms_recycled"),
+            clone_latency_p50: SimTime::from_micros(h.quantile(0.5)),
+            clone_latency_p99: SimTime::from_micros(h.quantile(0.99)),
+            vmm_time: farm.vmm_time(),
+            counters,
+        }
+    }
+
+    /// Total frames in use across servers.
+    #[must_use]
+    pub fn total_used_frames(&self) -> u64 {
+        self.memory.iter().map(|m| m.used_frames).sum()
+    }
+
+    /// Total frames private to domains across servers.
+    #[must_use]
+    pub fn total_private_frames(&self) -> u64 {
+        self.memory.iter().map(|m| m.private_frames).sum()
+    }
+
+    /// Farm-wide marginal frames per live VM.
+    #[must_use]
+    pub fn marginal_frames_per_vm(&self) -> f64 {
+        if self.live_vms == 0 {
+            0.0
+        } else {
+            self.total_private_frames() as f64 / self.live_vms as f64
+        }
+    }
+}
+
+impl core::fmt::Display for FarmStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "live VMs:        {}", self.live_vms)?;
+        writeln!(f, "infected VMs:    {}", self.infected_vms)?;
+        writeln!(f, "VMs cloned:      {}", self.vms_cloned)?;
+        writeln!(f, "VMs recycled:    {}", self.vms_recycled)?;
+        writeln!(f, "clone p50/p99:   {} / {}", self.clone_latency_p50, self.clone_latency_p99)?;
+        writeln!(f, "used frames:     {}", self.total_used_frames())?;
+        writeln!(f, "marginal MiB/VM: {:.2}", self.marginal_frames_per_vm() * 4.0 / 1024.0)?;
+        writeln!(f, "vmm time:        {}", self.vmm_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farm::FarmConfig;
+    use potemkin_net::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn stats_reflect_activity() {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        for i in 1..=4u8 {
+            let p = PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, i))
+                .tcp_syn(1000, 445);
+            farm.inject_external(SimTime::ZERO, p);
+        }
+        let stats = farm.stats();
+        assert_eq!(stats.live_vms, 4);
+        assert_eq!(stats.vms_cloned, 4);
+        assert_eq!(stats.infected_vms, 0);
+        assert!(stats.clone_latency_p50 > SimTime::from_millis(100));
+        assert!(stats.total_used_frames() > 0);
+        assert!(stats.marginal_frames_per_vm() > 0.0);
+        assert_eq!(stats.counters.get("packets_in"), 8, "4 first + 4 re-offered");
+        let rendered = stats.to_string();
+        assert!(rendered.contains("live VMs"));
+        assert!(rendered.contains("clone p50"));
+    }
+
+    #[test]
+    fn empty_farm_stats() {
+        let farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        let stats = farm.stats();
+        assert_eq!(stats.live_vms, 0);
+        assert_eq!(stats.marginal_frames_per_vm(), 0.0);
+        assert_eq!(stats.clone_latency_p50, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,421 @@
+//! Late binding of telescope addresses to honeypot VMs.
+//!
+//! The honeyfarm does not dedicate a VM per monitored address — it binds an
+//! address to a VM only when traffic arrives, and unbinds (recycling the VM)
+//! after inactivity. [`AddressBinder`] owns that mapping plus the recycling
+//! timers; the per-source quota the paper proposes for resource containment
+//! is implemented here too.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use potemkin_sim::{SimTime, TimerHandle, TimerWheel};
+
+/// Opaque reference to a honeypot VM, minted by the controller.
+///
+/// The gateway never dereferences it — it only routes packets to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmRef(pub u64);
+
+/// Binding granularity: what key maps to a VM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BindGranularity {
+    /// One VM per destination address (the default; all attackers of one
+    /// address share its VM).
+    PerDestination,
+    /// One VM per (source, destination) pair (isolates attackers from each
+    /// other at higher VM cost — the paper's suggested refinement for
+    /// attributing infections).
+    PerSourceDestination,
+}
+
+/// A binding key under the configured granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BindKey {
+    /// The telescope address being impersonated.
+    pub dst: Ipv4Addr,
+    /// The remote source, when granularity is per-(source, destination).
+    pub src: Option<Ipv4Addr>,
+}
+
+#[derive(Clone, Debug)]
+struct Binding {
+    vm: VmRef,
+    src: Ipv4Addr,
+    bound_at: SimTime,
+    last_active: SimTime,
+    packets: u64,
+    idle_timer: TimerHandle,
+    /// Monotone epoch distinguishing reuse of the same key.
+    epoch: u64,
+}
+
+/// An expired binding, reported so the controller can destroy the VM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpiredBinding {
+    /// The key that expired.
+    pub key: BindKey,
+    /// The VM that should be recycled.
+    pub vm: VmRef,
+    /// How long the binding lived.
+    pub lifetime: SimTime,
+    /// Packets it served.
+    pub packets: u64,
+}
+
+/// The address-to-VM binding table with idle/lifetime recycling.
+pub struct AddressBinder {
+    granularity: BindGranularity,
+    idle_timeout: SimTime,
+    max_lifetime: SimTime,
+    bindings: HashMap<BindKey, Binding>,
+    timers: TimerWheel<(BindKey, u64)>,
+    per_source: HashMap<Ipv4Addr, u32>,
+    per_source_limit: Option<u32>,
+    next_epoch: u64,
+    /// Lifetime counters.
+    binds: u64,
+    expiries: u64,
+    quota_rejections: u64,
+}
+
+impl AddressBinder {
+    /// Creates a binder.
+    #[must_use]
+    pub fn new(
+        granularity: BindGranularity,
+        idle_timeout: SimTime,
+        max_lifetime: SimTime,
+        per_source_limit: Option<u32>,
+    ) -> Self {
+        AddressBinder {
+            granularity,
+            idle_timeout,
+            max_lifetime,
+            bindings: HashMap::new(),
+            timers: TimerWheel::new(SimTime::from_millis(100)),
+            per_source: HashMap::new(),
+            per_source_limit,
+            next_epoch: 0,
+            binds: 0,
+            expiries: 0,
+            quota_rejections: 0,
+        }
+    }
+
+    /// The key a packet from `src` to `dst` binds under.
+    #[must_use]
+    pub fn key_for(&self, src: Ipv4Addr, dst: Ipv4Addr) -> BindKey {
+        match self.granularity {
+            BindGranularity::PerDestination => BindKey { dst, src: None },
+            BindGranularity::PerSourceDestination => BindKey { dst, src: Some(src) },
+        }
+    }
+
+    /// Looks up the VM bound for traffic from `src` to `dst`, refreshing the
+    /// idle timer on hit.
+    pub fn lookup_active(&mut self, now: SimTime, src: Ipv4Addr, dst: Ipv4Addr) -> Option<VmRef> {
+        let key = self.key_for(src, dst);
+        let idle_timeout = self.idle_timeout;
+        let binding = self.bindings.get_mut(&key)?;
+        binding.last_active = now;
+        binding.packets += 1;
+        self.timers.cancel(binding.idle_timer);
+        // Never extend past the hard lifetime cap.
+        let idle_deadline = now + idle_timeout;
+        let hard_deadline = binding.bound_at.saturating_add(self.max_lifetime);
+        binding.idle_timer = self.timers.schedule(idle_deadline.min(hard_deadline), (key, binding.epoch));
+        Some(binding.vm)
+    }
+
+    /// Whether `src` may be granted another VM under the per-source quota.
+    #[must_use]
+    pub fn source_within_quota(&self, src: Ipv4Addr) -> bool {
+        match self.per_source_limit {
+            None => true,
+            Some(limit) => self.per_source.get(&src).copied().unwrap_or(0) < limit,
+        }
+    }
+
+    /// Records a quota rejection (telemetry).
+    pub fn note_quota_rejection(&mut self) {
+        self.quota_rejections += 1;
+    }
+
+    /// Binds `vm` for traffic from `src` to `dst`.
+    ///
+    /// Returns the previous VM if the key was already bound (the controller
+    /// should not normally let this happen).
+    pub fn bind(&mut self, now: SimTime, src: Ipv4Addr, dst: Ipv4Addr, vm: VmRef) -> Option<VmRef> {
+        let key = self.key_for(src, dst);
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let deadline = (now + self.idle_timeout).min(now.saturating_add(self.max_lifetime));
+        let idle_timer = self.timers.schedule(deadline, (key, epoch));
+        let old = self.bindings.insert(
+            key,
+            Binding { vm, src, bound_at: now, last_active: now, packets: 0, idle_timer, epoch },
+        );
+        self.binds += 1;
+        *self.per_source.entry(src).or_insert(0) += 1;
+        if let Some(o) = &old {
+            // Replaced binding: release its quota slot and timer.
+            self.timers.cancel(o.idle_timer);
+            Self::decr_source(&mut self.per_source, o.src);
+        }
+        old.map(|b| b.vm)
+    }
+
+    fn decr_source(map: &mut HashMap<Ipv4Addr, u32>, src: Ipv4Addr) {
+        if let Some(c) = map.get_mut(&src) {
+            *c -= 1;
+            if *c == 0 {
+                map.remove(&src);
+            }
+        }
+    }
+
+    /// Explicitly unbinds a key (e.g. the controller killed the VM for
+    /// other reasons). Returns the VM if it was bound.
+    pub fn unbind(&mut self, key: BindKey) -> Option<VmRef> {
+        let binding = self.bindings.remove(&key)?;
+        self.timers.cancel(binding.idle_timer);
+        Self::decr_source(&mut self.per_source, binding.src);
+        Some(binding.vm)
+    }
+
+    /// Forcibly expires the oldest binding (resource pressure: the farm is
+    /// full and a new address needs a VM). Returns the evicted binding, or
+    /// `None` when nothing is bound.
+    pub fn evict_oldest(&mut self, now: SimTime) -> Option<ExpiredBinding> {
+        let (&key, binding) = self.bindings.iter().min_by_key(|(_, b)| b.bound_at)?;
+        let _ = binding;
+        let binding = self.bindings.remove(&key).expect("key just found");
+        self.timers.cancel(binding.idle_timer);
+        Self::decr_source(&mut self.per_source, binding.src);
+        self.expiries += 1;
+        Some(ExpiredBinding {
+            key,
+            vm: binding.vm,
+            lifetime: now.saturating_sub(binding.bound_at),
+            packets: binding.packets,
+        })
+    }
+
+    /// Advances time, expiring idle / over-lifetime bindings. The controller
+    /// destroys the returned VMs.
+    pub fn expire(&mut self, now: SimTime) -> Vec<ExpiredBinding> {
+        let mut expired = Vec::new();
+        for (key, epoch) in self.timers.advance_to(now) {
+            let Some(binding) = self.bindings.get(&key) else { continue };
+            if binding.epoch != epoch {
+                continue; // The key was re-bound; stale timer.
+            }
+            // Hard lifetime reached, or idle (observe() reschedules active
+            // bindings, so a fired timer at the idle deadline means idle).
+            let binding = self.bindings.remove(&key).expect("checked above");
+            Self::decr_source(&mut self.per_source, binding.src);
+            expired.push(ExpiredBinding {
+                key,
+                vm: binding.vm,
+                lifetime: now.saturating_sub(binding.bound_at),
+                packets: binding.packets,
+            });
+            self.expiries += 1;
+        }
+        expired
+    }
+
+    /// Number of live bindings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether no bindings are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Lifetime `(binds, expiries, quota_rejections)`.
+    #[must_use]
+    pub fn lifetime_counts(&self) -> (u64, u64, u64) {
+        (self.binds, self.expiries, self.quota_rejections)
+    }
+
+    /// Live bindings for a given source (quota accounting).
+    #[must_use]
+    pub fn source_bindings(&self, src: Ipv4Addr) -> u32 {
+        self.per_source.get(&src).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(6, 6, 6, 6);
+    const SRC2: Ipv4Addr = Ipv4Addr::new(7, 7, 7, 7);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST2: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn binder(idle_secs: u64) -> AddressBinder {
+        AddressBinder::new(
+            BindGranularity::PerDestination,
+            SimTime::from_secs(idle_secs),
+            SimTime::MAX,
+            None,
+        )
+    }
+
+    #[test]
+    fn bind_then_lookup() {
+        let mut b = binder(60);
+        assert_eq!(b.lookup_active(SimTime::ZERO, SRC, DST), None);
+        b.bind(SimTime::ZERO, SRC, DST, VmRef(1));
+        assert_eq!(b.lookup_active(SimTime::from_secs(1), SRC, DST), Some(VmRef(1)));
+        assert_eq!(b.lookup_active(SimTime::from_secs(1), SRC, DST2), None);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn per_destination_shares_across_sources() {
+        let mut b = binder(60);
+        b.bind(SimTime::ZERO, SRC, DST, VmRef(1));
+        assert_eq!(b.lookup_active(SimTime::ZERO, SRC2, DST), Some(VmRef(1)));
+    }
+
+    #[test]
+    fn per_source_destination_isolates() {
+        let mut b = AddressBinder::new(
+            BindGranularity::PerSourceDestination,
+            SimTime::from_secs(60),
+            SimTime::MAX,
+            None,
+        );
+        b.bind(SimTime::ZERO, SRC, DST, VmRef(1));
+        assert_eq!(b.lookup_active(SimTime::ZERO, SRC, DST), Some(VmRef(1)));
+        assert_eq!(b.lookup_active(SimTime::ZERO, SRC2, DST), None, "different source, no binding");
+    }
+
+    #[test]
+    fn idle_expiry_reports_vm() {
+        let mut b = binder(10);
+        b.bind(SimTime::ZERO, SRC, DST, VmRef(42));
+        assert!(b.expire(SimTime::from_secs(9)).is_empty());
+        let expired = b.expire(SimTime::from_secs(11));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].vm, VmRef(42));
+        assert!(b.is_empty());
+        assert_eq!(b.lookup_active(SimTime::from_secs(12), SRC, DST), None);
+    }
+
+    #[test]
+    fn activity_refreshes_idle_timer() {
+        let mut b = binder(10);
+        b.bind(SimTime::ZERO, SRC, DST, VmRef(1));
+        for s in (5..50).step_by(5) {
+            assert!(b.lookup_active(SimTime::from_secs(s), SRC, DST).is_some());
+            assert!(b.expire(SimTime::from_secs(s)).is_empty());
+        }
+        let expired = b.expire(SimTime::from_secs(45 + 11));
+        assert_eq!(expired.len(), 1);
+        assert!(expired[0].lifetime >= SimTime::from_secs(55));
+        assert_eq!(expired[0].packets, 9);
+    }
+
+    #[test]
+    fn hard_lifetime_caps_active_binding() {
+        let mut b = AddressBinder::new(
+            BindGranularity::PerDestination,
+            SimTime::from_secs(10),
+            SimTime::from_secs(30),
+            None,
+        );
+        b.bind(SimTime::ZERO, SRC, DST, VmRef(1));
+        // Stay active every 5 s — idle never fires, but the cap does.
+        let mut expired_at = None;
+        for s in (5..60).step_by(5) {
+            let now = SimTime::from_secs(s);
+            let e = b.expire(now);
+            if !e.is_empty() {
+                expired_at = Some(s);
+                break;
+            }
+            b.lookup_active(now, SRC, DST);
+        }
+        let at = expired_at.expect("binding must expire at the hard cap");
+        assert!((30..=40).contains(&at), "expired at {at}s");
+    }
+
+    #[test]
+    fn rebind_after_expiry_uses_new_epoch() {
+        let mut b = binder(10);
+        b.bind(SimTime::ZERO, SRC, DST, VmRef(1));
+        assert_eq!(b.expire(SimTime::from_secs(11)).len(), 1);
+        b.bind(SimTime::from_secs(12), SRC, DST, VmRef(2));
+        // The old binding's timer must not kill the new binding.
+        assert!(b.expire(SimTime::from_secs(13)).is_empty());
+        assert_eq!(b.lookup_active(SimTime::from_secs(13), SRC, DST), Some(VmRef(2)));
+    }
+
+    #[test]
+    fn per_source_quota() {
+        let mut b = AddressBinder::new(
+            BindGranularity::PerDestination,
+            SimTime::from_secs(60),
+            SimTime::MAX,
+            Some(2),
+        );
+        assert!(b.source_within_quota(SRC));
+        b.bind(SimTime::ZERO, SRC, DST, VmRef(1));
+        b.bind(SimTime::ZERO, SRC, DST2, VmRef(2));
+        assert!(!b.source_within_quota(SRC));
+        assert!(b.source_within_quota(SRC2), "other sources unaffected");
+        assert_eq!(b.source_bindings(SRC), 2);
+        // Expiry releases quota.
+        let expired = b.expire(SimTime::from_secs(61));
+        assert_eq!(expired.len(), 2);
+        assert!(b.source_within_quota(SRC));
+        assert_eq!(b.source_bindings(SRC), 0);
+    }
+
+    #[test]
+    fn unbind_releases_state() {
+        let mut b = binder(60);
+        b.bind(SimTime::ZERO, SRC, DST, VmRef(5));
+        let key = b.key_for(SRC, DST);
+        assert_eq!(b.unbind(key), Some(VmRef(5)));
+        assert_eq!(b.unbind(key), None);
+        assert!(b.is_empty());
+        assert_eq!(b.source_bindings(SRC), 0);
+        // The cancelled timer must not fire later.
+        assert!(b.expire(SimTime::from_secs(120)).is_empty());
+    }
+
+    #[test]
+    fn evict_oldest_picks_earliest_binding() {
+        let mut b = binder(600);
+        assert!(b.evict_oldest(SimTime::ZERO).is_none(), "empty binder");
+        b.bind(SimTime::from_secs(1), SRC, DST, VmRef(1));
+        b.bind(SimTime::from_secs(5), SRC2, DST2, VmRef(2));
+        let e = b.evict_oldest(SimTime::from_secs(10)).unwrap();
+        assert_eq!(e.vm, VmRef(1), "oldest first");
+        assert_eq!(e.lifetime, SimTime::from_secs(9));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.source_bindings(SRC), 0, "quota released");
+        // The cancelled idle timer never fires for the evicted key.
+        assert!(b.expire(SimTime::from_hours(1)).len() == 1, "only the survivor expires");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn lifetime_counts() {
+        let mut b = binder(1);
+        b.bind(SimTime::ZERO, SRC, DST, VmRef(1));
+        b.expire(SimTime::from_secs(2));
+        b.note_quota_rejection();
+        assert_eq!(b.lifetime_counts(), (1, 1, 1));
+    }
+}

@@ -1,0 +1,237 @@
+//! The gateway's controlled DNS resolver.
+//!
+//! Malware frequently resolves names (command-and-control hosts, mail
+//! exchangers, update servers) before doing anything observable. Refusing
+//! resolution destroys fidelity; forwarding queries to real resolvers leaks
+//! information and enables DNS-based attacks. Potemkin's gateway therefore
+//! answers queries itself: every name deterministically resolves to an
+//! address inside a reserved *sinkhole* prefix, and later connections to
+//! that address are reflected into the farm like any other outbound traffic
+//! — so a bot that resolves its C&C host and connects ends up talking to a
+//! honeypot impersonating the C&C server.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use potemkin_net::addr::Ipv4Prefix;
+use potemkin_net::dns::{DnsMessage, DNS_PORT, TYPE_A};
+use potemkin_net::{Packet, PacketBuilder, PacketPayload};
+
+/// The controlled resolver.
+pub struct DnsProxy {
+    sinkhole: Ipv4Prefix,
+    /// name → sinkhole address (stable for the farm's lifetime).
+    forward: HashMap<String, Ipv4Addr>,
+    /// sinkhole address → name (for attribution in reports).
+    reverse: HashMap<Ipv4Addr, String>,
+    ttl: u32,
+    queries: u64,
+    nxdomain: u64,
+}
+
+impl DnsProxy {
+    /// Creates a resolver answering out of `sinkhole`.
+    #[must_use]
+    pub fn new(sinkhole: Ipv4Prefix) -> Self {
+        DnsProxy {
+            sinkhole,
+            forward: HashMap::new(),
+            reverse: HashMap::new(),
+            ttl: 300,
+            queries: 0,
+            nxdomain: 0,
+        }
+    }
+
+    /// The deterministic sinkhole address for `name` (FNV-1a over the name,
+    /// folded into the prefix).
+    fn addr_for(&mut self, name: &str) -> Ipv4Addr {
+        if let Some(&a) = self.forward.get(name) {
+            return a;
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Linear-probe within the prefix on (astronomically unlikely)
+        // collision so the reverse map stays injective.
+        let len = self.sinkhole.len();
+        let mut idx = h % len;
+        let addr = loop {
+            let candidate = self.sinkhole.addr_at(idx).expect("index reduced mod len");
+            if !self.reverse.contains_key(&candidate) {
+                break candidate;
+            }
+            idx = (idx + 1) % len;
+        };
+        self.forward.insert(name.to_string(), addr);
+        self.reverse.insert(addr, name.to_string());
+        addr
+    }
+
+    /// Whether a UDP packet is a DNS query the proxy should answer.
+    #[must_use]
+    pub fn is_dns_query(packet: &Packet) -> bool {
+        match packet.payload() {
+            PacketPayload::Udp { header, payload } => {
+                header.dst_port == DNS_PORT
+                    && DnsMessage::parse(payload).is_ok_and(|m| !m.is_response)
+            }
+            _ => false,
+        }
+    }
+
+    /// Answers an outbound DNS query with a sinkhole address, returning the
+    /// fully-formed response packet addressed back to the querying VM.
+    ///
+    /// Returns `None` if the packet is not a parseable DNS query.
+    pub fn answer(&mut self, query_packet: &Packet) -> Option<Packet> {
+        let PacketPayload::Udp { header, payload } = query_packet.payload() else {
+            return None;
+        };
+        if header.dst_port != DNS_PORT {
+            return None;
+        }
+        let query = DnsMessage::parse(payload).ok()?;
+        if query.is_response {
+            return None;
+        }
+        self.queries += 1;
+        let answer_addr = match query.questions.first() {
+            Some(q) if q.qtype == TYPE_A && !q.name.is_empty() => Some(self.addr_for(&q.name)),
+            _ => {
+                self.nxdomain += 1;
+                None
+            }
+        };
+        let response = DnsMessage::respond(&query, answer_addr, self.ttl);
+        let wire = response.build().ok()?;
+        Some(
+            PacketBuilder::new(query_packet.dst(), query_packet.src())
+                .udp(DNS_PORT, header.src_port, &wire),
+        )
+    }
+
+    /// The name previously resolved to `addr`, if any — attribution for
+    /// connections hitting the sinkhole.
+    #[must_use]
+    pub fn name_for(&self, addr: Ipv4Addr) -> Option<&str> {
+        self.reverse.get(&addr).map(String::as_str)
+    }
+
+    /// Whether `addr` is inside the sinkhole prefix.
+    #[must_use]
+    pub fn is_sinkhole_addr(&self, addr: Ipv4Addr) -> bool {
+        self.sinkhole.contains(addr)
+    }
+
+    /// Lifetime `(queries, nxdomain)` counts.
+    #[must_use]
+    pub fn counts(&self) -> (u64, u64) {
+        (self.queries, self.nxdomain)
+    }
+
+    /// Number of distinct names resolved.
+    #[must_use]
+    pub fn names_resolved(&self) -> usize {
+        self.forward.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VM_ADDR: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 5);
+    const RESOLVER: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
+
+    fn proxy() -> DnsProxy {
+        DnsProxy::new("172.20.0.0/16".parse().unwrap())
+    }
+
+    fn query_packet(name: &str, id: u16) -> Packet {
+        let q = DnsMessage::query_a(id, name).build().unwrap();
+        PacketBuilder::new(VM_ADDR, RESOLVER).udp(3333, DNS_PORT, &q)
+    }
+
+    #[test]
+    fn answers_with_stable_sinkhole_address() {
+        let mut p = proxy();
+        let reply = p.answer(&query_packet("c2.botnet.example", 7)).unwrap();
+        // Reply goes back to the VM from the queried resolver address.
+        assert_eq!(reply.src(), RESOLVER);
+        assert_eq!(reply.dst(), VM_ADDR);
+        let PacketPayload::Udp { header, payload } = reply.payload() else {
+            panic!("not udp");
+        };
+        assert_eq!(header.src_port, DNS_PORT);
+        assert_eq!(header.dst_port, 3333);
+        let msg = DnsMessage::parse(payload).unwrap();
+        assert_eq!(msg.id, 7);
+        assert!(msg.is_response);
+        let addr = msg.answers[0].addr().unwrap();
+        assert!(p.is_sinkhole_addr(addr));
+        // Same name resolves to the same address forever.
+        let reply2 = p.answer(&query_packet("c2.botnet.example", 8)).unwrap();
+        let PacketPayload::Udp { payload: p2, .. } = reply2.payload() else {
+            panic!("not udp")
+        };
+        assert_eq!(DnsMessage::parse(p2).unwrap().answers[0].addr().unwrap(), addr);
+        assert_eq!(p.names_resolved(), 1);
+    }
+
+    #[test]
+    fn different_names_different_addresses() {
+        let mut p = proxy();
+        let a = {
+            let r = p.answer(&query_packet("a.example", 1)).unwrap();
+            let PacketPayload::Udp { payload, .. } = r.payload() else { panic!() };
+            DnsMessage::parse(payload).unwrap().answers[0].addr().unwrap()
+        };
+        let b = {
+            let r = p.answer(&query_packet("b.example", 2)).unwrap();
+            let PacketPayload::Udp { payload, .. } = r.payload() else { panic!() };
+            DnsMessage::parse(payload).unwrap().answers[0].addr().unwrap()
+        };
+        assert_ne!(a, b);
+        assert_eq!(p.name_for(a), Some("a.example"));
+        assert_eq!(p.name_for(b), Some("b.example"));
+    }
+
+    #[test]
+    fn is_dns_query_detection() {
+        let q = query_packet("x.example", 1);
+        assert!(DnsProxy::is_dns_query(&q));
+        // A non-53 UDP packet is not a query.
+        let not_dns = PacketBuilder::new(VM_ADDR, RESOLVER).udp(3333, 80, b"hi");
+        assert!(!DnsProxy::is_dns_query(&not_dns));
+        // A TCP packet is not a UDP query.
+        let tcp = PacketBuilder::new(VM_ADDR, RESOLVER).tcp_syn(1, DNS_PORT);
+        assert!(!DnsProxy::is_dns_query(&tcp));
+        // Garbage on port 53 is not a query.
+        let garbage = PacketBuilder::new(VM_ADDR, RESOLVER).udp(3333, DNS_PORT, b"zz");
+        assert!(!DnsProxy::is_dns_query(&garbage));
+    }
+
+    #[test]
+    fn responses_and_garbage_not_answered() {
+        let mut p = proxy();
+        let garbage = PacketBuilder::new(VM_ADDR, RESOLVER).udp(3333, DNS_PORT, &[1, 2, 3]);
+        assert!(p.answer(&garbage).is_none());
+        // A response packet must not be re-answered.
+        let q = DnsMessage::query_a(1, "x.example");
+        let resp = DnsMessage::respond(&q, Some(Ipv4Addr::new(1, 2, 3, 4)), 60).build().unwrap();
+        let resp_pkt = PacketBuilder::new(VM_ADDR, RESOLVER).udp(3333, DNS_PORT, &resp);
+        assert!(p.answer(&resp_pkt).is_none());
+        assert_eq!(p.counts().0, 0);
+    }
+
+    #[test]
+    fn counts_track() {
+        let mut p = proxy();
+        p.answer(&query_packet("a.example", 1));
+        p.answer(&query_packet("b.example", 2));
+        assert_eq!(p.counts(), (2, 0));
+    }
+}

@@ -1,0 +1,780 @@
+//! The gateway packet pipeline.
+//!
+//! [`Gateway`] is a pure decision engine: it consumes packets (inbound from
+//! telescopes, outbound from honeypot VMs) and produces [`GatewayAction`]s
+//! for the controller to execute. It owns the flow table, the address
+//! binder, the DNS proxy, and the per-VM rate limiters — all the state the
+//! paper's gateway router kept — but never touches a VM itself.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use potemkin_metrics::{CounterSet, RateEstimator};
+use potemkin_net::addr::Ipv4Prefix;
+use potemkin_net::{Packet, PacketBuilder, PacketPayload};
+use potemkin_sim::{SimTime, TokenBucket};
+
+use crate::binding::{AddressBinder, BindGranularity, ExpiredBinding, VmRef};
+use crate::dnsgw::DnsProxy;
+use crate::flowtable::{FlowDirection, FlowTable};
+use crate::policy::{ContainmentMode, DropReason, PolicyConfig};
+
+/// Gateway configuration.
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// The containment policy.
+    pub policy: PolicyConfig,
+    /// Address-binding granularity.
+    pub granularity: BindGranularity,
+    /// The reserved prefix DNS answers come from.
+    pub sinkhole: Ipv4Prefix,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            policy: PolicyConfig::default(),
+            granularity: BindGranularity::PerDestination,
+            sinkhole: "172.20.0.0/16".parse().expect("static prefix"),
+        }
+    }
+}
+
+/// What the controller must do with a packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GatewayAction {
+    /// Deliver the packet to an already-bound VM.
+    Deliver {
+        /// The bound VM.
+        vm: VmRef,
+        /// The packet.
+        packet: Packet,
+    },
+    /// No VM is bound for this address: flash-clone one, call
+    /// [`Gateway::bind`], then re-offer the packet via
+    /// [`Gateway::on_inbound`].
+    CloneAndDeliver {
+        /// The address needing a VM.
+        addr: Ipv4Addr,
+        /// The packet to re-offer after binding.
+        packet: Packet,
+    },
+    /// The gateway synthesized a response (ping reply, DNS answer); route
+    /// it to its destination (a VM or the external world).
+    GatewayReply(Packet),
+    /// Permitted outbound traffic: send to the Internet (via the telescope
+    /// tunnel when the destination is monitored elsewhere).
+    ForwardExternal(Packet),
+    /// Containment turned an outbound packet around: treat it as inbound
+    /// traffic for `addr` (clone if needed, then re-offer).
+    Reflect {
+        /// The internal address that will impersonate the victim.
+        addr: Ipv4Addr,
+        /// The packet, already rewritten to target `addr`.
+        packet: Packet,
+    },
+    /// The packet was dropped.
+    Drop {
+        /// Why.
+        reason: DropReason,
+    },
+}
+
+/// The gateway router.
+///
+/// # Examples
+///
+/// ```
+/// use potemkin_gateway::binding::VmRef;
+/// use potemkin_gateway::gateway::{Gateway, GatewayAction, GatewayConfig};
+/// use potemkin_net::PacketBuilder;
+/// use potemkin_sim::SimTime;
+/// use std::net::Ipv4Addr;
+///
+/// let mut gw = Gateway::new(GatewayConfig::default());
+/// let scanner = Ipv4Addr::new(198, 51, 100, 9);
+/// let addr = Ipv4Addr::new(10, 1, 0, 5);
+///
+/// // First contact: the gateway asks the controller for a VM.
+/// let probe = PacketBuilder::new(scanner, addr).tcp_syn(4444, 445);
+/// let action = gw.on_inbound(SimTime::ZERO, probe.clone());
+/// assert!(matches!(action, GatewayAction::CloneAndDeliver { .. }));
+///
+/// // The controller clones, binds, and re-offers: now it delivers.
+/// gw.bind(SimTime::ZERO, scanner, addr, VmRef(1));
+/// let action = gw.on_inbound(SimTime::ZERO, probe);
+/// assert!(matches!(action, GatewayAction::Deliver { vm: VmRef(1), .. }));
+/// ```
+pub struct Gateway {
+    config: GatewayConfig,
+    flows: FlowTable,
+    binder: AddressBinder,
+    dns: DnsProxy,
+    rate: HashMap<VmRef, TokenBucket>,
+    inbound_rate: RateEstimator,
+    counters: CounterSet,
+}
+
+impl Gateway {
+    /// Creates a gateway from a configuration.
+    #[must_use]
+    pub fn new(config: GatewayConfig) -> Self {
+        let policy = &config.policy;
+        let binder = AddressBinder::new(
+            config.granularity,
+            policy.binding_idle_timeout,
+            policy.binding_max_lifetime,
+            policy.per_source_vm_limit,
+        );
+        let flows = match policy.max_flows {
+            Some(max) => FlowTable::new(policy.flow_idle_timeout).with_max_flows(max),
+            None => FlowTable::new(policy.flow_idle_timeout),
+        };
+        let dns = DnsProxy::new(config.sinkhole);
+        Gateway {
+            config,
+            flows,
+            binder,
+            dns,
+            rate: HashMap::new(),
+            inbound_rate: RateEstimator::new(SimTime::from_secs(5)),
+            counters: CounterSet::new(),
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// Processes a packet arriving from outside (or re-offered after a
+    /// clone/reflection).
+    pub fn on_inbound(&mut self, now: SimTime, packet: Packet) -> GatewayAction {
+        self.counters.incr("packets_in");
+        self.counters.add("bytes_in", packet.len() as u64);
+        self.inbound_rate.record(now);
+        self.flows.observe(now, packet.flow_key(), packet.len(), FlowDirection::InboundInitiated);
+
+        let (src, dst) = (packet.src(), packet.dst());
+        if let Some(vm) = self.binder.lookup_active(now, src, dst) {
+            self.counters.incr("delivered");
+            return GatewayAction::Deliver { vm, packet };
+        }
+
+        // No VM bound. Is this packet worth one?
+        if self.config.policy.filter_backscatter {
+            if let PacketPayload::Tcp { header, .. } = packet.payload() {
+                let starts_connection = header.flags.syn && !header.flags.ack;
+                if !starts_connection {
+                    self.counters.incr("dropped_backscatter");
+                    return GatewayAction::Drop { reason: DropReason::Backscatter };
+                }
+            }
+        }
+        if let Some(port) = packet.flow_key().transport.dst_port() {
+            if self.config.policy.filtered_ports.contains(&port) {
+                self.counters.incr("dropped_port_filtered");
+                return GatewayAction::Drop { reason: DropReason::PortFiltered };
+            }
+        }
+        if self.config.policy.gateway_answers_ping {
+            if let PacketPayload::Icmp(msg) = packet.payload() {
+                if let Some(reply) = msg.reply_to() {
+                    self.counters.incr("gateway_pings_answered");
+                    let reply_packet = PacketBuilder::new(dst, src).icmp(reply);
+                    return GatewayAction::GatewayReply(reply_packet);
+                }
+            }
+        }
+        if !self.binder.source_within_quota(src) {
+            self.binder.note_quota_rejection();
+            self.counters.incr("dropped_source_quota");
+            return GatewayAction::Drop { reason: DropReason::SourceQuota };
+        }
+        self.counters.incr("clone_requests");
+        GatewayAction::CloneAndDeliver { addr: dst, packet }
+    }
+
+    /// Binds `vm` to serve traffic from `src` to `dst` (the controller calls
+    /// this after satisfying a [`GatewayAction::CloneAndDeliver`]).
+    pub fn bind(&mut self, now: SimTime, src: Ipv4Addr, dst: Ipv4Addr, vm: VmRef) {
+        self.binder.bind(now, src, dst, vm);
+        if let Some(pps) = self.config.policy.outbound_pps_limit {
+            self.rate.insert(vm, TokenBucket::new(pps, self.config.policy.outbound_burst));
+        }
+        self.counters.incr("bindings_created");
+    }
+
+    /// Processes a packet emitted by honeypot VM `vm`.
+    pub fn on_outbound(&mut self, now: SimTime, vm: VmRef, packet: Packet) -> GatewayAction {
+        self.counters.incr("packets_out");
+        self.counters.add("bytes_out", packet.len() as u64);
+        let (src, dst) = (packet.src(), packet.dst());
+
+        // Anti-spoofing: the packet's source must be an address bound to
+        // this VM (checkable under per-destination granularity).
+        if self.config.granularity == BindGranularity::PerDestination {
+            let key = self.binder.key_for(dst, src);
+            let bound = self.binder.lookup_active(now, dst, src);
+            debug_assert_eq!(key, self.binder.key_for(Ipv4Addr::UNSPECIFIED, src));
+            if bound != Some(vm) {
+                self.counters.incr("dropped_spoofed");
+                return GatewayAction::Drop { reason: DropReason::SpoofedSource };
+            }
+        }
+
+        let key = packet.flow_key();
+        let is_reply = self.flows.is_reply_to_inbound(key);
+        self.flows.observe(now, key, packet.len(), FlowDirection::OutboundInitiated);
+
+        // Intra-farm traffic: the destination is already impersonated by a
+        // VM (reflection dialogue); keep it inside.
+        if let Some(dst_vm) = self.binder.lookup_active(now, src, dst) {
+            if dst_vm != vm {
+                self.counters.incr("intra_farm_delivered");
+                return GatewayAction::Deliver { vm: dst_vm, packet };
+            }
+        }
+
+        // DNS to anywhere is answered by the controlled resolver.
+        if self.config.policy.proxy_dns && DnsProxy::is_dns_query(&packet) {
+            if let Some(reply) = self.dns.answer(&packet) {
+                self.counters.incr("dns_answered");
+                return GatewayAction::GatewayReply(reply);
+            }
+        }
+
+        // ICMP *error* messages (port unreachable, TTL exceeded) are
+        // response traffic by construction — their flow key never matches
+        // the flow that elicited them, so classify them explicitly.
+        let is_icmp_error = matches!(
+            packet.payload(),
+            PacketPayload::Icmp(
+                potemkin_net::icmp::IcmpMessage::DestUnreachable { .. }
+                    | potemkin_net::icmp::IcmpMessage::TimeExceeded { .. }
+            )
+        );
+
+        // Replies within attacker-initiated flows preserve fidelity.
+        if is_reply || is_icmp_error {
+            if self.config.policy.allow_replies {
+                self.counters.incr("replies_forwarded");
+                return GatewayAction::ForwardExternal(packet);
+            }
+            self.counters.incr("dropped_replies");
+            return GatewayAction::Drop { reason: DropReason::Containment };
+        }
+
+        // New outbound connection: rate limit, then containment mode.
+        if let Some(bucket) = self.rate.get_mut(&vm) {
+            if !bucket.try_take(now, 1.0) {
+                self.counters.incr("dropped_rate_limited");
+                return GatewayAction::Drop { reason: DropReason::RateLimited };
+            }
+        }
+
+        // Connections to the DNS sinkhole always stay internal: the
+        // sinkhole address only exists inside the farm.
+        if self.dns.is_sinkhole_addr(dst) {
+            self.counters.incr("reflected_sinkhole");
+            return GatewayAction::Reflect { addr: dst, packet };
+        }
+
+        // Proxied service ports: redirect to the designated internal
+        // emulation address (mail tarpits, HTTP emulators).
+        if let Some(port) = packet.flow_key().transport.dst_port() {
+            if let Some(&proxy_addr) = self.config.policy.proxied_ports.get(&port) {
+                self.counters.incr("proxied_service");
+                return match packet.rewrite_addresses(src, proxy_addr) {
+                    Ok(rewritten) => GatewayAction::Reflect { addr: proxy_addr, packet: rewritten },
+                    Err(_) => GatewayAction::Drop { reason: DropReason::Malformed },
+                };
+            }
+        }
+
+        match self.config.policy.mode {
+            ContainmentMode::AllowAll => {
+                self.counters.incr("escaped");
+                GatewayAction::ForwardExternal(packet)
+            }
+            ContainmentMode::DropAll => {
+                self.counters.incr("dropped_containment");
+                GatewayAction::Drop { reason: DropReason::Containment }
+            }
+            ContainmentMode::Reflect => {
+                self.counters.incr("reflected");
+                GatewayAction::Reflect { addr: dst, packet }
+            }
+        }
+    }
+
+    /// Forcibly expires the oldest binding to make room (resource
+    /// pressure). The controller must destroy/recycle the returned VM.
+    pub fn evict_oldest_binding(&mut self, now: SimTime) -> Option<ExpiredBinding> {
+        let evicted = self.binder.evict_oldest(now)?;
+        self.rate.remove(&evicted.vm);
+        self.counters.incr("bindings_evicted_pressure");
+        Some(evicted)
+    }
+
+    /// Advances time: expires idle flows and bindings. The controller must
+    /// destroy the VMs of returned bindings.
+    pub fn expire(&mut self, now: SimTime) -> Vec<ExpiredBinding> {
+        let evicted_flows = self.flows.expire(now);
+        self.counters.add("flows_expired", evicted_flows.len() as u64);
+        let expired = self.binder.expire(now);
+        for e in &expired {
+            self.rate.remove(&e.vm);
+        }
+        self.counters.add("bindings_expired", expired.len() as u64);
+        expired
+    }
+
+    /// The gateway's telemetry counters.
+    #[must_use]
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// The smoothed inbound packet rate (packets/second of virtual time).
+    #[must_use]
+    pub fn inbound_rate(&self, now: SimTime) -> f64 {
+        self.inbound_rate.rate(now)
+    }
+
+    /// Live binding count (== live VMs from the gateway's perspective).
+    #[must_use]
+    pub fn live_bindings(&self) -> usize {
+        self.binder.len()
+    }
+
+    /// Live flow count.
+    #[must_use]
+    pub fn live_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The DNS proxy (attribution queries).
+    #[must_use]
+    pub fn dns(&self) -> &DnsProxy {
+        &self.dns
+    }
+
+    /// The binder (stats queries).
+    #[must_use]
+    pub fn binder(&self) -> &AddressBinder {
+        &self.binder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use potemkin_net::dns::DnsMessage;
+    use potemkin_net::icmp::IcmpMessage;
+    use potemkin_net::tcp::TcpFlags;
+
+    const ATTACKER: Ipv4Addr = Ipv4Addr::new(6, 6, 6, 6);
+    const HP1: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 5);
+    const HP2: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 9);
+    const EXTERNAL: Ipv4Addr = Ipv4Addr::new(99, 1, 2, 3);
+
+    fn syn(src: Ipv4Addr, dst: Ipv4Addr) -> Packet {
+        PacketBuilder::new(src, dst).tcp_syn(4444, 445)
+    }
+
+    fn gw(policy: PolicyConfig) -> Gateway {
+        Gateway::new(GatewayConfig { policy, ..Default::default() })
+    }
+
+    #[test]
+    fn first_packet_requests_clone_then_delivers() {
+        let mut g = gw(PolicyConfig::reflect());
+        let t = SimTime::ZERO;
+        let p = syn(ATTACKER, HP1);
+        match g.on_inbound(t, p.clone()) {
+            GatewayAction::CloneAndDeliver { addr, packet } => {
+                assert_eq!(addr, HP1);
+                assert_eq!(packet, p);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        match g.on_inbound(t, p) {
+            GatewayAction::Deliver { vm, .. } => assert_eq!(vm, VmRef(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(g.live_bindings(), 1);
+    }
+
+    #[test]
+    fn ping_answered_without_vm() {
+        let mut g = gw(PolicyConfig::reflect());
+        let ping = PacketBuilder::new(ATTACKER, HP1).icmp_echo(9, 1, b"hello");
+        match g.on_inbound(SimTime::ZERO, ping) {
+            GatewayAction::GatewayReply(reply) => {
+                assert_eq!(reply.src(), HP1);
+                assert_eq!(reply.dst(), ATTACKER);
+                match reply.payload() {
+                    PacketPayload::Icmp(IcmpMessage::EchoReply { ident, payload, .. }) => {
+                        assert_eq!(*ident, 9);
+                        assert_eq!(payload, b"hello");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(g.live_bindings(), 0, "no VM spent on a ping");
+        // But a ping to a *bound* address goes to its VM.
+        g.bind(SimTime::ZERO, ATTACKER, HP1, VmRef(1));
+        let ping2 = PacketBuilder::new(ATTACKER, HP1).icmp_echo(9, 2, b"x");
+        assert!(matches!(
+            g.on_inbound(SimTime::ZERO, ping2),
+            GatewayAction::Deliver { vm: VmRef(1), .. }
+        ));
+    }
+
+    #[test]
+    fn backscatter_never_gets_a_vm() {
+        let mut g = gw(PolicyConfig::reflect());
+        let t = SimTime::ZERO;
+        // SYN-ACK and RST backscatter to unbound addresses: dropped.
+        for flags in [TcpFlags::SYN_ACK, TcpFlags::RST, TcpFlags::ACK] {
+            let p = PacketBuilder::new(ATTACKER, HP1).tcp_segment(80, 4444, flags, 1, 2, &[]);
+            match g.on_inbound(t, p) {
+                GatewayAction::Drop { reason } => assert_eq!(reason, DropReason::Backscatter),
+                other => panic!("{flags}: unexpected {other:?}"),
+            }
+        }
+        assert_eq!(g.counters().get("dropped_backscatter"), 3);
+        assert_eq!(g.counters().get("clone_requests"), 0);
+        // But an ACK to a *bound* address is delivered (established flow).
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        let ack = PacketBuilder::new(ATTACKER, HP1).tcp_segment(80, 4444, TcpFlags::ACK, 1, 2, &[]);
+        assert!(matches!(g.on_inbound(t, ack), GatewayAction::Deliver { .. }));
+        // With the filter disabled, backscatter earns a VM (the ablation).
+        let mut policy = PolicyConfig::reflect();
+        policy.filter_backscatter = false;
+        let mut g2 = gw(policy);
+        let p = PacketBuilder::new(ATTACKER, HP1).tcp_segment(80, 4444, TcpFlags::RST, 1, 2, &[]);
+        assert!(matches!(g2.on_inbound(t, p), GatewayAction::CloneAndDeliver { .. }));
+    }
+
+    #[test]
+    fn filtered_ports_never_get_vms() {
+        let mut policy = PolicyConfig::reflect();
+        policy.filtered_ports.insert(445);
+        let mut g = gw(policy);
+        match g.on_inbound(SimTime::ZERO, syn(ATTACKER, HP1)) {
+            GatewayAction::Drop { reason } => assert_eq!(reason, DropReason::PortFiltered),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Other ports still clone.
+        let p80 = PacketBuilder::new(ATTACKER, HP1).tcp_syn(4444, 80);
+        assert!(matches!(g.on_inbound(SimTime::ZERO, p80), GatewayAction::CloneAndDeliver { .. }));
+    }
+
+    #[test]
+    fn per_source_quota_enforced() {
+        let mut policy = PolicyConfig::reflect();
+        policy.per_source_vm_limit = Some(1);
+        let mut g = gw(policy);
+        let t = SimTime::ZERO;
+        assert!(matches!(g.on_inbound(t, syn(ATTACKER, HP1)), GatewayAction::CloneAndDeliver { .. }));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        match g.on_inbound(t, syn(ATTACKER, HP2)) {
+            GatewayAction::Drop { reason } => assert_eq!(reason, DropReason::SourceQuota),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A different source still gets a VM.
+        let other_src = Ipv4Addr::new(7, 7, 7, 7);
+        assert!(matches!(g.on_inbound(t, syn(other_src, HP2)), GatewayAction::CloneAndDeliver { .. }));
+    }
+
+    #[test]
+    fn reply_to_attacker_forwarded() {
+        let mut g = gw(PolicyConfig::reflect());
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        // The VM answers with a SYN-ACK.
+        let synack = PacketBuilder::new(HP1, ATTACKER).tcp_segment(
+            445,
+            4444,
+            potemkin_net::tcp::TcpFlags::SYN_ACK,
+            0,
+            1,
+            &[],
+        );
+        match g.on_outbound(t, VmRef(1), synack) {
+            GatewayAction::ForwardExternal(p) => assert_eq!(p.dst(), ATTACKER),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_outbound_reflected_dropped_or_allowed_by_mode() {
+        for (policy, expect_escape, expect_reflect) in [
+            (PolicyConfig::allow_all(), true, false),
+            (PolicyConfig::drop_all(), false, false),
+            (PolicyConfig::reflect(), false, true),
+        ] {
+            let mut g = gw(policy);
+            let t = SimTime::ZERO;
+            g.on_inbound(t, syn(ATTACKER, HP1));
+            g.bind(t, ATTACKER, HP1, VmRef(1));
+            // The (infected) VM probes an external victim.
+            let probe = PacketBuilder::new(HP1, EXTERNAL).tcp_syn(1025, 445);
+            match g.on_outbound(t, VmRef(1), probe) {
+                GatewayAction::ForwardExternal(_) => assert!(expect_escape, "unexpected escape"),
+                GatewayAction::Reflect { addr, packet } => {
+                    assert!(expect_reflect, "unexpected reflect");
+                    assert_eq!(addr, EXTERNAL);
+                    assert_eq!(packet.dst(), EXTERNAL);
+                }
+                GatewayAction::Drop { reason } => {
+                    assert!(!expect_escape && !expect_reflect, "unexpected drop");
+                    assert_eq!(reason, DropReason::Containment);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reflection_dialogue_stays_internal() {
+        let mut g = gw(PolicyConfig::reflect());
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        // VM1 probes HP2's address; gateway reflects; controller clones VM2.
+        let probe = PacketBuilder::new(HP1, HP2).tcp_syn(1025, 445);
+        let GatewayAction::Reflect { addr, packet } = g.on_outbound(t, VmRef(1), probe) else {
+            panic!("expected reflect");
+        };
+        let GatewayAction::CloneAndDeliver { .. } = g.on_inbound(t, packet.clone()) else {
+            panic!("expected clone request");
+        };
+        g.bind(t, addr /* == HP2 */, addr, VmRef(2));
+        g.bind(t, HP1, HP2, VmRef(2));
+        assert!(matches!(
+            g.on_inbound(t, packet),
+            GatewayAction::Deliver { vm: VmRef(2), .. }
+        ));
+        // VM2's reply to VM1 is delivered internally, not forwarded.
+        let synack = PacketBuilder::new(HP2, HP1).tcp_segment(
+            445,
+            1025,
+            potemkin_net::tcp::TcpFlags::SYN_ACK,
+            0,
+            1,
+            &[],
+        );
+        match g.on_outbound(t, VmRef(2), synack) {
+            GatewayAction::Deliver { vm, .. } => assert_eq!(vm, VmRef(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dns_answered_by_proxy_and_sinkhole_reflects() {
+        let mut g = gw(PolicyConfig::reflect());
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        let query = DnsMessage::query_a(3, "c2.example").build().unwrap();
+        let qpkt = PacketBuilder::new(HP1, Ipv4Addr::new(4, 2, 2, 2)).udp(5353, 53, &query);
+        let GatewayAction::GatewayReply(reply) = g.on_outbound(t, VmRef(1), qpkt) else {
+            panic!("expected dns reply");
+        };
+        assert_eq!(reply.dst(), HP1);
+        let PacketPayload::Udp { payload, .. } = reply.payload() else { panic!() };
+        let msg = DnsMessage::parse(payload).unwrap();
+        let c2_addr = msg.answers[0].addr().unwrap();
+        assert!(g.dns().is_sinkhole_addr(c2_addr));
+        // Connecting to the sinkhole address reflects even though the mode
+        // check would also reflect — and even under AllowAll it must reflect.
+        let connect = PacketBuilder::new(HP1, c2_addr).tcp_syn(1026, 6667);
+        assert!(matches!(
+            g.on_outbound(t, VmRef(1), connect),
+            GatewayAction::Reflect { .. }
+        ));
+    }
+
+    #[test]
+    fn sinkhole_reflects_even_under_allow_all() {
+        let mut g = gw(PolicyConfig::allow_all());
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        let query = DnsMessage::query_a(3, "c2.example").build().unwrap();
+        let qpkt = PacketBuilder::new(HP1, Ipv4Addr::new(4, 2, 2, 2)).udp(5353, 53, &query);
+        let GatewayAction::GatewayReply(reply) = g.on_outbound(t, VmRef(1), qpkt) else {
+            panic!("expected dns reply");
+        };
+        let PacketPayload::Udp { payload, .. } = reply.payload() else { panic!() };
+        let c2_addr = DnsMessage::parse(payload).unwrap().answers[0].addr().unwrap();
+        let connect = PacketBuilder::new(HP1, c2_addr).tcp_syn(1026, 6667);
+        assert!(matches!(g.on_outbound(t, VmRef(1), connect), GatewayAction::Reflect { .. }));
+    }
+
+    #[test]
+    fn proxied_ports_redirect_to_emulation_address() {
+        let mut policy = PolicyConfig::reflect();
+        let tarpit = Ipv4Addr::new(172, 21, 0, 25);
+        policy.proxied_ports.insert(25, tarpit);
+        let mut g = gw(policy);
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        // An infected bot tries to send spam to a real mail server.
+        let smtp = PacketBuilder::new(HP1, Ipv4Addr::new(64, 12, 0, 1)).tcp_syn(1_099, 25);
+        match g.on_outbound(t, VmRef(1), smtp) {
+            GatewayAction::Reflect { addr, packet } => {
+                assert_eq!(addr, tarpit);
+                assert_eq!(packet.dst(), tarpit, "packet rewritten to the tarpit");
+                assert_eq!(packet.src(), HP1);
+                assert_eq!(packet.flow_key().transport.dst_port(), Some(25));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(g.counters().get("proxied_service"), 1);
+        // Other ports still follow the containment mode.
+        let other = PacketBuilder::new(HP1, Ipv4Addr::new(64, 12, 0, 1)).tcp_syn(1_100, 80);
+        assert!(matches!(
+            g.on_outbound(t, VmRef(1), other),
+            GatewayAction::Reflect { addr, .. } if addr == Ipv4Addr::new(64, 12, 0, 1)
+        ));
+    }
+
+    #[test]
+    fn proxied_ports_apply_even_under_drop_all() {
+        let mut policy = PolicyConfig::drop_all();
+        let tarpit = Ipv4Addr::new(172, 21, 0, 25);
+        policy.proxied_ports.insert(25, tarpit);
+        let mut g = gw(policy);
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        let smtp = PacketBuilder::new(HP1, Ipv4Addr::new(64, 12, 0, 1)).tcp_syn(1_099, 25);
+        assert!(matches!(
+            g.on_outbound(t, VmRef(1), smtp),
+            GatewayAction::Reflect { addr, .. } if addr == tarpit
+        ));
+        // Non-proxied ports are dropped as configured.
+        let http = PacketBuilder::new(HP1, Ipv4Addr::new(64, 12, 0, 1)).tcp_syn(1_100, 80);
+        assert!(matches!(
+            g.on_outbound(t, VmRef(1), http),
+            GatewayAction::Drop { reason: DropReason::Containment }
+        ));
+    }
+
+    #[test]
+    fn spoofed_source_dropped() {
+        let mut g = gw(PolicyConfig::reflect());
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        // VM 1 claims to be HP2 (not bound to it).
+        let spoofed = PacketBuilder::new(HP2, EXTERNAL).tcp_syn(1, 2);
+        match g.on_outbound(t, VmRef(1), spoofed) {
+            GatewayAction::Drop { reason } => assert_eq!(reason, DropReason::SpoofedSource),
+            other => panic!("unexpected {other:?}"),
+        }
+        // VM 2 claims HP1's address (bound to VM 1).
+        let stolen = PacketBuilder::new(HP1, EXTERNAL).tcp_syn(1, 2);
+        assert!(matches!(
+            g.on_outbound(t, VmRef(2), stolen),
+            GatewayAction::Drop { reason: DropReason::SpoofedSource }
+        ));
+    }
+
+    #[test]
+    fn rate_limit_applies_to_new_outbound_only() {
+        let mut policy = PolicyConfig::reflect();
+        policy.outbound_pps_limit = Some(1.0);
+        policy.outbound_burst = 2.0;
+        let mut g = gw(policy);
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        // Two probes pass (burst), the third is rate-limited.
+        for i in 0..2 {
+            let probe = PacketBuilder::new(HP1, Ipv4Addr::new(99, 0, 0, i + 1)).tcp_syn(1025, 445);
+            assert!(
+                matches!(g.on_outbound(t, VmRef(1), probe), GatewayAction::Reflect { .. }),
+                "probe {i} should reflect"
+            );
+        }
+        let probe = PacketBuilder::new(HP1, Ipv4Addr::new(99, 0, 0, 3)).tcp_syn(1025, 445);
+        assert!(matches!(
+            g.on_outbound(t, VmRef(1), probe),
+            GatewayAction::Drop { reason: DropReason::RateLimited }
+        ));
+        // Replies are never rate-limited.
+        let synack = PacketBuilder::new(HP1, ATTACKER).tcp_segment(
+            445,
+            4444,
+            potemkin_net::tcp::TcpFlags::SYN_ACK,
+            0,
+            1,
+            &[],
+        );
+        assert!(matches!(g.on_outbound(t, VmRef(1), synack), GatewayAction::ForwardExternal(_)));
+    }
+
+    #[test]
+    fn expiry_reports_vms_for_recycling() {
+        let mut g = gw(PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10)));
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        assert!(g.expire(SimTime::from_secs(9)).is_empty());
+        let expired = g.expire(SimTime::from_secs(11));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].vm, VmRef(1));
+        assert_eq!(g.live_bindings(), 0);
+        // Next packet for HP1 requests a fresh clone.
+        assert!(matches!(
+            g.on_inbound(SimTime::from_secs(12), syn(ATTACKER, HP1)),
+            GatewayAction::CloneAndDeliver { .. }
+        ));
+    }
+
+    #[test]
+    fn inbound_rate_tracks_load() {
+        let mut g = gw(PolicyConfig::reflect());
+        assert_eq!(g.inbound_rate(SimTime::ZERO), 0.0);
+        // 200 packets/s for 30 seconds (past the 5s EWMA time constant).
+        for i in 1..=6_000u64 {
+            let p = PacketBuilder::new(ATTACKER, HP1).tcp_syn((i % 60_000) as u16, 445);
+            g.on_inbound(SimTime::from_millis(i * 5), p);
+        }
+        let rate = g.inbound_rate(SimTime::from_secs(30));
+        assert!((150.0..250.0).contains(&rate), "rate = {rate}");
+        // Long silence caps the claimable rate.
+        let quiet = g.inbound_rate(SimTime::from_secs(330));
+        assert!(quiet < 0.01, "quiet = {quiet}");
+    }
+
+    #[test]
+    fn counters_track_the_pipeline() {
+        let mut g = gw(PolicyConfig::reflect());
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        let probe = PacketBuilder::new(HP1, EXTERNAL).tcp_syn(1025, 445);
+        g.on_outbound(t, VmRef(1), probe);
+        let c = g.counters();
+        assert_eq!(c.get("packets_in"), 2);
+        assert_eq!(c.get("clone_requests"), 1);
+        assert_eq!(c.get("delivered"), 1);
+        assert_eq!(c.get("packets_out"), 1);
+        assert_eq!(c.get("reflected"), 1);
+        assert_eq!(c.get("escaped"), 0);
+    }
+}

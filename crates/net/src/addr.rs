@@ -1,0 +1,360 @@
+//! Link-layer and network-layer addressing.
+//!
+//! IPv4 addresses use [`std::net::Ipv4Addr`]; this module adds the MAC
+//! address type and the CIDR prefix arithmetic the gateway and telescope
+//! generators need (membership tests, index↔address mapping over a prefix,
+//! iteration).
+
+use core::fmt;
+use core::str::FromStr;
+use std::net::Ipv4Addr;
+
+use crate::error::NetError;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// # Examples
+///
+/// ```
+/// use potemkin_net::MacAddr;
+///
+/// let mac: MacAddr = "02:00:00:00:00:01".parse().unwrap();
+/// assert_eq!(mac.to_string(), "02:00:00:00:00:01");
+/// assert!(mac.is_locally_administered());
+/// assert!(!mac.is_multicast());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// The all-zero address.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Constructs an address from its six octets.
+    #[must_use]
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// Returns the six octets.
+    #[must_use]
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Whether the group (multicast) bit is set.
+    #[must_use]
+    pub const fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Whether the locally-administered bit is set.
+    #[must_use]
+    pub const fn is_locally_administered(self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// Whether this is the broadcast address.
+    #[must_use]
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// Generates a deterministic locally-administered unicast MAC from an
+    /// index, as the honeyfarm does when it materializes a VM.
+    #[must_use]
+    pub fn from_index(index: u64) -> Self {
+        let b = index.to_be_bytes();
+        // 0x02 prefix: locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", o[0], o[1], o[2], o[3], o[4], o[5])
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MacAddr({self})")
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for octet in &mut octets {
+            let part = parts.next().ok_or(NetError::InvalidField {
+                layer: "mac",
+                what: "expected 6 colon-separated octets",
+            })?;
+            *octet = u8::from_str_radix(part, 16).map_err(|_| NetError::InvalidField {
+                layer: "mac",
+                what: "octet is not hex",
+            })?;
+        }
+        if parts.next().is_some() {
+            return Err(NetError::InvalidField { layer: "mac", what: "too many octets" });
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+/// An IPv4 CIDR prefix, e.g. `10.1.0.0/16`.
+///
+/// The Potemkin gateway is delegated entire telescope prefixes (the paper's
+/// deployment used a /16); this type provides the membership and indexing
+/// operations used to map telescope addresses to honeypot VMs.
+///
+/// # Examples
+///
+/// ```
+/// use potemkin_net::Ipv4Prefix;
+/// use std::net::Ipv4Addr;
+///
+/// let p: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+/// assert_eq!(p.len(), 65_536);
+/// assert!(p.contains(Ipv4Addr::new(10, 1, 200, 3)));
+/// assert!(!p.contains(Ipv4Addr::new(10, 2, 0, 0)));
+/// assert_eq!(p.addr_at(257), Some(Ipv4Addr::new(10, 1, 1, 1)));
+/// assert_eq!(p.index_of(Ipv4Addr::new(10, 1, 1, 1)), Some(257));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Prefix {
+    base: u32,
+    bits: u8,
+}
+
+impl Ipv4Prefix {
+    /// Creates a prefix, normalizing the base address (host bits cleared).
+    ///
+    /// Returns an error if `bits > 32`.
+    pub fn new(base: Ipv4Addr, bits: u8) -> Result<Self, NetError> {
+        if bits > 32 {
+            return Err(NetError::InvalidField { layer: "prefix", what: "bits > 32" });
+        }
+        let mask = Self::mask_for(bits);
+        Ok(Ipv4Prefix { base: u32::from(base) & mask, bits })
+    }
+
+    fn mask_for(bits: u8) -> u32 {
+        if bits == 0 {
+            0
+        } else {
+            u32::MAX << (32 - bits)
+        }
+    }
+
+    /// The network mask as a `u32`.
+    #[must_use]
+    pub fn mask(self) -> u32 {
+        Self::mask_for(self.bits)
+    }
+
+    /// The (normalized) network base address.
+    #[must_use]
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.base)
+    }
+
+    /// The prefix length in bits.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// The number of addresses covered by the prefix.
+    #[must_use]
+    pub fn len(self) -> u64 {
+        1u64 << (32 - self.bits)
+    }
+
+    /// Whether the prefix is empty (never: every prefix covers ≥1 address).
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Whether `addr` falls inside the prefix.
+    #[must_use]
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & self.mask() == self.base
+    }
+
+    /// The `index`-th address of the prefix, or `None` if out of range.
+    #[must_use]
+    pub fn addr_at(self, index: u64) -> Option<Ipv4Addr> {
+        (index < self.len()).then(|| Ipv4Addr::from(self.base + index as u32))
+    }
+
+    /// The index of `addr` within the prefix, or `None` if outside it.
+    #[must_use]
+    pub fn index_of(self, addr: Ipv4Addr) -> Option<u64> {
+        self.contains(addr).then(|| u64::from(u32::from(addr) - self.base))
+    }
+
+    /// Iterates over every address in the prefix.
+    pub fn iter(self) -> impl Iterator<Item = Ipv4Addr> {
+        (0..self.len()).map(move |i| Ipv4Addr::from(self.base + i as u32))
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    #[must_use]
+    pub fn covers(self, other: Ipv4Prefix) -> bool {
+        self.bits <= other.bits && (other.base & self.mask()) == self.base
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.bits)
+    }
+}
+
+impl fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ipv4Prefix({self})")
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, bits) = s
+            .split_once('/')
+            .ok_or(NetError::InvalidField { layer: "prefix", what: "missing '/'" })?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| NetError::InvalidField { layer: "prefix", what: "bad address" })?;
+        let bits: u8 = bits
+            .parse()
+            .map_err(|_| NetError::InvalidField { layer: "prefix", what: "bad prefix length" })?;
+        Ipv4Prefix::new(addr, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_parse_roundtrip() {
+        let mac = MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x42]);
+        let s = mac.to_string();
+        assert_eq!(s, "de:ad:be:ef:00:42");
+        assert_eq!(s.parse::<MacAddr>().unwrap(), mac);
+    }
+
+    #[test]
+    fn mac_parse_rejects_garbage() {
+        assert!("de:ad:be:ef:00".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00:42:77".parse::<MacAddr>().is_err());
+        assert!("zz:ad:be:ef:00:42".parse::<MacAddr>().is_err());
+        assert!("".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn mac_flag_bits() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::ZERO.is_multicast());
+        let la = MacAddr::new([0x02, 0, 0, 0, 0, 1]);
+        assert!(la.is_locally_administered());
+        assert!(!la.is_multicast());
+    }
+
+    #[test]
+    fn mac_from_index_unique_and_unicast() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        assert!(!a.is_multicast());
+        assert!(a.is_locally_administered());
+        // Low 40 bits of the index are preserved.
+        assert_eq!(MacAddr::from_index(0x01_0203_0405).octets(), [0x02, 0x01, 0x02, 0x03, 0x04, 0x05]);
+    }
+
+    #[test]
+    fn prefix_normalizes_host_bits() {
+        let p = Ipv4Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 16).unwrap();
+        assert_eq!(p.network(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn prefix_len_and_bounds() {
+        let p: Ipv4Prefix = "192.168.1.0/24".parse().unwrap();
+        assert_eq!(p.len(), 256);
+        assert_eq!(p.addr_at(0), Some(Ipv4Addr::new(192, 168, 1, 0)));
+        assert_eq!(p.addr_at(255), Some(Ipv4Addr::new(192, 168, 1, 255)));
+        assert_eq!(p.addr_at(256), None);
+    }
+
+    #[test]
+    fn prefix_contains_and_index_roundtrip() {
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let a = Ipv4Addr::new(10, 200, 3, 4);
+        assert!(p.contains(a));
+        let idx = p.index_of(a).unwrap();
+        assert_eq!(p.addr_at(idx), Some(a));
+        assert_eq!(p.index_of(Ipv4Addr::new(11, 0, 0, 0)), None);
+    }
+
+    #[test]
+    fn prefix_extremes() {
+        let all: Ipv4Prefix = "0.0.0.0/0".parse().unwrap();
+        assert_eq!(all.len(), 1u64 << 32);
+        assert!(all.contains(Ipv4Addr::new(255, 255, 255, 255)));
+
+        let host: Ipv4Prefix = "1.2.3.4/32".parse().unwrap();
+        assert_eq!(host.len(), 1);
+        assert!(host.contains(Ipv4Addr::new(1, 2, 3, 4)));
+        assert!(!host.contains(Ipv4Addr::new(1, 2, 3, 5)));
+
+        assert!(Ipv4Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 33).is_err());
+    }
+
+    #[test]
+    fn prefix_iter_covers_all() {
+        let p: Ipv4Prefix = "10.0.0.0/30".parse().unwrap();
+        let addrs: Vec<Ipv4Addr> = p.iter().collect();
+        assert_eq!(
+            addrs,
+            vec![
+                Ipv4Addr::new(10, 0, 0, 0),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                Ipv4Addr::new(10, 0, 0, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn prefix_covers() {
+        let p16: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        let p24: Ipv4Prefix = "10.1.5.0/24".parse().unwrap();
+        let other: Ipv4Prefix = "10.2.0.0/24".parse().unwrap();
+        assert!(p16.covers(p24));
+        assert!(!p24.covers(p16));
+        assert!(!p16.covers(other));
+        assert!(p16.covers(p16));
+    }
+
+    #[test]
+    fn prefix_parse_errors() {
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/abc".parse::<Ipv4Prefix>().is_err());
+        assert!("999.0.0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/64".parse::<Ipv4Prefix>().is_err());
+    }
+}

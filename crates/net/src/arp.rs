@@ -1,0 +1,253 @@
+//! ARP (IPv4-over-Ethernet) parsing and the gateway's proxy-ARP helper.
+//!
+//! When a telescope prefix is directly attached (rather than GRE-tunneled),
+//! the upstream router ARPs for each destination address before forwarding.
+//! Potemkin's gateway answers *every* such request with its own MAC — proxy
+//! ARP across the whole prefix — so all telescope traffic flows to it
+//! without per-address configuration.
+
+use std::net::Ipv4Addr;
+
+use crate::addr::{Ipv4Prefix, MacAddr};
+use crate::error::NetError;
+
+/// Wire length of an IPv4-over-Ethernet ARP message.
+pub const ARP_LEN: usize = 28;
+
+/// ARP operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has (1).
+    Request,
+    /// Is-at (2).
+    Reply,
+}
+
+/// A parsed ARP message (IPv4 over Ethernet only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArpMessage {
+    /// The operation.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpMessage {
+    /// Builds a who-has request.
+    #[must_use]
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpMessage {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Builds the is-at reply to a request, claiming `mac` for the
+    /// requested address.
+    #[must_use]
+    pub fn reply_to(request: &ArpMessage, mac: MacAddr) -> Self {
+        ArpMessage {
+            op: ArpOp::Reply,
+            sender_mac: mac,
+            sender_ip: request.target_ip,
+            target_mac: request.sender_mac,
+            target_ip: request.sender_ip,
+        }
+    }
+
+    /// Parses an ARP message.
+    pub fn parse(buf: &[u8]) -> Result<ArpMessage, NetError> {
+        if buf.len() < ARP_LEN {
+            return Err(NetError::Truncated { layer: "arp", need: ARP_LEN, have: buf.len() });
+        }
+        let htype = u16::from_be_bytes([buf[0], buf[1]]);
+        let ptype = u16::from_be_bytes([buf[2], buf[3]]);
+        if htype != 1 {
+            return Err(NetError::Unsupported {
+                layer: "arp",
+                what: "hardware type",
+                value: u32::from(htype),
+            });
+        }
+        if ptype != 0x0800 {
+            return Err(NetError::Unsupported {
+                layer: "arp",
+                what: "protocol type",
+                value: u32::from(ptype),
+            });
+        }
+        if buf[4] != 6 || buf[5] != 4 {
+            return Err(NetError::Unsupported {
+                layer: "arp",
+                what: "address lengths",
+                value: u32::from_be_bytes([0, 0, buf[4], buf[5]]),
+            });
+        }
+        let op = match u16::from_be_bytes([buf[6], buf[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            other => {
+                return Err(NetError::Unsupported {
+                    layer: "arp",
+                    what: "operation",
+                    value: u32::from(other),
+                })
+            }
+        };
+        let mut sender_mac = [0u8; 6];
+        sender_mac.copy_from_slice(&buf[8..14]);
+        let mut target_mac = [0u8; 6];
+        target_mac.copy_from_slice(&buf[18..24]);
+        Ok(ArpMessage {
+            op,
+            sender_mac: MacAddr(sender_mac),
+            sender_ip: Ipv4Addr::new(buf[14], buf[15], buf[16], buf[17]),
+            target_mac: MacAddr(target_mac),
+            target_ip: Ipv4Addr::new(buf[24], buf[25], buf[26], buf[27]),
+        })
+    }
+
+    /// Serializes the message.
+    #[must_use]
+    pub fn build(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ARP_LEN);
+        out.extend_from_slice(&1u16.to_be_bytes()); // Ethernet
+        out.extend_from_slice(&0x0800u16.to_be_bytes()); // IPv4
+        out.push(6);
+        out.push(4);
+        let op: u16 = match self.op {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        };
+        out.extend_from_slice(&op.to_be_bytes());
+        out.extend_from_slice(&self.sender_mac.octets());
+        out.extend_from_slice(&self.sender_ip.octets());
+        out.extend_from_slice(&self.target_mac.octets());
+        out.extend_from_slice(&self.target_ip.octets());
+        out
+    }
+}
+
+/// Proxy-ARP responder covering a set of prefixes with one MAC.
+#[derive(Clone, Debug)]
+pub struct ProxyArp {
+    mac: MacAddr,
+    prefixes: Vec<Ipv4Prefix>,
+    answered: u64,
+    ignored: u64,
+}
+
+impl ProxyArp {
+    /// Creates a responder claiming every address in `prefixes` with `mac`.
+    #[must_use]
+    pub fn new(mac: MacAddr, prefixes: Vec<Ipv4Prefix>) -> Self {
+        ProxyArp { mac, prefixes, answered: 0, ignored: 0 }
+    }
+
+    /// Handles one ARP message: answers requests for covered addresses,
+    /// ignores everything else.
+    pub fn handle(&mut self, msg: &ArpMessage) -> Option<ArpMessage> {
+        if msg.op == ArpOp::Request && self.prefixes.iter().any(|p| p.contains(msg.target_ip)) {
+            self.answered += 1;
+            Some(ArpMessage::reply_to(msg, self.mac))
+        } else {
+            self.ignored += 1;
+            None
+        }
+    }
+
+    /// Lifetime `(answered, ignored)` counts.
+    #[must_use]
+    pub fn counts(&self) -> (u64, u64) {
+        (self.answered, self.ignored)
+    }
+
+    /// The claimed MAC.
+    #[must_use]
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROUTER_MAC: MacAddr = MacAddr([0x00, 0x11, 0x22, 0x33, 0x44, 0x55]);
+    const GW_MAC: MacAddr = MacAddr([0x02, 0x00, 0x00, 0x00, 0x00, 0x01]);
+    const ROUTER_IP: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 254);
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let req = ArpMessage::request(ROUTER_MAC, ROUTER_IP, Ipv4Addr::new(10, 1, 5, 5));
+        let wire = req.build();
+        assert_eq!(wire.len(), ARP_LEN);
+        assert_eq!(ArpMessage::parse(&wire).unwrap(), req);
+
+        let reply = ArpMessage::reply_to(&req, GW_MAC);
+        assert_eq!(reply.op, ArpOp::Reply);
+        assert_eq!(reply.sender_mac, GW_MAC);
+        assert_eq!(reply.sender_ip, Ipv4Addr::new(10, 1, 5, 5));
+        assert_eq!(reply.target_mac, ROUTER_MAC);
+        assert_eq!(reply.target_ip, ROUTER_IP);
+        assert_eq!(ArpMessage::parse(&reply.build()).unwrap(), reply);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(ArpMessage::parse(&[0u8; 10]).is_err());
+        let mut wire = ArpMessage::request(ROUTER_MAC, ROUTER_IP, ROUTER_IP).build();
+        wire[1] = 9; // bad htype
+        assert!(matches!(
+            ArpMessage::parse(&wire).unwrap_err(),
+            NetError::Unsupported { what: "hardware type", .. }
+        ));
+        let mut wire2 = ArpMessage::request(ROUTER_MAC, ROUTER_IP, ROUTER_IP).build();
+        wire2[7] = 9; // bad op
+        assert!(matches!(
+            ArpMessage::parse(&wire2).unwrap_err(),
+            NetError::Unsupported { what: "operation", .. }
+        ));
+        let mut wire3 = ArpMessage::request(ROUTER_MAC, ROUTER_IP, ROUTER_IP).build();
+        wire3[4] = 8; // bad hlen
+        assert!(ArpMessage::parse(&wire3).is_err());
+    }
+
+    #[test]
+    fn proxy_answers_covered_addresses_only() {
+        let mut proxy = ProxyArp::new(GW_MAC, vec!["10.1.0.0/16".parse().unwrap()]);
+        // Covered: answered with the gateway MAC.
+        let req = ArpMessage::request(ROUTER_MAC, ROUTER_IP, Ipv4Addr::new(10, 1, 77, 8));
+        let reply = proxy.handle(&req).expect("covered address");
+        assert_eq!(reply.sender_mac, GW_MAC);
+        assert_eq!(reply.sender_ip, Ipv4Addr::new(10, 1, 77, 8));
+        // Not covered: silent.
+        let other = ArpMessage::request(ROUTER_MAC, ROUTER_IP, Ipv4Addr::new(10, 2, 0, 1));
+        assert!(proxy.handle(&other).is_none());
+        // Replies are never answered.
+        let not_request = ArpMessage::reply_to(&req, ROUTER_MAC);
+        assert!(proxy.handle(&not_request).is_none());
+        assert_eq!(proxy.counts(), (1, 2));
+    }
+
+    #[test]
+    fn proxy_covers_multiple_prefixes() {
+        let mut proxy = ProxyArp::new(
+            GW_MAC,
+            vec!["10.1.0.0/16".parse().unwrap(), "192.0.2.0/24".parse().unwrap()],
+        );
+        for ip in [Ipv4Addr::new(10, 1, 0, 1), Ipv4Addr::new(192, 0, 2, 200)] {
+            let req = ArpMessage::request(ROUTER_MAC, ROUTER_IP, ip);
+            assert!(proxy.handle(&req).is_some(), "{ip} should be covered");
+        }
+    }
+}

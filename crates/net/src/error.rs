@@ -1,0 +1,102 @@
+//! Error type shared by all parsers and builders in this crate.
+
+use core::fmt;
+
+/// Errors produced when parsing or constructing packets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The buffer is shorter than the header demands.
+    Truncated {
+        /// Which layer was being parsed.
+        layer: &'static str,
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A version or type field had an unsupported value.
+    Unsupported {
+        /// Which layer was being parsed.
+        layer: &'static str,
+        /// Description of the offending field.
+        what: &'static str,
+        /// The value found.
+        value: u32,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Which layer failed verification.
+        layer: &'static str,
+    },
+    /// A length field is inconsistent with the buffer.
+    BadLength {
+        /// Which layer was being parsed.
+        layer: &'static str,
+        /// The claimed length.
+        claimed: usize,
+        /// The actual available length.
+        actual: usize,
+    },
+    /// A field value is invalid for construction (e.g. payload too large).
+    InvalidField {
+        /// Which layer was being built.
+        layer: &'static str,
+        /// Description of the problem.
+        what: &'static str,
+    },
+    /// A DNS name could not be encoded or decoded.
+    BadName,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Truncated { layer, need, have } => {
+                write!(f, "{layer}: truncated (need {need} bytes, have {have})")
+            }
+            NetError::Unsupported { layer, what, value } => {
+                write!(f, "{layer}: unsupported {what} ({value:#x})")
+            }
+            NetError::BadChecksum { layer } => write!(f, "{layer}: checksum mismatch"),
+            NetError::BadLength { layer, claimed, actual } => {
+                write!(f, "{layer}: length field {claimed} inconsistent with buffer {actual}")
+            }
+            NetError::InvalidField { layer, what } => write!(f, "{layer}: invalid field: {what}"),
+            NetError::BadName => write!(f, "dns: malformed name"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_each_variant() {
+        let cases: Vec<(NetError, &str)> = vec![
+            (
+                NetError::Truncated { layer: "ipv4", need: 20, have: 4 },
+                "ipv4: truncated (need 20 bytes, have 4)",
+            ),
+            (
+                NetError::Unsupported { layer: "ipv4", what: "version", value: 6 },
+                "ipv4: unsupported version (0x6)",
+            ),
+            (NetError::BadChecksum { layer: "tcp" }, "tcp: checksum mismatch"),
+            (
+                NetError::BadLength { layer: "udp", claimed: 100, actual: 8 },
+                "udp: length field 100 inconsistent with buffer 8",
+            ),
+            (
+                NetError::InvalidField { layer: "gre", what: "payload too large" },
+                "gre: invalid field: payload too large",
+            ),
+            (NetError::BadName, "dns: malformed name"),
+        ];
+        for (err, expect) in cases {
+            assert_eq!(err.to_string(), expect);
+        }
+    }
+}

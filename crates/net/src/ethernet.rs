@@ -1,0 +1,129 @@
+//! Ethernet II framing.
+
+use crate::addr::MacAddr;
+use crate::error::NetError;
+
+/// Length of an Ethernet II header in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// EtherType values the honeyfarm cares about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The wire value.
+    #[must_use]
+    pub fn value(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Decodes a wire value.
+    #[must_use]
+    pub fn from_value(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A parsed Ethernet II header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload EtherType.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Parses a header from the front of `buf`, returning the header and the
+    /// payload slice.
+    pub fn parse(buf: &[u8]) -> Result<(EthernetHeader, &[u8]), NetError> {
+        if buf.len() < HEADER_LEN {
+            return Err(NetError::Truncated { layer: "ethernet", need: HEADER_LEN, have: buf.len() });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = EtherType::from_value(u16::from_be_bytes([buf[12], buf[13]]));
+        Ok((
+            EthernetHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype },
+            &buf[HEADER_LEN..],
+        ))
+    }
+
+    /// Serializes the header followed by `payload` into a fresh buffer.
+    #[must_use]
+    pub fn build(&self, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.ethertype.value().to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = EthernetHeader {
+            dst: MacAddr::new([1, 2, 3, 4, 5, 6]),
+            src: MacAddr::new([7, 8, 9, 10, 11, 12]),
+            ethertype: EtherType::Ipv4,
+        };
+        let payload = [0xaa, 0xbb, 0xcc];
+        let wire = h.build(&payload);
+        assert_eq!(wire.len(), HEADER_LEN + 3);
+        let (parsed, rest) = EthernetHeader::parse(&wire).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(rest, payload);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let err = EthernetHeader::parse(&[0u8; 13]).unwrap_err();
+        assert_eq!(err, NetError::Truncated { layer: "ethernet", need: 14, have: 13 });
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from_value(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_value(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from_value(0x86dd), EtherType::Other(0x86dd));
+        assert_eq!(EtherType::Other(0x86dd).value(), 0x86dd);
+        assert_eq!(EtherType::Ipv4.value(), 0x0800);
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let h = EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::ZERO,
+            ethertype: EtherType::Arp,
+        };
+        let wire = h.build(&[]);
+        let (parsed, rest) = EthernetHeader::parse(&wire).unwrap();
+        assert_eq!(parsed.ethertype, EtherType::Arp);
+        assert!(rest.is_empty());
+    }
+}

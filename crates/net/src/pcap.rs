@@ -1,0 +1,169 @@
+//! Libpcap-format trace export/import.
+//!
+//! Farm traffic can be written as standard `.pcap` files (LINKTYPE_RAW:
+//! each record is a bare IPv4 packet) and opened in Wireshark or tcpdump —
+//! the lingua franca for the analysis workflows a honeyfarm feeds.
+
+use crate::error::NetError;
+use crate::packet::Packet;
+
+/// Libpcap magic (microsecond timestamps, little-endian).
+const MAGIC: u32 = 0xA1B2_C3D4;
+/// LINKTYPE_RAW: packets start at the IP header.
+const LINKTYPE_RAW: u32 = 101;
+
+/// One captured record: a microsecond timestamp and a packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Seconds since the epoch (virtual time in our use).
+    pub ts_sec: u32,
+    /// Microseconds within the second.
+    pub ts_usec: u32,
+    /// The packet.
+    pub packet: Packet,
+}
+
+/// Writes a pcap file containing `records`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_pcap<W: std::io::Write>(w: &mut W, records: &[PcapRecord]) -> std::io::Result<()> {
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // version major
+    w.write_all(&4u16.to_le_bytes())?; // version minor
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&65_535u32.to_le_bytes())?; // snaplen
+    w.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+    for r in records {
+        let wire = r.packet.wire();
+        w.write_all(&r.ts_sec.to_le_bytes())?;
+        w.write_all(&r.ts_usec.to_le_bytes())?;
+        w.write_all(&(wire.len() as u32).to_le_bytes())?; // incl_len
+        w.write_all(&(wire.len() as u32).to_le_bytes())?; // orig_len
+        w.write_all(wire)?;
+    }
+    Ok(())
+}
+
+fn read_u16(buf: &[u8], at: usize) -> Result<u16, NetError> {
+    buf.get(at..at + 2)
+        .map(|b| u16::from_le_bytes([b[0], b[1]]))
+        .ok_or(NetError::Truncated { layer: "pcap", need: at + 2, have: buf.len() })
+}
+
+fn read_u32(buf: &[u8], at: usize) -> Result<u32, NetError> {
+    buf.get(at..at + 4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or(NetError::Truncated { layer: "pcap", need: at + 4, have: buf.len() })
+}
+
+/// Parses a pcap byte buffer written by [`write_pcap`] (LINKTYPE_RAW,
+/// little-endian, microsecond resolution).
+///
+/// # Errors
+///
+/// Returns [`NetError`] for bad magic, unsupported link types, truncated
+/// records, or unparseable packets.
+pub fn parse_pcap(buf: &[u8]) -> Result<Vec<PcapRecord>, NetError> {
+    if read_u32(buf, 0)? != MAGIC {
+        return Err(NetError::Unsupported {
+            layer: "pcap",
+            what: "magic (need LE microsecond pcap)",
+            value: read_u32(buf, 0)?,
+        });
+    }
+    let (major, minor) = (read_u16(buf, 4)?, read_u16(buf, 6)?);
+    if (major, minor) != (2, 4) {
+        return Err(NetError::Unsupported {
+            layer: "pcap",
+            what: "version",
+            value: u32::from(major) << 16 | u32::from(minor),
+        });
+    }
+    let linktype = read_u32(buf, 20)?;
+    if linktype != LINKTYPE_RAW {
+        return Err(NetError::Unsupported { layer: "pcap", what: "link type", value: linktype });
+    }
+    let mut records = Vec::new();
+    let mut at = 24;
+    while at < buf.len() {
+        let ts_sec = read_u32(buf, at)?;
+        let ts_usec = read_u32(buf, at + 4)?;
+        let incl_len = read_u32(buf, at + 8)? as usize;
+        at += 16;
+        let data = buf
+            .get(at..at + incl_len)
+            .ok_or(NetError::Truncated { layer: "pcap", need: at + incl_len, have: buf.len() })?;
+        records.push(PcapRecord { ts_sec, ts_usec, packet: Packet::parse(data)? });
+        at += incl_len;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn records() -> Vec<PcapRecord> {
+        let a = Ipv4Addr::new(6, 6, 6, 6);
+        let b = Ipv4Addr::new(10, 1, 0, 5);
+        vec![
+            PcapRecord {
+                ts_sec: 1,
+                ts_usec: 500_000,
+                packet: PacketBuilder::new(a, b).tcp_syn(4444, 445),
+            },
+            PcapRecord {
+                ts_sec: 2,
+                ts_usec: 0,
+                packet: PacketBuilder::new(a, b).udp(53, 53, b"query"),
+            },
+            PcapRecord {
+                ts_sec: 2,
+                ts_usec: 999_999,
+                packet: PacketBuilder::new(b, a).icmp_echo(7, 1, b"pong"),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = records();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &recs).unwrap();
+        assert_eq!(&buf[..4], &MAGIC.to_le_bytes());
+        let parsed = parse_pcap(&buf).unwrap();
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn header_fields_are_standard() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &[]).unwrap();
+        assert_eq!(buf.len(), 24, "global header only");
+        assert_eq!(u16::from_le_bytes([buf[4], buf[5]]), 2);
+        assert_eq!(u16::from_le_bytes([buf[6], buf[7]]), 4);
+        assert_eq!(u32::from_le_bytes([buf[20], buf[21], buf[22], buf[23]]), 101);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(parse_pcap(&[]).is_err());
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &records()).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(parse_pcap(&bad).unwrap_err(), NetError::Unsupported { what, .. } if what.contains("magic")));
+        // Wrong link type.
+        let mut badlink = buf.clone();
+        badlink[20] = 1; // LINKTYPE_ETHERNET
+        assert!(matches!(parse_pcap(&badlink).unwrap_err(), NetError::Unsupported { what: "link type", .. }));
+        // Truncated record.
+        assert!(parse_pcap(&buf[..buf.len() - 3]).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! The future-event list: a time-ordered queue of pending events.
+//!
+//! [`EventQueue`] is a binary heap keyed on `(time, sequence)` so that events
+//! scheduled for the same instant are delivered in FIFO scheduling order —
+//! a requirement for deterministic simulation.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to pop the *earliest* entry first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of future events.
+///
+/// Events at equal timestamps are delivered in the order they were scheduled.
+///
+/// # Examples
+///
+/// ```
+/// use potemkin_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "later");
+/// q.schedule(SimTime::from_secs(1), "sooner");
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!(ev, "sooner");
+/// assert_eq!(t, SimTime::from_secs(1));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    scheduled: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled: 0 }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0, scheduled: 0 }
+    }
+
+    /// Schedules `event` for delivery at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, with its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Returns the timestamp of the earliest pending event without removing
+    /// it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    #[must_use]
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 'c');
+        q.schedule(SimTime::from_secs(1), 'a');
+        q.schedule(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = core::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(10);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = core::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "e5");
+        q.schedule(SimTime::from_secs(1), "e1");
+        assert_eq!(q.pop().unwrap().1, "e1");
+        q.schedule(SimTime::from_secs(3), "e3");
+        assert_eq!(q.pop().unwrap().1, "e3");
+        assert_eq!(q.pop().unwrap().1, "e5");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn with_capacity_behaves_identically() {
+        let mut q = EventQueue::with_capacity(16);
+        for i in (0..32).rev() {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        let order: Vec<u64> = core::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counters_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_scheduled(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.total_scheduled(), 2, "clear keeps the lifetime counter");
+    }
+}

@@ -1,0 +1,167 @@
+//! Small online statistics helpers shared by the simulator and experiments.
+
+/// Welford's online algorithm for mean and variance.
+///
+/// Numerically stable single-pass computation; used wherever a component
+/// wants running statistics without storing samples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WelfordVariance {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl WelfordVariance {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (zero when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (zero with fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Min/max/mean/stddev accumulator.
+#[derive(Clone, Copy, Debug)]
+pub struct OnlineStats {
+    w: WelfordVariance,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        OnlineStats { w: WelfordVariance::new(), min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.w.push(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.w.count()
+    }
+
+    /// Sample mean (zero when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.w.mean()
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.w.std_dev()
+    }
+
+    /// Smallest observation, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count() > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count() > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = WelfordVariance::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = WelfordVariance::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_is_numerically_stable() {
+        // Large offset, tiny variance — the classic catastrophic case for
+        // the naive sum-of-squares formula.
+        let mut w = WelfordVariance::new();
+        for i in 0..1000 {
+            w.push(1e9 + (i % 2) as f64);
+        }
+        assert!((w.variance() - 0.25).abs() < 1e-6, "var = {}", w.variance());
+    }
+
+    #[test]
+    fn online_stats_min_max() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        for x in [3.0, -1.0, 7.5, 2.0] {
+            s.push(x);
+        }
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(7.5));
+        assert_eq!(s.count(), 4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-domain pseudo-physical address spaces (the p2m map).
+//!
+//! Each domain sees a contiguous pseudo-physical frame space `0..size`.
+//! Every entry maps to a machine frame plus a writable bit. Delta
+//! virtualization is exactly this indirection: many domains map the same
+//! machine frame read-only, and the first write by any of them triggers a
+//! CoW fault that remaps that single entry.
+
+use crate::error::VmmError;
+use crate::frame::{FrameId, FrameTable};
+
+/// One p2m entry: which machine frame, and whether writes are permitted
+/// without a fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pte {
+    /// The backing machine frame.
+    pub frame: FrameId,
+    /// Whether the domain owns the frame exclusively.
+    pub writable: bool,
+}
+
+/// A pseudo-physical → machine mapping for one domain.
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    entries: Vec<Pte>,
+}
+
+impl AddressSpace {
+    /// Builds an address space from explicit entries.
+    #[must_use]
+    pub fn from_entries(entries: Vec<Pte>) -> Self {
+        AddressSpace { entries }
+    }
+
+    /// The domain's memory size in pages.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Looks up the entry for `pfn`.
+    pub fn lookup(&self, pfn: u64) -> Result<Pte, VmmError> {
+        self.entries
+            .get(pfn as usize)
+            .copied()
+            .ok_or(VmmError::BadPfn { pfn, size: self.size() })
+    }
+
+    /// Replaces the entry for `pfn`.
+    pub fn remap(&mut self, pfn: u64, pte: Pte) -> Result<(), VmmError> {
+        let size = self.size();
+        let slot = self
+            .entries
+            .get_mut(pfn as usize)
+            .ok_or(VmmError::BadPfn { pfn, size })?;
+        *slot = pte;
+        Ok(())
+    }
+
+    /// Iterates all entries with their pfn.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Pte)> + '_ {
+        self.entries.iter().enumerate().map(|(i, &pte)| (i as u64, pte))
+    }
+
+    /// Counts entries the domain owns exclusively (its private pages).
+    #[must_use]
+    pub fn private_pages(&self) -> u64 {
+        self.entries.iter().filter(|pte| pte.writable).count() as u64
+    }
+
+    /// Counts entries mapped read-only from a shared frame.
+    #[must_use]
+    pub fn shared_pages(&self) -> u64 {
+        self.size() - self.private_pages()
+    }
+
+    /// Releases every mapped frame back to the table and empties the space.
+    pub fn release_all(&mut self, frames: &mut FrameTable) {
+        for pte in self.entries.drain(..) {
+            frames.release(pte.frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_with(frames: &mut FrameTable, n: u64) -> AddressSpace {
+        let entries = (0..n)
+            .map(|i| Pte { frame: frames.alloc(i).unwrap(), writable: true })
+            .collect();
+        AddressSpace::from_entries(entries)
+    }
+
+    #[test]
+    fn lookup_in_and_out_of_range() {
+        let mut ft = FrameTable::new(10);
+        let space = space_with(&mut ft, 4);
+        assert!(space.lookup(3).is_ok());
+        assert_eq!(space.lookup(4).unwrap_err(), VmmError::BadPfn { pfn: 4, size: 4 });
+        assert_eq!(space.size(), 4);
+    }
+
+    #[test]
+    fn remap_changes_entry() {
+        let mut ft = FrameTable::new(10);
+        let mut space = space_with(&mut ft, 2);
+        let new_frame = ft.alloc(99).unwrap();
+        space.remap(1, Pte { frame: new_frame, writable: false }).unwrap();
+        let pte = space.lookup(1).unwrap();
+        assert_eq!(pte.frame, new_frame);
+        assert!(!pte.writable);
+        assert!(space.remap(5, Pte { frame: new_frame, writable: true }).is_err());
+    }
+
+    #[test]
+    fn private_and_shared_counts() {
+        let mut ft = FrameTable::new(10);
+        let shared = ft.alloc(0).unwrap();
+        ft.share(shared);
+        ft.share(shared);
+        let private = ft.alloc(1).unwrap();
+        let space = AddressSpace::from_entries(vec![
+            Pte { frame: shared, writable: false },
+            Pte { frame: shared, writable: false },
+            Pte { frame: private, writable: true },
+        ]);
+        assert_eq!(space.private_pages(), 1);
+        assert_eq!(space.shared_pages(), 2);
+    }
+
+    #[test]
+    fn release_all_returns_frames() {
+        let mut ft = FrameTable::new(5);
+        let mut space = space_with(&mut ft, 5);
+        assert_eq!(ft.free_frames(), 0);
+        space.release_all(&mut ft);
+        assert_eq!(ft.free_frames(), 5);
+        assert_eq!(space.size(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Copy-on-write virtual block devices.
+//!
+//! Potemkin clones share the reference image's disk; a clone's writes go to a
+//! private overlay (the same trick as its memory delta virtualization, at
+//! block granularity). Block *contents* are modeled as one `u64` per block,
+//! like frame contents.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::VmmError;
+
+/// An immutable base disk image shared by all clones of a reference image.
+#[derive(Clone, Debug)]
+pub struct BaseDisk {
+    blocks: Arc<Vec<u64>>,
+}
+
+impl BaseDisk {
+    /// Creates a base disk of `size` blocks with deterministic content
+    /// derived from `seed`.
+    #[must_use]
+    pub fn generate(size: u64, seed: u64) -> Self {
+        let blocks = (0..size)
+            .map(|i| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i))
+            .collect();
+        BaseDisk { blocks: Arc::new(blocks) }
+    }
+
+    /// Disk size in blocks.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Reads a block.
+    pub fn read(&self, block: u64) -> Result<u64, VmmError> {
+        self.blocks
+            .get(block as usize)
+            .copied()
+            .ok_or(VmmError::BadBlock { block, size: self.size() })
+    }
+}
+
+/// A clone's view of a disk: the shared base plus a private write overlay.
+///
+/// # Examples
+///
+/// ```
+/// use potemkin_vmm::block::{BaseDisk, CowDisk};
+///
+/// let base = BaseDisk::generate(100, 42);
+/// let mut disk = CowDisk::new(base.clone());
+/// let orig = disk.read(5).unwrap();
+/// disk.write(5, 777).unwrap();
+/// assert_eq!(disk.read(5).unwrap(), 777);
+/// assert_eq!(base.read(5).unwrap(), orig, "base is never modified");
+/// assert_eq!(disk.dirty_blocks(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CowDisk {
+    base: BaseDisk,
+    overlay: HashMap<u64, u64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl CowDisk {
+    /// Creates a CoW view over `base` with an empty overlay.
+    #[must_use]
+    pub fn new(base: BaseDisk) -> Self {
+        CowDisk { base, overlay: HashMap::new(), reads: 0, writes: 0 }
+    }
+
+    /// Disk size in blocks.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.base.size()
+    }
+
+    /// Reads a block (overlay first, then base).
+    pub fn read(&mut self, block: u64) -> Result<u64, VmmError> {
+        if block >= self.size() {
+            return Err(VmmError::BadBlock { block, size: self.size() });
+        }
+        self.reads += 1;
+        Ok(self.overlay.get(&block).copied().unwrap_or_else(|| {
+            self.base.read(block).expect("bounds checked above")
+        }))
+    }
+
+    /// Writes a block into the private overlay.
+    pub fn write(&mut self, block: u64, content: u64) -> Result<(), VmmError> {
+        if block >= self.size() {
+            return Err(VmmError::BadBlock { block, size: self.size() });
+        }
+        self.writes += 1;
+        self.overlay.insert(block, content);
+        Ok(())
+    }
+
+    /// Number of blocks this clone has made private.
+    #[must_use]
+    pub fn dirty_blocks(&self) -> u64 {
+        self.overlay.len() as u64
+    }
+
+    /// Discards the private overlay, restoring the pristine base view
+    /// (rollback support).
+    pub fn clear_overlay(&mut self) {
+        self.overlay.clear();
+    }
+
+    /// Lifetime read count.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Lifetime write count.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_disk_deterministic() {
+        let a = BaseDisk::generate(10, 7);
+        let b = BaseDisk::generate(10, 7);
+        for i in 0..10 {
+            assert_eq!(a.read(i).unwrap(), b.read(i).unwrap());
+        }
+        let c = BaseDisk::generate(10, 8);
+        assert_ne!(a.read(0).unwrap(), c.read(0).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let base = BaseDisk::generate(4, 1);
+        assert!(base.read(4).is_err());
+        let mut disk = CowDisk::new(base);
+        assert!(disk.read(4).is_err());
+        assert!(disk.write(4, 0).is_err());
+    }
+
+    #[test]
+    fn overlay_isolates_clones() {
+        let base = BaseDisk::generate(16, 3);
+        let mut d1 = CowDisk::new(base.clone());
+        let mut d2 = CowDisk::new(base);
+        d1.write(3, 111).unwrap();
+        d2.write(3, 222).unwrap();
+        assert_eq!(d1.read(3).unwrap(), 111);
+        assert_eq!(d2.read(3).unwrap(), 222);
+        assert_eq!(d1.dirty_blocks(), 1);
+        assert_eq!(d2.dirty_blocks(), 1);
+    }
+
+    #[test]
+    fn unwritten_blocks_read_through() {
+        let base = BaseDisk::generate(8, 9);
+        let mut d = CowDisk::new(base.clone());
+        for i in 0..8 {
+            assert_eq!(d.read(i).unwrap(), base.read(i).unwrap());
+        }
+        assert_eq!(d.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn clear_overlay_restores_base_view() {
+        let base = BaseDisk::generate(8, 5);
+        let mut d = CowDisk::new(base.clone());
+        d.write(2, 999).unwrap();
+        assert_eq!(d.read(2).unwrap(), 999);
+        d.clear_overlay();
+        assert_eq!(d.dirty_blocks(), 0);
+        assert_eq!(d.read(2).unwrap(), base.read(2).unwrap());
+    }
+
+    #[test]
+    fn rewrite_same_block_counts_once() {
+        let base = BaseDisk::generate(8, 9);
+        let mut d = CowDisk::new(base);
+        d.write(1, 10).unwrap();
+        d.write(1, 20).unwrap();
+        assert_eq!(d.dirty_blocks(), 1);
+        assert_eq!(d.read(1).unwrap(), 20);
+        assert_eq!(d.total_writes(), 2);
+    }
+}

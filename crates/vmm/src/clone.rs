@@ -1,0 +1,95 @@
+//! Clone timing: the per-stage latency record of a provisioning operation.
+//!
+//! Reproduces the paper's flash-cloning latency-breakdown table: every
+//! provisioning call on a [`crate::host::Host`] returns a [`CloneTiming`]
+//! listing each stage and its (virtual-time) cost.
+
+use core::fmt;
+
+use potemkin_sim::SimTime;
+
+/// The per-stage timing record of one provisioning operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CloneTiming {
+    stages: Vec<(&'static str, SimTime)>,
+}
+
+impl CloneTiming {
+    /// Wraps a stage list.
+    #[must_use]
+    pub fn new(stages: Vec<(&'static str, SimTime)>) -> Self {
+        CloneTiming { stages }
+    }
+
+    /// The stages in execution order.
+    #[must_use]
+    pub fn stages(&self) -> &[(&'static str, SimTime)] {
+        &self.stages
+    }
+
+    /// Total latency across all stages.
+    #[must_use]
+    pub fn total(&self) -> SimTime {
+        self.stages.iter().map(|&(_, t)| t).sum()
+    }
+
+    /// The duration of a named stage, if present.
+    #[must_use]
+    pub fn stage(&self, name: &str) -> Option<SimTime> {
+        self.stages.iter().find(|&&(n, _)| n == name).map(|&(_, t)| t)
+    }
+
+    /// The most expensive stage.
+    #[must_use]
+    pub fn dominant_stage(&self) -> Option<(&'static str, SimTime)> {
+        self.stages.iter().copied().max_by_key(|&(_, t)| t)
+    }
+}
+
+impl fmt::Display for CloneTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, t) in &self.stages {
+            writeln!(f, "  {name:<20} {:>10.3} ms", t.as_millis_f64())?;
+        }
+        writeln!(f, "  {:<20} {:>10.3} ms", "TOTAL", self.total().as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> CloneTiming {
+        CloneTiming::new(vec![
+            ("alpha", SimTime::from_millis(10)),
+            ("beta", SimTime::from_millis(30)),
+            ("gamma", SimTime::from_millis(5)),
+        ])
+    }
+
+    #[test]
+    fn total_sums_stages() {
+        assert_eq!(timing().total(), SimTime::from_millis(45));
+    }
+
+    #[test]
+    fn stage_lookup() {
+        let t = timing();
+        assert_eq!(t.stage("beta"), Some(SimTime::from_millis(30)));
+        assert_eq!(t.stage("nope"), None);
+    }
+
+    #[test]
+    fn dominant_stage() {
+        assert_eq!(timing().dominant_stage(), Some(("beta", SimTime::from_millis(30))));
+        assert_eq!(CloneTiming::new(vec![]).dominant_stage(), None);
+    }
+
+    #[test]
+    fn display_contains_rows_and_total() {
+        let s = timing().to_string();
+        assert!(s.contains("alpha"));
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("45.000"));
+    }
+}

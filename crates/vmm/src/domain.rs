@@ -1,0 +1,316 @@
+//! VM domains: identity, lifecycle state, address space, devices.
+//!
+//! Memory operations that need the host's frame table (reads, CoW writes)
+//! live on [`crate::host::Host`]; everything domain-local (state machine,
+//! disk, telemetry) lives here.
+
+use core::fmt;
+use std::net::Ipv4Addr;
+
+use crate::addrspace::AddressSpace;
+use crate::block::CowDisk;
+use crate::error::VmmError;
+use crate::snapshot::ImageId;
+
+/// Identifier of a domain on a host.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u64);
+
+impl fmt::Debug for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+/// Lifecycle state of a domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DomainState {
+    /// Created but not yet scheduled (between clone and unpause).
+    Paused,
+    /// Running and able to fault pages.
+    Running,
+    /// Destroyed; all resources released.
+    Destroyed,
+}
+
+/// How the domain's memory was materialized — used by memory reports and
+/// the clone-strategy ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProvisionKind {
+    /// Flash clone: CoW against a reference image (delta virtualization).
+    FlashClone,
+    /// Eager full copy of the image (no sharing).
+    FullCopy,
+    /// Booted from scratch (no image involvement).
+    ColdBoot,
+}
+
+/// A virtual machine domain.
+#[derive(Clone, Debug)]
+pub struct Domain {
+    id: DomainId,
+    image: ImageId,
+    state: DomainState,
+    provision: ProvisionKind,
+    space: AddressSpace,
+    disk: CowDisk,
+    /// The telescope IP address the gateway late-bound to this VM.
+    bound_addr: Option<Ipv4Addr>,
+    /// CoW write faults taken so far.
+    cow_faults: u64,
+    /// Memory reads and writes (telemetry).
+    reads: u64,
+    writes: u64,
+    /// Whether an exploit payload has executed in this guest.
+    infected: bool,
+}
+
+impl Domain {
+    /// Assembles a domain (called by [`crate::host::Host`]).
+    #[must_use]
+    pub fn new(
+        id: DomainId,
+        image: ImageId,
+        provision: ProvisionKind,
+        space: AddressSpace,
+        disk: CowDisk,
+    ) -> Self {
+        Domain {
+            id,
+            image,
+            state: DomainState::Paused,
+            provision,
+            space,
+            disk,
+            bound_addr: None,
+            cow_faults: 0,
+            reads: 0,
+            writes: 0,
+            infected: false,
+        }
+    }
+
+    /// The domain identifier.
+    #[must_use]
+    pub fn id(&self) -> DomainId {
+        self.id
+    }
+
+    /// The reference image this domain was provisioned from.
+    #[must_use]
+    pub fn image(&self) -> ImageId {
+        self.image
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> DomainState {
+        self.state
+    }
+
+    /// How the memory was provisioned.
+    #[must_use]
+    pub fn provision(&self) -> ProvisionKind {
+        self.provision
+    }
+
+    /// Memory size in pages.
+    #[must_use]
+    pub fn memory_pages(&self) -> u64 {
+        self.space.size()
+    }
+
+    /// Pages this domain owns exclusively.
+    #[must_use]
+    pub fn private_pages(&self) -> u64 {
+        self.space.private_pages()
+    }
+
+    /// Pages shared read-only with the image or siblings.
+    #[must_use]
+    pub fn shared_pages(&self) -> u64 {
+        self.space.shared_pages()
+    }
+
+    /// CoW write faults taken so far.
+    #[must_use]
+    pub fn cow_faults(&self) -> u64 {
+        self.cow_faults
+    }
+
+    /// Lifetime (reads, writes) memory-operation counts.
+    #[must_use]
+    pub fn mem_ops(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// The late-bound external IP address, if the gateway bound one.
+    #[must_use]
+    pub fn bound_addr(&self) -> Option<Ipv4Addr> {
+        self.bound_addr
+    }
+
+    /// Binds the external IP address this VM impersonates.
+    pub fn bind_addr(&mut self, addr: Ipv4Addr) {
+        self.bound_addr = Some(addr);
+    }
+
+    /// Whether an exploit payload has executed.
+    #[must_use]
+    pub fn is_infected(&self) -> bool {
+        self.infected
+    }
+
+    /// Marks the guest infected.
+    pub fn mark_infected(&mut self) {
+        self.infected = true;
+    }
+
+    /// Clears the guest-visible state after a rollback to the reference
+    /// image: infection flag, address binding, and the disk overlay. Memory
+    /// remapping is the host's job (it owns the frame table).
+    pub fn reset_guest_state(&mut self) {
+        self.infected = false;
+        self.bound_addr = None;
+        self.disk.clear_overlay();
+    }
+
+    /// Unpauses the domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::BadState`] unless the domain is paused.
+    pub fn unpause(&mut self) -> Result<(), VmmError> {
+        match self.state {
+            DomainState::Paused => {
+                self.state = DomainState::Running;
+                Ok(())
+            }
+            _ => Err(VmmError::BadState { domain: self.id, op: "unpause" }),
+        }
+    }
+
+    /// Pauses the domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::BadState`] unless the domain is running.
+    pub fn pause(&mut self) -> Result<(), VmmError> {
+        match self.state {
+            DomainState::Running => {
+                self.state = DomainState::Paused;
+                Ok(())
+            }
+            _ => Err(VmmError::BadState { domain: self.id, op: "pause" }),
+        }
+    }
+
+    /// Marks the domain destroyed (host has already released resources).
+    pub fn mark_destroyed(&mut self) {
+        self.state = DomainState::Destroyed;
+    }
+
+    /// Whether the domain can execute (take faults, answer packets).
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.state == DomainState::Running
+    }
+
+    /// The CoW disk.
+    #[must_use]
+    pub fn disk(&self) -> &CowDisk {
+        &self.disk
+    }
+
+    /// Mutable access to the CoW disk.
+    pub fn disk_mut(&mut self) -> &mut CowDisk {
+        &mut self.disk
+    }
+
+    /// Internal: the address space (used by the host for memory ops).
+    pub(crate) fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Internal: mutable address space.
+    pub(crate) fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// Internal: telemetry hooks for the host's memory path.
+    pub(crate) fn note_read(&mut self) {
+        self.reads += 1;
+    }
+
+    pub(crate) fn note_write(&mut self, faulted: bool) {
+        self.writes += 1;
+        if faulted {
+            self.cow_faults += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addrspace::Pte;
+    use crate::block::BaseDisk;
+    use crate::frame::FrameTable;
+
+    fn make_domain(ft: &mut FrameTable) -> Domain {
+        let entries =
+            (0..4).map(|i| Pte { frame: ft.alloc(i).unwrap(), writable: false }).collect();
+        Domain::new(
+            DomainId(1),
+            ImageId(0),
+            ProvisionKind::FlashClone,
+            AddressSpace::from_entries(entries),
+            CowDisk::new(BaseDisk::generate(10, 1)),
+        )
+    }
+
+    #[test]
+    fn lifecycle_transitions() {
+        let mut ft = FrameTable::new(10);
+        let mut d = make_domain(&mut ft);
+        assert_eq!(d.state(), DomainState::Paused);
+        assert!(d.pause().is_err(), "pause while paused");
+        d.unpause().unwrap();
+        assert!(d.is_running());
+        assert!(d.unpause().is_err(), "double unpause");
+        d.pause().unwrap();
+        assert_eq!(d.state(), DomainState::Paused);
+        d.mark_destroyed();
+        assert!(d.unpause().is_err(), "unpause after destroy");
+        assert!(!d.is_running());
+    }
+
+    #[test]
+    fn binding_and_infection_flags() {
+        let mut ft = FrameTable::new(10);
+        let mut d = make_domain(&mut ft);
+        assert_eq!(d.bound_addr(), None);
+        d.bind_addr(Ipv4Addr::new(10, 1, 2, 3));
+        assert_eq!(d.bound_addr(), Some(Ipv4Addr::new(10, 1, 2, 3)));
+        assert!(!d.is_infected());
+        d.mark_infected();
+        assert!(d.is_infected());
+    }
+
+    #[test]
+    fn page_accounting_starts_all_shared() {
+        let mut ft = FrameTable::new(10);
+        let d = make_domain(&mut ft);
+        assert_eq!(d.memory_pages(), 4);
+        assert_eq!(d.private_pages(), 0);
+        assert_eq!(d.shared_pages(), 4);
+        assert_eq!(d.cow_faults(), 0);
+        assert_eq!(d.provision(), ProvisionKind::FlashClone);
+    }
+}

@@ -1,0 +1,93 @@
+//! VMM error type.
+
+use core::fmt;
+
+use crate::domain::DomainId;
+use crate::snapshot::ImageId;
+
+/// Errors from VMM operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmmError {
+    /// The host has no free machine frames left.
+    OutOfMemory {
+        /// Frames requested.
+        requested: u64,
+        /// Frames free at the time.
+        free: u64,
+    },
+    /// The referenced domain does not exist (or was destroyed).
+    NoSuchDomain(DomainId),
+    /// The referenced reference image does not exist.
+    NoSuchImage(ImageId),
+    /// The operation is invalid in the domain's current state.
+    BadState {
+        /// The domain.
+        domain: DomainId,
+        /// What was attempted.
+        op: &'static str,
+    },
+    /// A pseudo-physical frame number is outside the domain's memory.
+    BadPfn {
+        /// The offending pfn.
+        pfn: u64,
+        /// The domain's memory size in pages.
+        size: u64,
+    },
+    /// A block number is outside the virtual disk.
+    BadBlock {
+        /// The offending block.
+        block: u64,
+        /// The disk size in blocks.
+        size: u64,
+    },
+    /// The host's domain limit was reached.
+    TooManyDomains {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for VmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmmError::OutOfMemory { requested, free } => {
+                write!(f, "out of memory: requested {requested} frames, {free} free")
+            }
+            VmmError::NoSuchDomain(id) => write!(f, "no such domain: {id}"),
+            VmmError::NoSuchImage(id) => write!(f, "no such reference image: {id}"),
+            VmmError::BadState { domain, op } => {
+                write!(f, "domain {domain}: invalid state for {op}")
+            }
+            VmmError::BadPfn { pfn, size } => {
+                write!(f, "pfn {pfn} out of range (domain has {size} pages)")
+            }
+            VmmError::BadBlock { block, size } => {
+                write!(f, "block {block} out of range (disk has {size} blocks)")
+            }
+            VmmError::TooManyDomains { limit } => {
+                write!(f, "domain limit reached ({limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        assert_eq!(
+            VmmError::OutOfMemory { requested: 10, free: 3 }.to_string(),
+            "out of memory: requested 10 frames, 3 free"
+        );
+        assert!(VmmError::NoSuchDomain(DomainId(7)).to_string().contains("dom7"));
+        assert!(VmmError::NoSuchImage(ImageId(2)).to_string().contains("img2"));
+        assert!(VmmError::BadState { domain: DomainId(1), op: "write" }.to_string().contains("write"));
+        assert!(VmmError::BadPfn { pfn: 99, size: 10 }.to_string().contains("99"));
+        assert!(VmmError::BadBlock { block: 5, size: 2 }.to_string().contains("5"));
+        assert!(VmmError::TooManyDomains { limit: 128 }.to_string().contains("128"));
+    }
+}

@@ -1,0 +1,994 @@
+//! A physical honeyfarm server: frame table, reference images, domains.
+//!
+//! [`Host`] is the API surface the honeyfarm controller drives: create a
+//! reference image once, flash-clone it per attacked address, route guest
+//! memory activity through [`Host::write_page`] (which takes CoW faults),
+//! and destroy domains when the gateway recycles them. Memory accounting
+//! ([`Host::memory_report`]) is the ground truth behind the reproduction of
+//! the paper's delta-virtualization figure.
+
+use std::collections::BTreeMap;
+
+use potemkin_sim::SimTime;
+
+use crate::addrspace::{AddressSpace, Pte};
+use crate::block::{BaseDisk, CowDisk};
+use crate::clone::CloneTiming;
+use crate::cost::CostModel;
+use crate::domain::{Domain, DomainId, ProvisionKind};
+use crate::error::VmmError;
+use crate::frame::FrameTable;
+use crate::guest::GuestProfile;
+use crate::snapshot::{ImageId, ReferenceImage};
+
+/// Fixed per-domain memory overhead in pages (hypervisor structures, shadow
+/// tables, device rings). The paper observed that a clone's marginal
+/// footprint is dominated by this fixed overhead, not by dirtied pages.
+pub const DOMAIN_OVERHEAD_PAGES: u64 = 1_024; // 4 MiB at 4 KiB pages
+
+/// Outcome of a guest memory write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Whether the write took a CoW fault (first write to a shared page).
+    pub faulted: bool,
+    /// Virtual-time cost of the write (zero for non-faulting writes).
+    pub cost: SimTime,
+}
+
+/// Aggregate outcome of touching a batch of pages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TouchStats {
+    /// Pages written.
+    pub pages: u64,
+    /// CoW faults taken.
+    pub faults: u64,
+    /// Total virtual-time cost.
+    pub cost: SimTime,
+}
+
+/// A snapshot of the host's memory accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Frames the host manages.
+    pub total_frames: u64,
+    /// Frames currently free.
+    pub free_frames: u64,
+    /// Frames currently in use (images + domain-private).
+    pub used_frames: u64,
+    /// Frames owned by reference images.
+    pub image_frames: u64,
+    /// Frames owned exclusively by live domains (their deltas + overhead).
+    pub private_frames: u64,
+    /// Domain page mappings that still share an image frame.
+    pub shared_mappings: u64,
+    /// Live (not destroyed) domains.
+    pub live_domains: u64,
+}
+
+impl MemoryReport {
+    /// Mean private frames per live domain (zero with no domains) — the
+    /// paper's "marginal memory per clone".
+    #[must_use]
+    pub fn marginal_frames_per_domain(&self) -> f64 {
+        if self.live_domains == 0 {
+            0.0
+        } else {
+            self.private_frames as f64 / self.live_domains as f64
+        }
+    }
+}
+
+/// A physical server in the honeyfarm.
+pub struct Host {
+    frames: FrameTable,
+    images: BTreeMap<ImageId, ReferenceImage>,
+    domains: BTreeMap<DomainId, Domain>,
+    next_image: u64,
+    next_domain: u64,
+    cost: CostModel,
+    max_domains: usize,
+    /// Per-domain fixed overhead, in pages (see [`DOMAIN_OVERHEAD_PAGES`]).
+    overhead_pages: u64,
+    /// Lifetime clone counters by kind.
+    flash_clones: u64,
+    full_copies: u64,
+    cold_boots: u64,
+    destroys: u64,
+    rollbacks: u64,
+}
+
+impl Host {
+    /// Creates a host managing `total_frames` machine frames.
+    #[must_use]
+    pub fn new(total_frames: u64) -> Self {
+        Host {
+            frames: FrameTable::new(total_frames),
+            images: BTreeMap::new(),
+            domains: BTreeMap::new(),
+            next_image: 0,
+            next_domain: 0,
+            cost: CostModel::default(),
+            max_domains: usize::MAX,
+            overhead_pages: DOMAIN_OVERHEAD_PAGES,
+            flash_clones: 0,
+            full_copies: 0,
+            cold_boots: 0,
+            destroys: 0,
+            rollbacks: 0,
+        }
+    }
+
+    /// Replaces the latency model.
+    #[must_use]
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Caps the number of simultaneously live domains (Xen-era limits).
+    #[must_use]
+    pub fn with_max_domains(mut self, max: usize) -> Self {
+        self.max_domains = max;
+        self
+    }
+
+    /// Overrides the fixed per-domain page overhead (ablation hook).
+    #[must_use]
+    pub fn with_overhead_pages(mut self, pages: u64) -> Self {
+        self.overhead_pages = pages;
+        self
+    }
+
+    /// The latency model in effect.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Lifetime provisioning counts `(flash, full_copy, cold_boot,
+    /// destroys)`.
+    #[must_use]
+    pub fn lifecycle_counts(&self) -> (u64, u64, u64, u64) {
+        (self.flash_clones, self.full_copies, self.cold_boots, self.destroys)
+    }
+
+    /// Lifetime rollback count.
+    #[must_use]
+    pub fn rollback_count(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// Boots a guest profile once and freezes it as a reference image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::OutOfMemory`] if the image does not fit.
+    pub fn create_reference_image(
+        &mut self,
+        name: &str,
+        profile: GuestProfile,
+    ) -> Result<ImageId, VmmError> {
+        if self.frames.free_frames() < profile.memory_pages {
+            return Err(VmmError::OutOfMemory {
+                requested: profile.memory_pages,
+                free: self.frames.free_frames(),
+            });
+        }
+        let id = ImageId(self.next_image);
+        self.next_image += 1;
+        let mut frames = Vec::with_capacity(profile.memory_pages as usize);
+        for pfn in 0..profile.memory_pages {
+            let content = GuestProfile::boot_content(id.0, pfn);
+            frames.push(self.frames.alloc(content).expect("capacity checked above"));
+        }
+        let disk = BaseDisk::generate(profile.disk_blocks, id.0 ^ 0xD15C);
+        self.images.insert(id, ReferenceImage::new(id, name, frames, disk, profile));
+        Ok(id)
+    }
+
+    /// Looks up a reference image.
+    pub fn image(&self, id: ImageId) -> Result<&ReferenceImage, VmmError> {
+        self.images.get(&id).ok_or(VmmError::NoSuchImage(id))
+    }
+
+    /// Looks up a domain.
+    pub fn domain(&self, id: DomainId) -> Result<&Domain, VmmError> {
+        self.domains.get(&id).ok_or(VmmError::NoSuchDomain(id))
+    }
+
+    /// Looks up a domain mutably.
+    pub fn domain_mut(&mut self, id: DomainId) -> Result<&mut Domain, VmmError> {
+        self.domains.get_mut(&id).ok_or(VmmError::NoSuchDomain(id))
+    }
+
+    /// Iterates live domains in id order.
+    pub fn domains(&self) -> impl Iterator<Item = &Domain> {
+        self.domains.values()
+    }
+
+    /// The number of live domains.
+    #[must_use]
+    pub fn live_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    fn admission_check(&self, private_pages_needed: u64) -> Result<(), VmmError> {
+        if self.domains.len() >= self.max_domains {
+            return Err(VmmError::TooManyDomains { limit: self.max_domains });
+        }
+        if self.frames.free_frames() < private_pages_needed {
+            return Err(VmmError::OutOfMemory {
+                requested: private_pages_needed,
+                free: self.frames.free_frames(),
+            });
+        }
+        Ok(())
+    }
+
+    fn alloc_overhead(&mut self) -> Vec<Pte> {
+        (0..self.overhead_pages)
+            .map(|_| Pte {
+                frame: self.frames.alloc(0).expect("admission checked"),
+                writable: true,
+            })
+            .collect()
+    }
+
+    /// Flash-clones a domain from a reference image: every image page is
+    /// mapped copy-on-write; only the fixed overhead is allocated.
+    ///
+    /// The returned [`CloneTiming`] is the reproduction of the paper's
+    /// clone-latency breakdown. The domain comes back *running*.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::NoSuchImage`], [`VmmError::TooManyDomains`], or
+    /// [`VmmError::OutOfMemory`] (for the overhead pages).
+    pub fn flash_clone(&mut self, image: ImageId) -> Result<(DomainId, CloneTiming), VmmError> {
+        let pages = self.image(image)?.pages();
+        self.admission_check(self.overhead_pages)?;
+        let timing = CloneTiming::new(self.cost.flash_clone_stages(pages));
+
+        // Share every image frame read-only (the delta-virtualization map).
+        let img = self.images.get(&image).expect("checked above");
+        let shared: Vec<Pte> =
+            img.frames().iter().map(|&f| Pte { frame: f, writable: false }).collect();
+        let disk = CowDisk::new(img.disk().clone());
+        for pte in &shared {
+            self.frames.share(pte.frame);
+        }
+        let mut entries = shared;
+        entries.extend(self.alloc_overhead());
+
+        let id = DomainId(self.next_domain);
+        self.next_domain += 1;
+        let mut dom =
+            Domain::new(id, image, ProvisionKind::FlashClone, AddressSpace::from_entries(entries), disk);
+        dom.unpause().expect("fresh domain is paused");
+        self.domains.insert(id, dom);
+        self.flash_clones += 1;
+        Ok((id, timing))
+    }
+
+    /// Eagerly copies every image page into private frames (the no-delta
+    /// baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Host::flash_clone`]; the frame demand is
+    /// the whole image plus overhead.
+    pub fn full_copy_clone(&mut self, image: ImageId) -> Result<(DomainId, CloneTiming), VmmError> {
+        let pages = self.image(image)?.pages();
+        self.admission_check(pages + self.overhead_pages)?;
+        let timing = CloneTiming::new(self.cost.full_copy_stages(pages));
+
+        let contents: Vec<u64> = {
+            let img = self.images.get(&image).expect("checked above");
+            img.frames().iter().map(|&f| self.frames.read(f)).collect()
+        };
+        let mut entries: Vec<Pte> = contents
+            .into_iter()
+            .map(|c| Pte { frame: self.frames.alloc(c).expect("admission checked"), writable: true })
+            .collect();
+        entries.extend(self.alloc_overhead());
+        let disk = CowDisk::new(self.images.get(&image).expect("checked").disk().clone());
+
+        let id = DomainId(self.next_domain);
+        self.next_domain += 1;
+        let mut dom =
+            Domain::new(id, image, ProvisionKind::FullCopy, AddressSpace::from_entries(entries), disk);
+        dom.unpause().expect("fresh domain is paused");
+        self.domains.insert(id, dom);
+        self.full_copies += 1;
+        Ok((id, timing))
+    }
+
+    /// Boots a fresh domain from scratch (the no-cloning baseline: tens of
+    /// seconds of virtual time).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Host::full_copy_clone`].
+    pub fn cold_boot(&mut self, image: ImageId) -> Result<(DomainId, CloneTiming), VmmError> {
+        let (id, _) = self.full_copy_clone(image)?;
+        self.full_copies -= 1;
+        self.cold_boots += 1;
+        let dom = self.domains.get_mut(&id).expect("just created");
+        // Same memory shape, different provenance and timing.
+        let pages = dom.memory_pages() - self.overhead_pages;
+        let timing = CloneTiming::new(self.cost.cold_boot_stages(pages));
+        let space = std::mem::replace(dom.space_mut(), AddressSpace::from_entries(vec![]));
+        let disk = dom.disk().clone();
+        let mut fresh = Domain::new(id, dom.image(), ProvisionKind::ColdBoot, space, disk);
+        fresh.unpause().expect("fresh domain is paused");
+        *dom = fresh;
+        Ok((id, timing))
+    }
+
+    /// Destroys a domain, releasing all of its frames. Returns the
+    /// virtual-time cost (scales with the domain's private pages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::NoSuchDomain`] for unknown or already-destroyed
+    /// domains.
+    pub fn destroy(&mut self, id: DomainId) -> Result<SimTime, VmmError> {
+        let mut dom = self.domains.remove(&id).ok_or(VmmError::NoSuchDomain(id))?;
+        let cost = self.cost.destroy_cost(dom.private_pages());
+        dom.space_mut().release_all(&mut self.frames);
+        dom.mark_destroyed();
+        self.destroys += 1;
+        Ok(cost)
+    }
+
+    /// Freezes a *running* domain's current memory as a new reference
+    /// image — the forensic-snapshot primitive: an infected honeypot can be
+    /// captured for offline analysis, or used as the clone source for a
+    /// whole farm of already-infected honeypots.
+    ///
+    /// The new image shares every frame with the domain (copy-on-write in
+    /// both directions): creating it allocates nothing. The image's disk is
+    /// the domain's *base* disk (block overlays are per-domain state and
+    /// are not captured).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::NoSuchDomain`] for unknown domains.
+    pub fn snapshot_domain(&mut self, id: DomainId, name: &str) -> Result<ImageId, VmmError> {
+        let source_image = self.domain(id)?.image();
+        let profile = self.image(source_image)?.profile().clone();
+        let disk = self.image(source_image)?.disk().clone();
+        let dom = self.domains.get_mut(&id).ok_or(VmmError::NoSuchDomain(id))?;
+        let image_pages = profile.memory_pages;
+        // Share the domain's current frames and freeze the domain's view:
+        // its writable pages become read-only so future writes CoW away
+        // from the snapshot.
+        let mut frames = Vec::with_capacity(image_pages as usize);
+        for pfn in 0..image_pages {
+            let pte = dom.space().lookup(pfn).expect("image pfns are mapped");
+            self.frames.share(pte.frame);
+            frames.push(pte.frame);
+            if pte.writable {
+                dom.space_mut()
+                    .remap(pfn, Pte { frame: pte.frame, writable: false })
+                    .expect("pfn in range");
+            }
+        }
+        let new_id = ImageId(self.next_image);
+        self.next_image += 1;
+        self.images.insert(new_id, ReferenceImage::new(new_id, name, frames, disk, profile));
+        Ok(new_id)
+    }
+
+    /// Rolls a domain back to its pristine reference-image state: every
+    /// private image page is released and remapped copy-on-write, the disk
+    /// overlay and infection flag are cleared, and the address binding is
+    /// dropped. Much cheaper than destroy + flash-clone (the paper's
+    /// recycling optimization: the domain's fixed structures survive).
+    ///
+    /// Returns the virtual-time cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::NoSuchDomain`] for unknown domains.
+    pub fn rollback(&mut self, id: DomainId) -> Result<SimTime, VmmError> {
+        let image_id = self.domain(id)?.image();
+        let image_frames: Vec<crate::frame::FrameId> =
+            self.image(image_id)?.frames().to_vec();
+        let dom = self.domains.get_mut(&id).ok_or(VmmError::NoSuchDomain(id))?;
+        let mut released = 0u64;
+        for (pfn, &img_frame) in image_frames.iter().enumerate() {
+            let pfn = pfn as u64;
+            let pte = dom.space().lookup(pfn).expect("image pfns are mapped");
+            // Any page not backed by the original image frame — a private
+            // CoW copy, or a frame frozen into a later snapshot — is
+            // dropped and the pristine image frame re-shared.
+            if pte.frame != img_frame {
+                self.frames.release(pte.frame);
+                self.frames.share(img_frame);
+                dom.space_mut()
+                    .remap(pfn, Pte { frame: img_frame, writable: false })
+                    .expect("pfn in range");
+                released += 1;
+            } else if pte.writable {
+                // Same frame but writable can only happen if the image
+                // itself handed out a writable mapping — it never does.
+                dom.space_mut()
+                    .remap(pfn, Pte { frame: img_frame, writable: false })
+                    .expect("pfn in range");
+            }
+        }
+        // Overhead pages beyond the image stay allocated; scrub them.
+        for pfn in image_frames.len() as u64..dom.memory_pages() {
+            let pte = dom.space().lookup(pfn).expect("in range");
+            self.frames.write(pte.frame, 0);
+        }
+        dom.reset_guest_state();
+        self.rollbacks += 1;
+        Ok(self.cost.rollback_cost(released))
+    }
+
+    /// Re-shares a domain's private pages whose contents have reverted to
+    /// the reference image (freed buffers, scrubbed caches): each such page
+    /// is released and remapped copy-on-write, reclaiming its frame.
+    ///
+    /// This is the content-based sharing refinement the paper leaves as
+    /// future work, restricted to image-identical pages (which is sound
+    /// without any writeback machinery). Returns the number of frames
+    /// reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::NoSuchDomain`] for unknown domains.
+    pub fn reshare_reverted_pages(&mut self, id: DomainId) -> Result<u64, VmmError> {
+        let image_id = self.domain(id)?.image();
+        let image_frames: Vec<crate::frame::FrameId> =
+            self.image(image_id)?.frames().to_vec();
+        let dom = self.domains.get_mut(&id).ok_or(VmmError::NoSuchDomain(id))?;
+        let mut reclaimed = 0u64;
+        for (pfn, &img_frame) in image_frames.iter().enumerate() {
+            let pfn = pfn as u64;
+            let pte = dom.space().lookup(pfn).expect("image pfns are mapped");
+            if pte.writable
+                && pte.frame != img_frame
+                && self.frames.read(pte.frame) == self.frames.read(img_frame)
+            {
+                self.frames.release(pte.frame);
+                self.frames.share(img_frame);
+                dom.space_mut()
+                    .remap(pfn, Pte { frame: img_frame, writable: false })
+                    .expect("pfn in range");
+                reclaimed += 1;
+            }
+        }
+        Ok(reclaimed)
+    }
+
+    /// Reads a guest page through the domain's p2m map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::NoSuchDomain`], [`VmmError::BadState`] for
+    /// non-running domains, or [`VmmError::BadPfn`].
+    pub fn read_page(&mut self, id: DomainId, pfn: u64) -> Result<u64, VmmError> {
+        let dom = self.domains.get_mut(&id).ok_or(VmmError::NoSuchDomain(id))?;
+        if !dom.is_running() {
+            return Err(VmmError::BadState { domain: id, op: "read_page" });
+        }
+        let pte = dom.space().lookup(pfn)?;
+        dom.note_read();
+        Ok(self.frames.read(pte.frame))
+    }
+
+    /// Writes a guest page, taking a CoW fault on the first write to a
+    /// shared page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::OutOfMemory`] when a fault cannot allocate a
+    /// private frame (the guest write is lost, matching a real host that
+    /// would stall the domain), plus the errors of [`Host::read_page`].
+    pub fn write_page(
+        &mut self,
+        id: DomainId,
+        pfn: u64,
+        value: u64,
+    ) -> Result<WriteOutcome, VmmError> {
+        let dom = self.domains.get_mut(&id).ok_or(VmmError::NoSuchDomain(id))?;
+        if !dom.is_running() {
+            return Err(VmmError::BadState { domain: id, op: "write_page" });
+        }
+        let pte = dom.space().lookup(pfn)?;
+        if pte.writable {
+            self.frames.write(pte.frame, value);
+            dom.note_write(false);
+            Ok(WriteOutcome { faulted: false, cost: SimTime::ZERO })
+        } else {
+            // CoW fault: allocate a private copy, remap, then write.
+            let copy = self.frames.cow_copy(pte.frame)?;
+            self.frames.write(copy, value);
+            dom.space_mut()
+                .remap(pfn, Pte { frame: copy, writable: true })
+                .expect("pfn validated by lookup");
+            dom.note_write(true);
+            Ok(WriteOutcome { faulted: true, cost: self.cost.cow_fault })
+        }
+    }
+
+    /// Writes a batch of pages, summing faults and costs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Host::write_page`].
+    pub fn touch_pages(
+        &mut self,
+        id: DomainId,
+        pfns: &[u64],
+        value_seed: u64,
+    ) -> Result<TouchStats, VmmError> {
+        let mut stats = TouchStats::default();
+        for (i, &pfn) in pfns.iter().enumerate() {
+            let out = self.write_page(id, pfn, value_seed.wrapping_add(i as u64))?;
+            stats.pages += 1;
+            if out.faulted {
+                stats.faults += 1;
+            }
+            stats.cost += out.cost;
+        }
+        Ok(stats)
+    }
+
+    /// Applies the guest's page/disk activity for handling one inbound
+    /// service request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn apply_request(&mut self, id: DomainId, request_idx: u64) -> Result<TouchStats, VmmError> {
+        let image = self.domain(id)?.image();
+        let pages = self.image(image)?.profile().pages_for_request(request_idx);
+        self.touch_pages(id, &pages, request_idx)
+    }
+
+    /// Applies the guest's page/disk activity for a successful infection
+    /// and marks the domain infected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn apply_infection(&mut self, id: DomainId, seed: u64) -> Result<TouchStats, VmmError> {
+        let image = self.domain(id)?.image();
+        let profile = self.image(image)?.profile().clone();
+        let pages = profile.pages_for_infection(seed);
+        let stats = self.touch_pages(id, &pages, seed)?;
+        let dom = self.domain_mut(id)?;
+        for b in 0..profile.infection_disk_blocks.min(profile.disk_blocks) {
+            dom.disk_mut().write(b, seed.wrapping_add(b)).expect("block bounds clamped");
+        }
+        dom.mark_infected();
+        Ok(stats)
+    }
+
+    /// Produces the current memory accounting snapshot.
+    #[must_use]
+    pub fn memory_report(&self) -> MemoryReport {
+        let image_frames: u64 = self.images.values().map(ReferenceImage::pages).sum();
+        let private_frames: u64 = self.domains.values().map(Domain::private_pages).sum();
+        let shared_mappings: u64 = self.domains.values().map(Domain::shared_pages).sum();
+        MemoryReport {
+            total_frames: self.frames.total_frames(),
+            free_frames: self.frames.free_frames(),
+            used_frames: self.frames.used_frames(),
+            image_frames,
+            private_frames,
+            shared_mappings,
+            live_domains: self.domains.len() as u64,
+        }
+    }
+
+    /// Direct access to the frame table (tests and invariant checks).
+    #[must_use]
+    pub fn frames(&self) -> &FrameTable {
+        &self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_host() -> (Host, ImageId) {
+        let mut host = Host::new(100_000).with_overhead_pages(16);
+        let image = host.create_reference_image("test", GuestProfile::small()).unwrap();
+        (host, image)
+    }
+
+    #[test]
+    fn image_creation_accounts_frames() {
+        let (host, image) = small_host();
+        let report = host.memory_report();
+        assert_eq!(report.image_frames, 8_192);
+        assert_eq!(report.used_frames, 8_192);
+        assert_eq!(host.image(image).unwrap().pages(), 8_192);
+    }
+
+    #[test]
+    fn image_oom() {
+        let mut host = Host::new(100);
+        assert!(matches!(
+            host.create_reference_image("big", GuestProfile::small()),
+            Err(VmmError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn flash_clone_allocates_only_overhead() {
+        let (mut host, image) = small_host();
+        let before = host.memory_report().used_frames;
+        let (vm, timing) = host.flash_clone(image).unwrap();
+        let after = host.memory_report().used_frames;
+        assert_eq!(after - before, 16, "only overhead pages allocated");
+        assert!(timing.total() < SimTime::from_secs(1));
+        let dom = host.domain(vm).unwrap();
+        assert!(dom.is_running());
+        assert_eq!(dom.shared_pages(), 8_192);
+        assert_eq!(dom.private_pages(), 16);
+    }
+
+    #[test]
+    fn clone_sees_image_contents() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        for pfn in [0u64, 1, 100, 8_191] {
+            assert_eq!(host.read_page(vm, pfn).unwrap(), GuestProfile::boot_content(image.0, pfn));
+        }
+    }
+
+    #[test]
+    fn cow_write_isolates_from_image_and_siblings() {
+        let (mut host, image) = small_host();
+        let (a, _) = host.flash_clone(image).unwrap();
+        let (b, _) = host.flash_clone(image).unwrap();
+        let orig = host.read_page(a, 5).unwrap();
+
+        let out = host.write_page(a, 5, 0xAAAA).unwrap();
+        assert!(out.faulted);
+        assert!(out.cost > SimTime::ZERO);
+        assert_eq!(host.read_page(a, 5).unwrap(), 0xAAAA);
+        assert_eq!(host.read_page(b, 5).unwrap(), orig, "sibling unaffected");
+
+        let out2 = host.write_page(b, 5, 0xBBBB).unwrap();
+        assert!(out2.faulted);
+        assert_eq!(host.read_page(a, 5).unwrap(), 0xAAAA);
+        assert_eq!(host.read_page(b, 5).unwrap(), 0xBBBB);
+    }
+
+    #[test]
+    fn second_write_does_not_fault() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        assert!(host.write_page(vm, 7, 1).unwrap().faulted);
+        let out = host.write_page(vm, 7, 2).unwrap();
+        assert!(!out.faulted);
+        assert_eq!(out.cost, SimTime::ZERO);
+        assert_eq!(host.domain(vm).unwrap().cow_faults(), 1);
+    }
+
+    #[test]
+    fn private_pages_grow_with_writes() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        let base = host.domain(vm).unwrap().private_pages();
+        let stats = host.touch_pages(vm, &[1, 2, 3, 4, 5], 9).unwrap();
+        assert_eq!(stats.faults, 5);
+        assert_eq!(host.domain(vm).unwrap().private_pages(), base + 5);
+    }
+
+    #[test]
+    fn destroy_returns_all_private_frames() {
+        let (mut host, image) = small_host();
+        let before = host.memory_report();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        host.touch_pages(vm, &(0..100).collect::<Vec<_>>(), 1).unwrap();
+        let cost = host.destroy(vm).unwrap();
+        assert!(cost > SimTime::ZERO);
+        let after = host.memory_report();
+        assert_eq!(after.used_frames, before.used_frames, "no frame leak");
+        assert_eq!(after.live_domains, 0);
+        assert!(matches!(host.domain(vm), Err(VmmError::NoSuchDomain(_))));
+        assert!(matches!(host.destroy(vm), Err(VmmError::NoSuchDomain(_))));
+    }
+
+    #[test]
+    fn destroy_never_frees_image_frames() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        host.destroy(vm).unwrap();
+        // Image still fully readable through a fresh clone.
+        let (vm2, _) = host.flash_clone(image).unwrap();
+        assert_eq!(host.read_page(vm2, 0).unwrap(), GuestProfile::boot_content(image.0, 0));
+    }
+
+    #[test]
+    fn full_copy_clone_allocates_whole_image() {
+        let (mut host, image) = small_host();
+        let before = host.memory_report().used_frames;
+        let (vm, timing) = host.full_copy_clone(image).unwrap();
+        let after = host.memory_report().used_frames;
+        assert_eq!(after - before, 8_192 + 16);
+        let dom = host.domain(vm).unwrap();
+        assert_eq!(dom.private_pages(), 8_192 + 16);
+        assert_eq!(dom.shared_pages(), 0);
+        // Contents match the image but writes never fault.
+        assert_eq!(host.read_page(vm, 3).unwrap(), GuestProfile::boot_content(image.0, 3));
+        assert!(!host.write_page(vm, 3, 9).unwrap().faulted);
+        assert!(timing.total() > SimTime::from_millis(400));
+    }
+
+    #[test]
+    fn cold_boot_is_slowest_and_private() {
+        let (mut host, image) = small_host();
+        let (_, flash_t) = host.flash_clone(image).unwrap();
+        let (vm, boot_t) = host.cold_boot(image).unwrap();
+        assert!(boot_t.total() > SimTime::from_secs(20));
+        assert!(boot_t.total() > flash_t.total() * 10);
+        let dom = host.domain(vm).unwrap();
+        assert_eq!(dom.provision(), ProvisionKind::ColdBoot);
+        assert_eq!(dom.shared_pages(), 0);
+        assert!(dom.is_running());
+        let (flash, full, cold, _) = host.lifecycle_counts();
+        assert_eq!((flash, full, cold), (1, 0, 1));
+    }
+
+    #[test]
+    fn max_domains_enforced() {
+        let (host, image) = small_host();
+        let mut host = host.with_max_domains(2);
+        host.flash_clone(image).unwrap();
+        host.flash_clone(image).unwrap();
+        assert!(matches!(host.flash_clone(image), Err(VmmError::TooManyDomains { limit: 2 })));
+    }
+
+    #[test]
+    fn clone_oom_when_overhead_does_not_fit() {
+        let mut host = Host::new(8_192 + 10).with_overhead_pages(16);
+        let image = host.create_reference_image("t", GuestProfile::small()).unwrap();
+        assert!(matches!(host.flash_clone(image), Err(VmmError::OutOfMemory { .. })));
+        assert_eq!(host.live_domains(), 0);
+    }
+
+    #[test]
+    fn write_fault_oom_surfaces() {
+        let mut host = Host::new(8_192 + 4).with_overhead_pages(4);
+        let image = host.create_reference_image("t", GuestProfile::small()).unwrap();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        // No free frames remain: the first CoW fault must OOM.
+        assert!(matches!(host.write_page(vm, 0, 1), Err(VmmError::OutOfMemory { .. })));
+        // The shared mapping is still intact and readable.
+        assert_eq!(host.read_page(vm, 0).unwrap(), GuestProfile::boot_content(image.0, 0));
+    }
+
+    #[test]
+    fn ops_on_destroyed_or_missing_domains_fail() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        host.destroy(vm).unwrap();
+        assert!(host.read_page(vm, 0).is_err());
+        assert!(host.write_page(vm, 0, 1).is_err());
+        assert!(host.read_page(DomainId(999), 0).is_err());
+    }
+
+    #[test]
+    fn bad_pfn_rejected() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        let size = host.domain(vm).unwrap().memory_pages();
+        assert!(matches!(host.read_page(vm, size), Err(VmmError::BadPfn { .. })));
+        assert!(matches!(host.write_page(vm, size + 10, 0), Err(VmmError::BadPfn { .. })));
+    }
+
+    #[test]
+    fn apply_request_and_infection() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        let s1 = host.apply_request(vm, 0).unwrap();
+        assert_eq!(s1.pages, 16);
+        assert!(s1.faults > 0);
+        assert!(!host.domain(vm).unwrap().is_infected());
+        let s2 = host.apply_infection(vm, 42).unwrap();
+        assert_eq!(s2.pages, 128);
+        let dom = host.domain(vm).unwrap();
+        assert!(dom.is_infected());
+        assert!(dom.disk().dirty_blocks() > 0);
+    }
+
+    #[test]
+    fn marginal_memory_much_smaller_than_image() {
+        let (mut host, image) = small_host();
+        let mut vms = Vec::new();
+        for i in 0..20 {
+            let (vm, _) = host.flash_clone(image).unwrap();
+            host.apply_request(vm, i).unwrap();
+            vms.push(vm);
+        }
+        let report = host.memory_report();
+        assert_eq!(report.live_domains, 20);
+        let marginal = report.marginal_frames_per_domain();
+        let image_pages = host.image(image).unwrap().pages() as f64;
+        assert!(
+            marginal < image_pages / 50.0,
+            "marginal {marginal} frames should be ≪ image {image_pages}"
+        );
+    }
+
+    #[test]
+    fn rollback_restores_pristine_state_and_frees_delta() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        let clean = host.memory_report();
+        host.apply_infection(vm, 7).unwrap();
+        host.write_page(vm, 3, 0xBAD).unwrap();
+        {
+            let d = host.domain(vm).unwrap();
+            assert!(d.is_infected());
+            assert!(d.private_pages() > 16);
+            assert!(d.disk().dirty_blocks() > 0);
+        }
+        let cost = host.rollback(vm).unwrap();
+        assert!(cost > SimTime::ZERO);
+        let after = host.memory_report();
+        assert_eq!(after.used_frames, clean.used_frames, "delta frames returned");
+        let d = host.domain(vm).unwrap();
+        assert!(!d.is_infected());
+        assert_eq!(d.bound_addr(), None);
+        assert_eq!(d.private_pages(), 16, "only overhead remains private");
+        assert_eq!(d.disk().dirty_blocks(), 0);
+        assert!(d.is_running(), "rollback keeps the domain schedulable");
+        // Memory reads pristine image content again.
+        assert_eq!(host.read_page(vm, 3).unwrap(), GuestProfile::boot_content(image.0, 3));
+        assert_eq!(host.rollback_count(), 1);
+    }
+
+    #[test]
+    fn rollback_is_cheaper_than_destroy_plus_clone() {
+        let (mut host, image) = small_host();
+        let (vm, clone_timing) = host.flash_clone(image).unwrap();
+        host.touch_pages(vm, &(0..200).collect::<Vec<_>>(), 1).unwrap();
+        let private = host.domain(vm).unwrap().private_pages();
+        let rollback_cost = host.rollback(vm).unwrap();
+        let destroy_cost = host.cost_model().destroy_cost(private);
+        assert!(rollback_cost < destroy_cost + clone_timing.total());
+    }
+
+    #[test]
+    fn rollback_isolates_from_siblings() {
+        let (mut host, image) = small_host();
+        let (a, _) = host.flash_clone(image).unwrap();
+        let (b, _) = host.flash_clone(image).unwrap();
+        host.write_page(a, 5, 0xA).unwrap();
+        host.write_page(b, 5, 0xB).unwrap();
+        host.rollback(a).unwrap();
+        // B's private copy is untouched; A reads the image again.
+        assert_eq!(host.read_page(b, 5).unwrap(), 0xB);
+        assert_eq!(host.read_page(a, 5).unwrap(), GuestProfile::boot_content(image.0, 5));
+        // A rolled-back domain can be dirtied and rolled back again.
+        host.write_page(a, 5, 0xAA).unwrap();
+        host.rollback(a).unwrap();
+        assert_eq!(host.read_page(a, 5).unwrap(), GuestProfile::boot_content(image.0, 5));
+    }
+
+    #[test]
+    fn snapshot_captures_live_state_without_allocating() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        host.apply_infection(vm, 3).unwrap();
+        host.write_page(vm, 10, 0xFEED).unwrap();
+        let used_before = host.memory_report().used_frames;
+
+        let forensic = host.snapshot_domain(vm, "infected-capture").unwrap();
+        assert_eq!(host.memory_report().used_frames, used_before, "snapshot allocates nothing");
+
+        // A clone of the forensic image sees the infected state...
+        let (clone, _) = host.flash_clone(forensic).unwrap();
+        assert_eq!(host.read_page(clone, 10).unwrap(), 0xFEED);
+        // ...while a clone of the original image does not.
+        let (fresh, _) = host.flash_clone(image).unwrap();
+        assert_eq!(host.read_page(fresh, 10).unwrap(), GuestProfile::boot_content(image.0, 10));
+    }
+
+    #[test]
+    fn snapshot_source_writes_do_not_leak_into_snapshot() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        host.write_page(vm, 10, 0xAAAA).unwrap();
+        let snap = host.snapshot_domain(vm, "snap").unwrap();
+        // The source keeps running and dirties the same page again — the
+        // write must CoW away from the snapshot.
+        let out = host.write_page(vm, 10, 0xBBBB).unwrap();
+        assert!(out.faulted, "frozen page must fault");
+        let (clone, _) = host.flash_clone(snap).unwrap();
+        assert_eq!(host.read_page(clone, 10).unwrap(), 0xAAAA, "snapshot frozen at capture");
+        assert_eq!(host.read_page(vm, 10).unwrap(), 0xBBBB);
+    }
+
+    #[test]
+    fn snapshot_chains_preserve_generational_state() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        host.write_page(vm, 0, 0xAAA).unwrap();
+        let gen1 = host.snapshot_domain(vm, "gen1").unwrap();
+        host.write_page(vm, 0, 0xBBB).unwrap();
+        let gen2 = host.snapshot_domain(vm, "gen2").unwrap();
+        host.write_page(vm, 0, 0xCCC).unwrap();
+
+        let (c1, _) = host.flash_clone(gen1).unwrap();
+        let (c2, _) = host.flash_clone(gen2).unwrap();
+        assert_eq!(host.read_page(c1, 0).unwrap(), 0xAAA, "gen1 frozen");
+        assert_eq!(host.read_page(c2, 0).unwrap(), 0xBBB, "gen2 frozen");
+        assert_eq!(host.read_page(vm, 0).unwrap(), 0xCCC, "source keeps evolving");
+        // Untouched pages still read the original boot content everywhere.
+        for d in [vm, c1, c2] {
+            assert_eq!(host.read_page(d, 9).unwrap(), GuestProfile::boot_content(image.0, 9));
+        }
+    }
+
+    #[test]
+    fn rollback_after_snapshot_restores_original_image() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        host.write_page(vm, 10, 0x1).unwrap();
+        host.snapshot_domain(vm, "mid").unwrap();
+        host.rollback(vm).unwrap();
+        assert_eq!(
+            host.read_page(vm, 10).unwrap(),
+            GuestProfile::boot_content(image.0, 10),
+            "rollback targets the original image, not the snapshot"
+        );
+        assert_eq!(host.domain(vm).unwrap().private_pages(), 16, "only overhead");
+    }
+
+    #[test]
+    fn reverted_pages_are_reshared() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        // Dirty three pages, then write the image content back into two of
+        // them (a freed buffer reverting to its pristine state).
+        for pfn in [1u64, 2, 3] {
+            host.write_page(vm, pfn, 0xD1147).unwrap();
+        }
+        for pfn in [1u64, 2] {
+            host.write_page(vm, pfn, GuestProfile::boot_content(image.0, pfn)).unwrap();
+        }
+        let before = host.memory_report().used_frames;
+        let reclaimed = host.reshare_reverted_pages(vm).unwrap();
+        assert_eq!(reclaimed, 2);
+        assert_eq!(host.memory_report().used_frames, before - 2);
+        // Contents unchanged from the guest's point of view.
+        for pfn in [1u64, 2] {
+            assert_eq!(host.read_page(vm, pfn).unwrap(), GuestProfile::boot_content(image.0, pfn));
+        }
+        assert_eq!(host.read_page(vm, 3).unwrap(), 0xD1147);
+        // A re-shared page faults again on the next write.
+        assert!(host.write_page(vm, 1, 0x1).unwrap().faulted);
+        // Idempotent when nothing reverted.
+        assert_eq!(host.reshare_reverted_pages(vm).unwrap(), 0);
+    }
+
+    #[test]
+    fn rollback_unknown_domain_fails() {
+        let (mut host, _) = small_host();
+        assert!(matches!(host.rollback(DomainId(9)), Err(VmmError::NoSuchDomain(_))));
+    }
+
+    #[test]
+    fn memory_report_internally_consistent() {
+        let (mut host, image) = small_host();
+        for i in 0..5 {
+            let (vm, _) = host.flash_clone(image).unwrap();
+            host.apply_request(vm, i).unwrap();
+        }
+        let r = host.memory_report();
+        assert_eq!(r.used_frames + r.free_frames, r.total_frames);
+        assert_eq!(r.used_frames, r.image_frames + r.private_frames);
+    }
+}

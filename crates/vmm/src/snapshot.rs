@@ -1,0 +1,123 @@
+//! Frozen reference images.
+//!
+//! A reference image is a domain that was booted once, quiesced, and frozen:
+//! its memory pages become immutable, reference-counted frames that every
+//! flash clone maps copy-on-write, and its disk becomes an immutable base
+//! disk. The image holds one reference on each of its frames, so clone
+//! destruction can never free image state.
+
+use core::fmt;
+
+use crate::block::BaseDisk;
+use crate::frame::FrameId;
+use crate::guest::GuestProfile;
+
+/// Identifier of a reference image on a host.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ImageId(pub u64);
+
+impl fmt::Debug for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "img{}", self.0)
+    }
+}
+
+impl fmt::Display for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "img{}", self.0)
+    }
+}
+
+/// A frozen, cloneable snapshot of a booted guest.
+#[derive(Clone, Debug)]
+pub struct ReferenceImage {
+    id: ImageId,
+    name: String,
+    /// One machine frame per pseudo-physical page; the image owns one
+    /// reference on each.
+    frames: Vec<FrameId>,
+    disk: BaseDisk,
+    profile: GuestProfile,
+}
+
+impl ReferenceImage {
+    /// Assembles an image (called by [`crate::host::Host`]; the host has
+    /// already taken the frame references).
+    #[must_use]
+    pub fn new(
+        id: ImageId,
+        name: impl Into<String>,
+        frames: Vec<FrameId>,
+        disk: BaseDisk,
+        profile: GuestProfile,
+    ) -> Self {
+        ReferenceImage { id, name: name.into(), frames, disk, profile }
+    }
+
+    /// The image identifier.
+    #[must_use]
+    pub fn id(&self) -> ImageId {
+        self.id
+    }
+
+    /// Human-readable image name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The image's memory size in pages.
+    #[must_use]
+    pub fn pages(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// The frame backing pseudo-physical page `pfn`.
+    #[must_use]
+    pub fn frame_at(&self, pfn: u64) -> Option<FrameId> {
+        self.frames.get(pfn as usize).copied()
+    }
+
+    /// All frames, in pfn order.
+    #[must_use]
+    pub fn frames(&self) -> &[FrameId] {
+        &self.frames
+    }
+
+    /// The immutable base disk.
+    #[must_use]
+    pub fn disk(&self) -> &BaseDisk {
+        &self.disk
+    }
+
+    /// The guest behaviour profile captured in the image.
+    #[must_use]
+    pub fn profile(&self) -> &GuestProfile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameTable;
+
+    #[test]
+    fn image_reports_geometry() {
+        let mut ft = FrameTable::new(100);
+        let frames: Vec<FrameId> = (0..10).map(|i| ft.alloc(i).unwrap()).collect();
+        let img = ReferenceImage::new(
+            ImageId(1),
+            "test",
+            frames.clone(),
+            BaseDisk::generate(50, 1),
+            GuestProfile::small(),
+        );
+        assert_eq!(img.pages(), 10);
+        assert_eq!(img.frame_at(3), Some(frames[3]));
+        assert_eq!(img.frame_at(10), None);
+        assert_eq!(img.name(), "test");
+        assert_eq!(img.id(), ImageId(1));
+        assert_eq!(img.disk().size(), 50);
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a honeyfarm, watch it materialize a honeypot on first
+//! contact, and inspect what the mechanisms did.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use potemkin::farm::{FarmConfig, Honeyfarm};
+use potemkin::net::PacketBuilder;
+use potemkin::sim::SimTime;
+use std::net::Ipv4Addr;
+
+fn main() {
+    // A one-server farm: 256 MiB of machine memory, a small guest image,
+    // the paper-default reflection containment policy.
+    let mut farm = Honeyfarm::new(FarmConfig::small_test()).expect("farm builds");
+    println!("== Potemkin quickstart ==");
+    println!(
+        "farm: {} server(s), image = {} pages, policy = {:?}\n",
+        farm.config().servers,
+        farm.config().profile.memory_pages,
+        farm.config().gateway.policy.mode,
+    );
+
+    // An Internet scanner probes a telescope address nobody is using.
+    let attacker = Ipv4Addr::new(198, 51, 100, 7);
+    let victim_addr = Ipv4Addr::new(10, 1, 23, 42);
+    let probe = PacketBuilder::new(attacker, victim_addr).tcp_syn(40_000, 445);
+    println!("scanner {attacker} probes unused address {victim_addr} (tcp/445)...");
+    farm.inject_external(SimTime::ZERO, probe);
+
+    // A VM was flash-cloned, bound to the address, and answered.
+    println!("live VMs: {}", farm.live_vms());
+    let timing = farm.last_clone_timing().expect("a clone happened");
+    println!("\nflash-clone stage breakdown (virtual time):\n{timing}");
+
+    for output in farm.take_outputs() {
+        println!("farm emitted: {output:?}");
+    }
+
+    // The same address gets the same VM; memory stays shared until written.
+    let probe2 = PacketBuilder::new(attacker, victim_addr).tcp_syn(40_001, 80);
+    farm.inject_external(SimTime::from_secs(1), probe2);
+    println!("\nafter a second probe: live VMs = {} (same VM reused)", farm.live_vms());
+
+    let report = farm.hosts()[0].memory_report();
+    println!(
+        "memory: image = {} pages, VM-private = {} pages (delta virtualization)",
+        report.image_frames, report.private_frames
+    );
+
+    // Idle recycling returns everything.
+    farm.tick(SimTime::from_secs(120));
+    println!("\nafter the idle timeout: live VMs = {}", farm.live_vms());
+    println!("\nfinal stats:\n{}", farm.stats());
+}

@@ -1,0 +1,43 @@
+//! Potemkin virtual honeyfarm — umbrella crate.
+//!
+//! A from-scratch Rust reproduction of *"Scalability, Fidelity, and
+//! Containment in the Potemkin Virtual Honeyfarm"* (Vrable et al., SOSP
+//! 2005). This crate re-exports the workspace's public API under one roof;
+//! see the README for the architecture tour and EXPERIMENTS.md for the
+//! reproduced evaluation.
+//!
+//! * [`sim`] — deterministic discrete-event substrate.
+//! * [`net`] — packet formats, prefixes, flows, GRE, DNS.
+//! * [`metrics`] — counters, histograms, time series, Little's-law
+//!   analysis.
+//! * [`vmm`] — the simulated VMM: flash cloning + delta virtualization.
+//! * [`gateway`] — the gateway router: late binding + containment policy.
+//! * [`workload`] — telescope radiation, worm models, exploit dialogues.
+//! * [`farm`] — the controller composing all of the above.
+//!
+//! # Examples
+//!
+//! ```
+//! use potemkin::farm::{FarmConfig, Honeyfarm};
+//! use potemkin::net::PacketBuilder;
+//! use potemkin::sim::SimTime;
+//! use std::net::Ipv4Addr;
+//!
+//! let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+//! let probe = PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, 7))
+//!     .tcp_syn(4444, 445);
+//! farm.inject_external(SimTime::ZERO, probe);
+//! assert_eq!(farm.live_vms(), 1);
+//! ```
+
+pub use potemkin_core as core_api;
+pub use potemkin_core::baseline;
+pub use potemkin_core::farm;
+pub use potemkin_core::report;
+pub use potemkin_core::scenario;
+pub use potemkin_gateway as gateway;
+pub use potemkin_metrics as metrics;
+pub use potemkin_net as net;
+pub use potemkin_sim as sim;
+pub use potemkin_vmm as vmm;
+pub use potemkin_workload as workload;

@@ -1,0 +1,310 @@
+//! `potemkin` — command-line driver for the honeyfarm.
+//!
+//! ```text
+//! potemkin replay   [--duration SECS] [--idle SECS] [--servers N]
+//!                   [--seed N] [--save-trace FILE] [--load-trace FILE]
+//!                   [--save-pcap FILE]
+//! potemkin outbreak [--worm codered|slammer|blaster] [--policy reflect|drop|allow]
+//!                   [--duration SECS] [--scan-rate R]
+//! potemkin demand   [--duration SECS] [--lifetimes S1,S2,...] [--seed N]
+//! potemkin clone    [--image small|windows|linux]
+//! ```
+//!
+//! Each subcommand exercises the public library API end to end; the
+//! `figures` binary in `potemkin-bench` regenerates the paper's tables.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use potemkin::farm::{FarmConfig, Honeyfarm};
+use potemkin::gateway::policy::PolicyConfig;
+use potemkin::metrics::{ConcurrencyAnalyzer, Table};
+use potemkin::scenario::{run_outbreak, run_telescope, OutbreakConfig, TelescopeConfig};
+use potemkin::sim::SimTime;
+use potemkin::vmm::guest::GuestProfile;
+use potemkin::vmm::Host;
+use potemkin::workload::radiation::{RadiationConfig, RadiationModel};
+use potemkin::workload::trace::Trace;
+use potemkin::workload::worm::WormSpec;
+
+/// Parsed `--key value` flags plus the subcommand.
+struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut flags = HashMap::new();
+    while let Some(key) = argv.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {key:?}"))?
+            .to_string();
+        let value = argv.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key, value);
+    }
+    Ok(Args { command, flags })
+}
+
+fn usage() -> String {
+    "usage: potemkin <replay|outbreak|demand|clone> [--flag value ...]\n\
+     see `src/main.rs` header for per-command flags"
+        .to_string()
+}
+
+impl Args {
+    fn secs(&self, key: &str, default: u64) -> Result<SimTime, String> {
+        match self.flags.get(key) {
+            None => Ok(SimTime::from_secs(default)),
+            Some(v) => {
+                v.parse::<u64>().map(SimTime::from_secs).map_err(|_| format!("--{key}: bad number {v:?}"))
+            }
+        }
+    }
+
+    fn num(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+        }
+    }
+
+    fn float(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                v.parse().map(Some).map_err(|_| format!("--{key}: bad number {v:?}"))
+            }
+        }
+    }
+
+    fn str(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let duration = args.secs("duration", 120)?;
+    let idle = args.secs("idle", 60)?;
+    let servers = args.num("servers", 1)? as usize;
+    let seed = args.num("seed", 2005)?;
+
+    let mut farm = FarmConfig::small_test();
+    farm.servers = servers;
+    farm.frames_per_server = 1_500_000;
+    farm.max_domains_per_server = 4_096;
+    farm.gateway.policy.binding_idle_timeout = idle;
+
+    if let Some(path) = args.flags.get("save-trace") {
+        let mut model = RadiationModel::new(RadiationConfig::default(), seed);
+        let trace = model.generate(duration);
+        let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        trace.write_to(&mut file).map_err(|e| e.to_string())?;
+        println!("wrote {} events to {path}", trace.len());
+        return Ok(());
+    }
+    if let Some(path) = args.flags.get("save-pcap") {
+        let mut model = RadiationModel::new(RadiationConfig::default(), seed);
+        let trace = model.generate(duration);
+        let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        trace.write_pcap(&mut file).map_err(|e| e.to_string())?;
+        println!("wrote {} packets to {path} (libpcap, LINKTYPE_RAW)", trace.len());
+        return Ok(());
+    }
+
+    let result = if let Some(path) = args.flags.get("load-trace") {
+        // Replay a saved trace through a hand-driven farm.
+        let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+        let mut reader = std::io::BufReader::new(file);
+        let trace = Trace::read_from(&mut reader).map_err(|e| e.to_string())?;
+        println!("loaded {} events from {path}", trace.len());
+        let mut live_farm = Honeyfarm::new(farm).map_err(|e| e.to_string())?;
+        let mut last_tick = SimTime::ZERO;
+        for event in trace.events() {
+            live_farm.inject_external(event.at, event.packet.clone());
+            if event.at.saturating_sub(last_tick) >= SimTime::from_secs(1) {
+                live_farm.tick(event.at);
+                last_tick = event.at;
+            }
+        }
+        println!("\n{}", live_farm.stats());
+        return Ok(());
+    } else {
+        run_telescope(TelescopeConfig {
+            farm,
+            radiation: RadiationConfig::default(),
+            seed,
+            duration,
+            sample_interval: SimTime::from_secs(5),
+            tick_interval: SimTime::from_secs(1),
+        })
+        .map_err(|e| e.to_string())?
+    };
+
+    let mut t = Table::new(&["metric", "value"]).with_title("telescope replay");
+    t.row_owned(vec!["packets".into(), result.packets.to_string()]);
+    t.row_owned(vec!["distinct sources".into(), result.distinct_sources.to_string()]);
+    t.row_owned(vec!["addresses touched".into(), result.distinct_destinations.to_string()]);
+    t.row_owned(vec!["VMs cloned".into(), result.stats.vms_cloned.to_string()]);
+    t.row_owned(vec!["VMs recycled".into(), result.stats.vms_recycled.to_string()]);
+    t.row_owned(vec!["peak live VMs".into(), format!("{:.0}", result.peak_live_vms)]);
+    t.row_owned(vec!["clone p50".into(), result.stats.clone_latency_p50.to_string()]);
+    t.row_owned(vec!["escapes".into(), result.stats.counters.get("escaped").to_string()]);
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_outbreak(args: &Args) -> Result<(), String> {
+    let duration = args.secs("duration", 40)?;
+    let space = "10.1.0.0/24".parse().expect("static prefix");
+    let mut worm = match args.str("worm", "codered").as_str() {
+        "codered" => WormSpec::code_red(space),
+        "slammer" => WormSpec::slammer(space),
+        "blaster" => WormSpec::blaster(space),
+        other => return Err(format!("unknown worm {other:?}")),
+    };
+    if let Some(rate) = args.float("scan-rate")? {
+        if rate <= 0.0 {
+            return Err("--scan-rate must be positive".to_string());
+        }
+        worm.scan_rate = rate;
+    }
+    let policy = match args.str("policy", "reflect").as_str() {
+        "reflect" => PolicyConfig::reflect(),
+        "drop" => PolicyConfig::drop_all(),
+        "allow" => PolicyConfig::allow_all(),
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+
+    let mut farm = FarmConfig::small_test();
+    farm.profile = GuestProfile::windows_server();
+    farm.gateway.policy = policy;
+    farm.gateway.policy.binding_idle_timeout = SimTime::from_secs(3_600);
+    farm.worm = Some(worm.clone());
+    farm.frames_per_server = 16_000_000;
+    farm.max_domains_per_server = 4_096;
+
+    let result = run_outbreak(OutbreakConfig {
+        farm,
+        initial_infections: args.num("seeds", 1)? as usize,
+        duration,
+        sample_interval: SimTime::from_secs(1),
+        tick_interval: SimTime::from_secs(10),
+    })
+    .map_err(|e| e.to_string())?;
+
+    println!("worm: {} ({} probes/s, port {})", worm.name, worm.scan_rate, worm.port);
+    println!("t(s)  infected");
+    let step = (duration.as_secs() / 20).max(1);
+    for (at, v) in result.infected_series.iter() {
+        if at.as_secs().is_multiple_of(step) {
+            println!("{:>4}  {:>8.0}", at.as_secs(), v);
+        }
+    }
+    println!("\nfinal infected: {}", result.final_infected);
+    println!("probes seen:    {}", result.probes);
+    println!("escapes:        {}", result.escapes);
+    Ok(())
+}
+
+fn cmd_demand(args: &Args) -> Result<(), String> {
+    let duration = args.secs("duration", 600)?;
+    let seed = args.num("seed", 2005)?;
+    let lifetimes: Vec<SimTime> = match args.flags.get("lifetimes") {
+        None => vec![1, 5, 30, 60, 300].into_iter().map(SimTime::from_secs).collect(),
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse::<u64>().map(SimTime::from_secs))
+            .collect::<Result<_, _>>()
+            .map_err(|_| "--lifetimes: comma-separated seconds".to_string())?,
+    };
+
+    let mut model = RadiationModel::new(RadiationConfig::default(), seed);
+    let trace = model.generate(duration);
+    println!(
+        "trace: {} packets, {} addresses over {}",
+        trace.len(),
+        trace.distinct_destinations(),
+        duration
+    );
+
+    // Group arrivals per destination and derive binding sessions.
+    let mut per_dst: HashMap<u32, Vec<SimTime>> = HashMap::new();
+    for e in trace.events() {
+        per_dst.entry(u32::from(e.packet.dst())).or_default().push(e.at);
+    }
+    let mut t =
+        Table::new(&["recycle time", "peak VMs", "mean VMs"]).with_title("VM demand vs. recycle time");
+    for lifetime in lifetimes {
+        let mut analyzer = ConcurrencyAnalyzer::new();
+        for times in per_dst.values() {
+            let mut start = times[0];
+            let mut last = times[0];
+            for &at in &times[1..] {
+                if at.saturating_sub(last) >= lifetime {
+                    analyzer.record(start, last + lifetime - start);
+                    start = at;
+                }
+                last = at;
+            }
+            analyzer.record(start, last + lifetime - start);
+        }
+        let stats = analyzer.analyze();
+        t.row_owned(vec![
+            lifetime.to_string(),
+            stats.peak.to_string(),
+            format!("{:.1}", stats.mean),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_clone(args: &Args) -> Result<(), String> {
+    let profile = match args.str("image", "windows").as_str() {
+        "small" => GuestProfile::small(),
+        "windows" => GuestProfile::windows_server(),
+        "linux" => GuestProfile::linux_server(),
+        other => return Err(format!("unknown image {other:?}")),
+    };
+    let pages = profile.memory_pages;
+    let mut host = Host::new(4 * pages + 8_192);
+    let image = host.create_reference_image("cli", profile).map_err(|e| e.to_string())?;
+    let (_, flash) = host.flash_clone(image).map_err(|e| e.to_string())?;
+    let (_, full) = host.full_copy_clone(image).map_err(|e| e.to_string())?;
+    let (_, boot) = host.cold_boot(image).map_err(|e| e.to_string())?;
+    println!("image: {pages} pages ({} MiB)\n", pages * 4 / 1024);
+    println!("flash clone breakdown:\n{flash}");
+    println!("totals: flash {} | full copy {} | cold boot {}", flash.total(), full.total(), boot.total());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "replay" => cmd_replay(&args),
+        "outbreak" => cmd_outbreak(&args),
+        "demand" => cmd_demand(&args),
+        "clone" => cmd_clone(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

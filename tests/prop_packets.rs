@@ -1,0 +1,148 @@
+//! Property-based tests on the wire formats: build/parse roundtrips for
+//! arbitrary field values, and parse-never-panics on arbitrary bytes.
+
+use proptest::prelude::*;
+
+use potemkin::net::dns::DnsMessage;
+use potemkin::net::gre::GreHeader;
+use potemkin::net::icmp::IcmpMessage;
+use potemkin::net::tcp::{TcpFlags, TcpHeader};
+use potemkin::net::{Packet, PacketBuilder};
+use std::net::Ipv4Addr;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    #[test]
+    fn tcp_packet_roundtrips(
+        src in arb_addr(),
+        dst in arb_addr(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flag_bits in 0u8..64,
+        ttl in 1u8..=255,
+        ident in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let p = PacketBuilder::new(src, dst)
+            .ttl(ttl)
+            .ident(ident)
+            .tcp_segment(sport, dport, TcpFlags::from_byte(flag_bits), seq, ack, &payload);
+        let reparsed = Packet::parse(p.wire()).expect("own wire output must parse");
+        prop_assert_eq!(&reparsed, &p);
+        prop_assert_eq!(reparsed.app_payload(), &payload[..]);
+        prop_assert_eq!(reparsed.src(), src);
+        prop_assert_eq!(reparsed.dst(), dst);
+    }
+
+    #[test]
+    fn udp_packet_roundtrips(
+        src in arb_addr(),
+        dst in arb_addr(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let p = PacketBuilder::new(src, dst).udp(sport, dport, &payload);
+        let reparsed = Packet::parse(p.wire()).expect("own wire output must parse");
+        prop_assert_eq!(&reparsed, &p);
+    }
+
+    #[test]
+    fn icmp_echo_roundtrips(
+        src in arb_addr(),
+        dst in arb_addr(),
+        ident in any::<u16>(),
+        seq in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let p = PacketBuilder::new(src, dst).icmp_echo(ident, seq, &payload);
+        prop_assert_eq!(Packet::parse(p.wire()).expect("must parse"), p);
+    }
+
+    #[test]
+    fn address_rewrite_preserves_payload_and_validity(
+        src in arb_addr(),
+        dst in arb_addr(),
+        new_src in arb_addr(),
+        new_dst in arb_addr(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let p = PacketBuilder::new(src, dst).tcp_segment(
+            1000, 80, TcpFlags::PSH_ACK, 1, 2, &payload,
+        );
+        let r = p.rewrite_addresses(new_src, new_dst).expect("rewrite works");
+        prop_assert_eq!(r.src(), new_src);
+        prop_assert_eq!(r.dst(), new_dst);
+        prop_assert_eq!(r.app_payload(), p.app_payload());
+        // The rewritten wire bytes are independently valid.
+        prop_assert!(Packet::parse(r.wire()).is_ok());
+    }
+
+    #[test]
+    fn packet_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Packet::parse(&bytes);
+    }
+
+    #[test]
+    fn corrupting_any_byte_never_panics_and_usually_fails(
+        flip_at in 0usize..40,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let p = PacketBuilder::new(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8))
+            .tcp_segment(1, 2, TcpFlags::SYN, 0, 0, &payload);
+        let mut wire = p.wire().to_vec();
+        let idx = flip_at % wire.len();
+        wire[idx] ^= 0xff;
+        // Must not panic; may or may not parse (some fields are slack).
+        let _ = Packet::parse(&wire);
+    }
+
+    #[test]
+    fn gre_roundtrips(key in proptest::option::of(any::<u32>()), payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let h = GreHeader { protocol: 0x0800, key };
+        let wire = h.build(&payload);
+        let (parsed, inner) = GreHeader::parse(&wire).expect("roundtrip");
+        prop_assert_eq!(parsed, h);
+        prop_assert_eq!(inner, &payload[..]);
+    }
+
+    #[test]
+    fn gre_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = GreHeader::parse(&bytes);
+    }
+
+    #[test]
+    fn icmp_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = IcmpMessage::parse(&bytes);
+    }
+
+    #[test]
+    fn tcp_parse_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        src in arb_addr(),
+        dst in arb_addr(),
+    ) {
+        let _ = TcpHeader::parse(&bytes, src, dst);
+    }
+
+    #[test]
+    fn dns_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = DnsMessage::parse(&bytes);
+    }
+
+    #[test]
+    fn dns_query_roundtrips(
+        id in any::<u16>(),
+        labels in proptest::collection::vec("[a-z0-9]{1,16}", 1..5),
+    ) {
+        let name = labels.join(".");
+        let q = DnsMessage::query_a(id, &name);
+        let parsed = DnsMessage::parse(&q.build().expect("valid name")).expect("roundtrip");
+        prop_assert_eq!(parsed, q);
+    }
+}

@@ -1,0 +1,89 @@
+//! E10 bench: wall-clock cost of fault handling and recovery.
+//!
+//! Measures what the fault-injection machinery itself costs the harness:
+//! generating seeded fault plans, crashing a loaded host and re-binding its
+//! addresses on a survivor, and full fault-rate sweeps of the telescope
+//! replay reporting availability and mean-time-to-rebind per level.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use potemkin_bench::e10;
+use potemkin_core::farm::{FarmConfig, Honeyfarm};
+use potemkin_gateway::policy::PolicyConfig;
+use potemkin_net::PacketBuilder;
+use potemkin_sim::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, SimTime};
+use std::net::Ipv4Addr;
+
+fn bench_plan_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_fault_plan");
+    group.sample_size(20);
+    group.bench_function("generate_1h_heavy", |b| {
+        let config = FaultPlanConfig {
+            seed: 2005,
+            host_crash_rate_per_hour: 480.0,
+            clone_failure_prob: 0.25,
+            tunnel_degrade_rate_per_hour: 120.0,
+            gateway_stall_rate_per_hour: 240.0,
+            ..FaultPlanConfig::zero(SimTime::from_secs(3_600), 8)
+        };
+        b.iter(|| FaultPlan::generate(&config));
+    });
+    group.finish();
+}
+
+fn loaded_farm() -> Honeyfarm {
+    let mut cfg = FarmConfig::small_test();
+    cfg.servers = 2;
+    cfg.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(600));
+    cfg.frames_per_server = 1_000_000;
+    cfg.max_domains_per_server = 8_192;
+    let mut farm = Honeyfarm::new(cfg).unwrap();
+    let attacker = Ipv4Addr::new(6, 6, 6, 6);
+    for i in 1..=32u8 {
+        let p = PacketBuilder::new(attacker, Ipv4Addr::new(10, 1, 0, i)).tcp_syn(40_000, 445);
+        farm.inject_external(SimTime::ZERO, p);
+    }
+    farm.install_fault_plan(FaultPlan {
+        events: vec![FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::HostCrash { host: 0 },
+        }],
+        clone_failure_prob: 0.0,
+    });
+    farm
+}
+
+fn bench_crash_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_crash_recovery");
+    group.sample_size(10);
+    group.bench_function("crash_host_rebind_16_vms", |b| {
+        b.iter_batched(
+            loaded_farm,
+            |mut farm| {
+                farm.tick(SimTime::from_secs(2));
+                assert_eq!(farm.counters().get("host_crashes"), 1);
+                farm
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+fn bench_fault_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_fault_sweep");
+    group.sample_size(10);
+    let levels = e10::default_levels();
+    for level in &levels {
+        group.bench_function(format!("replay_30s_{}", level.label), |b| {
+            b.iter(|| {
+                let r = e10::run(SimTime::from_secs(30), std::slice::from_ref(level));
+                assert_eq!(r.points[0].escapes, 0);
+                r
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_generation, bench_crash_recovery, bench_fault_sweep);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //!
 //! Output is plain aligned text; EXPERIMENTS.md quotes it directly.
 
-use potemkin_bench::experiments::{e1, e2, e3, e4, e5, e6, e7, e8, e9};
+use potemkin_bench::experiments::{e1, e10, e2, e3, e4, e5, e6, e7, e8, e9};
 use potemkin_sim::SimTime;
 
 struct Opts {
@@ -27,7 +27,7 @@ fn parse_args() -> Opts {
             "--fast" => fast = true,
             "--csv" => csv = true,
             "--help" | "-h" => {
-                println!("usage: figures [--fast] [--csv] [e1 e2 e3 e4 e5 e6 e7 e8 e9]");
+                println!("usage: figures [--fast] [--csv] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10]");
                 std::process::exit(0);
             }
             other => which.push(other.trim_start_matches("--").to_string()),
@@ -109,5 +109,11 @@ fn main() {
         let duration = if opts.fast { SimTime::from_secs(30) } else { SimTime::from_secs(90) };
         let r = e9::run(duration, &e9::default_lifetimes());
         emit(&opts, &e9::table(&r));
+    }
+    if wants(&opts, "e10") {
+        let duration = if opts.fast { SimTime::from_secs(60) } else { SimTime::from_secs(300) };
+        let r = e10::run(duration, &e10::default_levels());
+        println!("trace: {} packets over {} per fault level", r.packets, r.duration);
+        emit(&opts, &e10::table(&r));
     }
 }

@@ -11,8 +11,10 @@
 //! | [`e7`] | fidelity motivation | exploit capture: scripted responder vs. real guest |
 //! | [`e8`] | (extension) | ablations: binding granularity, standby pool, recycle strategy, backscatter filter |
 //! | [`e9`] | (extension) | VM recycling as an internal-containment knob (SIS threshold) |
+//! | [`e10`] | (extension) | availability and fidelity under injected faults (graceful degradation) |
 
 pub mod e1;
+pub mod e10;
 pub mod e2;
 pub mod e3;
 pub mod e4;

@@ -14,6 +14,8 @@ pub enum FarmError {
         /// What is wrong.
         what: &'static str,
     },
+    /// No server could supply a VM (farm full or all hosts down).
+    NoCapacity,
 }
 
 impl fmt::Display for FarmError {
@@ -21,6 +23,7 @@ impl fmt::Display for FarmError {
         match self {
             FarmError::Vmm(e) => write!(f, "vmm: {e}"),
             FarmError::BadConfig { what } => write!(f, "bad config: {what}"),
+            FarmError::NoCapacity => write!(f, "no server has capacity"),
         }
     }
 }
@@ -29,7 +32,7 @@ impl std::error::Error for FarmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FarmError::Vmm(e) => Some(e),
-            FarmError::BadConfig { .. } => None,
+            FarmError::BadConfig { .. } | FarmError::NoCapacity => None,
         }
     }
 }
@@ -54,5 +57,8 @@ mod tests {
         let c = FarmError::BadConfig { what: "no servers" };
         assert_eq!(c.to_string(), "bad config: no servers");
         assert!(c.source().is_none());
+        let n = FarmError::NoCapacity;
+        assert_eq!(n.to_string(), "no server has capacity");
+        assert!(n.source().is_none());
     }
 }

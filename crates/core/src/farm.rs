@@ -14,14 +14,14 @@ use std::net::Ipv4Addr;
 use potemkin_gateway::binding::VmRef;
 use potemkin_gateway::gateway::{Gateway, GatewayAction, GatewayConfig};
 use potemkin_gateway::policy::DropReason;
-use potemkin_metrics::{CounterSet, LogHistogram};
+use potemkin_metrics::{CounterSet, FaultClass, FaultLedger, LogHistogram};
 use potemkin_net::icmp::IcmpMessage;
 use potemkin_net::tcp::TcpFlags;
 use potemkin_net::{Packet, PacketBuilder, PacketPayload};
-use potemkin_sim::{SimRng, SimTime};
+use potemkin_sim::{FaultInjector, FaultKind, FaultPlan, SimRng, SimTime};
 use potemkin_vmm::cost::CostModel;
 use potemkin_vmm::guest::GuestProfile;
-use potemkin_vmm::{CloneTiming, DomainId, Host, ImageId, VmmError};
+use potemkin_vmm::{CloneTiming, DomainId, Host, ImageId, RetryPolicy, VmmError};
 use potemkin_workload::worm::WormSpec;
 
 use crate::error::FarmError;
@@ -75,6 +75,15 @@ pub struct FarmConfig {
     /// binding instead of dropping the packet (the paper's replace-oldest
     /// resource policy).
     pub evict_on_pressure: bool,
+    /// Bounded retry for transient clone faults (None = fail fast). Only
+    /// injected faults are transient, so this is inert without a fault
+    /// plan.
+    pub retry: Option<RetryPolicy>,
+    /// When a new address cannot get a full VM, fall down the degradation
+    /// ladder (stateless SYN/ACK responder, then drop-with-count) instead
+    /// of dropping outright. Off by default so fault-free runs are
+    /// unchanged.
+    pub degradation_ladder: bool,
 }
 
 impl FarmConfig {
@@ -96,6 +105,8 @@ impl FarmConfig {
             standby_per_host: 0,
             address_profiles: Vec::new(),
             evict_on_pressure: false,
+            retry: None,
+            degradation_ladder: false,
         }
     }
 
@@ -117,6 +128,8 @@ impl FarmConfig {
             standby_per_host: 8,
             address_profiles: Vec::new(),
             evict_on_pressure: true,
+            retry: None,
+            degradation_ladder: false,
         }
     }
 }
@@ -199,6 +212,22 @@ pub struct Honeyfarm {
     last_clone_timing: Option<CloneTiming>,
     /// Virtual time spent in VMM operations (clone + destroy + faults).
     vmm_time: SimTime,
+    /// Scheduled fault events (None = fault-free run).
+    faults: Option<FaultInjector>,
+    /// RNG for fault decisions. Seeded independently of `rng` (not forked
+    /// from it) so installing a zero fault plan leaves every main-path
+    /// draw, and hence every fault-free result, byte-identical.
+    fault_rng: SimRng,
+    fault_ledger: FaultLedger,
+    /// Addresses orphaned by a host crash, with the crash time — resolved
+    /// (into the MTTR histogram) when the address is re-bound.
+    pending_rebinds: HashMap<Ipv4Addr, SimTime>,
+    /// Probability an individual clone attempt fails (from the fault plan).
+    clone_failure_prob: f64,
+    /// Tunnel degradation window state.
+    tunnel_degraded_until: SimTime,
+    tunnel_loss: f64,
+    tunnel_extra_latency: SimTime,
 }
 
 impl Honeyfarm {
@@ -246,6 +275,7 @@ impl Honeyfarm {
         }
         let gateway = Gateway::new(config.gateway.clone());
         let rng = SimRng::seed_from(config.seed);
+        let fault_rng = SimRng::seed_from(config.seed ^ 0xFA17);
         Ok(Honeyfarm {
             config,
             gateway,
@@ -265,7 +295,25 @@ impl Honeyfarm {
             clone_latency_us: LogHistogram::new(32),
             last_clone_timing: None,
             vmm_time: SimTime::ZERO,
+            faults: None,
+            fault_rng,
+            fault_ledger: FaultLedger::new(),
+            pending_rebinds: HashMap::new(),
+            clone_failure_prob: 0.0,
+            tunnel_degraded_until: SimTime::ZERO,
+            tunnel_loss: 0.0,
+            tunnel_extra_latency: SimTime::ZERO,
         })
+    }
+
+    /// Installs a fault plan. Events fire as virtual time passes through
+    /// them ([`Honeyfarm::tick`] / [`Honeyfarm::inject_external`]); the
+    /// plan's clone-failure probability applies to every subsequent clone
+    /// attempt. Installing [`FaultPlan::zero`] is a no-op by construction.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        let injector = FaultInjector::new(plan);
+        self.clone_failure_prob = injector.clone_failure_prob();
+        self.faults = Some(injector);
     }
 
     /// The configuration in effect.
@@ -278,6 +326,18 @@ impl Honeyfarm {
     /// traffic). Processes the entire causal chain synchronously: cloning,
     /// delivery, guest responses, reflections.
     pub fn inject_external(&mut self, now: SimTime, packet: Packet) {
+        self.poll_faults(now);
+        if now < self.tunnel_degraded_until {
+            if self.fault_rng.chance(self.tunnel_loss) {
+                self.fault_ledger.record(FaultClass::TunnelDrop);
+                self.counters.incr("tunnel_dropped");
+                self.outputs.push(FarmOutput::DroppedInbound(DropReason::TunnelLoss));
+                return;
+            }
+            // The packet survives the degraded tunnel but arrives late;
+            // delivery stays synchronous, the added delay is accounted.
+            self.fault_ledger.record_tunnel_delay_us(self.tunnel_extra_latency.as_micros());
+        }
         let action = self.gateway.on_inbound(now, packet);
         self.run_actions(now, vec![action]);
     }
@@ -326,11 +386,110 @@ impl Honeyfarm {
         self.emit_from_vm(now, vm, probe)
     }
 
-    /// Advances time: expires idle bindings and reclaims their VMs
-    /// according to the configured [`RecycleStrategy`].
+    /// Advances time: fires due fault events, expires idle bindings, and
+    /// reclaims expired VMs according to the configured
+    /// [`RecycleStrategy`].
     pub fn tick(&mut self, now: SimTime) {
+        self.poll_faults(now);
         for expired in self.gateway.expire(now) {
             self.reclaim_vm(expired.vm);
+        }
+    }
+
+    /// Fires every scheduled fault event whose time has passed.
+    fn poll_faults(&mut self, now: SimTime) {
+        let Some(injector) = self.faults.as_mut() else { return };
+        let mut due = Vec::new();
+        while let Some(event) = injector.next_due(now) {
+            due.push(event);
+        }
+        for event in due {
+            self.apply_fault(event.at, event.kind);
+        }
+    }
+
+    fn apply_fault(&mut self, at: SimTime, kind: FaultKind) {
+        match kind {
+            FaultKind::HostCrash { host } => self.crash_host(at, host),
+            FaultKind::HostRecover { host } => self.revive_host(host),
+            FaultKind::CloneFaultBurst { host, count } => {
+                if let Some(h) = self.hosts.get_mut(host) {
+                    h.fail_next_clones(count);
+                }
+            }
+            FaultKind::TunnelDegrade { loss, extra_latency, duration } => {
+                self.tunnel_loss = loss;
+                self.tunnel_extra_latency = extra_latency;
+                self.tunnel_degraded_until = at.saturating_add(duration);
+                self.counters.incr("tunnel_degrades");
+            }
+            FaultKind::GatewayStall { duration } => {
+                self.fault_ledger.record(FaultClass::GatewayStall);
+                self.gateway.stall_for(at, duration);
+            }
+        }
+    }
+
+    /// Fails a host: tears down its domains, unbinds their addresses at
+    /// the gateway (retiring flow state so no stale dialogue can leak),
+    /// and immediately tries to re-materialize each orphaned address on a
+    /// surviving server. Addresses that cannot be re-placed stay pending
+    /// and resolve on their next packet.
+    fn crash_host(&mut self, now: SimTime, host: usize) {
+        if host >= self.hosts.len() || !self.hosts[host].is_alive() {
+            return;
+        }
+        self.fault_ledger.record(FaultClass::HostCrash);
+        self.counters.incr("host_crashes");
+        let mut victims: Vec<(VmRef, Option<Ipv4Addr>)> = self
+            .vms
+            .iter()
+            .filter(|(_, slot)| slot.host == host)
+            .map(|(&vm, slot)| {
+                (vm, self.hosts[host].domain(slot.domain).ok().and_then(|d| d.bound_addr()))
+            })
+            .collect();
+        victims.sort_by_key(|(vm, _)| vm.0); // vms is a HashMap; fix the order
+        self.hosts[host].crash();
+        self.standby[host].clear();
+        self.counters.add("vms_lost_to_crash", victims.len() as u64);
+        for (vm, _) in &victims {
+            self.vms.remove(vm);
+        }
+        for (vm, bound) in victims {
+            let mut addrs = self.gateway.unbind_vm(vm);
+            if let Some(a) = bound {
+                if !addrs.contains(&a) {
+                    addrs.push(a);
+                }
+            }
+            for addr in addrs {
+                self.pending_rebinds.entry(addr).or_insert(now);
+                if self.place_clone(now, addr, addr).is_none() {
+                    self.counters.incr("rebind_deferred");
+                }
+            }
+        }
+    }
+
+    /// Revives a crashed host and refills its standby pool from the
+    /// reference image (which lives on stable storage and survives the
+    /// crash).
+    fn revive_host(&mut self, host: usize) {
+        if host >= self.hosts.len() || self.hosts[host].is_alive() {
+            return;
+        }
+        self.fault_ledger.record(FaultClass::HostRecovery);
+        self.counters.incr("host_recoveries");
+        self.hosts[host].revive();
+        while self.standby[host].len() < self.config.standby_per_host {
+            match self.hosts[host].flash_clone(self.images[host][0]) {
+                Ok((dom, timing)) => {
+                    self.standby[host].push(dom);
+                    self.vmm_time += timing.total();
+                }
+                Err(_) => break,
+            }
         }
     }
 
@@ -396,6 +555,9 @@ impl Honeyfarm {
                     }
                     match placed {
                         Some(_) => queue.push(self.gateway.on_inbound(now, packet)),
+                        None if self.config.degradation_ladder => {
+                            self.degrade_without_vm(addr, &packet);
+                        }
                         None => {
                             self.counters.incr("dropped_no_capacity");
                             self.outputs
@@ -429,6 +591,31 @@ impl Honeyfarm {
                 }
             }
         }
+    }
+
+    /// The bottom rungs of the degradation ladder, reached when no server
+    /// can supply a VM: answer TCP SYNs with a stateless SYN/ACK (keeping
+    /// the attacker engaged at zero fidelity — no guest, no capture) and
+    /// count-drop everything else.
+    fn degrade_without_vm(&mut self, addr: Ipv4Addr, packet: &Packet) {
+        if let PacketPayload::Tcp { header, .. } = packet.payload() {
+            if header.flags.syn && !header.flags.ack {
+                self.counters.incr("degraded_synacks");
+                let reply = PacketBuilder::new(addr, packet.src()).tcp_segment(
+                    header.dst_port,
+                    header.src_port,
+                    TcpFlags::SYN_ACK,
+                    self.fault_rng.next_u32(),
+                    header.seq.wrapping_add(1),
+                    &[],
+                );
+                self.counters.incr("sent_external");
+                self.outputs.push(FarmOutput::SentExternal(reply));
+                return;
+            }
+        }
+        self.counters.incr("dropped_degraded");
+        self.outputs.push(FarmOutput::DroppedInbound(DropReason::Degraded));
     }
 
     /// Finds the VM bound to `addr` without consuming gateway state beyond
@@ -470,23 +657,84 @@ impl Honeyfarm {
                 let timing =
                     CloneTiming::new(self.config.cost_model.standby_bind_stages());
                 self.counters.incr("standby_hits");
-                return Some(self.finish_placement(now, src, addr, h, domain, timing));
+                return self.finish_placement(now, src, addr, h, domain, timing);
             }
         }
         for offset in 0..n {
             let h = (self.next_host + offset) % n;
-            match self.hosts[h].flash_clone(self.images[h][profile_idx]) {
+            match self.clone_with_retry(h, self.images[h][profile_idx]) {
                 Ok((domain, timing)) => {
                     self.next_host = (h + 1) % n;
-                    return Some(self.finish_placement(now, src, addr, h, domain, timing));
+                    return self.finish_placement(now, src, addr, h, domain, timing);
                 }
-                Err(VmmError::TooManyDomains { .. }) | Err(VmmError::OutOfMemory { .. }) => {
-                    continue;
+                Err(VmmError::TooManyDomains { .. })
+                | Err(VmmError::OutOfMemory { .. })
+                | Err(VmmError::HostDown)
+                | Err(VmmError::InjectedFault { .. }) => {
+                    continue; // per-host condition: another server may serve
                 }
                 Err(_) => return None,
             }
         }
         None
+    }
+
+    /// One clone attempt, with fault injection: the plan's clone-failure
+    /// probability is rolled first, then the host may consume a pending
+    /// injected-fault budget of its own.
+    fn clone_attempt(
+        &mut self,
+        host: usize,
+        image: ImageId,
+    ) -> Result<(DomainId, CloneTiming), VmmError> {
+        if self.clone_failure_prob > 0.0
+            && self.hosts[host].is_alive()
+            && self.fault_rng.chance(self.clone_failure_prob)
+        {
+            self.fault_ledger.record(FaultClass::CloneFault);
+            self.counters.incr("clone_faults_injected");
+            return Err(VmmError::InjectedFault { op: "flash_clone" });
+        }
+        let result = self.hosts[host].flash_clone(image);
+        if matches!(result, Err(VmmError::InjectedFault { .. })) {
+            self.fault_ledger.record(FaultClass::CloneFault);
+            self.counters.incr("clone_faults_injected");
+        }
+        result
+    }
+
+    /// Flash-clones with bounded retry on transient (injected) faults.
+    /// Backoff is budgeted in virtual time and folded into the clone's
+    /// stage breakdown, so retried clones correctly report higher latency.
+    fn clone_with_retry(
+        &mut self,
+        host: usize,
+        image: ImageId,
+    ) -> Result<(DomainId, CloneTiming), VmmError> {
+        let policy = self.config.retry;
+        let max_attempts = policy.map_or(1, |p| p.max_attempts.max(1));
+        let mut backoff_total = SimTime::ZERO;
+        let mut attempt = 1;
+        loop {
+            match self.clone_attempt(host, image) {
+                Ok((domain, mut timing)) => {
+                    if backoff_total > SimTime::ZERO {
+                        timing.push_stage("retry_backoff", backoff_total);
+                        self.counters.incr("clone_retries_succeeded");
+                    }
+                    return Ok((domain, timing));
+                }
+                Err(e) if e.is_transient() && attempt < max_attempts => {
+                    if let Some(p) = policy {
+                        backoff_total =
+                            backoff_total.saturating_add(p.backoff(attempt, self.fault_rng.f64()));
+                    }
+                    self.counters.incr("clone_retries");
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn finish_placement(
@@ -497,17 +745,28 @@ impl Honeyfarm {
         host: usize,
         domain: DomainId,
         timing: CloneTiming,
-    ) -> VmRef {
+    ) -> Option<VmRef> {
+        // The domain can vanish between clone and bind if its host crashed
+        // mid-placement; treat it as a failed placement, not a panic.
+        let Ok(dom) = self.hosts[host].domain_mut(domain) else {
+            self.counters.incr("placement_races");
+            return None;
+        };
+        dom.bind_addr(addr);
         let vm = VmRef(self.next_vmref);
         self.next_vmref += 1;
-        self.hosts[host].domain_mut(domain).expect("live domain").bind_addr(addr);
         self.vms.insert(vm, VmSlot { host, domain });
         self.gateway.bind(now, src, addr, vm);
         self.counters.incr("vms_cloned");
         self.clone_latency_us.record(timing.total().as_micros());
         self.vmm_time += timing.total();
+        if let Some(crashed_at) = self.pending_rebinds.remove(&addr) {
+            let downtime = now.saturating_sub(crashed_at).saturating_add(timing.total());
+            self.fault_ledger.record_rebind_us(downtime.as_micros());
+            self.counters.incr("rebinds_after_crash");
+        }
         self.last_clone_timing = Some(timing);
-        vm
+        Some(vm)
     }
 
     /// Models the guest receiving a packet: page activity, infection, and
@@ -524,10 +783,20 @@ impl Honeyfarm {
         let me = packet.dst();
         let remote = packet.src();
         // The VM's behaviour comes from *its* image (farms can impersonate
-        // heterogeneous OS profiles across the address space).
+        // heterogeneous OS profiles across the address space). The domain
+        // or its image can disappear under a concurrent host crash; drop
+        // the delivery rather than panic.
         let profile = {
-            let image = self.hosts[host_idx].domain(domain).expect("checked above").image();
-            self.hosts[host_idx].image(image).expect("images outlive domains").profile().clone()
+            let Ok(dom) = self.hosts[host_idx].domain(domain) else {
+                self.counters.incr("delivery_races");
+                return vec![];
+            };
+            let image = dom.image();
+            let Ok(img) = self.hosts[host_idx].image(image) else {
+                self.counters.incr("delivery_races");
+                return vec![];
+            };
+            img.profile().clone()
         };
         let marker = self.config.worm.as_ref().map(|w| w.payload_marker);
         let req_idx = self.request_counter;
@@ -871,6 +1140,24 @@ impl Honeyfarm {
     #[must_use]
     pub fn vmm_time(&self) -> SimTime {
         self.vmm_time
+    }
+
+    /// Per-fault-class counters and recovery-latency histograms.
+    #[must_use]
+    pub fn fault_ledger(&self) -> &FaultLedger {
+        &self.fault_ledger
+    }
+
+    /// Addresses orphaned by a crash and still awaiting a re-bind.
+    #[must_use]
+    pub fn pending_rebinds(&self) -> usize {
+        self.pending_rebinds.len()
+    }
+
+    /// Fault events not yet fired (0 for fault-free runs).
+    #[must_use]
+    pub fn pending_fault_events(&self) -> usize {
+        self.faults.as_ref().map_or(0, FaultInjector::remaining)
     }
 }
 
@@ -1362,5 +1649,178 @@ mod tests {
         let pkt = PacketBuilder::new(HP1, ATTACKER).tcp_syn(1, 2);
         assert!(!farm.emit_from_vm(SimTime::ZERO, VmRef(99), pkt));
         assert!(!farm.worm_probe(SimTime::ZERO, VmRef(99), 0));
+    }
+
+    use potemkin_metrics::FaultClass;
+    use potemkin_sim::FaultEvent;
+
+    fn plan_of(events: Vec<FaultEvent>) -> potemkin_sim::FaultPlan {
+        potemkin_sim::FaultPlan { events, clone_failure_prob: 0.0 }
+    }
+
+    #[test]
+    fn host_crash_rebinds_victims_on_the_survivor() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.servers = 2;
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        for i in 1..=4u8 {
+            farm.inject_external(SimTime::ZERO, syn(ATTACKER, Ipv4Addr::new(10, 1, 0, i), 445));
+        }
+        assert_eq!(farm.live_vms(), 4);
+        assert_eq!(farm.hosts()[0].live_domains(), 2, "round-robin put 2 on each");
+
+        farm.install_fault_plan(plan_of(vec![FaultEvent {
+            at: SimTime::from_secs(5),
+            kind: FaultKind::HostCrash { host: 0 },
+        }]));
+        farm.tick(SimTime::from_secs(6));
+
+        assert!(!farm.hosts()[0].is_alive());
+        assert_eq!(farm.live_vms(), 4, "victims re-placed on the survivor");
+        assert_eq!(farm.hosts()[1].live_domains(), 4);
+        assert_eq!(farm.counters().get("host_crashes"), 1);
+        assert_eq!(farm.counters().get("vms_lost_to_crash"), 2);
+        assert_eq!(farm.counters().get("rebinds_after_crash"), 2);
+        assert_eq!(farm.pending_rebinds(), 0);
+        assert_eq!(farm.fault_ledger().count(FaultClass::HostCrash), 1);
+        assert_eq!(farm.fault_ledger().rebind_latency().count(), 2);
+
+        // The re-bound address still answers — through its new VM.
+        farm.inject_external(SimTime::from_secs(7), syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 1), 80));
+        assert_eq!(farm.counters().get("vms_cloned"), 6, "no extra clone: binding is live");
+    }
+
+    #[test]
+    fn crash_with_no_survivor_defers_rebinds_until_recovery() {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, HP1, 445));
+        farm.install_fault_plan(plan_of(vec![
+            FaultEvent { at: SimTime::from_secs(2), kind: FaultKind::HostCrash { host: 0 } },
+            FaultEvent { at: SimTime::from_secs(32), kind: FaultKind::HostRecover { host: 0 } },
+        ]));
+        farm.tick(SimTime::from_secs(3));
+        assert_eq!(farm.live_vms(), 0, "sole server down, nothing to re-place");
+        assert_eq!(farm.pending_rebinds(), 1);
+        assert_eq!(farm.counters().get("rebind_deferred"), 1);
+
+        // While down, new first contacts cannot be served.
+        farm.inject_external(SimTime::from_secs(4), syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 9), 445));
+        assert_eq!(farm.live_vms(), 0);
+        assert_eq!(farm.counters().get("dropped_no_capacity"), 1);
+
+        // Recovery fires at 32s; the orphaned address re-binds on its next
+        // packet and the full downtime lands in the MTTR histogram.
+        farm.inject_external(SimTime::from_secs(40), syn(ATTACKER, HP1, 445));
+        assert_eq!(farm.live_vms(), 1);
+        assert_eq!(farm.pending_rebinds(), 0);
+        assert_eq!(farm.counters().get("host_recoveries"), 1);
+        let mttr_us = farm.fault_ledger().rebind_latency().quantile(0.5);
+        assert!(mttr_us >= 38_000_000, "downtime spans crash to re-bind: {mttr_us}us");
+    }
+
+    #[test]
+    fn clone_faults_exhaust_retries_and_fall_down_the_ladder() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.retry = Some(RetryPolicy::default_clone());
+        cfg.degradation_ladder = true;
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        farm.install_fault_plan(potemkin_sim::FaultPlan {
+            events: Vec::new(),
+            clone_failure_prob: 1.0, // every attempt fails
+        });
+        farm.inject_external(SimTime::ZERO, syn(ATTACKER, HP1, 445));
+        assert_eq!(farm.live_vms(), 0);
+        assert_eq!(farm.counters().get("clone_retries"), 2, "3 attempts, 2 retries");
+        assert_eq!(farm.counters().get("degraded_synacks"), 1);
+        let outputs = farm.take_outputs();
+        let synack = outputs
+            .iter()
+            .find_map(|o| match o {
+                FarmOutput::SentExternal(p) => Some(p),
+                _ => None,
+            })
+            .expect("stateless responder answered");
+        assert_eq!(synack.src(), HP1);
+        assert_eq!(synack.tcp_flags().unwrap(), TcpFlags::SYN_ACK);
+
+        // Non-SYN traffic hits the bottom rung: drop-with-count.
+        let udp = PacketBuilder::new(ATTACKER, Ipv4Addr::new(10, 1, 0, 8)).udp(40_000, 1434, b"x");
+        farm.inject_external(SimTime::ZERO, udp);
+        assert_eq!(farm.counters().get("dropped_degraded"), 1);
+        assert!(farm.fault_ledger().count(FaultClass::CloneFault) >= 3);
+    }
+
+    #[test]
+    fn transient_clone_fault_is_retried_to_success() {
+        let mut cfg = FarmConfig::small_test();
+        cfg.retry = Some(RetryPolicy::default_clone());
+        let mut farm = Honeyfarm::new(cfg).unwrap();
+        // A host-level burst of exactly one fault: attempt 1 fails, the
+        // retry succeeds.
+        farm.install_fault_plan(plan_of(vec![FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::CloneFaultBurst { host: 0, count: 1 },
+        }]));
+        farm.inject_external(SimTime::from_secs(1), syn(ATTACKER, HP1, 445));
+        assert_eq!(farm.live_vms(), 1, "retry recovered the clone");
+        assert_eq!(farm.counters().get("clone_retries"), 1);
+        assert_eq!(farm.counters().get("clone_retries_succeeded"), 1);
+        // The backoff shows up in the clone's stage breakdown.
+        let timing = farm.last_clone_timing().unwrap();
+        assert!(timing.stages().iter().any(|(name, _)| *name == "retry_backoff"));
+    }
+
+    #[test]
+    fn gateway_stall_and_tunnel_loss_drop_inbound_without_vms() {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        farm.install_fault_plan(plan_of(vec![
+            FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::GatewayStall { duration: SimTime::from_secs(5) },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(10),
+                kind: FaultKind::TunnelDegrade {
+                    loss: 1.0,
+                    extra_latency: SimTime::from_millis(50),
+                    duration: SimTime::from_secs(5),
+                },
+            },
+        ]));
+        // During the stall: the gateway refuses the new binding.
+        farm.inject_external(SimTime::from_secs(1), syn(ATTACKER, HP1, 445));
+        assert_eq!(farm.live_vms(), 0);
+        assert_eq!(farm.gateway().counters().get("dropped_gateway_stalled"), 1);
+        // During tunnel degradation at 100% loss: the packet never reaches
+        // the gateway.
+        farm.inject_external(SimTime::from_secs(11), syn(ATTACKER, HP1, 445));
+        assert_eq!(farm.live_vms(), 0);
+        assert_eq!(farm.counters().get("tunnel_dropped"), 1);
+        assert_eq!(farm.fault_ledger().count(FaultClass::TunnelDrop), 1);
+        // After both windows: normal service resumes.
+        farm.inject_external(SimTime::from_secs(20), syn(ATTACKER, HP1, 445));
+        assert_eq!(farm.live_vms(), 1);
+    }
+
+    #[test]
+    fn installing_a_zero_plan_changes_nothing() {
+        let run = |install: bool| {
+            let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+            if install {
+                farm.install_fault_plan(potemkin_sim::FaultPlan::zero());
+            }
+            for i in 1..=6u8 {
+                let t = SimTime::from_secs(u64::from(i));
+                farm.inject_external(t, syn(ATTACKER, Ipv4Addr::new(10, 1, 0, i), 445));
+                farm.tick(t);
+            }
+            let mut c = farm.counters().clone();
+            c.merge(farm.gateway().counters());
+            (farm.live_vms(), c)
+        };
+        let (vms_a, counters_a) = run(false);
+        let (vms_b, counters_b) = run(true);
+        assert_eq!(vms_a, vms_b);
+        assert_eq!(format!("{counters_a:?}"), format!("{counters_b:?}"));
     }
 }

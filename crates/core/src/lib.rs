@@ -43,4 +43,4 @@ pub mod scenario;
 pub use baseline::{LowInteractionResponder, ResponderKind};
 pub use error::FarmError;
 pub use farm::{FarmConfig, Honeyfarm};
-pub use report::FarmStats;
+pub use report::{DegradationReport, FarmStats};

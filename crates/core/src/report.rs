@@ -85,6 +85,191 @@ impl core::fmt::Display for FarmStats {
     }
 }
 
+/// Fault-injection outcome summary: what faults fired, what they cost in
+/// availability and fidelity, and how fast the farm re-bound orphaned
+/// addresses.
+///
+/// Collected from the farm's [`potemkin_metrics::FaultLedger`] and merged
+/// counters. [`DegradationReport::canonical_string`] renders a stable,
+/// byte-comparable form used by the determinism property tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Host crashes fired.
+    pub host_crashes: u64,
+    /// Host recoveries fired.
+    pub host_recoveries: u64,
+    /// Injected clone faults consumed.
+    pub clone_faults: u64,
+    /// Inbound packets lost to tunnel degradation.
+    pub tunnel_drops: u64,
+    /// Gateway stall windows entered.
+    pub gateway_stalls: u64,
+    /// VMs torn down by host crashes.
+    pub vms_lost_to_crash: u64,
+    /// Orphaned addresses successfully re-bound on a surviving host.
+    pub rebinds_after_crash: u64,
+    /// Orphaned addresses still waiting for a re-bind at collection time.
+    pub pending_rebinds: u64,
+    /// Mean crash-to-rebind latency, microseconds (0 when none).
+    pub mean_rebind_us: u64,
+    /// 99th-percentile crash-to-rebind latency, microseconds.
+    pub p99_rebind_us: u64,
+    /// Full VMs placed (top rung of the ladder).
+    pub vms_cloned: u64,
+    /// First contacts served by the stateless SYN/ACK responder.
+    pub degraded_synacks: u64,
+    /// First contacts count-dropped at the bottom rung.
+    pub dropped_degraded: u64,
+    /// First contacts dropped with no ladder configured.
+    pub dropped_no_capacity: u64,
+    /// Inbound packets dropped during gateway stalls.
+    pub dropped_gateway_stalled: u64,
+    /// Inbound packets refused by the admission cap.
+    pub dropped_admission: u64,
+    /// Clone attempts that were retried.
+    pub clone_retries: u64,
+    /// Third-party packets that escaped containment (must stay 0).
+    pub escaped: u64,
+}
+
+impl DegradationReport {
+    /// Collects the report from a farm.
+    #[must_use]
+    pub fn collect(farm: &Honeyfarm) -> DegradationReport {
+        use potemkin_metrics::FaultClass;
+        let mut c = farm.counters().clone();
+        c.merge(farm.gateway().counters());
+        let ledger = farm.fault_ledger();
+        let rebind = ledger.rebind_latency();
+        DegradationReport {
+            host_crashes: ledger.count(FaultClass::HostCrash),
+            host_recoveries: ledger.count(FaultClass::HostRecovery),
+            clone_faults: ledger.count(FaultClass::CloneFault),
+            tunnel_drops: ledger.count(FaultClass::TunnelDrop),
+            gateway_stalls: ledger.count(FaultClass::GatewayStall),
+            vms_lost_to_crash: c.get("vms_lost_to_crash"),
+            rebinds_after_crash: c.get("rebinds_after_crash"),
+            pending_rebinds: farm.pending_rebinds() as u64,
+            mean_rebind_us: rebind.mean().round() as u64,
+            p99_rebind_us: rebind.quantile(0.99),
+            vms_cloned: c.get("vms_cloned"),
+            degraded_synacks: c.get("degraded_synacks"),
+            dropped_degraded: c.get("dropped_degraded"),
+            dropped_no_capacity: c.get("dropped_no_capacity"),
+            dropped_gateway_stalled: c.get("dropped_gateway_stalled"),
+            dropped_admission: c.get("dropped_admission"),
+            clone_retries: c.get("clone_retries"),
+            escaped: c.get("escaped"),
+        }
+    }
+
+    /// First-contact demand: every new address that asked for a VM,
+    /// however the ladder answered it.
+    #[must_use]
+    pub fn demand(&self) -> u64 {
+        self.vms_cloned
+            + self.degraded_synacks
+            + self.dropped_degraded
+            + self.dropped_no_capacity
+            + self.dropped_admission
+    }
+
+    /// Fraction of first-contact demand served by a full VM (1.0 when
+    /// there was no demand).
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        let demand = self.demand();
+        if demand == 0 {
+            1.0
+        } else {
+            self.vms_cloned as f64 / demand as f64
+        }
+    }
+
+    /// Fraction of demand answered below full fidelity: SYN/ACK-only plus
+    /// outright drops.
+    #[must_use]
+    pub fn fidelity_loss(&self) -> f64 {
+        let demand = self.demand();
+        if demand == 0 {
+            0.0
+        } else {
+            (demand - self.vms_cloned) as f64 / demand as f64
+        }
+    }
+
+    /// Mean time to re-bind an address after its host crashed.
+    #[must_use]
+    pub fn mttr(&self) -> SimTime {
+        SimTime::from_micros(self.mean_rebind_us)
+    }
+
+    /// A stable `field=value` rendering, one line per field. Two runs of
+    /// the same seeded scenario must produce byte-identical strings.
+    #[must_use]
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "host_crashes={}\nhost_recoveries={}\nclone_faults={}\ntunnel_drops={}\n\
+             gateway_stalls={}\nvms_lost_to_crash={}\nrebinds_after_crash={}\n\
+             pending_rebinds={}\nmean_rebind_us={}\np99_rebind_us={}\nvms_cloned={}\n\
+             degraded_synacks={}\ndropped_degraded={}\ndropped_no_capacity={}\n\
+             dropped_gateway_stalled={}\ndropped_admission={}\nclone_retries={}\n\
+             escaped={}\navailability={:.6}\nfidelity_loss={:.6}\n",
+            self.host_crashes,
+            self.host_recoveries,
+            self.clone_faults,
+            self.tunnel_drops,
+            self.gateway_stalls,
+            self.vms_lost_to_crash,
+            self.rebinds_after_crash,
+            self.pending_rebinds,
+            self.mean_rebind_us,
+            self.p99_rebind_us,
+            self.vms_cloned,
+            self.degraded_synacks,
+            self.dropped_degraded,
+            self.dropped_no_capacity,
+            self.dropped_gateway_stalled,
+            self.dropped_admission,
+            self.clone_retries,
+            self.escaped,
+            self.availability(),
+            self.fidelity_loss(),
+        )
+    }
+}
+
+impl core::fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "faults: {} crash / {} recover / {} clone / {} tunnel / {} stall",
+            self.host_crashes,
+            self.host_recoveries,
+            self.clone_faults,
+            self.tunnel_drops,
+            self.gateway_stalls
+        )?;
+        writeln!(
+            f,
+            "crash impact: {} VMs lost, {} re-bound ({} pending), MTTR {}",
+            self.vms_lost_to_crash,
+            self.rebinds_after_crash,
+            self.pending_rebinds,
+            self.mttr()
+        )?;
+        writeln!(
+            f,
+            "availability: {:.4} ({} full VMs / {} demand), fidelity loss {:.4}",
+            self.availability(),
+            self.vms_cloned,
+            self.demand(),
+            self.fidelity_loss()
+        )?;
+        writeln!(f, "escapes: {}", self.escaped)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +296,38 @@ mod tests {
         let rendered = stats.to_string();
         assert!(rendered.contains("live VMs"));
         assert!(rendered.contains("clone p50"));
+    }
+
+    #[test]
+    fn degradation_report_on_a_faultless_farm_is_clean() {
+        let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        for i in 1..=3u8 {
+            let p = PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, i))
+                .tcp_syn(1000, 445);
+            farm.inject_external(SimTime::ZERO, p);
+        }
+        let report = DegradationReport::collect(&farm);
+        assert_eq!(report.host_crashes, 0);
+        assert_eq!(report.vms_cloned, 3);
+        assert_eq!(report.demand(), 3);
+        assert!((report.availability() - 1.0).abs() < 1e-12);
+        assert_eq!(report.fidelity_loss(), 0.0);
+        assert_eq!(report.mttr(), SimTime::ZERO);
+        assert_eq!(report.escaped, 0);
+        let canon = report.canonical_string();
+        assert!(canon.contains("vms_cloned=3"));
+        assert!(canon.contains("availability=1.000000"));
+        assert_eq!(canon, DegradationReport::collect(&farm).canonical_string());
+        assert!(report.to_string().contains("availability"));
+    }
+
+    #[test]
+    fn empty_farm_report_has_unit_availability() {
+        let farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
+        let report = DegradationReport::collect(&farm);
+        assert_eq!(report.demand(), 0);
+        assert_eq!(report.availability(), 1.0);
+        assert_eq!(report.fidelity_loss(), 0.0);
     }
 
     #[test]

@@ -13,13 +13,13 @@
 
 use potemkin_gateway::binding::VmRef;
 use potemkin_metrics::TimeSeries;
-use potemkin_sim::{run_until, EventQueue, SimTime, World};
+use potemkin_sim::{run_until, EventQueue, FaultPlan, SimTime, World};
 use potemkin_workload::radiation::{RadiationConfig, RadiationModel};
 use potemkin_workload::trace::TrafficMix;
 
 use crate::error::FarmError;
 use crate::farm::{FarmConfig, Honeyfarm};
-use crate::report::FarmStats;
+use crate::report::{DegradationReport, FarmStats};
 
 /// Configuration of an in-farm worm outbreak experiment.
 #[derive(Clone, Debug)]
@@ -146,9 +146,7 @@ pub fn run_outbreak(config: OutbreakConfig) -> Result<OutbreakResult, FarmError>
     // addresses.
     for i in 0..config.initial_infections {
         let addr = std::net::Ipv4Addr::new(10, 1, 255, (i + 1) as u8);
-        let vm = farm
-            .materialize(SimTime::ZERO, addr)
-            .ok_or(FarmError::BadConfig { what: "no capacity for seed VMs" })?;
+        let vm = farm.materialize(SimTime::ZERO, addr).ok_or(FarmError::NoCapacity)?;
         farm.seed_infection(vm)?;
     }
     let probe_gap = worm.probe_gap();
@@ -267,7 +265,31 @@ impl World for TelescopeWorld {
 ///
 /// Returns [`FarmError`] when the farm cannot be built.
 pub fn run_telescope(config: TelescopeConfig) -> Result<TelescopeResult, FarmError> {
-    let farm = Honeyfarm::new(config.farm.clone())?;
+    run_telescope_impl(config, None).map(|(result, _)| result)
+}
+
+/// Runs a telescope replay with a fault plan installed, additionally
+/// returning the [`DegradationReport`] (availability, MTTR, fidelity
+/// loss). A [`FaultPlan::zero`] plan reproduces [`run_telescope`] exactly.
+///
+/// # Errors
+///
+/// Returns [`FarmError`] when the farm cannot be built.
+pub fn run_telescope_faulted(
+    config: TelescopeConfig,
+    plan: FaultPlan,
+) -> Result<(TelescopeResult, DegradationReport), FarmError> {
+    run_telescope_impl(config, Some(plan))
+}
+
+fn run_telescope_impl(
+    config: TelescopeConfig,
+    plan: Option<FaultPlan>,
+) -> Result<(TelescopeResult, DegradationReport), FarmError> {
+    let mut farm = Honeyfarm::new(config.farm.clone())?;
+    if let Some(plan) = plan {
+        farm.install_fault_plan(plan);
+    }
     let mut model = RadiationModel::new(config.radiation.clone(), config.seed);
     let trace = model.generate(config.duration);
     let packets = trace.len() as u64;
@@ -290,16 +312,20 @@ pub fn run_telescope(config: TelescopeConfig) -> Result<TelescopeResult, FarmErr
     q.schedule(config.tick_interval, TelescopeEvent::Tick);
     q.schedule(SimTime::ZERO, TelescopeEvent::Sample);
     run_until(&mut world, &mut q, config.duration);
+    let degradation = DegradationReport::collect(&world.farm);
     let stats = world.farm.stats();
-    Ok(TelescopeResult {
-        live_vm_series: world.live_vm_series,
-        packets,
-        distinct_sources,
-        distinct_destinations,
-        peak_live_vms: world.peak,
-        mix,
-        stats,
-    })
+    Ok((
+        TelescopeResult {
+            live_vm_series: world.live_vm_series,
+            packets,
+            distinct_sources,
+            distinct_destinations,
+            peak_live_vms: world.peak,
+            mix,
+            stats,
+        },
+        degradation,
+    ))
 }
 
 /// Runs independent jobs across OS threads (parameter sweeps for the
@@ -409,6 +435,84 @@ mod tests {
         assert!(result.stats.vms_recycled > 0, "10s idle timeout must recycle");
         assert!(result.distinct_sources > 10);
         assert!(!result.live_vm_series.is_empty());
+    }
+
+    fn telescope_config() -> TelescopeConfig {
+        let mut farm = FarmConfig::small_test();
+        farm.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10));
+        farm.frames_per_server = 1_000_000;
+        farm.max_domains_per_server = 8_192;
+        TelescopeConfig {
+            farm,
+            radiation: RadiationConfig::default(),
+            seed: 7,
+            duration: SimTime::from_secs(30),
+            sample_interval: SimTime::from_secs(1),
+            tick_interval: SimTime::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_reproduces_the_unfaulted_run() {
+        let plain = run_telescope(telescope_config()).unwrap();
+        let (faulted, report) = run_telescope_faulted(
+            telescope_config(),
+            FaultPlan::zero(),
+        )
+        .unwrap();
+        assert_eq!(plain.packets, faulted.packets);
+        assert_eq!(plain.stats.vms_cloned, faulted.stats.vms_cloned);
+        assert_eq!(plain.stats.vms_recycled, faulted.stats.vms_recycled);
+        assert_eq!(plain.stats.counters.get("packets_in"), faulted.stats.counters.get("packets_in"));
+        assert_eq!(plain.stats.counters.get("escaped"), faulted.stats.counters.get("escaped"));
+        assert_eq!(report.host_crashes, 0);
+        assert_eq!(report.availability(), 1.0);
+    }
+
+    #[test]
+    fn faulted_replay_degrades_but_contains() {
+        use potemkin_sim::FaultPlanConfig;
+        let mut config = telescope_config();
+        config.farm.servers = 2;
+        config.farm.retry = Some(potemkin_vmm::RetryPolicy::default_clone());
+        config.farm.degradation_ladder = true;
+        let plan = FaultPlan::generate(&FaultPlanConfig {
+            host_crash_rate_per_hour: 240.0, // expect a couple of crashes
+            clone_failure_prob: 0.10,
+            ..FaultPlanConfig::zero(config.duration, config.farm.servers)
+        });
+        assert!(!plan.is_zero(), "plan must schedule events");
+        let (result, report) = run_telescope_faulted(config, plan).unwrap();
+        assert!(result.packets > 50);
+        assert_eq!(report.escaped, 0, "faults must not break containment");
+        assert!(report.host_crashes > 0, "crashes fired: {report:?}");
+        assert!(report.clone_faults > 0, "clone faults fired");
+        assert!(report.clone_retries > 0, "retry policy engaged");
+        let availability = report.availability();
+        assert!((0.0..=1.0).contains(&availability));
+        assert!(report.canonical_string().contains("escaped=0"));
+    }
+
+    #[test]
+    fn same_fault_seed_gives_byte_identical_reports() {
+        use potemkin_sim::FaultPlanConfig;
+        let mk_plan = || {
+            FaultPlan::generate(&FaultPlanConfig {
+                host_crash_rate_per_hour: 120.0,
+                clone_failure_prob: 0.05,
+                gateway_stall_rate_per_hour: 60.0,
+                ..FaultPlanConfig::zero(SimTime::from_secs(30), 2)
+            })
+        };
+        let mk_config = || {
+            let mut c = telescope_config();
+            c.farm.servers = 2;
+            c.farm.degradation_ladder = true;
+            c
+        };
+        let (_, a) = run_telescope_faulted(mk_config(), mk_plan()).unwrap();
+        let (_, b) = run_telescope_faulted(mk_config(), mk_plan()).unwrap();
+        assert_eq!(a.canonical_string(), b.canonical_string());
     }
 
     #[test]

@@ -184,6 +184,21 @@ impl AddressBinder {
         Some(binding.vm)
     }
 
+    /// Unbinds every key bound to `vm` (the VM's host crashed; all of its
+    /// bindings die with it). Returns the removed keys.
+    pub fn unbind_vm(&mut self, vm: VmRef) -> Vec<BindKey> {
+        let keys: Vec<BindKey> = self
+            .bindings
+            .iter()
+            .filter(|(_, b)| b.vm == vm)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in &keys {
+            self.unbind(*key);
+        }
+        keys
+    }
+
     /// Forcibly expires the oldest binding (resource pressure: the farm is
     /// full and a new address needs a VM). Returns the evicted binding, or
     /// `None` when nothing is bound.
@@ -408,6 +423,19 @@ mod tests {
         // The cancelled idle timer never fires for the evicted key.
         assert!(b.expire(SimTime::from_hours(1)).len() == 1, "only the survivor expires");
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn unbind_vm_removes_all_its_keys() {
+        let mut b = binder(60);
+        b.bind(SimTime::ZERO, SRC, DST, VmRef(1));
+        b.bind(SimTime::ZERO, SRC2, DST2, VmRef(2));
+        let removed = b.unbind_vm(VmRef(1));
+        assert_eq!(removed, vec![b.key_for(SRC, DST)]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.source_bindings(SRC), 0, "quota released");
+        assert_eq!(b.lookup_active(SimTime::from_secs(1), SRC2, DST2), Some(VmRef(2)));
+        assert!(b.unbind_vm(VmRef(99)).is_empty());
     }
 
     #[test]

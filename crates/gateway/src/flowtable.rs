@@ -190,6 +190,36 @@ impl FlowTable {
         evicted
     }
 
+    /// Retires every flow touching `addr` as either endpoint. Returns how
+    /// many were removed.
+    ///
+    /// Called when an address's VM binding ends (expiry, pressure eviction,
+    /// host crash): a stale attacker-initiated flow must not survive the
+    /// binding, or its "reply" allowance would let a *recycled* VM's packets
+    /// out through a dialogue the new occupant never had.
+    pub fn retire_addr(&mut self, addr: std::net::Ipv4Addr) -> usize {
+        let victims: Vec<FlowKey> = self
+            .flows
+            .keys()
+            .filter(|k| k.src == addr || k.dst == addr)
+            .copied()
+            .collect();
+        for key in &victims {
+            if let Some(state) = self.flows.remove(key) {
+                self.lru.remove(&state.stamp);
+                self.timers.cancel(state.timer);
+                self.evicted += 1;
+            }
+        }
+        victims.len()
+    }
+
+    /// Live flows touching `addr` as either endpoint.
+    #[must_use]
+    pub fn flows_for(&self, addr: std::net::Ipv4Addr) -> usize {
+        self.flows.keys().filter(|k| k.src == addr || k.dst == addr).count()
+    }
+
     /// Number of live flows.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -335,6 +365,25 @@ mod tests {
         }
         assert_eq!(ft.len(), 500);
         assert_eq!(ft.lru_evictions(), 0);
+    }
+
+    #[test]
+    fn retire_addr_removes_flows_on_both_sides() {
+        let mut ft = FlowTable::new(SimTime::from_secs(60));
+        let other = Ipv4Addr::new(10, 0, 0, 2);
+        ft.observe(SimTime::ZERO, FlowKey::tcp(ATK, 1, HP, 445), 40, FlowDirection::InboundInitiated);
+        ft.observe(SimTime::ZERO, FlowKey::tcp(HP, 1025, ATK, 80), 40, FlowDirection::OutboundInitiated);
+        ft.observe(SimTime::ZERO, FlowKey::tcp(ATK, 2, other, 445), 40, FlowDirection::InboundInitiated);
+        assert_eq!(ft.len(), 3);
+
+        assert_eq!(ft.retire_addr(HP), 2, "flows with HP as src or dst retired");
+        assert_eq!(ft.len(), 1);
+        assert!(ft.get(FlowKey::tcp(ATK, 2, other, 445)).is_some(), "unrelated flow survives");
+        assert!(!ft.is_reply_to_inbound(FlowKey::tcp(ATK, 1, HP, 445)));
+        // Cancelled timers never fire for retired flows.
+        assert!(ft.expire(SimTime::from_secs(61)).iter().all(|k| k.src != HP && k.dst != HP));
+        // Idempotent.
+        assert_eq!(ft.retire_addr(HP), 0);
     }
 
     #[test]

@@ -113,6 +113,9 @@ pub struct Gateway {
     rate: HashMap<VmRef, TokenBucket>,
     inbound_rate: RateEstimator,
     counters: CounterSet,
+    /// Fault injection: until this instant, no new bindings are admitted
+    /// (existing bindings keep forwarding).
+    stalled_until: SimTime,
 }
 
 impl Gateway {
@@ -139,7 +142,22 @@ impl Gateway {
             rate: HashMap::new(),
             inbound_rate: RateEstimator::new(SimTime::from_secs(5)),
             counters: CounterSet::new(),
+            stalled_until: SimTime::ZERO,
         }
+    }
+
+    /// Stalls the gateway until `now + duration` (fault injection): packets
+    /// for already-bound addresses keep flowing, but no new VM binding is
+    /// admitted while stalled.
+    pub fn stall_for(&mut self, now: SimTime, duration: SimTime) {
+        self.stalled_until = self.stalled_until.max(now.saturating_add(duration));
+        self.counters.incr("gateway_stalls");
+    }
+
+    /// Whether the gateway is currently stalled.
+    #[must_use]
+    pub fn is_stalled(&self, now: SimTime) -> bool {
+        now < self.stalled_until
     }
 
     /// The configuration in effect.
@@ -191,6 +209,18 @@ impl Gateway {
             self.binder.note_quota_rejection();
             self.counters.incr("dropped_source_quota");
             return GatewayAction::Drop { reason: DropReason::SourceQuota };
+        }
+        // Degradation: a stalled gateway cannot mint new bindings, and the
+        // admission cap keeps a degraded farm from thrashing what's left.
+        if self.is_stalled(now) {
+            self.counters.incr("dropped_gateway_stalled");
+            return GatewayAction::Drop { reason: DropReason::GatewayStalled };
+        }
+        if let Some(cap) = self.config.policy.max_bindings {
+            if self.binder.len() >= cap {
+                self.counters.incr("dropped_admission");
+                return GatewayAction::Drop { reason: DropReason::AdmissionControl };
+            }
         }
         self.counters.incr("clone_requests");
         GatewayAction::CloneAndDeliver { addr: dst, packet }
@@ -314,8 +344,38 @@ impl Gateway {
     pub fn evict_oldest_binding(&mut self, now: SimTime) -> Option<ExpiredBinding> {
         let evicted = self.binder.evict_oldest(now)?;
         self.rate.remove(&evicted.vm);
+        self.retire_binding_flows(evicted.key.dst);
         self.counters.incr("bindings_evicted_pressure");
         Some(evicted)
+    }
+
+    /// Unbinds every address served by `vm` (its host crashed). Returns the
+    /// addresses that lost their binding, for re-materialization elsewhere.
+    pub fn unbind_vm(&mut self, vm: VmRef) -> Vec<Ipv4Addr> {
+        let keys = self.binder.unbind_vm(vm);
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        self.rate.remove(&vm);
+        let mut addrs: Vec<Ipv4Addr> = keys.iter().map(|k| k.dst).collect();
+        // Sort for determinism (the binder iterates a HashMap) and dedup
+        // per-source keys sharing a destination.
+        addrs.sort_unstable();
+        addrs.dedup();
+        for &addr in &addrs {
+            self.retire_binding_flows(addr);
+        }
+        self.counters.add("bindings_unbound", keys.len() as u64);
+        addrs
+    }
+
+    /// Retires the flow-table entries of an address whose binding ended. A
+    /// stale attacker-initiated flow must not outlive the binding: its
+    /// "reply" allowance would let the address's *next* occupant send into a
+    /// dialogue it never had.
+    fn retire_binding_flows(&mut self, addr: Ipv4Addr) {
+        let retired = self.flows.retire_addr(addr);
+        self.counters.add("flows_retired", retired as u64);
     }
 
     /// Advances time: expires idle flows and bindings. The controller must
@@ -326,6 +386,7 @@ impl Gateway {
         let expired = self.binder.expire(now);
         for e in &expired {
             self.rate.remove(&e.vm);
+            self.retire_binding_flows(e.key.dst);
         }
         self.counters.add("bindings_expired", expired.len() as u64);
         expired
@@ -353,6 +414,12 @@ impl Gateway {
     #[must_use]
     pub fn live_flows(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Live flows touching `addr` as either endpoint (tests and telemetry).
+    #[must_use]
+    pub fn flows_alive_for(&self, addr: Ipv4Addr) -> usize {
+        self.flows.flows_for(addr)
     }
 
     /// The DNS proxy (attribution queries).
@@ -742,6 +809,132 @@ mod tests {
             g.on_inbound(SimTime::from_secs(12), syn(ATTACKER, HP1)),
             GatewayAction::CloneAndDeliver { .. }
         ));
+    }
+
+    #[test]
+    fn expired_binding_cannot_leak_replies_from_a_recycled_vm() {
+        // Regression: the default flow idle timeout (120 s) outlives the
+        // binding idle timeout (60 s). Before the fix, the attacker's
+        // inbound-initiated flow survived the binding's expiry, so when the
+        // address was re-bound to a recycled VM, that VM's packets matched
+        // the stale flow, counted as "replies", and were forwarded outside —
+        // a containment hole. Expiring a binding must retire its flows.
+        let mut g = gw(PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10)));
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        assert!(g.flows_alive_for(HP1) > 0);
+
+        // The binding idles out; the flow idle timeout alone (120 s) would
+        // have kept the flow for another ~110 s.
+        let expired = g.expire(SimTime::from_secs(11));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(g.flows_alive_for(HP1), 0, "binding expiry retires its flows");
+
+        // The address is re-bound to a different (recycled) VM, which emits
+        // a "SYN-ACK reply" into the old dialogue it never had.
+        let t2 = SimTime::from_secs(12);
+        g.bind(t2, ATTACKER, HP1, VmRef(2));
+        let synack = PacketBuilder::new(HP1, ATTACKER).tcp_segment(
+            445,
+            4444,
+            TcpFlags::SYN_ACK,
+            0,
+            1,
+            &[],
+        );
+        match g.on_outbound(t2, VmRef(2), synack) {
+            GatewayAction::ForwardExternal(_) => {
+                panic!("stale flow let a recycled VM's packet escape")
+            }
+            GatewayAction::Reflect { .. } => {} // contained, as required
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pressure_eviction_also_retires_flows() {
+        let mut g = gw(PolicyConfig::reflect());
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        assert!(g.flows_alive_for(HP1) > 0);
+        let evicted = g.evict_oldest_binding(SimTime::from_secs(1)).unwrap();
+        assert_eq!(evicted.vm, VmRef(1));
+        assert_eq!(g.flows_alive_for(HP1), 0);
+    }
+
+    #[test]
+    fn stalled_gateway_rejects_new_bindings_but_serves_existing() {
+        let mut g = gw(PolicyConfig::reflect());
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+
+        g.stall_for(t, SimTime::from_secs(5));
+        assert!(g.is_stalled(SimTime::from_secs(4)));
+        // Existing binding still delivers.
+        assert!(matches!(
+            g.on_inbound(SimTime::from_secs(1), syn(ATTACKER, HP1)),
+            GatewayAction::Deliver { vm: VmRef(1), .. }
+        ));
+        // A new address is refused while stalled.
+        match g.on_inbound(SimTime::from_secs(1), syn(ATTACKER, HP2)) {
+            GatewayAction::Drop { reason } => assert_eq!(reason, DropReason::GatewayStalled),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(g.counters().get("dropped_gateway_stalled"), 1);
+        // After the stall clears, admission resumes.
+        assert!(!g.is_stalled(SimTime::from_secs(6)));
+        assert!(matches!(
+            g.on_inbound(SimTime::from_secs(6), syn(ATTACKER, HP2)),
+            GatewayAction::CloneAndDeliver { .. }
+        ));
+    }
+
+    #[test]
+    fn admission_cap_bounds_bindings() {
+        let mut policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10));
+        policy.max_bindings = Some(1);
+        let mut g = gw(policy);
+        let t = SimTime::ZERO;
+        assert!(matches!(g.on_inbound(t, syn(ATTACKER, HP1)), GatewayAction::CloneAndDeliver { .. }));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        match g.on_inbound(t, syn(ATTACKER, HP2)) {
+            GatewayAction::Drop { reason } => assert_eq!(reason, DropReason::AdmissionControl),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(g.counters().get("dropped_admission"), 1);
+        // Expiry frees a slot and admission resumes.
+        g.expire(SimTime::from_secs(11));
+        assert!(matches!(
+            g.on_inbound(SimTime::from_secs(12), syn(ATTACKER, HP2)),
+            GatewayAction::CloneAndDeliver { .. }
+        ));
+    }
+
+    #[test]
+    fn unbind_vm_reports_addresses_and_retires_flows() {
+        let mut g = gw(PolicyConfig::reflect());
+        let t = SimTime::ZERO;
+        g.on_inbound(t, syn(ATTACKER, HP1));
+        g.bind(t, ATTACKER, HP1, VmRef(1));
+        g.on_inbound(t, syn(ATTACKER, HP2));
+        g.bind(t, ATTACKER, HP2, VmRef(2));
+        g.on_inbound(t, syn(ATTACKER, HP1));
+
+        let addrs = g.unbind_vm(VmRef(1));
+        assert_eq!(addrs, vec![HP1]);
+        assert_eq!(g.live_bindings(), 1);
+        assert_eq!(g.flows_alive_for(HP1), 0);
+        // The survivor is untouched.
+        assert!(matches!(
+            g.on_inbound(SimTime::from_secs(1), syn(ATTACKER, HP2)),
+            GatewayAction::Deliver { vm: VmRef(2), .. }
+        ));
+        assert!(g.unbind_vm(VmRef(99)).is_empty());
     }
 
     #[test]

@@ -45,6 +45,18 @@ pub enum DropReason {
     Malformed,
     /// The emitting VM is not bound to the address it claims.
     SpoofedSource,
+    /// Gateway admission control: the farm is degraded and the binding cap
+    /// rejects new VM admissions to protect existing interactions.
+    AdmissionControl,
+    /// The gateway is stalled (fault injection): no new bindings are
+    /// admitted until the stall clears.
+    GatewayStalled,
+    /// The GRE tunnel from the telescope dropped the packet (fault
+    /// injection: degraded tunnel window).
+    TunnelLoss,
+    /// The degradation ladder bottomed out: no VM, no standby, and the
+    /// packet could not be served by the stateless responder.
+    Degraded,
 }
 
 impl core::fmt::Display for DropReason {
@@ -57,6 +69,10 @@ impl core::fmt::Display for DropReason {
             DropReason::Backscatter => "backscatter",
             DropReason::Malformed => "malformed",
             DropReason::SpoofedSource => "spoofed-source",
+            DropReason::AdmissionControl => "admission-control",
+            DropReason::GatewayStalled => "gateway-stalled",
+            DropReason::TunnelLoss => "tunnel-loss",
+            DropReason::Degraded => "degraded",
         };
         write!(f, "{s}")
     }
@@ -104,6 +120,10 @@ pub struct PolicyConfig {
     /// Optional hard bound on flow-table entries (LRU eviction beyond it);
     /// `None` = timeout-only eviction.
     pub max_flows: Option<usize>,
+    /// Admission control: hard cap on simultaneously bound VMs. When the
+    /// farm is degraded (hosts down), capping admissions preserves service
+    /// for existing interactions instead of thrashing. `None` disables it.
+    pub max_bindings: Option<usize>,
     /// Service proxying: new outbound connections to these destination
     /// ports are redirected to a designated internal emulation address
     /// (e.g. an SMTP tarpit at 25, an HTTP emulator at 80), regardless of
@@ -130,6 +150,7 @@ impl Default for PolicyConfig {
             binding_max_lifetime: SimTime::MAX,
             flow_idle_timeout: SimTime::from_secs(120),
             max_flows: None,
+            max_bindings: None,
             proxied_ports: BTreeMap::new(),
         }
     }
@@ -191,5 +212,14 @@ mod tests {
         assert_eq!(DropReason::Containment.to_string(), "containment");
         assert_eq!(DropReason::SourceQuota.to_string(), "source-quota");
         assert_eq!(DropReason::SpoofedSource.to_string(), "spoofed-source");
+        assert_eq!(DropReason::AdmissionControl.to_string(), "admission-control");
+        assert_eq!(DropReason::GatewayStalled.to_string(), "gateway-stalled");
+        assert_eq!(DropReason::TunnelLoss.to_string(), "tunnel-loss");
+        assert_eq!(DropReason::Degraded.to_string(), "degraded");
+    }
+
+    #[test]
+    fn admission_cap_defaults_off() {
+        assert_eq!(PolicyConfig::default().max_bindings, None);
     }
 }

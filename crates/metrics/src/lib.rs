@@ -8,6 +8,7 @@
 //! `figures` binary to print paper-style tables.
 
 pub mod counter;
+pub mod faults;
 pub mod histogram;
 pub mod littles_law;
 pub mod rate;
@@ -15,6 +16,7 @@ pub mod table;
 pub mod timeseries;
 
 pub use counter::CounterSet;
+pub use faults::{FaultClass, FaultLedger};
 pub use histogram::LogHistogram;
 pub use littles_law::{ConcurrencyAnalyzer, ConcurrencyStats};
 pub use rate::RateEstimator;

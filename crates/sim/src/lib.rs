@@ -45,6 +45,7 @@
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -54,6 +55,7 @@ pub mod token_bucket;
 pub use dist::{Alias, Exponential, LogNormal, Pareto, Poisson, Zipf};
 pub use engine::{run_until, RunStats, World};
 pub use event::EventQueue;
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, WelfordVariance};
 pub use time::SimTime;

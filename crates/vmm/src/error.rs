@@ -45,6 +45,27 @@ pub enum VmmError {
         /// The configured limit.
         limit: usize,
     },
+    /// The physical host is down (crashed); no VMM operation can proceed
+    /// until it recovers.
+    HostDown,
+    /// A deterministically injected fault from the fault-injection harness
+    /// made the operation fail. Transient: the same operation may succeed on
+    /// retry.
+    InjectedFault {
+        /// The operation that was made to fail.
+        op: &'static str,
+    },
+}
+
+impl VmmError {
+    /// Returns `true` if the error is transient — retrying the same operation
+    /// on the same host may succeed (injected faults are consumed per
+    /// attempt). Capacity and state errors are not transient: retrying
+    /// without freeing resources cannot help.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, VmmError::InjectedFault { .. })
+    }
 }
 
 impl fmt::Display for VmmError {
@@ -67,6 +88,8 @@ impl fmt::Display for VmmError {
             VmmError::TooManyDomains { limit } => {
                 write!(f, "domain limit reached ({limit})")
             }
+            VmmError::HostDown => write!(f, "host is down"),
+            VmmError::InjectedFault { op } => write!(f, "injected fault during {op}"),
         }
     }
 }
@@ -89,5 +112,15 @@ mod tests {
         assert!(VmmError::BadPfn { pfn: 99, size: 10 }.to_string().contains("99"));
         assert!(VmmError::BadBlock { block: 5, size: 2 }.to_string().contains("5"));
         assert!(VmmError::TooManyDomains { limit: 128 }.to_string().contains("128"));
+        assert_eq!(VmmError::HostDown.to_string(), "host is down");
+        assert!(VmmError::InjectedFault { op: "flash_clone" }.to_string().contains("flash_clone"));
+    }
+
+    #[test]
+    fn only_injected_faults_are_transient() {
+        assert!(VmmError::InjectedFault { op: "flash_clone" }.is_transient());
+        assert!(!VmmError::HostDown.is_transient());
+        assert!(!VmmError::OutOfMemory { requested: 1, free: 0 }.is_transient());
+        assert!(!VmmError::TooManyDomains { limit: 4 }.is_transient());
     }
 }

@@ -95,6 +95,16 @@ pub struct Host {
     cold_boots: u64,
     destroys: u64,
     rollbacks: u64,
+    /// Whether the physical server is up. A crashed host rejects every VMM
+    /// operation with [`VmmError::HostDown`] until [`Host::revive`].
+    alive: bool,
+    /// Remaining injected clone failures: each flash-clone attempt consumes
+    /// one and fails with [`VmmError::InjectedFault`].
+    pending_clone_faults: u32,
+    /// Lifetime crash count.
+    crashes: u64,
+    /// Domains lost to crashes (they were live when their host went down).
+    domains_lost: u64,
 }
 
 impl Host {
@@ -115,6 +125,10 @@ impl Host {
             cold_boots: 0,
             destroys: 0,
             rollbacks: 0,
+            alive: true,
+            pending_clone_faults: 0,
+            crashes: 0,
+            domains_lost: 0,
         }
     }
 
@@ -158,6 +172,70 @@ impl Host {
         self.rollbacks
     }
 
+    /// Whether the server is up.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Lifetime crash / crash-loss counts `(crashes, domains_lost)`.
+    #[must_use]
+    pub fn crash_counts(&self) -> (u64, u64) {
+        (self.crashes, self.domains_lost)
+    }
+
+    /// Injected clone failures still pending.
+    #[must_use]
+    pub fn pending_clone_faults(&self) -> u32 {
+        self.pending_clone_faults
+    }
+
+    /// Arms `count` additional injected clone failures: the next `count`
+    /// flash-clone attempts fail with [`VmmError::InjectedFault`].
+    pub fn fail_next_clones(&mut self, count: u32) {
+        self.pending_clone_faults = self.pending_clone_faults.saturating_add(count);
+    }
+
+    /// Crashes the server: every live domain is torn down (its frames
+    /// released, matching a power loss that clears RAM) and all subsequent
+    /// VMM operations fail with [`VmmError::HostDown`] until
+    /// [`Host::revive`]. Reference images survive — they are re-provisioned
+    /// from stable storage on reboot, which the model represents by keeping
+    /// their frames resident.
+    ///
+    /// Returns the number of domains lost. Idempotent on a dead host.
+    pub fn crash(&mut self) -> u64 {
+        if !self.alive {
+            return 0;
+        }
+        let ids: Vec<DomainId> = self.domains.keys().copied().collect();
+        let lost = ids.len() as u64;
+        for id in ids {
+            let mut dom = self.domains.remove(&id).expect("key just listed");
+            dom.space_mut().release_all(&mut self.frames);
+            dom.mark_destroyed();
+        }
+        self.alive = false;
+        self.pending_clone_faults = 0;
+        self.crashes += 1;
+        self.domains_lost += lost;
+        lost
+    }
+
+    /// Brings a crashed server back online with no resident domains.
+    /// Idempotent on a live host.
+    pub fn revive(&mut self) {
+        self.alive = true;
+    }
+
+    fn ensure_alive(&self) -> Result<(), VmmError> {
+        if self.alive {
+            Ok(())
+        } else {
+            Err(VmmError::HostDown)
+        }
+    }
+
     /// Boots a guest profile once and freezes it as a reference image.
     ///
     /// # Errors
@@ -168,6 +246,7 @@ impl Host {
         name: &str,
         profile: GuestProfile,
     ) -> Result<ImageId, VmmError> {
+        self.ensure_alive()?;
         if self.frames.free_frames() < profile.memory_pages {
             return Err(VmmError::OutOfMemory {
                 requested: profile.memory_pages,
@@ -245,6 +324,11 @@ impl Host {
     /// Returns [`VmmError::NoSuchImage`], [`VmmError::TooManyDomains`], or
     /// [`VmmError::OutOfMemory`] (for the overhead pages).
     pub fn flash_clone(&mut self, image: ImageId) -> Result<(DomainId, CloneTiming), VmmError> {
+        self.ensure_alive()?;
+        if self.pending_clone_faults > 0 {
+            self.pending_clone_faults -= 1;
+            return Err(VmmError::InjectedFault { op: "flash_clone" });
+        }
         let pages = self.image(image)?.pages();
         self.admission_check(self.overhead_pages)?;
         let timing = CloneTiming::new(self.cost.flash_clone_stages(pages));
@@ -278,6 +362,7 @@ impl Host {
     /// Returns the same errors as [`Host::flash_clone`]; the frame demand is
     /// the whole image plus overhead.
     pub fn full_copy_clone(&mut self, image: ImageId) -> Result<(DomainId, CloneTiming), VmmError> {
+        self.ensure_alive()?;
         let pages = self.image(image)?.pages();
         self.admission_check(pages + self.overhead_pages)?;
         let timing = CloneTiming::new(self.cost.full_copy_stages(pages));
@@ -333,6 +418,7 @@ impl Host {
     /// Returns [`VmmError::NoSuchDomain`] for unknown or already-destroyed
     /// domains.
     pub fn destroy(&mut self, id: DomainId) -> Result<SimTime, VmmError> {
+        self.ensure_alive()?;
         let mut dom = self.domains.remove(&id).ok_or(VmmError::NoSuchDomain(id))?;
         let cost = self.cost.destroy_cost(dom.private_pages());
         dom.space_mut().release_all(&mut self.frames);
@@ -355,6 +441,7 @@ impl Host {
     ///
     /// Returns [`VmmError::NoSuchDomain`] for unknown domains.
     pub fn snapshot_domain(&mut self, id: DomainId, name: &str) -> Result<ImageId, VmmError> {
+        self.ensure_alive()?;
         let source_image = self.domain(id)?.image();
         let profile = self.image(source_image)?.profile().clone();
         let disk = self.image(source_image)?.disk().clone();
@@ -392,6 +479,7 @@ impl Host {
     ///
     /// Returns [`VmmError::NoSuchDomain`] for unknown domains.
     pub fn rollback(&mut self, id: DomainId) -> Result<SimTime, VmmError> {
+        self.ensure_alive()?;
         let image_id = self.domain(id)?.image();
         let image_frames: Vec<crate::frame::FrameId> =
             self.image(image_id)?.frames().to_vec();
@@ -441,6 +529,7 @@ impl Host {
     ///
     /// Returns [`VmmError::NoSuchDomain`] for unknown domains.
     pub fn reshare_reverted_pages(&mut self, id: DomainId) -> Result<u64, VmmError> {
+        self.ensure_alive()?;
         let image_id = self.domain(id)?.image();
         let image_frames: Vec<crate::frame::FrameId> =
             self.image(image_id)?.frames().to_vec();
@@ -471,6 +560,7 @@ impl Host {
     /// Returns [`VmmError::NoSuchDomain`], [`VmmError::BadState`] for
     /// non-running domains, or [`VmmError::BadPfn`].
     pub fn read_page(&mut self, id: DomainId, pfn: u64) -> Result<u64, VmmError> {
+        self.ensure_alive()?;
         let dom = self.domains.get_mut(&id).ok_or(VmmError::NoSuchDomain(id))?;
         if !dom.is_running() {
             return Err(VmmError::BadState { domain: id, op: "read_page" });
@@ -494,6 +584,7 @@ impl Host {
         pfn: u64,
         value: u64,
     ) -> Result<WriteOutcome, VmmError> {
+        self.ensure_alive()?;
         let dom = self.domains.get_mut(&id).ok_or(VmmError::NoSuchDomain(id))?;
         if !dom.is_running() {
             return Err(VmmError::BadState { domain: id, op: "write_page" });
@@ -978,6 +1069,77 @@ mod tests {
     fn rollback_unknown_domain_fails() {
         let (mut host, _) = small_host();
         assert!(matches!(host.rollback(DomainId(9)), Err(VmmError::NoSuchDomain(_))));
+    }
+
+    #[test]
+    fn crash_tears_down_domains_and_releases_their_frames() {
+        let (mut host, image) = small_host();
+        let pristine = host.memory_report();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        host.touch_pages(vm, &(0..50).collect::<Vec<_>>(), 1).unwrap();
+        assert!(host.is_alive());
+
+        let lost = host.crash();
+        assert_eq!(lost, 1);
+        assert!(!host.is_alive());
+        assert_eq!(host.crash_counts(), (1, 1));
+        let after = host.memory_report();
+        assert_eq!(after.live_domains, 0);
+        assert_eq!(after.used_frames, pristine.used_frames, "domain frames released");
+        assert_eq!(after.image_frames, pristine.image_frames, "images survive the crash");
+        // Crash is idempotent: a dead host stays dead, counters unchanged.
+        assert_eq!(host.crash(), 0);
+        assert_eq!(host.crash_counts(), (1, 1));
+    }
+
+    #[test]
+    fn dead_host_rejects_all_operations() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        host.crash();
+        assert_eq!(host.flash_clone(image), Err(VmmError::HostDown));
+        assert_eq!(host.full_copy_clone(image).unwrap_err(), VmmError::HostDown);
+        assert_eq!(host.cold_boot(image).unwrap_err(), VmmError::HostDown);
+        assert_eq!(host.destroy(vm), Err(VmmError::HostDown));
+        assert_eq!(host.rollback(vm), Err(VmmError::HostDown));
+        assert_eq!(host.read_page(vm, 0), Err(VmmError::HostDown));
+        assert_eq!(host.write_page(vm, 0, 1).unwrap_err(), VmmError::HostDown);
+        assert_eq!(host.snapshot_domain(vm, "s").unwrap_err(), VmmError::HostDown);
+        assert_eq!(host.reshare_reverted_pages(vm), Err(VmmError::HostDown));
+        assert!(matches!(
+            host.create_reference_image("x", GuestProfile::small()),
+            Err(VmmError::HostDown)
+        ));
+    }
+
+    #[test]
+    fn revived_host_serves_fresh_clones() {
+        let (mut host, image) = small_host();
+        host.flash_clone(image).unwrap();
+        host.crash();
+        host.revive();
+        assert!(host.is_alive());
+        assert_eq!(host.live_domains(), 0);
+        let (vm, _) = host.flash_clone(image).unwrap();
+        assert_eq!(host.read_page(vm, 0).unwrap(), GuestProfile::boot_content(image.0, 0));
+    }
+
+    #[test]
+    fn injected_clone_faults_are_consumed_per_attempt() {
+        let (mut host, image) = small_host();
+        host.fail_next_clones(2);
+        assert_eq!(host.pending_clone_faults(), 2);
+        assert_eq!(host.flash_clone(image), Err(VmmError::InjectedFault { op: "flash_clone" }));
+        assert_eq!(host.flash_clone(image), Err(VmmError::InjectedFault { op: "flash_clone" }));
+        assert_eq!(host.pending_clone_faults(), 0);
+        assert!(host.flash_clone(image).is_ok(), "budget exhausted, clone succeeds");
+        // A failed attempt allocates nothing and mints no domain id.
+        assert_eq!(host.live_domains(), 1);
+        // Crashing clears any armed faults.
+        host.fail_next_clones(5);
+        host.crash();
+        host.revive();
+        assert_eq!(host.pending_clone_faults(), 0);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod guest;
 pub mod host;
 pub mod snapshot;
 
-pub use clone::CloneTiming;
+pub use clone::{CloneTiming, RetryPolicy};
 pub use domain::{Domain, DomainId, DomainState};
 pub use error::VmmError;
 pub use frame::{FrameId, FrameTable};

@@ -9,31 +9,38 @@
 //!
 //! Output is plain aligned text; EXPERIMENTS.md quotes it directly.
 
-use potemkin_bench::experiments::{e1, e10, e2, e3, e4, e5, e6, e7, e8, e9};
+use potemkin_bench::experiments::{e1, e10, e11, e2, e3, e4, e5, e6, e7, e8, e9};
 use potemkin_sim::SimTime;
 
 struct Opts {
     which: Vec<String>,
     fast: bool,
     csv: bool,
+    bench_out: Option<String>,
 }
 
 fn parse_args() -> Opts {
     let mut which = Vec::new();
     let mut fast = false;
     let mut csv = false;
-    for arg in std::env::args().skip(1) {
+    let mut bench_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => fast = true,
             "--csv" => csv = true,
+            "--bench-out" => bench_out = args.next(),
             "--help" | "-h" => {
-                println!("usage: figures [--fast] [--csv] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10]");
+                println!(
+                    "usage: figures [--fast] [--csv] [--bench-out FILE] \
+                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11]"
+                );
                 std::process::exit(0);
             }
             other => which.push(other.trim_start_matches("--").to_string()),
         }
     }
-    Opts { which, fast, csv }
+    Opts { which, fast, csv, bench_out }
 }
 
 fn emit(opts: &Opts, table: &potemkin_metrics::Table) {
@@ -115,5 +122,19 @@ fn main() {
         let r = e10::run(duration, &e10::default_levels());
         println!("trace: {} packets over {} per fault level", r.packets, r.duration);
         emit(&opts, &e10::table(&r));
+    }
+    if wants(&opts, "e11") {
+        let duration = if opts.fast { SimTime::from_secs(15) } else { SimTime::from_secs(60) };
+        let workers: &[usize] = if opts.fast { &[1, 2] } else { &[1, 2, 4, 8] };
+        let r = e11::run(duration, 8, workers);
+        println!(
+            "replay: {} packets, {} events, {} cross-cell, deterministic: {}",
+            r.packets, r.events, r.cross_cell_packets, r.deterministic
+        );
+        emit(&opts, &e11::table(&r));
+        if let Some(path) = &opts.bench_out {
+            std::fs::write(path, e11::bench_json(&r)).expect("write bench json");
+            println!("wrote {path}");
+        }
     }
 }

@@ -174,6 +174,10 @@ pub struct CaptureRecord {
 pub enum FarmOutput {
     /// A packet left the farm toward the real Internet.
     SentExternal(Packet),
+    /// A reflected packet whose destination address is owned by another
+    /// cell of a sharded farm (see [`crate::parallel`]): the internal
+    /// fabric must tunnel it to the owning cell's gateway.
+    ForwardedCell(Packet),
     /// An inbound packet was dropped with a reason.
     DroppedInbound(DropReason),
     /// An outbound (guest-emitted) packet was dropped with a reason.
@@ -224,6 +228,11 @@ pub struct Honeyfarm {
     pending_rebinds: HashMap<Ipv4Addr, SimTime>,
     /// Probability an individual clone attempt fails (from the fault plan).
     clone_failure_prob: f64,
+    /// When this farm is one cell of a sharded run: which slice of the
+    /// telescope it owns. Reflections to addresses outside the slice are
+    /// surfaced as [`FarmOutput::ForwardedCell`] instead of re-entering
+    /// locally.
+    cell: Option<crate::parallel::CellSlot>,
     /// Tunnel degradation window state.
     tunnel_degraded_until: SimTime,
     tunnel_loss: f64,
@@ -300,10 +309,19 @@ impl Honeyfarm {
             fault_ledger: FaultLedger::new(),
             pending_rebinds: HashMap::new(),
             clone_failure_prob: 0.0,
+            cell: None,
             tunnel_degraded_until: SimTime::ZERO,
             tunnel_loss: 0.0,
             tunnel_extra_latency: SimTime::ZERO,
         })
+    }
+
+    /// Declares this farm to be one cell of a sharded run. From then on,
+    /// reflected packets whose destination hashes to a different cell are
+    /// emitted as [`FarmOutput::ForwardedCell`] for the driver to route,
+    /// instead of re-entering this farm's gateway.
+    pub fn assign_cell(&mut self, slot: crate::parallel::CellSlot) {
+        self.cell = Some(slot);
     }
 
     /// Installs a fault plan. Events fire as virtual time passes through
@@ -583,8 +601,16 @@ impl Honeyfarm {
                     self.outputs.push(FarmOutput::SentExternal(packet));
                 }
                 GatewayAction::Reflect { addr: _, packet } => {
-                    // Containment: the outbound packet re-enters as inbound.
-                    queue.push(self.gateway.on_inbound(now, packet));
+                    // Containment: the outbound packet re-enters as inbound
+                    // — locally, unless a sharded run assigned this farm a
+                    // cell and another cell owns the destination, in which
+                    // case the internal fabric must carry it there.
+                    if self.cell.is_some_and(|slot| slot.routes_away(packet.dst())) {
+                        self.counters.incr("forwarded_cross_cell");
+                        self.outputs.push(FarmOutput::ForwardedCell(packet));
+                    } else {
+                        queue.push(self.gateway.on_inbound(now, packet));
+                    }
                 }
                 GatewayAction::Drop { reason } => {
                     self.outputs.push(FarmOutput::DroppedOutbound(reason));

@@ -37,10 +37,15 @@
 pub mod baseline;
 pub mod error;
 pub mod farm;
+pub mod parallel;
 pub mod report;
 pub mod scenario;
 
 pub use baseline::{LowInteractionResponder, ResponderKind};
 pub use error::FarmError;
 pub use farm::{FarmConfig, Honeyfarm};
+pub use parallel::{
+    cell_for, derive_cell_seed, run_telescope_sharded, CellSlot, ShardedTelescopeConfig,
+    ShardedTelescopeResult,
+};
 pub use report::{DegradationReport, FarmStats};

@@ -1,0 +1,492 @@
+//! Sharded parallel telescope replay.
+//!
+//! Scaling a software honeyfarm past one core means splitting the monitored
+//! address space. This driver partitions the telescope into a fixed number
+//! of *cells* — each /24 hashes to one cell, each cell is a complete
+//! [`Honeyfarm`] (gateway + servers) with its own event queue — and replays
+//! them on the conservative time-window engine from `potemkin_sim::shard`.
+//! Packets that cross cell boundaries (a reflected worm probe aimed at an
+//! address another cell owns, a gateway reply to a non-local honeypot)
+//! travel the internal fabric as batched remote messages, delivered at the
+//! end of the window in which they were emitted.
+//!
+//! # Determinism
+//!
+//! The partition (`cells`), the barrier width (`window`), and the seeds
+//! fully determine the result. The worker-thread count only changes which
+//! OS thread executes a cell inside a window — never the cell's event
+//! order, because cells share no state within a window and cross-cell
+//! deliveries are merged in canonical `(window, source cell)` order. A run
+//! with eight workers is therefore byte-identical to the serial one-worker
+//! run; `tests/prop_parallel.rs` asserts this across seeds, worker counts,
+//! and fault schedules.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use potemkin_gateway::binding::VmRef;
+use potemkin_metrics::TimeSeries;
+use potemkin_net::addr::Ipv4Prefix;
+use potemkin_net::Packet;
+use potemkin_sim::{
+    run_sharded, EventQueue, FaultPlan, FaultPlanConfig, Shard, ShardConfig, ShardRunReport,
+    ShardWorld, SimTime, World,
+};
+use potemkin_workload::radiation::RadiationModel;
+use potemkin_workload::trace::TrafficMix;
+
+use crate::error::FarmError;
+use crate::farm::{FarmOutput, Honeyfarm};
+use crate::report::{DegradationReport, FarmStats};
+use crate::scenario::TelescopeConfig;
+
+/// `splitmix64` — the statelessly-seedable mixer used for cell routing and
+/// per-cell seed derivation. Chosen for full avalanche at 3 multiplies.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The cell owning `addr`: a stable hash of its /24, reduced modulo the
+/// cell count. Whole /24s stay together so a scanner sweeping a subnet
+/// lands in one cell.
+///
+/// # Panics
+///
+/// Panics if `cells` is zero.
+#[must_use]
+pub fn cell_for(addr: Ipv4Addr, cells: usize) -> usize {
+    assert!(cells > 0, "cells must be >= 1");
+    let subnet = u64::from(u32::from(addr) >> 8);
+    (splitmix64(subnet) % cells as u64) as usize
+}
+
+/// Derives the private seed for one cell from a run-wide base seed, so
+/// cells draw from disjoint RNG streams regardless of how many there are.
+#[must_use]
+pub fn derive_cell_seed(base: u64, cell: usize) -> u64 {
+    splitmix64(base ^ splitmix64(cell as u64 + 1))
+}
+
+/// One cell's slice of a sharded telescope: which addresses it owns.
+#[derive(Clone, Copy, Debug)]
+pub struct CellSlot {
+    /// The monitored prefix the run covers.
+    pub telescope: Ipv4Prefix,
+    /// This cell's index.
+    pub index: usize,
+    /// Total number of cells.
+    pub count: usize,
+}
+
+impl CellSlot {
+    /// Whether `dst` is a telescope address owned by a *different* cell —
+    /// i.e. a packet the internal fabric must carry away.
+    #[must_use]
+    pub fn routes_away(&self, dst: Ipv4Addr) -> bool {
+        self.telescope.contains(dst) && cell_for(dst, self.count) != self.index
+    }
+}
+
+/// Configuration of a sharded telescope replay.
+#[derive(Clone, Debug)]
+pub struct ShardedTelescopeConfig {
+    /// The scenario (per-cell farm template, radiation, horizon). Each
+    /// cell instantiates `base.farm` with a seed derived from
+    /// [`derive_cell_seed`]`(base.farm.seed, cell)`.
+    pub base: TelescopeConfig,
+    /// Number of address-space cells. Fixed per run: results depend on it,
+    /// the worker count does not change them.
+    pub cells: usize,
+    /// Conservative barrier window width.
+    pub window: SimTime,
+    /// Per-cell fault plans, generated from this template with a per-cell
+    /// derived seed (None = fault-free).
+    pub faults: Option<FaultPlanConfig>,
+    /// Patient-zero infections to seed (requires `base.farm.worm`); they
+    /// are placed on distinct telescope addresses in their owning cells,
+    /// and their probes propagate across the cell fabric.
+    pub seed_infections: usize,
+}
+
+/// Result of a sharded telescope replay: the serial [`TelescopeResult`]
+/// fields merged across cells, plus engine telemetry.
+///
+/// [`TelescopeResult`]: crate::scenario::TelescopeResult
+#[derive(Clone, Debug)]
+pub struct ShardedTelescopeResult {
+    /// Live-VM count over time, summed across cells per sample bin.
+    pub live_vm_series: TimeSeries,
+    /// Packets in the replayed trace.
+    pub packets: u64,
+    /// Distinct external sources in the trace.
+    pub distinct_sources: u64,
+    /// Distinct telescope addresses touched by the trace.
+    pub distinct_destinations: u64,
+    /// Peak of the merged per-sample live-VM series (the farm-wide peak up
+    /// to sample resolution).
+    pub peak_live_vms: f64,
+    /// Traffic-mix breakdown of the replayed trace.
+    pub mix: TrafficMix,
+    /// Merged farm statistics ([`FarmStats::collect_sharded`]).
+    pub stats: FarmStats,
+    /// Merged fault/degradation report
+    /// ([`DegradationReport::collect_sharded`]).
+    pub degradation: DegradationReport,
+    /// Packets that crossed a cell boundary over the internal fabric.
+    pub cross_cell_packets: u64,
+    /// Final infected-VM count across cells.
+    pub final_infected: usize,
+    /// Engine telemetry: per-shard event counts, per-window batch timings.
+    pub engine: ShardRunReport,
+}
+
+enum CellEvent {
+    Packet(Box<Packet>),
+    Probe { vm: VmRef, idx: u64 },
+    Tick,
+    Sample,
+}
+
+struct CellWorld {
+    cells: usize,
+    telescope: Ipv4Prefix,
+    farm: Honeyfarm,
+    probe_gap: Option<SimTime>,
+    tick_interval: SimTime,
+    sample_interval: SimTime,
+    duration: SimTime,
+    live_vm_series: TimeSeries,
+    /// Cross-cell packets staged for the current window, batched per
+    /// destination cell. `BTreeMap` keeps the per-window destination order
+    /// canonical.
+    outbound: BTreeMap<usize, Vec<Packet>>,
+    forwarded: u64,
+}
+
+impl CellWorld {
+    /// Drains farm outputs, staging every packet whose destination another
+    /// cell owns for barrier delivery. `SentExternal` covers permissive
+    /// policies (e.g. allow-all) emitting telescope-destined packets;
+    /// `ForwardedCell` is the reflect path surfacing non-local
+    /// reflections.
+    fn route_outputs(&mut self) {
+        for out in self.farm.take_outputs() {
+            let packet = match out {
+                FarmOutput::ForwardedCell(p) => p,
+                FarmOutput::SentExternal(p) if self.telescope.contains(p.dst()) => p,
+                _ => continue,
+            };
+            let dest = cell_for(packet.dst(), self.cells);
+            self.forwarded += 1;
+            self.outbound.entry(dest).or_default().push(packet);
+        }
+    }
+
+    fn schedule_new_infections(&mut self, now: SimTime, q: &mut EventQueue<CellEvent>) {
+        let Some(gap) = self.probe_gap else {
+            self.farm.take_new_infections();
+            return;
+        };
+        for vm in self.farm.take_new_infections() {
+            q.schedule(now + gap, CellEvent::Probe { vm, idx: 0 });
+        }
+    }
+}
+
+impl World for CellWorld {
+    type Event = CellEvent;
+
+    fn handle(&mut self, now: SimTime, event: CellEvent, q: &mut EventQueue<CellEvent>) {
+        match event {
+            CellEvent::Packet(p) => {
+                self.farm.inject_external(now, *p);
+                self.schedule_new_infections(now, q);
+            }
+            CellEvent::Probe { vm, idx } => {
+                if self.farm.worm_probe(now, vm, idx) {
+                    if let Some(gap) = self.probe_gap {
+                        q.schedule(now + gap, CellEvent::Probe { vm, idx: idx + 1 });
+                    }
+                }
+                self.schedule_new_infections(now, q);
+            }
+            CellEvent::Tick => {
+                self.farm.tick(now);
+                if now + self.tick_interval < self.duration {
+                    q.schedule(now + self.tick_interval, CellEvent::Tick);
+                }
+            }
+            CellEvent::Sample => {
+                self.live_vm_series.record_max(now, self.farm.live_vms() as f64);
+                if now + self.sample_interval < self.duration {
+                    q.schedule(now + self.sample_interval, CellEvent::Sample);
+                }
+            }
+        }
+        self.route_outputs();
+    }
+}
+
+impl ShardWorld for CellWorld {
+    type Remote = Vec<Packet>;
+
+    fn take_outbound(&mut self) -> Vec<(usize, Vec<Packet>)> {
+        std::mem::take(&mut self.outbound).into_iter().collect()
+    }
+
+    fn accept_remote(&mut self, at: SimTime, batch: Vec<Packet>, queue: &mut EventQueue<CellEvent>) {
+        for packet in batch {
+            queue.schedule(at, CellEvent::Packet(Box::new(packet)));
+        }
+    }
+}
+
+/// Runs a sharded telescope replay on `workers` OS threads.
+///
+/// `workers == 1` runs every cell on the calling thread (the serial
+/// reference); any larger count produces byte-identical merged reports.
+///
+/// # Errors
+///
+/// Returns [`FarmError::BadConfig`] for a zero cell count, seed infections
+/// without a worm, or a farm the cells cannot build.
+pub fn run_telescope_sharded(
+    config: &ShardedTelescopeConfig,
+    workers: usize,
+) -> Result<ShardedTelescopeResult, FarmError> {
+    if config.cells == 0 {
+        return Err(FarmError::BadConfig { what: "cells must be >= 1" });
+    }
+    if config.seed_infections > 0 && config.base.farm.worm.is_none() {
+        return Err(FarmError::BadConfig { what: "seed_infections needs farm.worm" });
+    }
+    let base = &config.base;
+    let telescope = base.radiation.telescope;
+
+    let mut model = RadiationModel::new(base.radiation.clone(), base.seed);
+    let trace = model.generate(base.duration);
+    let packets = trace.len() as u64;
+    let distinct_sources = trace.distinct_sources() as u64;
+    let distinct_destinations = trace.distinct_destinations() as u64;
+    let mix = trace.traffic_mix();
+
+    let probe_gap = base.farm.worm.as_ref().map(potemkin_workload::worm::WormSpec::probe_gap);
+    let mut shards = Vec::with_capacity(config.cells);
+    for cell in 0..config.cells {
+        let mut farm_config = base.farm.clone();
+        farm_config.seed = derive_cell_seed(base.farm.seed, cell);
+        let mut farm = Honeyfarm::new(farm_config)?;
+        farm.assign_cell(CellSlot { telescope, index: cell, count: config.cells });
+        if let Some(template) = &config.faults {
+            let mut plan_config = *template;
+            plan_config.seed = derive_cell_seed(template.seed, cell);
+            farm.install_fault_plan(FaultPlan::generate(&plan_config));
+        }
+        let world = CellWorld {
+            cells: config.cells,
+            telescope,
+            farm,
+            probe_gap,
+            tick_interval: base.tick_interval,
+            sample_interval: base.sample_interval,
+            duration: base.duration,
+            live_vm_series: TimeSeries::new(base.sample_interval),
+            outbound: BTreeMap::new(),
+            forwarded: 0,
+        };
+        let mut shard = Shard::new(world);
+        shard.queue.schedule(SimTime::ZERO, CellEvent::Sample);
+        shard.queue.schedule(base.tick_interval, CellEvent::Tick);
+        shards.push(shard);
+    }
+
+    // Patient zeroes: distinct telescope addresses, each materialized and
+    // seeded in the cell that owns it, scanning from time zero.
+    for i in 0..config.seed_infections {
+        let addr = telescope
+            .addr_at(i as u64)
+            .ok_or(FarmError::BadConfig { what: "more seed infections than addresses" })?;
+        let cell = cell_for(addr, config.cells);
+        let shard = &mut shards[cell];
+        let vm =
+            shard.world.farm.materialize(SimTime::ZERO, addr).ok_or(FarmError::NoCapacity)?;
+        shard.world.farm.seed_infection(vm)?;
+        if let Some(gap) = probe_gap {
+            shard.queue.schedule(gap, CellEvent::Probe { vm, idx: 0 });
+        }
+    }
+
+    // Partition the trace: each packet goes to the cell owning its
+    // destination, in trace order (the queue's FIFO tie-break keeps
+    // same-timestamp arrivals in this order).
+    for event in trace.into_events() {
+        let cell = cell_for(event.packet.dst(), config.cells);
+        shards[cell].queue.schedule(event.at, CellEvent::Packet(Box::new(event.packet)));
+    }
+
+    let engine = run_sharded(
+        &mut shards,
+        base.duration,
+        &ShardConfig { window: config.window, workers },
+    );
+
+    let farms: Vec<&Honeyfarm> = shards.iter().map(|s| &s.world.farm).collect();
+    let stats = FarmStats::collect_sharded(farms.iter().copied());
+    let degradation = DegradationReport::collect_sharded(farms.iter().copied());
+    let mut live_vm_series = TimeSeries::new(base.sample_interval);
+    let mut cross_cell_packets = 0;
+    let mut final_infected = 0;
+    for shard in &shards {
+        live_vm_series.merge(&shard.world.live_vm_series);
+        cross_cell_packets += shard.world.forwarded;
+        final_infected += shard.world.farm.infected_vms();
+    }
+    let peak_live_vms = live_vm_series.peak();
+    Ok(ShardedTelescopeResult {
+        live_vm_series,
+        packets,
+        distinct_sources,
+        distinct_destinations,
+        peak_live_vms,
+        mix,
+        stats,
+        degradation,
+        cross_cell_packets,
+        final_infected,
+        engine,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farm::FarmConfig;
+    use potemkin_gateway::policy::PolicyConfig;
+    use potemkin_workload::radiation::RadiationConfig;
+    use potemkin_workload::worm::WormSpec;
+
+    fn sharded_config(cells: usize) -> ShardedTelescopeConfig {
+        let mut farm = FarmConfig::small_test();
+        farm.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10));
+        farm.frames_per_server = 262_144;
+        ShardedTelescopeConfig {
+            base: TelescopeConfig {
+                farm,
+                radiation: RadiationConfig::default(),
+                seed: 7,
+                duration: SimTime::from_secs(10),
+                sample_interval: SimTime::from_secs(1),
+                tick_interval: SimTime::from_secs(1),
+            },
+            cells,
+            window: SimTime::from_millis(500),
+            faults: None,
+            seed_infections: 0,
+        }
+    }
+
+    /// The deterministic face of a result — everything except wall-clock
+    /// engine telemetry.
+    fn digest(r: &ShardedTelescopeResult) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}|{:?}|{}",
+            r.degradation.canonical_string(),
+            r.stats.live_vms,
+            r.stats.counters.get("packets_in"),
+            r.packets,
+            r.cross_cell_packets,
+            r.final_infected,
+            r.live_vm_series.iter().collect::<Vec<_>>(),
+            r.engine.remote_messages,
+        )
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_serial() {
+        let config = sharded_config(4);
+        let serial = run_telescope_sharded(&config, 1).unwrap();
+        assert!(serial.packets > 50);
+        assert!(serial.stats.vms_cloned > 0);
+        for workers in [2, 4] {
+            let parallel = run_telescope_sharded(&config, workers).unwrap();
+            assert_eq!(digest(&serial), digest(&parallel), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worm_probes_cross_the_cell_fabric() {
+        let mut config = sharded_config(4);
+        // A /22 worm space (four /24s, hashed across the cells) keeps the
+        // saturated population — and the debug-mode event count — small
+        // while still forcing probes through the cross-cell fabric.
+        config.base.farm.worm = Some(WormSpec::code_red("10.1.8.0/22".parse().unwrap()));
+        config.base.duration = SimTime::from_secs(6);
+        config.seed_infections = 2;
+        let serial = run_telescope_sharded(&config, 1).unwrap();
+        assert!(serial.cross_cell_packets > 0, "reflected probes must cross cells");
+        assert!(serial.engine.remote_messages > 0);
+        assert!(serial.final_infected > config.seed_infections, "worm must spread across cells");
+        assert_eq!(serial.degradation.escaped, 0, "reflection still contains everything");
+        let parallel = run_telescope_sharded(&config, 4).unwrap();
+        assert_eq!(digest(&serial), digest(&parallel));
+    }
+
+    #[test]
+    fn faulted_sharded_run_is_deterministic() {
+        let mut config = sharded_config(2);
+        config.base.farm.degradation_ladder = true;
+        config.faults = Some(FaultPlanConfig {
+            host_crash_rate_per_hour: 1_440.0,
+            clone_failure_prob: 0.05,
+            ..FaultPlanConfig::zero(config.base.duration, config.base.farm.servers)
+        });
+        let serial = run_telescope_sharded(&config, 1).unwrap();
+        assert!(serial.degradation.host_crashes > 0, "crashes fired");
+        let parallel = run_telescope_sharded(&config, 2).unwrap();
+        assert_eq!(digest(&serial), digest(&parallel));
+    }
+
+    #[test]
+    fn single_cell_matches_the_serial_scenario_counters() {
+        // One cell, no cross-cell fabric: the sharded driver is the plain
+        // telescope replay, so the farm-level counters must agree with it.
+        let config = sharded_config(1);
+        let sharded = run_telescope_sharded(&config, 1).unwrap();
+        let serial = crate::scenario::run_telescope(config.base.clone()).unwrap();
+        assert_eq!(sharded.packets, serial.packets);
+        assert_eq!(sharded.stats.vms_cloned, serial.stats.vms_cloned);
+        assert_eq!(
+            sharded.stats.counters.get("packets_in"),
+            serial.stats.counters.get("packets_in")
+        );
+        assert_eq!(sharded.cross_cell_packets, 0);
+    }
+
+    #[test]
+    fn cell_routing_is_stable_and_covers_all_cells() {
+        let telescope: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        let cells = 4;
+        let mut seen = vec![0u64; cells];
+        for subnet in 0..256u32 {
+            let addr = Ipv4Addr::from(u32::from(telescope.network()) + (subnet << 8));
+            let cell = cell_for(addr, cells);
+            assert_eq!(cell, cell_for(addr, cells), "routing must be stable");
+            // Every address in the /24 lands in the same cell.
+            assert_eq!(cell, cell_for(Ipv4Addr::from(u32::from(addr) + 255), cells));
+            seen[cell] += 1;
+        }
+        assert!(seen.iter().all(|&n| n > 0), "all cells own subnets: {seen:?}");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut config = sharded_config(0);
+        assert!(run_telescope_sharded(&config, 1).is_err());
+        config.cells = 2;
+        config.seed_infections = 1; // no worm configured
+        assert!(run_telescope_sharded(&config, 1).is_err());
+    }
+}

@@ -1,6 +1,6 @@
 //! Aggregated farm statistics.
 
-use potemkin_metrics::CounterSet;
+use potemkin_metrics::{CounterSet, FaultLedger, LogHistogram};
 use potemkin_sim::SimTime;
 use potemkin_vmm::MemoryReport;
 
@@ -45,6 +45,40 @@ impl FarmStats {
             clone_latency_p50: SimTime::from_micros(h.quantile(0.5)),
             clone_latency_p99: SimTime::from_micros(h.quantile(0.99)),
             vmm_time: farm.vmm_time(),
+            counters,
+        }
+    }
+
+    /// Collects one merged snapshot across the per-cell farms of a sharded
+    /// run. Counters and latency histograms are folded, memory reports are
+    /// concatenated in cell order, so the result depends only on the cell
+    /// states — never on how many worker threads executed them.
+    #[must_use]
+    pub fn collect_sharded<'a>(farms: impl IntoIterator<Item = &'a Honeyfarm>) -> FarmStats {
+        let mut live_vms = 0;
+        let mut infected_vms = 0;
+        let mut memory = Vec::new();
+        let mut counters = CounterSet::new();
+        let mut clone_latency = LogHistogram::new(32);
+        let mut vmm_time = SimTime::ZERO;
+        for farm in farms {
+            live_vms += farm.live_vms();
+            infected_vms += farm.infected_vms();
+            memory.extend(farm.hosts().iter().map(|h| h.memory_report()));
+            counters.merge(farm.counters());
+            counters.merge(farm.gateway().counters());
+            clone_latency.merge(farm.clone_latency_us());
+            vmm_time += farm.vmm_time();
+        }
+        FarmStats {
+            live_vms,
+            infected_vms,
+            memory,
+            vms_cloned: counters.get("vms_cloned"),
+            vms_recycled: counters.get("vms_recycled"),
+            clone_latency_p50: SimTime::from_micros(clone_latency.quantile(0.5)),
+            clone_latency_p99: SimTime::from_micros(clone_latency.quantile(0.99)),
+            vmm_time,
             counters,
         }
     }
@@ -136,10 +170,33 @@ impl DegradationReport {
     /// Collects the report from a farm.
     #[must_use]
     pub fn collect(farm: &Honeyfarm) -> DegradationReport {
-        use potemkin_metrics::FaultClass;
         let mut c = farm.counters().clone();
         c.merge(farm.gateway().counters());
-        let ledger = farm.fault_ledger();
+        Self::from_parts(&c, farm.fault_ledger(), farm.pending_rebinds() as u64)
+    }
+
+    /// Collects one merged report across the per-cell farms of a sharded
+    /// run. Ledgers and counters are folded in cell order; like
+    /// [`FarmStats::collect_sharded`], the result is a pure function of the
+    /// cell states and is byte-identical for any worker count.
+    #[must_use]
+    pub fn collect_sharded<'a>(
+        farms: impl IntoIterator<Item = &'a Honeyfarm>,
+    ) -> DegradationReport {
+        let mut c = CounterSet::new();
+        let mut ledger = FaultLedger::new();
+        let mut pending = 0u64;
+        for farm in farms {
+            c.merge(farm.counters());
+            c.merge(farm.gateway().counters());
+            ledger.merge(farm.fault_ledger());
+            pending += farm.pending_rebinds() as u64;
+        }
+        Self::from_parts(&c, &ledger, pending)
+    }
+
+    fn from_parts(c: &CounterSet, ledger: &FaultLedger, pending_rebinds: u64) -> Self {
+        use potemkin_metrics::FaultClass;
         let rebind = ledger.rebind_latency();
         DegradationReport {
             host_crashes: ledger.count(FaultClass::HostCrash),
@@ -149,7 +206,7 @@ impl DegradationReport {
             gateway_stalls: ledger.count(FaultClass::GatewayStall),
             vms_lost_to_crash: c.get("vms_lost_to_crash"),
             rebinds_after_crash: c.get("rebinds_after_crash"),
-            pending_rebinds: farm.pending_rebinds() as u64,
+            pending_rebinds,
             mean_rebind_us: rebind.mean().round() as u64,
             p99_rebind_us: rebind.quantile(0.99),
             vms_cloned: c.get("vms_cloned"),

@@ -36,6 +36,10 @@ pub struct FlowState {
     timer: TimerHandle,
     /// Recency stamp (time, tiebreak) for LRU eviction.
     stamp: (SimTime, u64),
+    /// Interned flow id, assigned in first-seen order. Keys the per-address
+    /// index so endpoint scans stay deterministic and O(flows at the
+    /// address) instead of O(table).
+    id: u64,
 }
 
 /// The flow table: canonical flow key → state, with idle eviction.
@@ -66,6 +70,13 @@ pub struct FlowTable {
     /// Recency index for LRU eviction.
     lru: BTreeMap<(SimTime, u64), FlowKey>,
     next_stamp: u64,
+    /// Hashed endpoint index: address → interned flow id → canonical key.
+    /// Replaces the former O(table) linear scans in [`FlowTable::retire_addr`]
+    /// and [`FlowTable::flows_for`]; the inner map is ordered by intern id so
+    /// retirement walks flows in first-seen order, keeping eviction order
+    /// stable across runs.
+    by_addr: HashMap<std::net::Ipv4Addr, BTreeMap<u64, FlowKey>>,
+    next_id: u64,
     /// Lifetime counters.
     created: u64,
     evicted: u64,
@@ -83,9 +94,31 @@ impl FlowTable {
             max_flows: None,
             lru: BTreeMap::new(),
             next_stamp: 0,
+            by_addr: HashMap::new(),
+            next_id: 0,
             created: 0,
             evicted: 0,
             lru_evicted: 0,
+        }
+    }
+
+    /// Adds `key` (already canonical) under both endpoints in the address
+    /// index.
+    fn index_insert(&mut self, key: FlowKey, id: u64) {
+        self.by_addr.entry(key.src).or_default().insert(id, key);
+        self.by_addr.entry(key.dst).or_default().insert(id, key);
+    }
+
+    /// Removes `key` from both endpoints of the address index, dropping
+    /// per-address maps that empty out.
+    fn index_remove(&mut self, key: FlowKey, id: u64) {
+        for addr in [key.src, key.dst] {
+            if let Some(ids) = self.by_addr.get_mut(&addr) {
+                ids.remove(&id);
+                if ids.is_empty() {
+                    self.by_addr.remove(&addr);
+                }
+            }
         }
     }
 
@@ -137,12 +170,15 @@ impl FlowTable {
                         self.lru.remove(&oldest);
                         if let Some(old) = self.flows.remove(&victim) {
                             self.timers.cancel(old.timer);
+                            self.index_remove(victim, old.id);
                             self.lru_evicted += 1;
                             self.evicted += 1;
                         }
                     }
                 }
                 let timer = self.timers.schedule(deadline, canonical);
+                let id = self.next_id;
+                self.next_id += 1;
                 self.flows.insert(
                     canonical,
                     FlowState {
@@ -153,8 +189,10 @@ impl FlowTable {
                         bytes: bytes as u64,
                         timer,
                         stamp,
+                        id,
                     },
                 );
+                self.index_insert(canonical, id);
                 self.lru.insert(stamp, canonical);
                 self.created += 1;
                 true
@@ -183,6 +221,7 @@ impl FlowTable {
             // re-schedules on every packet, so any firing means idle.
             if let Some(state) = self.flows.remove(&key) {
                 self.lru.remove(&state.stamp);
+                self.index_remove(key, state.id);
                 evicted.push(key);
                 self.evicted += 1;
             }
@@ -198,26 +237,37 @@ impl FlowTable {
     /// binding, or its "reply" allowance would let a *recycled* VM's packets
     /// out through a dialogue the new occupant never had.
     pub fn retire_addr(&mut self, addr: std::net::Ipv4Addr) -> usize {
-        let victims: Vec<FlowKey> = self
-            .flows
-            .keys()
-            .filter(|k| k.src == addr || k.dst == addr)
-            .copied()
-            .collect();
-        for key in &victims {
-            if let Some(state) = self.flows.remove(key) {
+        // The address index makes this O(flows at addr): walk the interned
+        // ids in first-seen order (stable eviction order) instead of
+        // scanning the whole table.
+        let Some(victims) = self.by_addr.remove(&addr) else {
+            return 0;
+        };
+        let retired = victims.len();
+        for (id, key) in victims {
+            if let Some(state) = self.flows.remove(&key) {
                 self.lru.remove(&state.stamp);
                 self.timers.cancel(state.timer);
                 self.evicted += 1;
             }
+            // Unlink the other endpoint's index entry.
+            let other = if key.src == addr { key.dst } else { key.src };
+            if other != addr {
+                if let Some(ids) = self.by_addr.get_mut(&other) {
+                    ids.remove(&id);
+                    if ids.is_empty() {
+                        self.by_addr.remove(&other);
+                    }
+                }
+            }
         }
-        victims.len()
+        retired
     }
 
-    /// Live flows touching `addr` as either endpoint.
+    /// Live flows touching `addr` as either endpoint (indexed lookup).
     #[must_use]
     pub fn flows_for(&self, addr: std::net::Ipv4Addr) -> usize {
-        self.flows.keys().filter(|k| k.src == addr || k.dst == addr).count()
+        self.by_addr.get(&addr).map_or(0, BTreeMap::len)
     }
 
     /// Number of live flows.
@@ -384,6 +434,37 @@ mod tests {
         assert!(ft.expire(SimTime::from_secs(61)).iter().all(|k| k.src != HP && k.dst != HP));
         // Idempotent.
         assert_eq!(ft.retire_addr(HP), 0);
+    }
+
+    #[test]
+    fn addr_index_tracks_churn() {
+        // Exercise create, refresh, idle eviction, LRU eviction, and
+        // retirement; the index must agree with a brute-force scan
+        // throughout.
+        let mut ft = FlowTable::new(SimTime::from_secs(5)).with_max_flows(6);
+        let addrs: Vec<Ipv4Addr> = (1..=4u8).map(|i| Ipv4Addr::new(10, 0, 0, i)).collect();
+        for step in 0..40u64 {
+            let src = addrs[(step % 4) as usize];
+            let dst = addrs[((step / 4 + 1) % 4) as usize];
+            if src != dst {
+                let k = FlowKey::tcp(src, 1000 + (step % 7) as u16, dst, 445);
+                ft.observe(SimTime::from_secs(step), k, 40, FlowDirection::InboundInitiated);
+            }
+            ft.expire(SimTime::from_secs(step));
+            for &a in &addrs {
+                let brute =
+                    ft.flows.keys().filter(|k| k.src == a || k.dst == a).count();
+                assert_eq!(ft.flows_for(a), brute, "index diverged at step {step} for {a}");
+            }
+        }
+        let before = ft.len();
+        let retired = ft.retire_addr(addrs[0]);
+        assert_eq!(ft.len(), before - retired);
+        assert_eq!(ft.flows_for(addrs[0]), 0);
+        for &a in &addrs {
+            let brute = ft.flows.keys().filter(|k| k.src == a || k.dst == a).count();
+            assert_eq!(ft.flows_for(a), brute);
+        }
     }
 
     #[test]

@@ -56,6 +56,10 @@ impl fmt::Display for FaultClass {
 }
 
 /// Per-fault-class counters plus recovery-latency histograms.
+///
+/// Cloneable and mergeable so per-shard ledgers can be folded into one
+/// farm-wide report after a sharded run.
+#[derive(Clone)]
 pub struct FaultLedger {
     counts: [u64; FaultClass::ALL.len()],
     /// Time from a host crash to an affected address being re-bound on a

@@ -121,11 +121,50 @@ impl TimeSeries {
             self.total() / self.bins.len() as f64
         }
     }
+
+    /// Adds `other` into `self` bin-by-bin, growing as needed. Used to fold
+    /// per-shard series (e.g. live VMs per cell) into a farm-wide series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin widths differ.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(self.bin_width, other.bin_width, "cannot merge differing bin widths");
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0.0);
+        }
+        for (dst, src) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *dst += src;
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_sums_bins_and_grows() {
+        let mut a = TimeSeries::new(SimTime::from_secs(1));
+        a.add(SimTime::from_secs(0), 2.0);
+        a.add(SimTime::from_secs(1), 3.0);
+        let mut b = TimeSeries::new(SimTime::from_secs(1));
+        b.add(SimTime::from_secs(1), 5.0);
+        b.add(SimTime::from_secs(3), 7.0);
+        a.merge(&b);
+        assert_eq!(a.bin_value(0), 2.0);
+        assert_eq!(a.bin_value(1), 8.0);
+        assert_eq!(a.bin_value(2), 0.0);
+        assert_eq!(a.bin_value(3), 7.0);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "differing bin widths")]
+    fn merge_mismatched_widths_panics() {
+        let mut a = TimeSeries::new(SimTime::from_secs(1));
+        a.merge(&TimeSeries::new(SimTime::from_secs(2)));
+    }
 
     fn secs(s: u64) -> SimTime {
         SimTime::from_secs(s)

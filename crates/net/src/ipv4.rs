@@ -140,26 +140,45 @@ impl Ipv4Header {
     /// Returns [`NetError::InvalidField`] if the total length would exceed
     /// 65 535 bytes.
     pub fn build(&self, payload: &[u8]) -> Result<Vec<u8>, NetError> {
-        let total = MIN_HEADER_LEN + payload.len();
+        let mut out = Vec::with_capacity(MIN_HEADER_LEN + payload.len());
+        self.build_prefix(payload.len(), &mut out)?;
+        out.extend_from_slice(payload);
+        Ok(out)
+    }
+
+    /// Appends a 20-byte header (no options) for a transport of
+    /// `transport_len` bytes to `out`, computing the header checksum. The
+    /// caller appends the transport bytes itself — this is the
+    /// single-serialization path used by `PacketBuilder`, which writes the
+    /// transport directly into the wire buffer instead of through an
+    /// intermediate copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidField`] if the total length would exceed
+    /// 65 535 bytes.
+    pub fn build_prefix(&self, transport_len: usize, out: &mut Vec<u8>) -> Result<(), NetError> {
+        let total = MIN_HEADER_LEN + transport_len;
         if total > u16::MAX as usize {
             return Err(NetError::InvalidField { layer: "ipv4", what: "payload too large" });
         }
-        let mut out = vec![0u8; MIN_HEADER_LEN];
-        out[0] = 0x45; // version 4, IHL 5
-        out[1] = 0; // DSCP/ECN
-        out[2..4].copy_from_slice(&(total as u16).to_be_bytes());
-        out[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        let base = out.len();
+        out.resize(base + MIN_HEADER_LEN, 0);
+        let h = &mut out[base..base + MIN_HEADER_LEN];
+        h[0] = 0x45; // version 4, IHL 5
+        h[1] = 0; // DSCP/ECN
+        h[2..4].copy_from_slice(&(total as u16).to_be_bytes());
+        h[4..6].copy_from_slice(&self.ident.to_be_bytes());
         let flags: u16 = if self.dont_fragment { 0x4000 } else { 0 };
-        out[6..8].copy_from_slice(&flags.to_be_bytes());
-        out[8] = self.ttl;
-        out[9] = self.protocol.value();
+        h[6..8].copy_from_slice(&flags.to_be_bytes());
+        h[8] = self.ttl;
+        h[9] = self.protocol.value();
         // Checksum at [10..12] starts zeroed.
-        out[12..16].copy_from_slice(&self.src.octets());
-        out[16..20].copy_from_slice(&self.dst.octets());
-        let sum = checksum::checksum(&out);
-        out[10..12].copy_from_slice(&sum.to_be_bytes());
-        out.extend_from_slice(payload);
-        Ok(out)
+        h[12..16].copy_from_slice(&self.src.octets());
+        h[16..20].copy_from_slice(&self.dst.octets());
+        let sum = checksum::checksum(&out[base..base + MIN_HEADER_LEN]);
+        out[base + 10..base + 12].copy_from_slice(&sum.to_be_bytes());
+        Ok(())
     }
 
     /// Starts a transport pseudo-header checksum (RFC 793 §3.1) for this

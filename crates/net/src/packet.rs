@@ -71,27 +71,32 @@ impl Packet {
     /// Parses an IPv4 packet (with transport) from wire bytes.
     ///
     /// Unknown transports are preserved raw; header checksums are verified.
+    /// The wire bytes are copied exactly once: the parsed transport payload
+    /// is a zero-copy slice of the owned wire buffer.
     pub fn parse(buf: &[u8]) -> Result<Packet, NetError> {
         let (ipv4, transport_bytes) = Ipv4Header::parse(buf)?;
+        let total = ipv4.total_len as usize;
+        let wire = Bytes::copy_from_slice(&buf[..total]);
+        // TCP/UDP bodies are suffixes of the wire image, so their offset is
+        // recoverable from their length alone.
         let payload = match ipv4.protocol {
             IpProtocol::Tcp => {
                 let (header, body) = TcpHeader::parse(transport_bytes, ipv4.src, ipv4.dst)?;
-                PacketPayload::Tcp { header, payload: Bytes::copy_from_slice(body) }
+                let payload = wire.slice(total - body.len()..);
+                PacketPayload::Tcp { header, payload }
             }
             IpProtocol::Udp => {
                 let (header, body) = UdpHeader::parse(transport_bytes, ipv4.src, ipv4.dst)?;
-                PacketPayload::Udp { header, payload: Bytes::copy_from_slice(body) }
+                let payload = wire.slice(total - body.len()..);
+                PacketPayload::Udp { header, payload }
             }
             IpProtocol::Icmp => PacketPayload::Icmp(IcmpMessage::parse(transport_bytes)?),
-            proto => {
-                PacketPayload::Raw { protocol: proto, payload: Bytes::copy_from_slice(transport_bytes) }
-            }
+            proto => PacketPayload::Raw {
+                protocol: proto,
+                payload: wire.slice(total - transport_bytes.len()..),
+            },
         };
-        Ok(Packet {
-            ipv4,
-            payload,
-            wire: Bytes::copy_from_slice(&buf[..ipv4.total_len as usize]),
-        })
+        Ok(Packet { ipv4, payload, wire })
     }
 
     /// The IPv4 header.
@@ -264,26 +269,35 @@ impl PacketBuilder {
         }
     }
 
-    fn assemble(&self, protocol: IpProtocol, transport: Vec<u8>, payload: PacketPayload) -> Packet {
-        let mut ipv4 = self.ipv4_header(protocol);
-        let wire = ipv4
-            .build(&transport)
-            .expect("builder-constructed packets never exceed IP limits");
+    /// Seals a fully serialized wire buffer into a [`Packet`], exposing the
+    /// application payload as a zero-copy suffix slice of the wire bytes.
+    fn finish(
+        mut ipv4: Ipv4Header,
+        wire: Vec<u8>,
+        payload_len: usize,
+        make: impl FnOnce(Bytes) -> PacketPayload,
+    ) -> Packet {
         ipv4.total_len = wire.len() as u16;
-        Packet { ipv4, payload, wire: Bytes::from(wire) }
+        let wire = Bytes::from(wire);
+        let payload = make(wire.slice(wire.len() - payload_len..));
+        Packet { ipv4, payload, wire }
     }
 
     /// Builds a TCP segment from an explicit header.
+    ///
+    /// The segment is serialized exactly once, directly into the wire
+    /// buffer; the stored payload is a refcounted slice of it.
     #[must_use]
     pub fn tcp_raw(self, header: TcpHeader, payload: &[u8]) -> Packet {
-        let transport = header
-            .build(self.src, self.dst, payload)
+        let transport_len = crate::tcp::MIN_HEADER_LEN + header.options.len() + payload.len();
+        let ipv4 = self.ipv4_header(IpProtocol::Tcp);
+        let mut wire = Vec::with_capacity(crate::ipv4::MIN_HEADER_LEN + transport_len);
+        ipv4.build_prefix(transport_len, &mut wire)
+            .expect("builder-constructed packets never exceed IP limits");
+        header
+            .build_into(self.src, self.dst, payload, &mut wire)
             .expect("builder-validated TCP header");
-        self.assemble(
-            IpProtocol::Tcp,
-            transport,
-            PacketPayload::Tcp { header, payload: Bytes::copy_from_slice(payload) },
-        )
+        Self::finish(ipv4, wire, payload.len(), |payload| PacketPayload::Tcp { header, payload })
     }
 
     /// Builds a bare SYN — the telescope's bread and butter.
@@ -316,28 +330,30 @@ impl PacketBuilder {
         self.tcp_raw(header, payload)
     }
 
-    /// Builds a UDP datagram.
+    /// Builds a UDP datagram, serialized once into the wire buffer.
     #[must_use]
     pub fn udp(self, src_port: u16, dst_port: u16, payload: &[u8]) -> Packet {
-        let transport = UdpHeader::build(src_port, dst_port, self.src, self.dst, payload)
+        let transport_len = crate::udp::HEADER_LEN + payload.len();
+        let ipv4 = self.ipv4_header(IpProtocol::Udp);
+        let mut wire = Vec::with_capacity(crate::ipv4::MIN_HEADER_LEN + transport_len);
+        ipv4.build_prefix(transport_len, &mut wire)
+            .expect("builder-constructed packets never exceed IP limits");
+        UdpHeader::build_into(src_port, dst_port, self.src, self.dst, payload, &mut wire)
             .expect("builder-validated UDP datagram");
-        let header = UdpHeader {
-            src_port,
-            dst_port,
-            length: transport.len() as u16,
-        };
-        self.assemble(
-            IpProtocol::Udp,
-            transport,
-            PacketPayload::Udp { header, payload: Bytes::copy_from_slice(payload) },
-        )
+        let header = UdpHeader { src_port, dst_port, length: transport_len as u16 };
+        Self::finish(ipv4, wire, payload.len(), |payload| PacketPayload::Udp { header, payload })
     }
 
     /// Builds an ICMP packet from a message.
     #[must_use]
     pub fn icmp(self, msg: IcmpMessage) -> Packet {
         let transport = msg.build();
-        self.assemble(IpProtocol::Icmp, transport, PacketPayload::Icmp(msg))
+        let mut ipv4 = self.ipv4_header(IpProtocol::Icmp);
+        let wire = ipv4
+            .build(&transport)
+            .expect("builder-constructed packets never exceed IP limits");
+        ipv4.total_len = wire.len() as u16;
+        Packet { ipv4, payload: PacketPayload::Icmp(msg), wire: Bytes::from(wire) }
     }
 
     /// Builds an ICMP echo request.
@@ -352,14 +368,14 @@ impl PacketBuilder {
     ///
     /// Returns [`NetError::InvalidField`] if the payload exceeds IP limits.
     pub fn raw(self, protocol: IpProtocol, payload: &[u8]) -> Result<Packet, NetError> {
-        let mut ipv4 = self.ipv4_header(protocol);
-        let wire = ipv4.build(payload)?;
-        ipv4.total_len = wire.len() as u16;
-        Ok(Packet {
-            ipv4,
-            payload: PacketPayload::Raw { protocol, payload: Bytes::copy_from_slice(payload) },
-            wire: Bytes::from(wire),
-        })
+        let ipv4 = self.ipv4_header(protocol);
+        let mut wire = Vec::with_capacity(crate::ipv4::MIN_HEADER_LEN + payload.len());
+        ipv4.build_prefix(payload.len(), &mut wire)?;
+        wire.extend_from_slice(payload);
+        Ok(Self::finish(ipv4, wire, payload.len(), |payload| PacketPayload::Raw {
+            protocol,
+            payload,
+        }))
     }
 }
 
@@ -470,6 +486,54 @@ mod tests {
         );
         assert_ne!(fwd.flow_key(), rev.flow_key());
         assert_eq!(fwd.flow_key().canonical(), rev.flow_key().canonical());
+    }
+
+    fn assert_payload_in_wire(p: &Packet) {
+        let wire = p.wire().as_ptr_range();
+        let pay = p.app_payload().as_ptr_range();
+        assert!(
+            pay.start >= wire.start && pay.end <= wire.end,
+            "payload must be a zero-copy slice of the wire buffer"
+        );
+    }
+
+    #[test]
+    fn built_payloads_are_slices_of_the_wire() {
+        assert_payload_in_wire(
+            &PacketBuilder::new(ATTACKER, HONEYPOT).tcp_segment(
+                5000,
+                80,
+                TcpFlags::PSH_ACK,
+                1,
+                2,
+                b"body",
+            ),
+        );
+        assert_payload_in_wire(&PacketBuilder::new(ATTACKER, HONEYPOT).udp(7, 7, b"datagram"));
+        assert_payload_in_wire(
+            &PacketBuilder::new(ATTACKER, HONEYPOT).raw(IpProtocol::Other(89), b"raw").unwrap(),
+        );
+    }
+
+    #[test]
+    fn parsed_payloads_are_slices_of_the_wire() {
+        for p in [
+            PacketBuilder::new(ATTACKER, HONEYPOT).tcp_segment(1, 2, TcpFlags::PSH_ACK, 1, 2, b"x"),
+            PacketBuilder::new(ATTACKER, HONEYPOT).udp(1, 2, b"yy"),
+            PacketBuilder::new(ATTACKER, HONEYPOT).raw(IpProtocol::Other(89), b"zzz").unwrap(),
+        ] {
+            let reparsed = Packet::parse(p.wire()).unwrap();
+            assert_eq!(reparsed, p);
+            assert_payload_in_wire(&reparsed);
+        }
+    }
+
+    #[test]
+    fn clone_shares_the_wire_allocation() {
+        let p = PacketBuilder::new(ATTACKER, HONEYPOT).udp(1434, 1434, b"slammer");
+        let q = p.clone();
+        assert_eq!(p.wire().as_ptr(), q.wire().as_ptr(), "clone must not deep-copy the wire");
+        assert_eq!(p, q);
     }
 
     #[test]

@@ -166,6 +166,27 @@ impl TcpHeader {
     /// Returns [`NetError::InvalidField`] if options are not a multiple of 4
     /// bytes or longer than 40, or if the segment exceeds 65 535 bytes.
     pub fn build(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let mut out = Vec::with_capacity(MIN_HEADER_LEN + self.options.len() + payload.len());
+        self.build_into(src, dst, payload, &mut out)?;
+        Ok(out)
+    }
+
+    /// Appends the serialized segment (header, options, payload) to `out`,
+    /// computing the checksum over the pseudo-header for `src`/`dst`. Used
+    /// by `PacketBuilder` to serialize the transport directly into the wire
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidField`] if options are not a multiple of 4
+    /// bytes or longer than 40, or if the segment exceeds 65 535 bytes.
+    pub fn build_into(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), NetError> {
         if !self.options.len().is_multiple_of(4) || self.options.len() > 40 {
             return Err(NetError::InvalidField { layer: "tcp", what: "bad options length" });
         }
@@ -173,21 +194,23 @@ impl TcpHeader {
         let total = header_len + payload.len();
         let len = u16::try_from(total)
             .map_err(|_| NetError::InvalidField { layer: "tcp", what: "segment too large" })?;
-        let mut out = vec![0u8; header_len];
-        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
-        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
-        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
-        out[8..12].copy_from_slice(&self.ack.to_be_bytes());
-        out[12] = ((header_len / 4) as u8) << 4;
-        out[13] = self.flags.to_byte();
-        out[14..16].copy_from_slice(&self.window.to_be_bytes());
-        out[MIN_HEADER_LEN..header_len].copy_from_slice(&self.options);
+        let base = out.len();
+        out.resize(base + header_len, 0);
+        let h = &mut out[base..base + header_len];
+        h[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        h[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        h[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        h[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        h[12] = ((header_len / 4) as u8) << 4;
+        h[13] = self.flags.to_byte();
+        h[14..16].copy_from_slice(&self.window.to_be_bytes());
+        h[MIN_HEADER_LEN..header_len].copy_from_slice(&self.options);
         out.extend_from_slice(payload);
         let mut c = Ipv4Header::pseudo_header_checksum(src, dst, IpProtocol::Tcp, len);
-        c.add_bytes(&out);
+        c.add_bytes(&out[base..]);
         let sum = c.finish();
-        out[16..18].copy_from_slice(&sum.to_be_bytes());
-        Ok(out)
+        out[base + 16..base + 18].copy_from_slice(&sum.to_be_bytes());
+        Ok(())
     }
 
     /// Builds the standard 4-byte MSS option.

@@ -69,23 +69,46 @@ impl UdpHeader {
         dst: Ipv4Addr,
         payload: &[u8],
     ) -> Result<Vec<u8>, NetError> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        UdpHeader::build_into(src_port, dst_port, src, dst, payload, &mut out)?;
+        Ok(out)
+    }
+
+    /// Appends the serialized datagram (header and payload) to `out`,
+    /// computing the checksum. Used by `PacketBuilder` to serialize the
+    /// transport directly into the wire buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidField`] if the datagram exceeds 65 535
+    /// bytes.
+    pub fn build_into(
+        src_port: u16,
+        dst_port: u16,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), NetError> {
         let total = HEADER_LEN + payload.len();
         let length = u16::try_from(total)
             .map_err(|_| NetError::InvalidField { layer: "udp", what: "datagram too large" })?;
-        let mut out = vec![0u8; HEADER_LEN];
-        out[0..2].copy_from_slice(&src_port.to_be_bytes());
-        out[2..4].copy_from_slice(&dst_port.to_be_bytes());
-        out[4..6].copy_from_slice(&length.to_be_bytes());
+        let base = out.len();
+        out.resize(base + HEADER_LEN, 0);
+        let h = &mut out[base..base + HEADER_LEN];
+        h[0..2].copy_from_slice(&src_port.to_be_bytes());
+        h[2..4].copy_from_slice(&dst_port.to_be_bytes());
+        h[4..6].copy_from_slice(&length.to_be_bytes());
         out.extend_from_slice(payload);
         let mut c = Ipv4Header::pseudo_header_checksum(src, dst, IpProtocol::Udp, length);
-        c.add_bytes(&out);
+        c.add_bytes(&out[base..]);
         let mut sum = c.finish();
         // RFC 768: a computed zero checksum is transmitted as all-ones.
         if sum == 0 {
             sum = 0xffff;
         }
-        out[6..8].copy_from_slice(&sum.to_be_bytes());
-        Ok(out)
+        out[base + 6..base + 8].copy_from_slice(&sum.to_be_bytes());
+        Ok(())
     }
 }
 

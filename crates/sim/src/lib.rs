@@ -47,6 +47,7 @@ pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod timer_wheel;
@@ -57,6 +58,7 @@ pub use engine::{run_until, RunStats, World};
 pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig};
 pub use rng::SimRng;
+pub use shard::{run_sharded, BatchStat, Shard, ShardConfig, ShardRunReport, ShardWorld};
 pub use stats::{OnlineStats, WelfordVariance};
 pub use time::SimTime;
 pub use timer_wheel::{TimerHandle, TimerWheel};

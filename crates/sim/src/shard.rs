@@ -1,0 +1,369 @@
+//! Sharded parallel simulation with a conservative time-window barrier.
+//!
+//! [`run_sharded`] partitions a simulation into independent shards — each a
+//! [`World`] with its own [`EventQueue`] — and advances them in lock-step
+//! time windows `[k·w, (k+1)·w)`. Within a window every shard runs
+//! independently (in parallel across worker threads); at the window barrier
+//! shards exchange cross-shard messages, which are delivered at the window
+//! end in a canonical order. The result is **byte-identical for any worker
+//! count**, including the serial one-worker run:
+//!
+//! * A shard's evolution inside a window depends only on its own state and
+//!   queue, never on thread scheduling.
+//! * Cross-shard messages are collected per source shard in emission order
+//!   and merged sorted by `(delivery time, source shard, emission seq)`
+//!   before delivery, so the destination queue's FIFO tie-break (see
+//!   [`EventQueue`]) observes the same insertion order regardless of which
+//!   worker ran which shard, or when.
+//!
+//! The barrier is *conservative*: a message emitted at time `t` inside
+//! window `k` is delivered no earlier than the window's end. Choosing the
+//! window at or below the minimum cross-shard latency of the modelled
+//! system (for the honeyfarm: the telescope→farm tunnel delay) makes this
+//! exact rather than approximate.
+
+use crate::engine::{run_until, RunStats, World};
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// A [`World`] that can exchange messages with sibling shards at window
+/// barriers.
+pub trait ShardWorld: World {
+    /// The message type exchanged between shards.
+    type Remote: Send;
+
+    /// Drains messages for other shards produced during the last window, as
+    /// `(destination shard, message)` in emission order. Destinations are
+    /// indices into the slice passed to [`run_sharded`]; a message addressed
+    /// to the emitting shard itself is delivered back to it at the barrier
+    /// like any other.
+    fn take_outbound(&mut self) -> Vec<(usize, Self::Remote)>;
+
+    /// Accepts one message from a sibling shard at the window barrier,
+    /// scheduling any resulting events at or after `at` (the barrier time).
+    fn accept_remote(&mut self, at: SimTime, msg: Self::Remote, queue: &mut EventQueue<Self::Event>);
+}
+
+/// One shard: a world plus its private event queue.
+pub struct Shard<W: World> {
+    /// The shard-local world.
+    pub world: W,
+    /// The shard-local event queue.
+    pub queue: EventQueue<W::Event>,
+}
+
+impl<W: World> Shard<W> {
+    /// Pairs a world with an empty queue.
+    pub fn new(world: W) -> Shard<W> {
+        Shard { world, queue: EventQueue::new() }
+    }
+}
+
+/// Parallelism and barrier configuration for [`run_sharded`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Barrier window width. Results depend on this value (it bounds when
+    /// cross-shard messages land) but never on `workers`.
+    pub window: SimTime,
+    /// Worker threads. `1` runs every shard inline on the calling thread;
+    /// values above the shard count are clamped.
+    pub workers: usize,
+}
+
+/// Wall-clock cost of one `(window, shard)` execution, for dispatch-latency
+/// profiling. Virtual-time fields are deterministic; `elapsed_nanos` is
+/// wall-clock and is not.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchStat {
+    /// Window index.
+    pub window: u64,
+    /// Shard index.
+    pub shard: usize,
+    /// Events dispatched in this batch.
+    pub events: u64,
+    /// Wall-clock nanoseconds spent dispatching the batch.
+    pub elapsed_nanos: u64,
+}
+
+/// Outcome of a sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardRunReport {
+    /// Aggregated run statistics (events summed across shards).
+    pub total: RunStats,
+    /// Per-shard aggregated statistics, indexed like the input slice.
+    pub per_shard: Vec<RunStats>,
+    /// Per-`(window, shard)` wall-clock batch costs, in `(window, shard)`
+    /// order.
+    pub batches: Vec<BatchStat>,
+    /// Cross-shard messages delivered across all barriers.
+    pub remote_messages: u64,
+    /// Windows executed (including the final partial one).
+    pub windows: u64,
+}
+
+/// Runs `shards` to `horizon` in conservative time windows, `workers` at a
+/// time. See the module docs for the determinism argument.
+///
+/// # Examples
+///
+/// A ring of counters passing a token one shard to the right each window;
+/// the outcome is identical for any worker count:
+///
+/// ```
+/// use potemkin_sim::shard::{run_sharded, Shard, ShardConfig, ShardWorld};
+/// use potemkin_sim::{EventQueue, SimTime, World};
+///
+/// struct Ring { id: usize, n: usize, seen: u64, out: Vec<(usize, u64)> }
+/// impl World for Ring {
+///     type Event = u64;
+///     fn handle(&mut self, _: SimTime, tok: u64, _: &mut EventQueue<u64>) {
+///         self.seen += tok;
+///         if tok > 1 {
+///             self.out.push(((self.id + 1) % self.n, tok - 1));
+///         }
+///     }
+/// }
+/// impl ShardWorld for Ring {
+///     type Remote = u64;
+///     fn take_outbound(&mut self) -> Vec<(usize, u64)> {
+///         std::mem::take(&mut self.out)
+///     }
+///     fn accept_remote(&mut self, at: SimTime, tok: u64, q: &mut EventQueue<u64>) {
+///         q.schedule(at, tok);
+///     }
+/// }
+///
+/// let run = |workers| {
+///     let mut shards: Vec<Shard<Ring>> = (0..4)
+///         .map(|id| Shard::new(Ring { id, n: 4, seen: 0, out: vec![] }))
+///         .collect();
+///     shards[0].queue.schedule(SimTime::ZERO, 8);
+///     let config = ShardConfig { window: SimTime::from_secs(1), workers };
+///     run_sharded(&mut shards, SimTime::from_secs(20), &config);
+///     shards.iter().map(|s| s.world.seen).collect::<Vec<_>>()
+/// };
+/// assert_eq!(run(1), run(4));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `config.window` is zero.
+pub fn run_sharded<W>(
+    shards: &mut [Shard<W>],
+    horizon: SimTime,
+    config: &ShardConfig,
+) -> ShardRunReport
+where
+    W: ShardWorld + Send,
+    W::Event: Send,
+{
+    assert!(!config.window.is_zero(), "barrier window must be non-zero");
+    let n = shards.len();
+    let workers = config.workers.clamp(1, n.max(1));
+    let mut report = ShardRunReport {
+        total: RunStats::default(),
+        per_shard: vec![RunStats::default(); n],
+        batches: Vec::new(),
+        remote_messages: 0,
+        windows: 0,
+    };
+    let mut window_start = SimTime::ZERO;
+    let mut window_index = 0u64;
+    while window_start < horizon {
+        let window_end = (window_start + config.window).min(horizon);
+        // (shard, stats, elapsed ns, outbound) for every shard this window.
+        let mut results = execute_window(shards, window_end, workers);
+        results.sort_by_key(|r| r.0);
+
+        let mut window_events = 0u64;
+        let mut deliveries = 0u64;
+        for (idx, stats, elapsed_nanos, outbound) in results {
+            window_events += stats.events_processed;
+            let agg = &mut report.per_shard[idx];
+            agg.events_processed += stats.events_processed;
+            agg.last_event_time = agg.last_event_time.max(stats.last_event_time);
+            agg.hit_horizon |= stats.hit_horizon;
+            report.batches.push(BatchStat {
+                window: window_index,
+                shard: idx,
+                events: stats.events_processed,
+                elapsed_nanos,
+            });
+            // `results` is sorted by source shard and each `outbound` is in
+            // emission order, so this loop delivers in the canonical
+            // (barrier time, source shard, emission seq) order.
+            for (dest, msg) in outbound {
+                assert!(dest < n, "shard {idx} addressed nonexistent shard {dest}");
+                let shard = &mut shards[dest];
+                shard.world.accept_remote(window_end, msg, &mut shard.queue);
+                deliveries += 1;
+            }
+        }
+        report.remote_messages += deliveries;
+        report.windows += 1;
+        window_index += 1;
+        window_start = window_end;
+        // Quiescence: nothing queued anywhere and no message in flight means
+        // every remaining window would be a no-op.
+        if window_events == 0 && deliveries == 0 && shards.iter().all(|s| s.queue.is_empty()) {
+            break;
+        }
+    }
+    for s in &report.per_shard {
+        report.total.events_processed += s.events_processed;
+        report.total.last_event_time = report.total.last_event_time.max(s.last_event_time);
+        report.total.hit_horizon |= s.hit_horizon;
+    }
+    report
+}
+
+type WindowResult<R> = (usize, RunStats, u64, Vec<(usize, R)>);
+
+/// Runs every shard for one window, returning per-shard results in
+/// arbitrary order. `workers == 1` stays on the calling thread.
+fn execute_window<W>(
+    shards: &mut [Shard<W>],
+    window_end: SimTime,
+    workers: usize,
+) -> Vec<WindowResult<W::Remote>>
+where
+    W: ShardWorld + Send,
+    W::Event: Send,
+{
+    let n = shards.len();
+    let run_one = |idx: usize, shard: &mut Shard<W>| {
+        let start = std::time::Instant::now();
+        let stats = run_until(&mut shard.world, &mut shard.queue, window_end);
+        let elapsed_nanos = start.elapsed().as_nanos() as u64;
+        let outbound = shard.world.take_outbound();
+        (idx, stats, elapsed_nanos, outbound)
+    };
+    if workers <= 1 {
+        return shards.iter_mut().enumerate().map(|(i, s)| run_one(i, s)).collect();
+    }
+    let chunk_size = n.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for (ci, chunk) in shards.chunks_mut(chunk_size).enumerate() {
+            let tx = tx.clone();
+            let run_one = &run_one;
+            scope.spawn(move |_| {
+                for (j, shard) in chunk.iter_mut().enumerate() {
+                    if tx.send(run_one(ci * chunk_size + j, shard)).is_err() {
+                        panic!("merge receiver disconnected");
+                    }
+                }
+            });
+        }
+        drop(tx);
+        rx.iter().collect()
+    })
+    .expect("shard worker panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A shard that records every (time, value) it handles and forwards
+    /// values to a fixed peer with a per-hop decrement.
+    struct Echo {
+        peer: usize,
+        log: Vec<(SimTime, u32)>,
+        pending: Vec<(usize, u32)>,
+    }
+
+    impl World for Echo {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, v: u32, q: &mut EventQueue<u32>) {
+            self.log.push((now, v));
+            if v >= 10 {
+                // Local follow-up inside the same shard.
+                q.schedule(now + SimTime::from_millis(50), v - 10);
+            } else if v > 0 {
+                self.pending.push((self.peer, v - 1));
+            }
+        }
+    }
+
+    impl ShardWorld for Echo {
+        type Remote = u32;
+        fn take_outbound(&mut self) -> Vec<(usize, u32)> {
+            std::mem::take(&mut self.pending)
+        }
+        fn accept_remote(&mut self, at: SimTime, v: u32, q: &mut EventQueue<u32>) {
+            q.schedule(at, v);
+        }
+    }
+
+    fn build(n: usize) -> Vec<Shard<Echo>> {
+        (0..n)
+            .map(|id| Shard::new(Echo { peer: (id + 1) % n, log: vec![], pending: vec![] }))
+            .collect()
+    }
+
+    fn run_with(workers: usize) -> (Vec<Vec<(SimTime, u32)>>, ShardRunReport) {
+        let mut shards = build(4);
+        shards[0].queue.schedule(SimTime::from_millis(1), 25);
+        shards[2].queue.schedule(SimTime::from_millis(1), 14);
+        let config = ShardConfig { window: SimTime::from_millis(200), workers };
+        let report = run_sharded(&mut shards, SimTime::from_secs(30), &config);
+        (shards.into_iter().map(|s| s.world.log).collect(), report)
+    }
+
+    #[test]
+    fn identical_logs_for_any_worker_count() {
+        let (serial_logs, serial_report) = run_with(1);
+        for workers in [2, 3, 4, 8] {
+            let (logs, report) = run_with(workers);
+            assert_eq!(logs, serial_logs, "worker count {workers} changed the run");
+            assert_eq!(report.total.events_processed, serial_report.total.events_processed);
+            assert_eq!(report.remote_messages, serial_report.remote_messages);
+            assert_eq!(report.windows, serial_report.windows);
+        }
+        assert!(serial_report.remote_messages > 0, "test must exercise cross-shard traffic");
+    }
+
+    #[test]
+    fn quiescence_stops_early() {
+        let mut shards = build(2);
+        shards[0].queue.schedule(SimTime::ZERO, 3);
+        let config = ShardConfig { window: SimTime::from_secs(1), workers: 2 };
+        let report = run_sharded(&mut shards, SimTime::from_secs(1_000_000), &config);
+        assert!(report.windows < 10, "must quiesce, ran {} windows", report.windows);
+        assert_eq!(report.total.events_processed, 4, "3 → 2 → 1 → 0 hops");
+    }
+
+    #[test]
+    fn barrier_delays_cross_shard_delivery_to_window_end() {
+        let mut shards = build(2);
+        shards[0].queue.schedule(SimTime::from_millis(10), 1);
+        let config = ShardConfig { window: SimTime::from_secs(1), workers: 1 };
+        run_sharded(&mut shards, SimTime::from_secs(5), &config);
+        // Shard 1 receives the hop at the barrier, not at emission time.
+        assert_eq!(shards[1].world.log, vec![(SimTime::from_secs(1), 0)]);
+    }
+
+    #[test]
+    fn per_shard_stats_and_batches_are_tracked() {
+        let (_, report) = run_with(3);
+        assert_eq!(report.per_shard.len(), 4);
+        let per_shard_sum: u64 = report.per_shard.iter().map(|s| s.events_processed).sum();
+        assert_eq!(per_shard_sum, report.total.events_processed);
+        let batch_sum: u64 = report.batches.iter().map(|b| b.events).sum();
+        assert_eq!(batch_sum, report.total.events_processed);
+        // Batches are in (window, shard) order.
+        let keys: Vec<(u64, usize)> = report.batches.iter().map(|b| (b.window, b.shard)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-zero")]
+    fn zero_window_panics() {
+        let mut shards = build(1);
+        let config = ShardConfig { window: SimTime::ZERO, workers: 1 };
+        run_sharded(&mut shards, SimTime::from_secs(1), &config);
+    }
+}

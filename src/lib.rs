@@ -33,6 +33,7 @@
 pub use potemkin_core as core_api;
 pub use potemkin_core::baseline;
 pub use potemkin_core::farm;
+pub use potemkin_core::parallel;
 pub use potemkin_core::report;
 pub use potemkin_core::scenario;
 pub use potemkin_gateway as gateway;

@@ -1,33 +1,40 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Provides the subset of the `Bytes` API this workspace uses: an immutable,
-//! cheaply cloneable byte buffer backed by an `Arc<[u8]>`. Cloning shares the
-//! allocation, matching the real crate's semantics for the operations we rely
-//! on (construction from slices/vectors, deref to `[u8]`, equality, hashing).
+//! cheaply cloneable byte buffer backed by an `Arc<[u8]>`, plus zero-copy
+//! sub-slicing. Cloning or slicing shares the allocation, matching the real
+//! crate's semantics for the operations we rely on (construction from
+//! slices/vectors, deref to `[u8]`, equality, hashing, `slice`).
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
-#[derive(Clone, Default)]
+/// An immutable, reference-counted byte buffer view.
+///
+/// The view covers `data[offset..offset + len]`; [`Bytes::slice`] narrows the
+/// view without copying the underlying allocation.
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// Creates an empty buffer.
     #[must_use]
     pub fn new() -> Bytes {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes { data: Arc::from(&[][..]), offset: 0, len: 0 }
     }
 
     /// Copies a slice into a new buffer.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes { data: Arc::from(data) }
+        let len = data.len();
+        Bytes { data: Arc::from(data), offset: 0, len }
     }
 
     /// Creates a buffer from a static slice.
@@ -39,19 +46,52 @@ impl Bytes {
     /// Length in bytes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     #[must_use]
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a sub-view of `self` covering `range`, sharing the underlying
+    /// allocation (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice start {start} > end {end}");
+        assert!(end <= self.len, "slice end {end} out of bounds (len {})", self.len);
+        Bytes { data: Arc::clone(&self.data), offset: self.offset + start, len: end - start }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
     }
 }
 
@@ -59,25 +99,26 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        let len = v.len();
+        Bytes { data: Arc::from(v.into_boxed_slice()), offset: 0, len }
     }
 }
 
@@ -95,7 +136,7 @@ impl From<&str> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Bytes) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -103,13 +144,13 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
@@ -121,20 +162,20 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -170,5 +211,37 @@ mod tests {
         assert_eq!(a, b);
         assert!(!b.is_empty());
         assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_shares_allocation() {
+        let a = Bytes::copy_from_slice(b"abcdefgh");
+        let mid = a.slice(2..6);
+        assert_eq!(&mid[..], b"cdef");
+        assert_eq!(mid.len(), 4);
+        // Sub-slicing a slice composes offsets.
+        let inner = mid.slice(1..3);
+        assert_eq!(&inner[..], b"de");
+        // The views share one allocation: 1 owner + 2 slices.
+        assert_eq!(Arc::strong_count(&a.data), 3);
+    }
+
+    #[test]
+    fn slice_open_ranges_and_equality() {
+        let a = Bytes::copy_from_slice(b"wire-payload");
+        assert_eq!(&a.slice(5..)[..], b"payload");
+        assert_eq!(&a.slice(..4)[..], b"wire");
+        assert_eq!(a.slice(..), a);
+        assert!(a.slice(3..3).is_empty());
+        // A slice equals an independently built buffer with the same bytes
+        // and hashes identically through the slice window.
+        assert_eq!(a.slice(5..), Bytes::copy_from_slice(b"payload"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let a = Bytes::copy_from_slice(b"xy");
+        let _ = a.slice(..3);
     }
 }

@@ -1,9 +1,103 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only the `thread::scope` API surface used by this workspace is provided,
-//! implemented on top of `std::thread::scope` (stable since 1.63). Semantics
-//! match crossbeam for the success path; a panicking scoped thread propagates
-//! through `std::thread::scope` rather than surfacing as an `Err`.
+//! Only the API surface used by this workspace is provided: `thread::scope`
+//! (on top of `std::thread::scope`, stable since 1.63) and unbounded
+//! `channel`s (on top of `std::sync::mpsc`). Semantics match crossbeam for
+//! the success path; a panicking scoped thread propagates through
+//! `std::thread::scope` rather than surfacing as an `Err`.
+
+pub mod channel {
+    //! Multi-producer channels for cross-shard event exchange.
+    //!
+    //! The subset used by the sharded replay engine: [`unbounded`] channels
+    //! with cloneable senders. Unlike real crossbeam the receiver is
+    //! single-consumer, which is all the window-barrier merge needs.
+
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// All senders have disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// The sending half of an unbounded channel; clone freely across
+    /// worker threads.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, failing only if the receiver was dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] carrying the message back when the
+        /// receiving half has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender disconnects.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when all senders are gone and the queue is
+        /// empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns the next queued message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError::Empty`] when nothing is queued and
+        /// [`TryRecvError::Disconnected`] when all senders are gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Iterates over messages until every sender disconnects.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
 
 pub mod thread {
     use std::thread as std_thread;
@@ -61,6 +155,30 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn channel_fans_in_from_scoped_threads() {
+        let (tx, rx) = crate::channel::unbounded();
+        crate::thread::scope(|s| {
+            for w in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(w).unwrap());
+            }
+        })
+        .unwrap();
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(rx.try_recv(), Err(crate::channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_after_receiver_drop_errors() {
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(crate::channel::SendError(9)));
+    }
+
     #[test]
     fn scoped_threads_join_with_results() {
         let data = [1u64, 2, 3, 4];

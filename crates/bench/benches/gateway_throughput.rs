@@ -49,7 +49,8 @@ fn bench_other_paths(c: &mut Criterion) {
         let mut i = 0u32;
         let now = SimTime::from_secs(1);
         b.iter(|| {
-            let p = PacketBuilder::new(vm_addr, Ipv4Addr::from(0x3000_0000 + i)).tcp_syn(1_025, 445);
+            let p =
+                PacketBuilder::new(vm_addr, Ipv4Addr::from(0x3000_0000 + i)).tcp_syn(1_025, 445);
             i += 1;
             g.on_outbound(now, VmRef(0), p)
         });
@@ -60,8 +61,8 @@ fn bench_other_paths(c: &mut Criterion) {
         use potemkin_net::gre::GreHeader;
         let mut ep = TunnelEndpoint::new();
         ep.attach(Telescope { key: 1, prefix: "10.1.0.0/16".parse().unwrap() });
-        let inner =
-            PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, 5)).tcp_syn(1, 445);
+        let inner = PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, 5))
+            .tcp_syn(1, 445);
         let frame = GreHeader::encapsulate_ipv4(1, inner.wire());
         b.iter(|| {
             let (_, pkt) = ep.decapsulate(&frame).unwrap();

@@ -9,7 +9,7 @@
 //!
 //! Output is plain aligned text; EXPERIMENTS.md quotes it directly.
 
-use potemkin_bench::experiments::{e1, e10, e11, e2, e3, e4, e5, e6, e7, e8, e9};
+use potemkin_bench::experiments::{e1, e10, e11, e12, e2, e3, e4, e5, e6, e7, e8, e9};
 use potemkin_sim::SimTime;
 
 struct Opts {
@@ -17,6 +17,8 @@ struct Opts {
     fast: bool,
     csv: bool,
     bench_out: Option<String>,
+    obs_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -24,23 +26,27 @@ fn parse_args() -> Opts {
     let mut fast = false;
     let mut csv = false;
     let mut bench_out = None;
+    let mut obs_out = None;
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => fast = true,
             "--csv" => csv = true,
             "--bench-out" => bench_out = args.next(),
+            "--obs-out" => obs_out = args.next(),
+            "--trace-out" => trace_out = args.next(),
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fast] [--csv] [--bench-out FILE] \
-                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11]"
+                    "usage: figures [--fast] [--csv] [--bench-out FILE] [--obs-out FILE] \
+                     [--trace-out FILE] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12]"
                 );
                 std::process::exit(0);
             }
             other => which.push(other.trim_start_matches("--").to_string()),
         }
     }
-    Opts { which, fast, csv, bench_out }
+    Opts { which, fast, csv, bench_out, obs_out, trace_out }
 }
 
 fn emit(opts: &Opts, table: &potemkin_metrics::Table) {
@@ -67,8 +73,7 @@ fn main() {
         emit(&opts, &e1::comparison_table(&r));
     }
     if wants(&opts, "e2") {
-        let counts: &[u64] =
-            if opts.fast { &[1, 25, 50] } else { &[1, 10, 25, 50, 75, 100, 116] };
+        let counts: &[u64] = if opts.fast { &[1, 25, 50] } else { &[1, 10, 25, 50, 75, 100, 116] };
         let r = e2::run(counts);
         emit(&opts, &e2::table(&r));
         println!(
@@ -135,6 +140,27 @@ fn main() {
         if let Some(path) = &opts.bench_out {
             std::fs::write(path, e11::bench_json(&r)).expect("write bench json");
             println!("wrote {path}");
+        }
+    }
+    if wants(&opts, "e12") {
+        let duration = if opts.fast { SimTime::from_secs(5) } else { SimTime::from_secs(20) };
+        let r = e12::run(duration, if opts.fast { 2 } else { 4 });
+        println!(
+            "trace capture: {} events over {} lanes; digests match: {}",
+            r.events_captured,
+            r.trace_lanes.len(),
+            r.digests_match
+        );
+        emit(&opts, &e12::breakdown_table(&r));
+        emit(&opts, &e12::overhead_table(&r));
+        if let Some(path) = &opts.obs_out {
+            std::fs::write(path, e12::bench_json(&r)).expect("write obs bench json");
+            println!("wrote {path}");
+        }
+        if let Some(path) = &opts.trace_out {
+            let chrome = potemkin_obs::chrome_trace_json(&r.trace, &r.trace_lanes);
+            std::fs::write(path, chrome).expect("write chrome trace");
+            println!("wrote {path} (open in chrome://tracing or ui.perfetto.dev)");
         }
     }
 }

@@ -42,8 +42,7 @@ pub fn run() -> CloneLatencyResult {
     let (_, boot) = host.cold_boot(image).unwrap();
 
     let opt = CostModel::optimized();
-    let optimized_flash =
-        CloneTiming::new(opt.flash_clone_stages(PAPER_CLONE_PAGES)).total();
+    let optimized_flash = CloneTiming::new(opt.flash_clone_stages(PAPER_CLONE_PAGES)).total();
 
     CloneLatencyResult {
         totals: (flash.total(), full.total(), boot.total()),

@@ -73,8 +73,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// The benchmark scenario: a dense /16 replay with an in-farm worm so the
-/// cell fabric carries real cross-shard traffic.
-fn config(duration: SimTime, cells: usize) -> ShardedTelescopeConfig {
+/// cell fabric carries real cross-shard traffic. Shared with E12, which
+/// measures recorder overhead on exactly this workload.
+pub(crate) fn config(duration: SimTime, cells: usize) -> ShardedTelescopeConfig {
     let mut farm = FarmConfig::small_test();
     farm.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10));
     farm.frames_per_server = 524_288;
@@ -97,6 +98,7 @@ fn config(duration: SimTime, cells: usize) -> ShardedTelescopeConfig {
         window: SimTime::from_millis(500),
         faults: None,
         seed_infections: 2,
+        trace: None,
     }
 }
 
@@ -214,8 +216,13 @@ pub fn bench_json(result: &ReplayScaleResult) -> String {
         s.push_str(&format!(
             "    {{\"workers\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \
              \"speedup\": {:.3}, \"dispatch_p50_ns\": {}, \"dispatch_p99_ns\": {}}}{}\n",
-            p.workers, p.wall_secs, p.events_per_sec, p.speedup, p.dispatch_p50_ns,
-            p.dispatch_p99_ns, sep
+            p.workers,
+            p.wall_secs,
+            p.events_per_sec,
+            p.speedup,
+            p.dispatch_p50_ns,
+            p.dispatch_p99_ns,
+            sep
         ));
     }
     s.push_str("  ]\n}\n");

@@ -123,8 +123,9 @@ pub fn run(vm_counts: &[u64]) -> MemoryScalingResult {
 /// Renders the sweep as a table.
 #[must_use]
 pub fn table(result: &MemoryScalingResult) -> Table {
-    let mut t = Table::new(&["VMs", "CoW total (MiB)", "full-copy total (MiB)", "CoW marginal (MiB/VM)"])
-        .with_title("E2: aggregate memory vs. live VMs (2 GiB server, 128 MiB image)");
+    let mut t =
+        Table::new(&["VMs", "CoW total (MiB)", "full-copy total (MiB)", "CoW marginal (MiB/VM)"])
+            .with_title("E2: aggregate memory vs. live VMs (2 GiB server, 128 MiB image)");
     for p in &result.points {
         t.row_owned(vec![
             p.vms.to_string(),

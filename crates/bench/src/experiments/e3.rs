@@ -110,8 +110,14 @@ pub fn run(duration: SimTime, lifetimes: &[SimTime], seed: u64) -> DemandResult 
 /// Renders the sweep as a table.
 #[must_use]
 pub fn table(result: &DemandResult) -> Table {
-    let mut t = Table::new(&["recycle time", "peak VMs", "mean VMs", "Little's law λT", "fits 1 server (116)?"])
-        .with_title("E3: VM demand vs. recycle time (/16 telescope)");
+    let mut t = Table::new(&[
+        "recycle time",
+        "peak VMs",
+        "mean VMs",
+        "Little's law λT",
+        "fits 1 server (116)?",
+    ])
+    .with_title("E3: VM demand vs. recycle time (/16 telescope)");
     for p in &result.points {
         t.row_owned(vec![
             p.lifetime.to_string(),
@@ -193,10 +199,7 @@ mod tests {
     fn session_merging_semantics() {
         let mut per_dst: HashMap<u32, Vec<SimTime>> = HashMap::new();
         // One address: packets at 0 s, 5 s (gap < 10), 60 s (gap ≥ 10).
-        per_dst.insert(
-            1,
-            vec![SimTime::ZERO, SimTime::from_secs(5), SimTime::from_secs(60)],
-        );
+        per_dst.insert(1, vec![SimTime::ZERO, SimTime::from_secs(5), SimTime::from_secs(60)]);
         let analyzer = sessions_for_lifetime(&per_dst, SimTime::from_secs(10));
         let stats = analyzer.analyze();
         assert_eq!(stats.intervals, 2, "two sessions: [0,15) and [60,70)");

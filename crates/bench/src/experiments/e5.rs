@@ -157,11 +157,7 @@ mod tests {
     #[test]
     fn reflection_curve_grows_like_si_early_phase() {
         let r = run(SimTime::from_secs(30));
-        let (_, reflect) = r
-            .runs
-            .iter()
-            .find(|(m, _)| *m == ContainmentMode::Reflect)
-            .unwrap();
+        let (_, reflect) = r.runs.iter().find(|(m, _)| *m == ContainmentMode::Reflect).unwrap();
         // Simulated infections at the horizon within a factor of ~3 of the
         // analytic prediction (the sim has cloning latency and dialogue
         // round-trips the ideal model lacks).

@@ -42,13 +42,15 @@ pub fn run(duration: SimTime, idle_timeout: SimTime, servers: usize) -> Telescop
 /// Renders the headline numbers.
 #[must_use]
 pub fn summary_table(result: &TelescopeResult, duration: SimTime) -> Table {
-    let mut t = Table::new(&["metric", "value"])
-        .with_title("E6: end-to-end telescope replay");
+    let mut t = Table::new(&["metric", "value"]).with_title("E6: end-to-end telescope replay");
     let s = &result.stats;
     t.row_owned(vec!["replay duration".into(), duration.to_string()]);
     t.row_owned(vec!["packets replayed".into(), result.packets.to_string()]);
     t.row_owned(vec!["distinct sources".into(), result.distinct_sources.to_string()]);
-    t.row_owned(vec!["telescope addresses touched".into(), result.distinct_destinations.to_string()]);
+    t.row_owned(vec![
+        "telescope addresses touched".into(),
+        result.distinct_destinations.to_string(),
+    ]);
     t.row_owned(vec!["VMs cloned".into(), s.vms_cloned.to_string()]);
     t.row_owned(vec!["VMs recycled".into(), s.vms_recycled.to_string()]);
     t.row_owned(vec!["peak live VMs".into(), format!("{:.0}", result.peak_live_vms)]);
@@ -58,7 +60,10 @@ pub fn summary_table(result: &TelescopeResult, duration: SimTime) -> Table {
         "marginal memory per VM".into(),
         format!("{:.2} MiB", s.marginal_frames_per_vm() * 4.0 / 1024.0),
     ]);
-    t.row_owned(vec!["pings answered at gateway".into(), s.counters.get("gateway_pings_answered").to_string()]);
+    t.row_owned(vec![
+        "pings answered at gateway".into(),
+        s.counters.get("gateway_pings_answered").to_string(),
+    ]);
     t.row_owned(vec![
         "backscatter dropped (no VM)".into(),
         s.counters.get("dropped_backscatter").to_string(),

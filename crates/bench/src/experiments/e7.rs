@@ -53,10 +53,7 @@ pub fn run(scripted_depth: u8) -> FidelityResult {
     let rows = scripts
         .into_iter()
         .map(|script| {
-            let mut low = LowInteractionResponder::new(
-                scripted_depth,
-                vec![80, 135, 445, 1434],
-            );
+            let mut low = LowInteractionResponder::new(scripted_depth, vec![80, 135, 445, 1434]);
             FidelityRow {
                 exploit: format!("{} (tcp/{})", script.name(), script.port()),
                 depth: script.depth(),
@@ -80,12 +77,15 @@ fn outcome_cell(o: &DialogueOutcome) -> String {
 /// Renders the comparison table.
 #[must_use]
 pub fn table(result: &FidelityResult) -> Table {
-    let mut t = Table::new(&["exploit", "depth", "low-interaction", "high-interaction (Potemkin VM)"])
-        .with_title(format!(
-            "E7: payload capture, scripted responder (depth {}) vs. real guest",
-            result.scripted_depth
-        )
-        .as_str());
+    let mut t =
+        Table::new(&["exploit", "depth", "low-interaction", "high-interaction (Potemkin VM)"])
+            .with_title(
+                format!(
+                    "E7: payload capture, scripted responder (depth {}) vs. real guest",
+                    result.scripted_depth
+                )
+                .as_str(),
+            );
     for row in &result.rows {
         t.row_owned(vec![
             row.exploit.clone(),

@@ -118,15 +118,9 @@ pub fn run(duration: SimTime) -> AblationResult {
 /// Renders all four ablations.
 #[must_use]
 pub fn table(result: &AblationResult) -> Table {
-    let mut t = Table::new(&[
-        "ablation",
-        "variant",
-        "VMs cloned",
-        "peak live",
-        "clone p50",
-        "vmm time",
-    ])
-    .with_title("E8: design-choice ablations (identical radiation per pair)");
+    let mut t =
+        Table::new(&["ablation", "variant", "VMs cloned", "peak live", "clone p50", "vmm time"])
+            .with_title("E8: design-choice ablations (identical radiation per pair)");
     for (name, rows) in [
         ("granularity", &result.granularity),
         ("standby pool", &result.standby),
@@ -170,10 +164,7 @@ mod tests {
         // Rollback recycling spends less VMM time than destroy + clone.
         let destroy_time = r.recycle[0].result.stats.vmm_time;
         let rollback_time = r.recycle[1].result.stats.vmm_time;
-        assert!(
-            rollback_time < destroy_time,
-            "rollback {rollback_time} vs destroy {destroy_time}"
-        );
+        assert!(rollback_time < destroy_time, "rollback {rollback_time} vs destroy {destroy_time}");
 
         // Disabling the backscatter filter wastes VMs on DoS echoes.
         assert!(

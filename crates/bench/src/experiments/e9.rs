@@ -76,8 +76,8 @@ pub fn run(duration: SimTime, lifetimes: &[SimTime]) -> RecycleResult {
             tick_interval: SimTime::from_millis(500),
         })
         .expect("outbreak runs");
-        let model = SisModel::new(256, SEEDS as u64, SCAN_RATE, 256, lifetime)
-            .expect("valid model");
+        let model =
+            SisModel::new(256, SEEDS as u64, SCAN_RATE, 256, lifetime).expect("valid model");
         points.push(RecyclePoint {
             lifetime,
             r0: model.si.beta() / model.gamma,
@@ -105,8 +105,9 @@ pub fn default_lifetimes() -> Vec<SimTime> {
 /// Renders the sweep.
 #[must_use]
 pub fn table(result: &RecycleResult) -> Table {
-    let mut t = Table::new(&["VM lifetime", "R0 = β/γ", "infected (sim)", "SIS equilibrium", "escapes"])
-        .with_title("E9: VM recycling as an internal-containment knob (SIS threshold)");
+    let mut t =
+        Table::new(&["VM lifetime", "R0 = β/γ", "infected (sim)", "SIS equilibrium", "escapes"])
+            .with_title("E9: VM recycling as an internal-containment knob (SIS threshold)");
     for p in &result.points {
         t.row_owned(vec![
             p.lifetime.to_string(),

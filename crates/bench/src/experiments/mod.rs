@@ -13,10 +13,12 @@
 //! | [`e9`] | (extension) | VM recycling as an internal-containment knob (SIS threshold) |
 //! | [`e10`] | (extension) | availability and fidelity under injected faults (graceful degradation) |
 //! | [`e11`] | (extension) | sharded parallel replay: throughput scaling with byte-identical results |
+//! | [`e12`] | (extension) | observability: clone-stage breakdown from trace events + recorder overhead |
 
 pub mod e1;
 pub mod e10;
 pub mod e11;
+pub mod e12;
 pub mod e2;
 pub mod e3;
 pub mod e4;

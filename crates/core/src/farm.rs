@@ -18,6 +18,7 @@ use potemkin_metrics::{CounterSet, FaultClass, FaultLedger, LogHistogram};
 use potemkin_net::icmp::IcmpMessage;
 use potemkin_net::tcp::TcpFlags;
 use potemkin_net::{Packet, PacketBuilder, PacketPayload};
+use potemkin_obs::{names as obs, TraceConfig, TraceEvent, Tracer};
 use potemkin_sim::{FaultInjector, FaultKind, FaultPlan, SimRng, SimTime};
 use potemkin_vmm::cost::CostModel;
 use potemkin_vmm::guest::GuestProfile;
@@ -184,6 +185,7 @@ pub enum FarmOutput {
     DroppedOutbound(DropReason),
 }
 
+#[derive(Clone, Copy)]
 struct VmSlot {
     host: usize,
     domain: DomainId,
@@ -237,6 +239,8 @@ pub struct Honeyfarm {
     tunnel_degraded_until: SimTime,
     tunnel_loss: f64,
     tunnel_extra_latency: SimTime,
+    /// Observability lane (disabled by default: one branch per call site).
+    tracer: Tracer,
 }
 
 impl Honeyfarm {
@@ -313,7 +317,35 @@ impl Honeyfarm {
             tunnel_degraded_until: SimTime::ZERO,
             tunnel_loss: 0.0,
             tunnel_extra_latency: SimTime::ZERO,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Enables tracing: the farm records on lane `base_lane`, its gateway
+    /// on `base_lane + 1`. Tracing is passive — it never draws from the
+    /// farm's RNGs and never reorders work — so every deterministic report
+    /// is byte-identical with it on or off (`tests/prop_obs.rs` proves
+    /// this property-style).
+    pub fn enable_tracing(&mut self, config: TraceConfig, base_lane: u32) {
+        self.tracer = Tracer::new(base_lane, config);
+        self.gateway.set_tracer(Tracer::new(base_lane + 1, config));
+    }
+
+    /// Drains every trace event recorded so far (farm and gateway lanes),
+    /// merged in `(sim-time, lane, seq)` order. Empty while tracing is
+    /// disabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let mut events = self.tracer.drain();
+        events.extend(self.gateway.take_trace());
+        events.sort_by_key(|e| (e.at, e.lane, e.seq));
+        events
+    }
+
+    /// Trace events lost to flight-recorder overwrite (farm + gateway
+    /// lanes).
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped() + self.gateway.trace_dropped()
     }
 
     /// Declares this farm to be one cell of a sharded run. From then on,
@@ -344,6 +376,12 @@ impl Honeyfarm {
     /// traffic). Processes the entire causal chain synchronously: cloning,
     /// delivery, guest responses, reflections.
     pub fn inject_external(&mut self, now: SimTime, packet: Packet) {
+        let span = self.tracer.begin(now, obs::FARM_INJECT);
+        self.inject_external_inner(now, packet);
+        self.tracer.end(now, span);
+    }
+
+    fn inject_external_inner(&mut self, now: SimTime, packet: Packet) {
         self.poll_faults(now);
         if now < self.tunnel_degraded_until {
             if self.fault_rng.chance(self.tunnel_loss) {
@@ -408,10 +446,12 @@ impl Honeyfarm {
     /// reclaims expired VMs according to the configured
     /// [`RecycleStrategy`].
     pub fn tick(&mut self, now: SimTime) {
+        let span = self.tracer.begin(now, obs::FARM_TICK);
         self.poll_faults(now);
         for expired in self.gateway.expire(now) {
             self.reclaim_vm(expired.vm);
         }
+        self.tracer.end(now, span);
     }
 
     /// Fires every scheduled fault event whose time has passed.
@@ -544,6 +584,12 @@ impl Honeyfarm {
     }
 
     fn run_actions(&mut self, now: SimTime, actions: Vec<GatewayAction>) {
+        let span = self.tracer.begin(now, obs::FARM_DISPATCH);
+        self.run_actions_inner(now, actions);
+        self.tracer.end(now, span);
+    }
+
+    fn run_actions_inner(&mut self, now: SimTime, actions: Vec<GatewayAction>) {
         let mut queue: Vec<GatewayAction> = actions;
         // Bound the causal chain defensively; real chains are short (a
         // reflection plus a few dialogue rounds).
@@ -578,8 +624,7 @@ impl Honeyfarm {
                         }
                         None => {
                             self.counters.incr("dropped_no_capacity");
-                            self.outputs
-                                .push(FarmOutput::DroppedInbound(DropReason::SourceQuota));
+                            self.outputs.push(FarmOutput::DroppedInbound(DropReason::SourceQuota));
                         }
                     }
                 }
@@ -680,10 +725,10 @@ impl Honeyfarm {
             }
             if let Some(domain) = self.standby[h].pop() {
                 self.next_host = (h + 1) % n;
-                let timing =
-                    CloneTiming::new(self.config.cost_model.standby_bind_stages());
+                let timing = CloneTiming::new(self.config.cost_model.standby_bind_stages());
                 self.counters.incr("standby_hits");
-                return self.finish_placement(now, src, addr, h, domain, timing);
+                let slot = VmSlot { host: h, domain };
+                return self.finish_placement(now, src, addr, slot, timing, obs::VMM_STANDBY_BIND);
             }
         }
         for offset in 0..n {
@@ -691,7 +736,15 @@ impl Honeyfarm {
             match self.clone_with_retry(h, self.images[h][profile_idx]) {
                 Ok((domain, timing)) => {
                     self.next_host = (h + 1) % n;
-                    return self.finish_placement(now, src, addr, h, domain, timing);
+                    let slot = VmSlot { host: h, domain };
+                    return self.finish_placement(
+                        now,
+                        src,
+                        addr,
+                        slot,
+                        timing,
+                        obs::VMM_FLASH_CLONE,
+                    );
                 }
                 Err(VmmError::TooManyDomains { .. })
                 | Err(VmmError::OutOfMemory { .. })
@@ -768,10 +821,11 @@ impl Honeyfarm {
         now: SimTime,
         src: Ipv4Addr,
         addr: Ipv4Addr,
-        host: usize,
-        domain: DomainId,
+        slot: VmSlot,
         timing: CloneTiming,
+        provision: &'static str,
     ) -> Option<VmRef> {
+        let VmSlot { host, domain } = slot;
         // The domain can vanish between clone and bind if its host crashed
         // mid-placement; treat it as a failed placement, not a panic.
         let Ok(dom) = self.hosts[host].domain_mut(domain) else {
@@ -781,7 +835,7 @@ impl Honeyfarm {
         dom.bind_addr(addr);
         let vm = VmRef(self.next_vmref);
         self.next_vmref += 1;
-        self.vms.insert(vm, VmSlot { host, domain });
+        self.vms.insert(vm, slot);
         self.gateway.bind(now, src, addr, vm);
         self.counters.incr("vms_cloned");
         self.clone_latency_us.record(timing.total().as_micros());
@@ -791,12 +845,20 @@ impl Honeyfarm {
             self.fault_ledger.record_rebind_us(downtime.as_micros());
             self.counters.incr("rebinds_after_crash");
         }
+        // The provisioning stages happened "inside" this instant of virtual
+        // time; replay them as a span tree (root = clone/standby-bind, one
+        // child per stage) so the observed breakdown can be rebuilt from
+        // the trace alone.
+        timing.emit_spans(&mut self.tracer, now, provision);
         self.last_clone_timing = Some(timing);
         Some(vm)
     }
 
     /// Models the guest receiving a packet: page activity, infection, and
-    /// response emission.
+    /// response emission. Deliberately unspanned: each delivery already
+    /// leaves a `gw.action.deliver` instant in the trace, and a redundant
+    /// span pair here would be the single largest event source (E12 holds
+    /// recorder overhead under 5%).
     fn handle_delivery(&mut self, now: SimTime, vm: VmRef, packet: Packet) -> Vec<Packet> {
         let Some(slot) = self.vms.get(&vm) else {
             return vec![];
@@ -882,7 +944,14 @@ impl Honeyfarm {
                         marker.is_some_and(|m| Self::contains(payload, m)) && listening;
                     if carries_exploit {
                         self.capture_payload(now, payload, header.dst_port, remote);
-                        self.infect(now, vm, (host_idx, domain), req_idx, remote, Some(header.dst_port));
+                        self.infect(
+                            now,
+                            vm,
+                            (host_idx, domain),
+                            req_idx,
+                            remote,
+                            Some(header.dst_port),
+                        );
                         emissions.push(PacketBuilder::new(me, remote).tcp_segment(
                             header.dst_port,
                             header.src_port,
@@ -924,15 +993,21 @@ impl Honeyfarm {
                     self.counters.incr("dns_responses_consumed");
                 } else if carries_exploit {
                     self.capture_payload(now, payload, header.dst_port, remote);
-                    self.infect(now, vm, (host_idx, domain), req_idx, remote, Some(header.dst_port));
+                    self.infect(
+                        now,
+                        vm,
+                        (host_idx, domain),
+                        req_idx,
+                        remote,
+                        Some(header.dst_port),
+                    );
                     // Slammer-style worms elicit no reply.
                 } else if listening {
                     self.touch(now, host_idx, domain, req_idx);
                 } else {
                     // Closed UDP port: ICMP port unreachable, as a real
                     // stack would.
-                    let original: Vec<u8> =
-                        packet.wire().iter().take(28).copied().collect();
+                    let original: Vec<u8> = packet.wire().iter().take(28).copied().collect();
                     emissions.push(PacketBuilder::new(me, remote).icmp(
                         IcmpMessage::DestUnreachable {
                             code: IcmpMessage::CODE_PORT_UNREACHABLE,
@@ -970,8 +1045,7 @@ impl Honeyfarm {
         port: Option<u16>,
     ) {
         let (host, domain) = slot;
-        let already =
-            self.hosts[host].domain(domain).map_or(true, |d| d.is_infected());
+        let already = self.hosts[host].domain(domain).map_or(true, |d| d.is_infected());
         if already {
             return;
         }
@@ -992,8 +1066,7 @@ impl Honeyfarm {
                 } else {
                     self.counters.incr("infections_external");
                 }
-                let victim_addr =
-                    self.hosts[host].domain(domain).ok().and_then(|d| d.bound_addr());
+                let victim_addr = self.hosts[host].domain(domain).ok().and_then(|d| d.bound_addr());
                 self.infection_log.push(InfectionRecord {
                     vm,
                     victim_addr,
@@ -1013,10 +1086,8 @@ impl Honeyfarm {
     ///
     /// Returns [`FarmError::Vmm`] if the VM does not exist.
     pub fn seed_infection(&mut self, vm: VmRef) -> Result<(), FarmError> {
-        let slot = self
-            .vms
-            .get(&vm)
-            .ok_or(FarmError::Vmm(VmmError::NoSuchDomain(DomainId(vm.0))))?;
+        let slot =
+            self.vms.get(&vm).ok_or(FarmError::Vmm(VmmError::NoSuchDomain(DomainId(vm.0))))?;
         let (host, domain) = (slot.host, slot.domain);
         self.hosts[host].apply_infection(domain, vm.0)?;
         self.counters.incr("infections");
@@ -1109,11 +1180,7 @@ impl Honeyfarm {
     pub fn infected_vms(&self) -> usize {
         self.vms
             .values()
-            .filter(|slot| {
-                self.hosts[slot.host]
-                    .domain(slot.domain)
-                    .is_ok_and(|d| d.is_infected())
-            })
+            .filter(|slot| self.hosts[slot.host].domain(slot.domain).is_ok_and(|d| d.is_infected()))
             .count()
     }
 
@@ -1313,11 +1380,8 @@ mod tests {
         assert_eq!(infected.len(), 1);
         assert_ne!(infected[0], vm0);
         // Nothing escaped.
-        let escapes = farm
-            .take_outputs()
-            .iter()
-            .filter(|o| matches!(o, FarmOutput::SentExternal(_)))
-            .count();
+        let escapes =
+            farm.take_outputs().iter().filter(|o| matches!(o, FarmOutput::SentExternal(_))).count();
         assert_eq!(escapes, 0, "reflection must keep worm traffic internal");
         assert_eq!(farm.gateway().counters().get("escaped"), 0);
     }
@@ -1356,11 +1420,8 @@ mod tests {
             farm.worm_probe(SimTime::from_millis(i * 100), vm0, i);
         }
         assert!(farm.gateway().counters().get("escaped") > 0);
-        let escapes = farm
-            .take_outputs()
-            .iter()
-            .filter(|o| matches!(o, FarmOutput::SentExternal(_)))
-            .count();
+        let escapes =
+            farm.take_outputs().iter().filter(|o| matches!(o, FarmOutput::SentExternal(_))).count();
         assert!(escapes > 0);
     }
 
@@ -1554,7 +1615,10 @@ mod tests {
         assert_eq!(farm.infected_vms(), 0);
         assert_eq!(farm.standby_vms(), 1);
         // Reuse: the standby domain serves a fresh address, uninfected.
-        farm.inject_external(SimTime::from_secs(12), syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 9), 445));
+        farm.inject_external(
+            SimTime::from_secs(12),
+            syn(ATTACKER, Ipv4Addr::new(10, 1, 0, 9), 445),
+        );
         assert_eq!(farm.live_vms(), 1);
         assert_eq!(farm.infected_vms(), 0);
     }
@@ -1600,10 +1664,8 @@ mod tests {
             cfg.frames_per_server = 8_000_000;
             cfg.max_domains_per_server = 4_096;
             cfg.gateway.policy.binding_idle_timeout = SimTime::from_secs(600);
-            cfg.worm = Some(WormSpec {
-                polymorphic,
-                ..WormSpec::slammer("10.1.0.0/24".parse().unwrap())
-            });
+            cfg.worm =
+                Some(WormSpec { polymorphic, ..WormSpec::slammer("10.1.0.0/24".parse().unwrap()) });
             let mut farm = Honeyfarm::new(cfg).unwrap();
             let vm0 = farm.materialize(SimTime::ZERO, HP1).unwrap();
             farm.seed_infection(vm0).unwrap();

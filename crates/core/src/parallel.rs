@@ -109,6 +109,12 @@ pub struct ShardedTelescopeConfig {
     /// are placed on distinct telescope addresses in their owning cells,
     /// and their probes propagate across the cell fabric.
     pub seed_infections: usize,
+    /// Observability: when set, every cell farm records spans (farm lane
+    /// `2*cell`, gateway lane `2*cell + 1`) and the engine's window batches
+    /// are synthesized into per-shard worker lanes. `None` leaves tracing
+    /// compiled out of the hot path. Tracing never changes any
+    /// deterministic result field.
+    pub trace: Option<potemkin_obs::TraceConfig>,
 }
 
 /// Result of a sharded telescope replay: the serial [`TelescopeResult`]
@@ -141,6 +147,15 @@ pub struct ShardedTelescopeResult {
     pub final_infected: usize,
     /// Engine telemetry: per-shard event counts, per-window batch timings.
     pub engine: ShardRunReport,
+    /// Merged trace events (empty unless
+    /// [`ShardedTelescopeConfig::trace`] was set), in
+    /// `(sim-time, lane, seq)` order. Excluded from determinism digests by
+    /// convention: sim-time content is deterministic, but wall-clock
+    /// stamps (when enabled) are not.
+    pub trace: Vec<potemkin_obs::TraceEvent>,
+    /// Lane-number → human-readable lane name pairs for the trace
+    /// exporters.
+    pub trace_lanes: Vec<(u32, String)>,
 }
 
 enum CellEvent {
@@ -237,7 +252,12 @@ impl ShardWorld for CellWorld {
         std::mem::take(&mut self.outbound).into_iter().collect()
     }
 
-    fn accept_remote(&mut self, at: SimTime, batch: Vec<Packet>, queue: &mut EventQueue<CellEvent>) {
+    fn accept_remote(
+        &mut self,
+        at: SimTime,
+        batch: Vec<Packet>,
+        queue: &mut EventQueue<CellEvent>,
+    ) {
         for packet in batch {
             queue.schedule(at, CellEvent::Packet(Box::new(packet)));
         }
@@ -285,6 +305,9 @@ pub fn run_telescope_sharded(
             plan_config.seed = derive_cell_seed(template.seed, cell);
             farm.install_fault_plan(FaultPlan::generate(&plan_config));
         }
+        if let Some(trace_config) = config.trace {
+            farm.enable_tracing(trace_config, (cell * 2) as u32);
+        }
         let world = CellWorld {
             cells: config.cells,
             telescope,
@@ -311,8 +334,7 @@ pub fn run_telescope_sharded(
             .ok_or(FarmError::BadConfig { what: "more seed infections than addresses" })?;
         let cell = cell_for(addr, config.cells);
         let shard = &mut shards[cell];
-        let vm =
-            shard.world.farm.materialize(SimTime::ZERO, addr).ok_or(FarmError::NoCapacity)?;
+        let vm = shard.world.farm.materialize(SimTime::ZERO, addr).ok_or(FarmError::NoCapacity)?;
         shard.world.farm.seed_infection(vm)?;
         if let Some(gap) = probe_gap {
             shard.queue.schedule(gap, CellEvent::Probe { vm, idx: 0 });
@@ -327,11 +349,8 @@ pub fn run_telescope_sharded(
         shards[cell].queue.schedule(event.at, CellEvent::Packet(Box::new(event.packet)));
     }
 
-    let engine = run_sharded(
-        &mut shards,
-        base.duration,
-        &ShardConfig { window: config.window, workers },
-    );
+    let engine =
+        run_sharded(&mut shards, base.duration, &ShardConfig { window: config.window, workers });
 
     let farms: Vec<&Honeyfarm> = shards.iter().map(|s| &s.world.farm).collect();
     let stats = FarmStats::collect_sharded(farms.iter().copied());
@@ -345,6 +364,10 @@ pub fn run_telescope_sharded(
         final_infected += shard.world.farm.infected_vms();
     }
     let peak_live_vms = live_vm_series.peak();
+    let (trace_events, trace_lanes) = match config.trace {
+        Some(trace_config) => collect_traces(config, trace_config, &mut shards, &engine),
+        None => (Vec::new(), Vec::new()),
+    };
     Ok(ShardedTelescopeResult {
         live_vm_series,
         packets,
@@ -357,7 +380,56 @@ pub fn run_telescope_sharded(
         cross_cell_packets,
         final_infected,
         engine,
+        trace: trace_events,
+        trace_lanes,
     })
+}
+
+/// Drains every cell farm's trace and synthesizes shard-worker window
+/// lanes (one per shard, numbered after the cell lanes) from the engine's
+/// batch telemetry: each window batch becomes a `shard.window` span over
+/// its barrier interval with a `shard.events` counter sample, carrying the
+/// batch's measured wall nanoseconds only when wall-clock stamping was
+/// requested.
+fn collect_traces(
+    config: &ShardedTelescopeConfig,
+    trace_config: potemkin_obs::TraceConfig,
+    shards: &mut [Shard<CellWorld>],
+    engine: &ShardRunReport,
+) -> (Vec<potemkin_obs::TraceEvent>, Vec<(u32, String)>) {
+    use potemkin_obs::{names, TraceEvent, Tracer};
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut lanes = Vec::new();
+    for (cell, shard) in shards.iter_mut().enumerate() {
+        events.extend(shard.world.farm.take_trace());
+        lanes.push(((cell * 2) as u32, format!("cell {cell} farm")));
+        lanes.push(((cell * 2 + 1) as u32, format!("cell {cell} gateway")));
+    }
+    let base_lane = (config.cells * 2) as u32;
+    let mut engine_lanes: BTreeMap<u32, Tracer> = BTreeMap::new();
+    for batch in &engine.batches {
+        let lane = base_lane + batch.shard as u32;
+        let tracer = engine_lanes
+            .entry(lane)
+            .or_insert_with(|| Tracer::new(lane, potemkin_obs::TraceConfig::unbounded()));
+        let start = config.window * batch.window;
+        let end = start.saturating_add(config.window).min(config.base.duration);
+        let span = tracer.begin(start, names::SHARD_WINDOW);
+        tracer.counter(start, names::SHARD_EVENTS, batch.events);
+        if trace_config.wall_clock {
+            // The engine measured this batch's wall time already; surface
+            // it instead of re-stamping (the tracer's own clock started at
+            // collection time, long after the batch ran).
+            tracer.instant(start, "shard.batch_wall_nanos", batch.elapsed_nanos);
+        }
+        tracer.end(end, span);
+    }
+    for (lane, mut tracer) in engine_lanes {
+        events.extend(tracer.drain());
+        lanes.push((lane, format!("shard worker {}", lane - base_lane)));
+    }
+    events.sort_by_key(|e| (e.at, e.lane, e.seq));
+    (events, lanes)
 }
 
 #[cfg(test)]
@@ -385,6 +457,7 @@ mod tests {
             window: SimTime::from_millis(500),
             faults: None,
             seed_infections: 0,
+            trace: None,
         }
     }
 
@@ -414,6 +487,39 @@ mod tests {
             let parallel = run_telescope_sharded(&config, workers).unwrap();
             assert_eq!(digest(&serial), digest(&parallel), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn tracing_collects_all_lanes_without_changing_results() {
+        let mut config = sharded_config(2);
+        config.base.duration = SimTime::from_secs(4);
+        let plain = run_telescope_sharded(&config, 2).unwrap();
+        assert!(plain.trace.is_empty());
+        assert!(plain.trace_lanes.is_empty());
+        config.trace = Some(potemkin_obs::TraceConfig::unbounded());
+        let traced = run_telescope_sharded(&config, 2).unwrap();
+        assert_eq!(digest(&plain), digest(&traced), "tracing must be observer-effect-free");
+        assert!(!traced.trace.is_empty());
+        // Lanes: farm + gateway per cell, plus one engine lane per shard.
+        assert_eq!(traced.trace_lanes.len(), 2 * 2 + 2);
+        let farm_lanes = traced.trace.iter().filter(|e| e.lane < 4).count();
+        let window_spans = traced
+            .trace
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    potemkin_obs::TraceEventKind::SpanBegin {
+                        name: potemkin_obs::names::SHARD_WINDOW,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(farm_lanes > 0, "cell farms recorded spans");
+        assert_eq!(window_spans, traced.engine.batches.len(), "one span per window batch");
+        // Sim-time stamps only: no wall clock unless requested.
+        assert!(traced.trace.iter().all(|e| e.wall_nanos.is_none()));
     }
 
     #[test]

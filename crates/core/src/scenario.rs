@@ -455,15 +455,15 @@ mod tests {
     #[test]
     fn zero_fault_plan_reproduces_the_unfaulted_run() {
         let plain = run_telescope(telescope_config()).unwrap();
-        let (faulted, report) = run_telescope_faulted(
-            telescope_config(),
-            FaultPlan::zero(),
-        )
-        .unwrap();
+        let (faulted, report) =
+            run_telescope_faulted(telescope_config(), FaultPlan::zero()).unwrap();
         assert_eq!(plain.packets, faulted.packets);
         assert_eq!(plain.stats.vms_cloned, faulted.stats.vms_cloned);
         assert_eq!(plain.stats.vms_recycled, faulted.stats.vms_recycled);
-        assert_eq!(plain.stats.counters.get("packets_in"), faulted.stats.counters.get("packets_in"));
+        assert_eq!(
+            plain.stats.counters.get("packets_in"),
+            faulted.stats.counters.get("packets_in")
+        );
         assert_eq!(plain.stats.counters.get("escaped"), faulted.stats.counters.get("escaped"));
         assert_eq!(report.host_crashes, 0);
         assert_eq!(report.availability(), 1.0);

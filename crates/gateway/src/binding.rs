@@ -124,7 +124,8 @@ impl AddressBinder {
         // Never extend past the hard lifetime cap.
         let idle_deadline = now + idle_timeout;
         let hard_deadline = binding.bound_at.saturating_add(self.max_lifetime);
-        binding.idle_timer = self.timers.schedule(idle_deadline.min(hard_deadline), (key, binding.epoch));
+        binding.idle_timer =
+            self.timers.schedule(idle_deadline.min(hard_deadline), (key, binding.epoch));
         Some(binding.vm)
     }
 
@@ -187,12 +188,8 @@ impl AddressBinder {
     /// Unbinds every key bound to `vm` (the VM's host crashed; all of its
     /// bindings die with it). Returns the removed keys.
     pub fn unbind_vm(&mut self, vm: VmRef) -> Vec<BindKey> {
-        let keys: Vec<BindKey> = self
-            .bindings
-            .iter()
-            .filter(|(_, b)| b.vm == vm)
-            .map(|(&k, _)| k)
-            .collect();
+        let keys: Vec<BindKey> =
+            self.bindings.iter().filter(|(_, b)| b.vm == vm).map(|(&k, _)| k).collect();
         for key in &keys {
             self.unbind(*key);
         }

@@ -10,12 +10,31 @@
 //! — so a bot that resolves its C&C host and connects ends up talking to a
 //! honeypot impersonating the C&C server.
 
+use core::fmt;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use potemkin_net::addr::Ipv4Prefix;
 use potemkin_net::dns::{DnsMessage, DNS_PORT, TYPE_A};
 use potemkin_net::{Packet, PacketBuilder, PacketPayload};
+
+/// Why the sinkhole could not produce an address for a name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SinkholeError {
+    /// Every address in the sinkhole prefix is already bound to a name
+    /// (or the prefix is empty): there is nothing left to hand out.
+    Exhausted,
+}
+
+impl fmt::Display for SinkholeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinkholeError::Exhausted => write!(f, "sinkhole prefix exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SinkholeError {}
 
 /// The controlled resolver.
 pub struct DnsProxy {
@@ -45,9 +64,19 @@ impl DnsProxy {
 
     /// The deterministic sinkhole address for `name` (FNV-1a over the name,
     /// folded into the prefix).
-    fn addr_for(&mut self, name: &str) -> Ipv4Addr {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkholeError::Exhausted`] when every address in the
+    /// prefix is already bound (or the prefix is empty) — the probe loop
+    /// would otherwise never terminate.
+    fn addr_for(&mut self, name: &str) -> Result<Ipv4Addr, SinkholeError> {
         if let Some(&a) = self.forward.get(name) {
-            return a;
+            return Ok(a);
+        }
+        let len = self.sinkhole.len();
+        if len == 0 || self.reverse.len() as u64 >= len {
+            return Err(SinkholeError::Exhausted);
         }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in name.as_bytes() {
@@ -55,19 +84,19 @@ impl DnsProxy {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         // Linear-probe within the prefix on (astronomically unlikely)
-        // collision so the reverse map stays injective.
-        let len = self.sinkhole.len();
+        // collision so the reverse map stays injective; a free slot exists
+        // because the exhaustion check above passed.
         let mut idx = h % len;
         let addr = loop {
-            let candidate = self.sinkhole.addr_at(idx).expect("index reduced mod len");
-            if !self.reverse.contains_key(&candidate) {
-                break candidate;
+            match self.sinkhole.addr_at(idx) {
+                Some(candidate) if !self.reverse.contains_key(&candidate) => break candidate,
+                Some(_) => idx = (idx + 1) % len,
+                None => return Err(SinkholeError::Exhausted),
             }
-            idx = (idx + 1) % len;
         };
         self.forward.insert(name.to_string(), addr);
         self.reverse.insert(addr, name.to_string());
-        addr
+        Ok(addr)
     }
 
     /// Whether a UDP packet is a DNS query the proxy should answer.
@@ -99,18 +128,21 @@ impl DnsProxy {
         }
         self.queries += 1;
         let answer_addr = match query.questions.first() {
-            Some(q) if q.qtype == TYPE_A && !q.name.is_empty() => Some(self.addr_for(&q.name)),
-            _ => {
-                self.nxdomain += 1;
-                None
-            }
+            // An exhausted sinkhole answers NXDOMAIN-style (no address)
+            // rather than panicking: fidelity degrades, containment holds.
+            Some(q) if q.qtype == TYPE_A && !q.name.is_empty() => self.addr_for(&q.name).ok(),
+            _ => None,
         };
+        if answer_addr.is_none() {
+            self.nxdomain += 1;
+        }
         let response = DnsMessage::respond(&query, answer_addr, self.ttl);
         let wire = response.build().ok()?;
-        Some(
-            PacketBuilder::new(query_packet.dst(), query_packet.src())
-                .udp(DNS_PORT, header.src_port, &wire),
-        )
+        Some(PacketBuilder::new(query_packet.dst(), query_packet.src()).udp(
+            DNS_PORT,
+            header.src_port,
+            &wire,
+        ))
     }
 
     /// The name previously resolved to `addr`, if any — attribution for
@@ -174,9 +206,7 @@ mod tests {
         assert!(p.is_sinkhole_addr(addr));
         // Same name resolves to the same address forever.
         let reply2 = p.answer(&query_packet("c2.botnet.example", 8)).unwrap();
-        let PacketPayload::Udp { payload: p2, .. } = reply2.payload() else {
-            panic!("not udp")
-        };
+        let PacketPayload::Udp { payload: p2, .. } = reply2.payload() else { panic!("not udp") };
         assert_eq!(DnsMessage::parse(p2).unwrap().answers[0].addr().unwrap(), addr);
         assert_eq!(p.names_resolved(), 1);
     }
@@ -225,6 +255,33 @@ mod tests {
         let resp_pkt = PacketBuilder::new(VM_ADDR, RESOLVER).udp(3333, DNS_PORT, &resp);
         assert!(p.answer(&resp_pkt).is_none());
         assert_eq!(p.counts().0, 0);
+    }
+
+    #[test]
+    fn exhausted_sinkhole_answers_nxdomain_instead_of_panicking() {
+        // A /32 sinkhole holds exactly one address.
+        let mut p = DnsProxy::new("172.20.0.1/32".parse().unwrap());
+        let first = p.answer(&query_packet("a.example", 1)).unwrap();
+        let PacketPayload::Udp { payload, .. } = first.payload() else { panic!() };
+        assert_eq!(DnsMessage::parse(payload).unwrap().answers.len(), 1);
+        // The second distinct name finds the prefix full: it still gets a
+        // well-formed response, just without an address.
+        let second = p.answer(&query_packet("b.example", 2)).unwrap();
+        let PacketPayload::Udp { payload, .. } = second.payload() else { panic!() };
+        let msg = DnsMessage::parse(payload).unwrap();
+        assert!(msg.is_response);
+        assert!(msg.answers.is_empty());
+        assert_eq!(p.counts(), (2, 1));
+        // The already-bound name keeps resolving.
+        assert!(p.answer(&query_packet("a.example", 3)).is_some());
+        assert_eq!(p.names_resolved(), 1);
+    }
+
+    #[test]
+    fn addr_for_reports_exhaustion_as_typed_error() {
+        let mut p = DnsProxy::new("172.20.0.1/32".parse().unwrap());
+        assert!(p.addr_for("a.example").is_ok());
+        assert_eq!(p.addr_for("b.example"), Err(SinkholeError::Exhausted));
     }
 
     #[test]

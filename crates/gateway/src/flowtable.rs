@@ -325,7 +325,12 @@ mod tests {
         ft.observe(SimTime::ZERO, key(), 40, FlowDirection::InboundInitiated);
         // The reply direction updates the same flow and keeps the original
         // initiator.
-        assert!(!ft.observe(SimTime::from_secs(1), key().reversed(), 40, FlowDirection::OutboundInitiated));
+        assert!(!ft.observe(
+            SimTime::from_secs(1),
+            key().reversed(),
+            40,
+            FlowDirection::OutboundInitiated
+        ));
         assert!(ft.is_reply_to_inbound(key().reversed()));
         assert_eq!(ft.len(), 1);
     }
@@ -367,9 +372,7 @@ mod tests {
     #[test]
     fn lru_capacity_evicts_least_recent() {
         let mut ft = FlowTable::new(SimTime::from_secs(3_600)).with_max_flows(3);
-        let keys: Vec<FlowKey> = (0..5u16)
-            .map(|i| FlowKey::tcp(ATK, 1_000 + i, HP, 445))
-            .collect();
+        let keys: Vec<FlowKey> = (0..5u16).map(|i| FlowKey::tcp(ATK, 1_000 + i, HP, 445)).collect();
         for (i, &k) in keys.iter().take(3).enumerate() {
             ft.observe(SimTime::from_secs(i as u64), k, 40, FlowDirection::InboundInitiated);
         }
@@ -421,9 +424,24 @@ mod tests {
     fn retire_addr_removes_flows_on_both_sides() {
         let mut ft = FlowTable::new(SimTime::from_secs(60));
         let other = Ipv4Addr::new(10, 0, 0, 2);
-        ft.observe(SimTime::ZERO, FlowKey::tcp(ATK, 1, HP, 445), 40, FlowDirection::InboundInitiated);
-        ft.observe(SimTime::ZERO, FlowKey::tcp(HP, 1025, ATK, 80), 40, FlowDirection::OutboundInitiated);
-        ft.observe(SimTime::ZERO, FlowKey::tcp(ATK, 2, other, 445), 40, FlowDirection::InboundInitiated);
+        ft.observe(
+            SimTime::ZERO,
+            FlowKey::tcp(ATK, 1, HP, 445),
+            40,
+            FlowDirection::InboundInitiated,
+        );
+        ft.observe(
+            SimTime::ZERO,
+            FlowKey::tcp(HP, 1025, ATK, 80),
+            40,
+            FlowDirection::OutboundInitiated,
+        );
+        ft.observe(
+            SimTime::ZERO,
+            FlowKey::tcp(ATK, 2, other, 445),
+            40,
+            FlowDirection::InboundInitiated,
+        );
         assert_eq!(ft.len(), 3);
 
         assert_eq!(ft.retire_addr(HP), 2, "flows with HP as src or dst retired");
@@ -452,8 +470,7 @@ mod tests {
             }
             ft.expire(SimTime::from_secs(step));
             for &a in &addrs {
-                let brute =
-                    ft.flows.keys().filter(|k| k.src == a || k.dst == a).count();
+                let brute = ft.flows.keys().filter(|k| k.src == a || k.dst == a).count();
                 assert_eq!(ft.flows_for(a), brute, "index diverged at step {step} for {a}");
             }
         }
@@ -471,12 +488,7 @@ mod tests {
     fn many_flows_independent_timers() {
         let mut ft = FlowTable::new(SimTime::from_secs(1));
         for i in 0..1000u32 {
-            let k = FlowKey::tcp(
-                Ipv4Addr::from(0x0101_0000 + i),
-                1000,
-                HP,
-                445,
-            );
+            let k = FlowKey::tcp(Ipv4Addr::from(0x0101_0000 + i), 1000, HP, 445);
             ft.observe(SimTime::from_millis(u64::from(i)), k, 40, FlowDirection::InboundInitiated);
         }
         assert_eq!(ft.len(), 1000);

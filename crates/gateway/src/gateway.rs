@@ -12,6 +12,7 @@ use std::net::Ipv4Addr;
 use potemkin_metrics::{CounterSet, RateEstimator};
 use potemkin_net::addr::Ipv4Prefix;
 use potemkin_net::{Packet, PacketBuilder, PacketPayload};
+use potemkin_obs::{names as obs, TraceEvent, Tracer};
 use potemkin_sim::{SimTime, TokenBucket};
 
 use crate::binding::{AddressBinder, BindGranularity, ExpiredBinding, VmRef};
@@ -80,6 +81,18 @@ pub enum GatewayAction {
     },
 }
 
+/// The instant-event name recorded for each action the gateway returns.
+fn action_trace_name(action: &GatewayAction) -> &'static str {
+    match action {
+        GatewayAction::Deliver { .. } => "gw.action.deliver",
+        GatewayAction::CloneAndDeliver { .. } => "gw.action.clone",
+        GatewayAction::GatewayReply(_) => "gw.action.reply",
+        GatewayAction::ForwardExternal(_) => obs::GW_TUNNEL,
+        GatewayAction::Reflect { .. } => "gw.action.reflect",
+        GatewayAction::Drop { .. } => "gw.action.drop",
+    }
+}
+
 /// The gateway router.
 ///
 /// # Examples
@@ -116,6 +129,8 @@ pub struct Gateway {
     /// Fault injection: until this instant, no new bindings are admitted
     /// (existing bindings keep forwarding).
     stalled_until: SimTime,
+    /// Observability lane (disabled by default: one branch per packet).
+    tracer: Tracer,
 }
 
 impl Gateway {
@@ -143,7 +158,26 @@ impl Gateway {
             inbound_rate: RateEstimator::new(SimTime::from_secs(5)),
             counters: CounterSet::new(),
             stalled_until: SimTime::ZERO,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs an observability tracer (pass [`Tracer::disabled`] to turn
+    /// tracing back off). Tracing is passive: it never alters any action
+    /// the gateway returns.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Drains recorded trace events. Empty while tracing is disabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.drain()
+    }
+
+    /// Trace events lost to flight-recorder overwrite on this lane.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
     }
 
     /// Stalls the gateway until `now + duration` (fault injection): packets
@@ -169,6 +203,22 @@ impl Gateway {
     /// Processes a packet arriving from outside (or re-offered after a
     /// clone/reflection).
     pub fn on_inbound(&mut self, now: SimTime, packet: Packet) -> GatewayAction {
+        if !self.tracer.is_enabled() {
+            return self.classify_inbound(now, packet);
+        }
+        // Gateway processing is instantaneous in virtual time, so these
+        // spans carry attribution (classification → action), not duration.
+        // One span + one instant per packet: the recorder-overhead budget
+        // (E12's 5% gate) rules out a redundant wrapper span here.
+        let classify = self.tracer.begin(now, obs::GW_CLASSIFY);
+        let action = self.classify_inbound(now, packet);
+        self.tracer.end(now, classify);
+        self.tracer.instant(now, action_trace_name(&action), 1);
+        action
+    }
+
+    /// The inbound classify → policy pipeline (tracing-free inner body).
+    fn classify_inbound(&mut self, now: SimTime, packet: Packet) -> GatewayAction {
         self.counters.incr("packets_in");
         self.counters.add("bytes_in", packet.len() as u64);
         self.inbound_rate.record(now);
@@ -238,6 +288,18 @@ impl Gateway {
 
     /// Processes a packet emitted by honeypot VM `vm`.
     pub fn on_outbound(&mut self, now: SimTime, vm: VmRef, packet: Packet) -> GatewayAction {
+        if !self.tracer.is_enabled() {
+            return self.contain_outbound(now, vm, packet);
+        }
+        let policy = self.tracer.begin(now, obs::GW_POLICY);
+        let action = self.contain_outbound(now, vm, packet);
+        self.tracer.end(now, policy);
+        self.tracer.instant(now, action_trace_name(&action), 1);
+        action
+    }
+
+    /// The outbound containment pipeline (tracing-free inner body).
+    fn contain_outbound(&mut self, now: SimTime, vm: VmRef, packet: Packet) -> GatewayAction {
         self.counters.incr("packets_out");
         self.counters.add("bytes_out", packet.len() as u64);
         let (src, dst) = (packet.src(), packet.dst());
@@ -456,6 +518,34 @@ mod tests {
     }
 
     #[test]
+    fn tracing_records_classify_spans_without_changing_actions() {
+        use potemkin_obs::{TraceConfig, TraceEventKind};
+        let mut plain = gw(PolicyConfig::reflect());
+        let mut traced = gw(PolicyConfig::reflect());
+        traced.set_tracer(Tracer::new(1, TraceConfig::unbounded()));
+        let t = SimTime::ZERO;
+        let a = plain.on_inbound(t, syn(ATTACKER, HP1));
+        let b = traced.on_inbound(t, syn(ATTACKER, HP1));
+        assert!(matches!(
+            (&a, &b),
+            (GatewayAction::CloneAndDeliver { .. }, GatewayAction::CloneAndDeliver { .. })
+        ));
+        assert!(plain.take_trace().is_empty(), "disabled by default");
+        let events = traced.take_trace();
+        let begins: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::SpanBegin { name, .. } => Some(name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(begins, vec![obs::GW_CLASSIFY]);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::Instant { name: "gw.action.clone", .. })));
+    }
+
+    #[test]
     fn first_packet_requests_clone_then_delivers() {
         let mut g = gw(PolicyConfig::reflect());
         let t = SimTime::ZERO;
@@ -549,7 +639,10 @@ mod tests {
         policy.per_source_vm_limit = Some(1);
         let mut g = gw(policy);
         let t = SimTime::ZERO;
-        assert!(matches!(g.on_inbound(t, syn(ATTACKER, HP1)), GatewayAction::CloneAndDeliver { .. }));
+        assert!(matches!(
+            g.on_inbound(t, syn(ATTACKER, HP1)),
+            GatewayAction::CloneAndDeliver { .. }
+        ));
         g.bind(t, ATTACKER, HP1, VmRef(1));
         match g.on_inbound(t, syn(ATTACKER, HP2)) {
             GatewayAction::Drop { reason } => assert_eq!(reason, DropReason::SourceQuota),
@@ -557,7 +650,10 @@ mod tests {
         }
         // A different source still gets a VM.
         let other_src = Ipv4Addr::new(7, 7, 7, 7);
-        assert!(matches!(g.on_inbound(t, syn(other_src, HP2)), GatewayAction::CloneAndDeliver { .. }));
+        assert!(matches!(
+            g.on_inbound(t, syn(other_src, HP2)),
+            GatewayAction::CloneAndDeliver { .. }
+        ));
     }
 
     #[test]
@@ -627,10 +723,7 @@ mod tests {
         };
         g.bind(t, addr /* == HP2 */, addr, VmRef(2));
         g.bind(t, HP1, HP2, VmRef(2));
-        assert!(matches!(
-            g.on_inbound(t, packet),
-            GatewayAction::Deliver { vm: VmRef(2), .. }
-        ));
+        assert!(matches!(g.on_inbound(t, packet), GatewayAction::Deliver { vm: VmRef(2), .. }));
         // VM2's reply to VM1 is delivered internally, not forwarded.
         let synack = PacketBuilder::new(HP2, HP1).tcp_segment(
             445,
@@ -665,10 +758,7 @@ mod tests {
         // Connecting to the sinkhole address reflects even though the mode
         // check would also reflect — and even under AllowAll it must reflect.
         let connect = PacketBuilder::new(HP1, c2_addr).tcp_syn(1026, 6667);
-        assert!(matches!(
-            g.on_outbound(t, VmRef(1), connect),
-            GatewayAction::Reflect { .. }
-        ));
+        assert!(matches!(g.on_outbound(t, VmRef(1), connect), GatewayAction::Reflect { .. }));
     }
 
     #[test]
@@ -836,14 +926,8 @@ mod tests {
         // a "SYN-ACK reply" into the old dialogue it never had.
         let t2 = SimTime::from_secs(12);
         g.bind(t2, ATTACKER, HP1, VmRef(2));
-        let synack = PacketBuilder::new(HP1, ATTACKER).tcp_segment(
-            445,
-            4444,
-            TcpFlags::SYN_ACK,
-            0,
-            1,
-            &[],
-        );
+        let synack =
+            PacketBuilder::new(HP1, ATTACKER).tcp_segment(445, 4444, TcpFlags::SYN_ACK, 0, 1, &[]);
         match g.on_outbound(t2, VmRef(2), synack) {
             GatewayAction::ForwardExternal(_) => {
                 panic!("stale flow let a recycled VM's packet escape")
@@ -900,7 +984,10 @@ mod tests {
         policy.max_bindings = Some(1);
         let mut g = gw(policy);
         let t = SimTime::ZERO;
-        assert!(matches!(g.on_inbound(t, syn(ATTACKER, HP1)), GatewayAction::CloneAndDeliver { .. }));
+        assert!(matches!(
+            g.on_inbound(t, syn(ATTACKER, HP1)),
+            GatewayAction::CloneAndDeliver { .. }
+        ));
         g.bind(t, ATTACKER, HP1, VmRef(1));
         match g.on_inbound(t, syn(ATTACKER, HP2)) {
             GatewayAction::Drop { reason } => assert_eq!(reason, DropReason::AdmissionControl),

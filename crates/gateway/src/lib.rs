@@ -29,6 +29,7 @@ pub mod policy;
 pub mod tunnel;
 
 pub use binding::{AddressBinder, BindGranularity, VmRef};
+pub use dnsgw::{DnsProxy, SinkholeError};
 pub use flowtable::{FlowDirection, FlowTable};
 pub use gateway::{Gateway, GatewayAction, GatewayConfig};
 pub use policy::{ContainmentMode, DropReason, PolicyConfig};

@@ -86,7 +86,11 @@ impl TunnelEndpoint {
             value: 0,
         })?;
         if !self.telescopes.contains_key(&key) {
-            return Err(NetError::Unsupported { layer: "gre", what: "unknown tunnel key", value: key });
+            return Err(NetError::Unsupported {
+                layer: "gre",
+                what: "unknown tunnel key",
+                value: key,
+            });
         }
         let entry = self.stats.entry(key).or_default();
         if gre_header.protocol != gre::PROTO_IPV4 {

@@ -43,7 +43,10 @@ impl LogHistogram {
     /// Panics if `sub_buckets` is 0 or not a power of two.
     #[must_use]
     pub fn new(sub_buckets: u32) -> Self {
-        assert!(sub_buckets.is_power_of_two() && sub_buckets > 0, "sub_buckets must be a power of two");
+        assert!(
+            sub_buckets.is_power_of_two() && sub_buckets > 0,
+            "sub_buckets must be a power of two"
+        );
         // 64 powers of two, each with `sub_buckets` linear sub-buckets.
         LogHistogram {
             sub_buckets,

@@ -211,7 +211,11 @@ mod tests {
         let lifetime = secs(2);
         let s = a.analyze_with_lifetime(lifetime);
         let predicted = s.littles_law_prediction(lifetime);
-        assert!((s.mean - predicted).abs() / predicted < 0.05, "mean {} vs predicted {predicted}", s.mean);
+        assert!(
+            (s.mean - predicted).abs() / predicted < 0.05,
+            "mean {} vs predicted {predicted}",
+            s.mean
+        );
     }
 
     #[test]

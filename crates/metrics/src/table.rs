@@ -29,7 +29,11 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: vec![], title: None }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+            title: None,
+        }
     }
 
     /// Sets a title printed above the table.
@@ -130,7 +134,8 @@ impl fmt::Display for Table {
                     write!(f, "  ")?;
                 }
                 // Right-align cells that look numeric, left-align text.
-                let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+');
+                let numeric =
+                    cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+');
                 if numeric {
                     write!(f, "{cell:>width$}", width = widths[i])?;
                 } else {

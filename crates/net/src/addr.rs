@@ -97,10 +97,8 @@ impl FromStr for MacAddr {
                 layer: "mac",
                 what: "expected 6 colon-separated octets",
             })?;
-            *octet = u8::from_str_radix(part, 16).map_err(|_| NetError::InvalidField {
-                layer: "mac",
-                what: "octet is not hex",
-            })?;
+            *octet = u8::from_str_radix(part, 16)
+                .map_err(|_| NetError::InvalidField { layer: "mac", what: "octet is not hex" })?;
         }
         if parts.next().is_some() {
             return Err(NetError::InvalidField { layer: "mac", what: "too many octets" });
@@ -281,7 +279,10 @@ mod tests {
         assert!(!a.is_multicast());
         assert!(a.is_locally_administered());
         // Low 40 bits of the index are preserved.
-        assert_eq!(MacAddr::from_index(0x01_0203_0405).octets(), [0x02, 0x01, 0x02, 0x03, 0x04, 0x05]);
+        assert_eq!(
+            MacAddr::from_index(0x01_0203_0405).octets(),
+            [0x02, 0x01, 0x02, 0x03, 0x04, 0x05]
+        );
     }
 
     #[test]

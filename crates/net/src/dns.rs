@@ -367,7 +367,8 @@ mod tests {
 
     #[test]
     fn non_a_answer_has_no_addr() {
-        let ans = Answer { name: "x".into(), rtype: 16, rclass: 1, ttl: 0, rdata: vec![1, 2, 3, 4] };
+        let ans =
+            Answer { name: "x".into(), rtype: 16, rclass: 1, ttl: 0, rdata: vec![1, 2, 3, 4] };
         assert_eq!(ans.addr(), None);
         let short = Answer { name: "x".into(), rtype: TYPE_A, rclass: 1, ttl: 0, rdata: vec![1] };
         assert_eq!(short.addr(), None);

@@ -55,17 +55,18 @@ impl EthernetHeader {
     /// payload slice.
     pub fn parse(buf: &[u8]) -> Result<(EthernetHeader, &[u8]), NetError> {
         if buf.len() < HEADER_LEN {
-            return Err(NetError::Truncated { layer: "ethernet", need: HEADER_LEN, have: buf.len() });
+            return Err(NetError::Truncated {
+                layer: "ethernet",
+                need: HEADER_LEN,
+                have: buf.len(),
+            });
         }
         let mut dst = [0u8; 6];
         let mut src = [0u8; 6];
         dst.copy_from_slice(&buf[0..6]);
         src.copy_from_slice(&buf[6..12]);
         let ethertype = EtherType::from_value(u16::from_be_bytes([buf[12], buf[13]]));
-        Ok((
-            EthernetHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype },
-            &buf[HEADER_LEN..],
-        ))
+        Ok((EthernetHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype }, &buf[HEADER_LEN..]))
     }
 
     /// Serializes the header followed by `payload` into a fresh buffer.

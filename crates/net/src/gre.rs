@@ -29,7 +29,11 @@ impl GreHeader {
     /// never negotiates them); their presence is an error.
     pub fn parse(buf: &[u8]) -> Result<(GreHeader, &[u8]), NetError> {
         if buf.len() < BASE_HEADER_LEN {
-            return Err(NetError::Truncated { layer: "gre", need: BASE_HEADER_LEN, have: buf.len() });
+            return Err(NetError::Truncated {
+                layer: "gre",
+                need: BASE_HEADER_LEN,
+                have: buf.len(),
+            });
         }
         let flags = buf[0];
         let version = buf[1] & 0x07;
@@ -54,9 +58,18 @@ impl GreHeader {
         let mut offset = BASE_HEADER_LEN;
         let key = if has_key {
             if buf.len() < offset + 4 {
-                return Err(NetError::Truncated { layer: "gre", need: offset + 4, have: buf.len() });
+                return Err(NetError::Truncated {
+                    layer: "gre",
+                    need: offset + 4,
+                    have: buf.len(),
+                });
             }
-            let k = u32::from_be_bytes([buf[offset], buf[offset + 1], buf[offset + 2], buf[offset + 3]]);
+            let k = u32::from_be_bytes([
+                buf[offset],
+                buf[offset + 1],
+                buf[offset + 2],
+                buf[offset + 3],
+            ]);
             offset += 4;
             Some(k)
         } else {

@@ -133,11 +133,9 @@ impl IcmpMessage {
     #[must_use]
     pub fn reply_to(&self) -> Option<IcmpMessage> {
         match self {
-            IcmpMessage::EchoRequest { ident, seq, payload } => Some(IcmpMessage::EchoReply {
-                ident: *ident,
-                seq: *seq,
-                payload: payload.clone(),
-            }),
+            IcmpMessage::EchoRequest { ident, seq, payload } => {
+                Some(IcmpMessage::EchoReply { ident: *ident, seq: *seq, payload: payload.clone() })
+            }
             _ => None,
         }
     }

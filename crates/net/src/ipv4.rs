@@ -90,7 +90,11 @@ impl Ipv4Header {
     /// returns the header and the payload (bounded by `total_len`).
     pub fn parse(buf: &[u8]) -> Result<(Ipv4Header, &[u8]), NetError> {
         if buf.len() < MIN_HEADER_LEN {
-            return Err(NetError::Truncated { layer: "ipv4", need: MIN_HEADER_LEN, have: buf.len() });
+            return Err(NetError::Truncated {
+                layer: "ipv4",
+                need: MIN_HEADER_LEN,
+                have: buf.len(),
+            });
         }
         let version = buf[0] >> 4;
         if version != 4 {
@@ -184,7 +188,12 @@ impl Ipv4Header {
     /// Starts a transport pseudo-header checksum (RFC 793 §3.1) for this
     /// packet's addresses and the given protocol/length.
     #[must_use]
-    pub fn pseudo_header_checksum(src: Ipv4Addr, dst: Ipv4Addr, proto: IpProtocol, len: u16) -> Checksum {
+    pub fn pseudo_header_checksum(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: IpProtocol,
+        len: u16,
+    ) -> Checksum {
         let mut c = Checksum::new();
         c.add_u32(u32::from(src));
         c.add_u32(u32::from(dst));
@@ -206,7 +215,7 @@ mod tests {
             ttl: 64,
             ident: 0x1234,
             dont_fragment: true,
-            total_len: 0,  // filled by build/parse
+            total_len: 0, // filled by build/parse
             header_len: 20,
         }
     }

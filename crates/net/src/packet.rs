@@ -153,9 +153,8 @@ impl Packet {
             }
             PacketPayload::Icmp(msg) => Transport::Icmp {
                 ident: match msg {
-                    IcmpMessage::EchoRequest { ident, .. } | IcmpMessage::EchoReply { ident, .. } => {
-                        *ident
-                    }
+                    IcmpMessage::EchoRequest { ident, .. }
+                    | IcmpMessage::EchoReply { ident, .. } => *ident,
                     _ => 0,
                 },
             },
@@ -318,15 +317,8 @@ impl PacketBuilder {
         ack: u32,
         payload: &[u8],
     ) -> Packet {
-        let header = TcpHeader {
-            src_port,
-            dst_port,
-            seq,
-            ack,
-            flags,
-            window: 65_535,
-            options: vec![],
-        };
+        let header =
+            TcpHeader { src_port, dst_port, seq, ack, flags, window: 65_535, options: vec![] };
         self.tcp_raw(header, payload)
     }
 
@@ -349,9 +341,8 @@ impl PacketBuilder {
     pub fn icmp(self, msg: IcmpMessage) -> Packet {
         let transport = msg.build();
         let mut ipv4 = self.ipv4_header(IpProtocol::Icmp);
-        let wire = ipv4
-            .build(&transport)
-            .expect("builder-constructed packets never exceed IP limits");
+        let wire =
+            ipv4.build(&transport).expect("builder-constructed packets never exceed IP limits");
         ipv4.total_len = wire.len() as u16;
         Packet { ipv4, payload: PacketPayload::Icmp(msg), wire: Bytes::from(wire) }
     }
@@ -418,9 +409,8 @@ mod tests {
 
     #[test]
     fn raw_protocol_roundtrip() {
-        let p = PacketBuilder::new(ATTACKER, HONEYPOT)
-            .raw(IpProtocol::Other(89), b"ospf-ish")
-            .unwrap();
+        let p =
+            PacketBuilder::new(ATTACKER, HONEYPOT).raw(IpProtocol::Other(89), b"ospf-ish").unwrap();
         let reparsed = Packet::parse(p.wire()).unwrap();
         assert_eq!(reparsed, p);
         assert_eq!(p.app_payload(), b"ospf-ish");
@@ -499,16 +489,14 @@ mod tests {
 
     #[test]
     fn built_payloads_are_slices_of_the_wire() {
-        assert_payload_in_wire(
-            &PacketBuilder::new(ATTACKER, HONEYPOT).tcp_segment(
-                5000,
-                80,
-                TcpFlags::PSH_ACK,
-                1,
-                2,
-                b"body",
-            ),
-        );
+        assert_payload_in_wire(&PacketBuilder::new(ATTACKER, HONEYPOT).tcp_segment(
+            5000,
+            80,
+            TcpFlags::PSH_ACK,
+            1,
+            2,
+            b"body",
+        ));
         assert_payload_in_wire(&PacketBuilder::new(ATTACKER, HONEYPOT).udp(7, 7, b"datagram"));
         assert_payload_in_wire(
             &PacketBuilder::new(ATTACKER, HONEYPOT).raw(IpProtocol::Other(89), b"raw").unwrap(),

@@ -48,9 +48,11 @@ pub fn write_pcap<W: std::io::Write>(w: &mut W, records: &[PcapRecord]) -> std::
 }
 
 fn read_u16(buf: &[u8], at: usize) -> Result<u16, NetError> {
-    buf.get(at..at + 2)
-        .map(|b| u16::from_le_bytes([b[0], b[1]]))
-        .ok_or(NetError::Truncated { layer: "pcap", need: at + 2, have: buf.len() })
+    buf.get(at..at + 2).map(|b| u16::from_le_bytes([b[0], b[1]])).ok_or(NetError::Truncated {
+        layer: "pcap",
+        need: at + 2,
+        have: buf.len(),
+    })
 }
 
 fn read_u32(buf: &[u8], at: usize) -> Result<u32, NetError> {
@@ -93,9 +95,11 @@ pub fn parse_pcap(buf: &[u8]) -> Result<Vec<PcapRecord>, NetError> {
         let ts_usec = read_u32(buf, at + 4)?;
         let incl_len = read_u32(buf, at + 8)? as usize;
         at += 16;
-        let data = buf
-            .get(at..at + incl_len)
-            .ok_or(NetError::Truncated { layer: "pcap", need: at + incl_len, have: buf.len() })?;
+        let data = buf.get(at..at + incl_len).ok_or(NetError::Truncated {
+            layer: "pcap",
+            need: at + incl_len,
+            have: buf.len(),
+        })?;
         records.push(PcapRecord { ts_sec, ts_usec, packet: Packet::parse(data)? });
         at += incl_len;
     }
@@ -158,11 +162,16 @@ mod tests {
         // Bad magic.
         let mut bad = buf.clone();
         bad[0] ^= 0xFF;
-        assert!(matches!(parse_pcap(&bad).unwrap_err(), NetError::Unsupported { what, .. } if what.contains("magic")));
+        assert!(
+            matches!(parse_pcap(&bad).unwrap_err(), NetError::Unsupported { what, .. } if what.contains("magic"))
+        );
         // Wrong link type.
         let mut badlink = buf.clone();
         badlink[20] = 1; // LINKTYPE_ETHERNET
-        assert!(matches!(parse_pcap(&badlink).unwrap_err(), NetError::Unsupported { what: "link type", .. }));
+        assert!(matches!(
+            parse_pcap(&badlink).unwrap_err(),
+            NetError::Unsupported { what: "link type", .. }
+        ));
         // Truncated record.
         assert!(parse_pcap(&buf[..buf.len() - 3]).is_err());
     }

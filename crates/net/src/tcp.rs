@@ -120,13 +120,13 @@ pub struct TcpHeader {
 impl TcpHeader {
     /// Parses a TCP header and verifies its checksum against the given IPv4
     /// addresses. Returns the header and the payload.
-    pub fn parse(
-        buf: &[u8],
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-    ) -> Result<(TcpHeader, &[u8]), NetError> {
+    pub fn parse(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(TcpHeader, &[u8]), NetError> {
         if buf.len() < MIN_HEADER_LEN {
-            return Err(NetError::Truncated { layer: "tcp", need: MIN_HEADER_LEN, have: buf.len() });
+            return Err(NetError::Truncated {
+                layer: "tcp",
+                need: MIN_HEADER_LEN,
+                have: buf.len(),
+            });
         }
         let data_off = (buf[12] >> 4) as usize * 4;
         if data_off < MIN_HEADER_LEN {

@@ -23,11 +23,7 @@ impl UdpHeader {
     /// Parses a UDP header, verifying length and checksum (when non-zero;
     /// an all-zero checksum means "not computed" per RFC 768). Returns the
     /// header and the payload.
-    pub fn parse(
-        buf: &[u8],
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-    ) -> Result<(UdpHeader, &[u8]), NetError> {
+    pub fn parse(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(UdpHeader, &[u8]), NetError> {
         if buf.len() < HEADER_LEN {
             return Err(NetError::Truncated { layer: "udp", need: HEADER_LEN, have: buf.len() });
         }
@@ -154,10 +150,16 @@ mod tests {
         let wire = UdpHeader::build(1, 2, SRC, DST, b"abc").unwrap();
         let mut short = wire.clone();
         short[4..6].copy_from_slice(&4u16.to_be_bytes()); // < header size
-        assert!(matches!(UdpHeader::parse(&short, SRC, DST).unwrap_err(), NetError::BadLength { .. }));
+        assert!(matches!(
+            UdpHeader::parse(&short, SRC, DST).unwrap_err(),
+            NetError::BadLength { .. }
+        ));
         let mut long = wire;
         long[4..6].copy_from_slice(&200u16.to_be_bytes()); // > buffer
-        assert!(matches!(UdpHeader::parse(&long, SRC, DST).unwrap_err(), NetError::BadLength { .. }));
+        assert!(matches!(
+            UdpHeader::parse(&long, SRC, DST).unwrap_err(),
+            NetError::BadLength { .. }
+        ));
     }
 
     #[test]

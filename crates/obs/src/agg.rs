@@ -1,0 +1,210 @@
+//! Span aggregation: latency histograms and breakdown tables.
+//!
+//! [`SpanAggregator`] replays a drained event stream, pairs span
+//! begin/end events per lane, and folds the durations into per-name
+//! statistics — the observed counterpart of the cost model's predicted
+//! stage table (the paper's Table 1 shape, rebuilt from what actually
+//! happened during a run).
+
+use std::collections::BTreeMap;
+
+use potemkin_metrics::{LogHistogram, Table};
+use potemkin_sim::SimTime;
+
+use crate::event::{TraceEvent, TraceEventKind};
+
+/// Aggregated statistics for one span name.
+#[derive(Clone, Debug)]
+pub struct SpanStats {
+    /// Completed instances.
+    pub count: u64,
+    /// Sum of durations (sim-time).
+    pub total: SimTime,
+    /// Duration distribution in microseconds.
+    pub hist_us: LogHistogram,
+}
+
+impl SpanStats {
+    fn new() -> Self {
+        SpanStats { count: 0, total: SimTime::ZERO, hist_us: LogHistogram::new(32) }
+    }
+
+    /// Mean duration over completed instances.
+    #[must_use]
+    pub fn mean(&self) -> SimTime {
+        self.total.as_nanos().checked_div(self.count).map_or(SimTime::ZERO, SimTime::from_nanos)
+    }
+}
+
+/// Folds drained trace events into per-span-name statistics.
+#[derive(Debug, Default)]
+pub struct SpanAggregator {
+    spans: BTreeMap<&'static str, SpanStats>,
+    /// Span ends whose begin was lost (flight-recorder overwrite).
+    unmatched_ends: u64,
+    /// Span begins never closed within the ingested stream.
+    unclosed_begins: u64,
+}
+
+impl SpanAggregator {
+    /// An empty aggregator.
+    #[must_use]
+    pub fn new() -> Self {
+        SpanAggregator::default()
+    }
+
+    /// Ingests a batch of events (any order; they are re-sorted into
+    /// per-lane sequence order internally). Begin/end pairs orphaned by
+    /// ring overwrite are counted, not mis-paired.
+    pub fn ingest(&mut self, events: &[TraceEvent]) {
+        let mut refs: Vec<&TraceEvent> = events.iter().collect();
+        refs.sort_by_key(|e| (e.lane, e.seq));
+        // lane -> open spans as (span id, begin sim-time), innermost last.
+        let mut open: BTreeMap<u32, Vec<(u64, SimTime)>> = BTreeMap::new();
+        for event in refs {
+            match event.kind {
+                TraceEventKind::SpanBegin { id, .. } => {
+                    open.entry(event.lane).or_default().push((id.0, event.at));
+                }
+                TraceEventKind::SpanEnd { id, name } => {
+                    let stack = open.entry(event.lane).or_default();
+                    if let Some(pos) = stack.iter().rposition(|&(open_id, _)| open_id == id.0) {
+                        let (_, began) = stack.remove(pos);
+                        let duration = event.at.saturating_sub(began);
+                        let stats = self.spans.entry(name).or_insert_with(SpanStats::new);
+                        stats.count += 1;
+                        stats.total = stats.total.saturating_add(duration);
+                        stats.hist_us.record(duration.as_micros());
+                    } else {
+                        self.unmatched_ends += 1;
+                    }
+                }
+                TraceEventKind::Instant { .. } | TraceEventKind::Counter { .. } => {}
+            }
+        }
+        self.unclosed_begins += open.values().map(|s| s.len() as u64).sum::<u64>();
+    }
+
+    /// Statistics for one span name.
+    #[must_use]
+    pub fn stats(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// All span names seen, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.spans.keys().copied()
+    }
+
+    /// Span ends whose begin event was lost (e.g. to ring overwrite).
+    #[must_use]
+    pub fn unmatched_ends(&self) -> u64 {
+        self.unmatched_ends
+    }
+
+    /// Span begins with no end in the ingested stream.
+    #[must_use]
+    pub fn unclosed_begins(&self) -> u64 {
+        self.unclosed_begins
+    }
+
+    /// Latency table over every span name: count, mean, p50, p99, total.
+    #[must_use]
+    pub fn latency_table(&self, title: &str) -> Table {
+        let mut t = Table::new(&["span", "count", "mean", "p50 (us)", "p99 (us)", "total (ms)"])
+            .with_title(title);
+        for (name, stats) in &self.spans {
+            t.row_owned(vec![
+                (*name).to_string(),
+                stats.count.to_string(),
+                format!("{:.3}ms", stats.mean().as_millis_f64()),
+                stats.hist_us.quantile(0.5).to_string(),
+                stats.hist_us.quantile(0.99).to_string(),
+                format!("{:.3}", stats.total.as_millis_f64()),
+            ]);
+        }
+        t
+    }
+
+    /// Stage-breakdown table in the paper's Table-1 shape: one row per
+    /// listed stage (in the given order), with observed count, mean, and
+    /// share of the listed stages' total. Stages never observed render as
+    /// zero rows.
+    #[must_use]
+    pub fn breakdown_table(&self, title: &str, stage_names: &[&str]) -> Table {
+        let listed_total: f64 = stage_names
+            .iter()
+            .filter_map(|n| self.spans.get(n))
+            .map(|s| s.total.as_millis_f64())
+            .sum();
+        let mut t =
+            Table::new(&["stage", "count", "mean", "total (ms)", "share"]).with_title(title);
+        for name in stage_names {
+            let (count, mean, total) = self
+                .spans
+                .get(name)
+                .map_or((0, SimTime::ZERO, 0.0), |s| (s.count, s.mean(), s.total.as_millis_f64()));
+            let share = if listed_total > 0.0 { 100.0 * total / listed_total } else { 0.0 };
+            t.row_owned(vec![
+                (*name).to_string(),
+                count.to_string(),
+                format!("{:.3}ms", mean.as_millis_f64()),
+                format!("{total:.3}"),
+                format!("{share:.1}%"),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{TraceConfig, Tracer};
+
+    #[test]
+    fn pairs_spans_and_computes_means() {
+        let mut t = Tracer::new(0, TraceConfig::unbounded());
+        for i in 0..4u64 {
+            let sp = t.begin(SimTime::from_millis(10 * i), "stage");
+            t.end(SimTime::from_millis(10 * i + 2), sp);
+        }
+        let mut agg = SpanAggregator::new();
+        agg.ingest(&t.drain());
+        let s = agg.stats("stage").expect("stage observed");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean(), SimTime::from_millis(2));
+        assert_eq!(s.total, SimTime::from_millis(8));
+        assert_eq!(agg.unmatched_ends(), 0);
+        assert_eq!(agg.unclosed_begins(), 0);
+    }
+
+    #[test]
+    fn orphaned_ends_are_counted_not_mispaired() {
+        let mut t = Tracer::new(0, TraceConfig::flight(1));
+        let sp = t.begin(SimTime::ZERO, "lost");
+        t.end(SimTime::from_secs(1), sp);
+        // Capacity 1: the begin was overwritten by the end.
+        let mut agg = SpanAggregator::new();
+        agg.ingest(&t.drain());
+        assert!(agg.stats("lost").is_none());
+        assert_eq!(agg.unmatched_ends(), 1);
+    }
+
+    #[test]
+    fn breakdown_table_orders_by_given_stages() {
+        let mut t = Tracer::new(0, TraceConfig::unbounded());
+        let a = t.begin(SimTime::ZERO, "alpha");
+        t.end(SimTime::from_millis(30), a);
+        let b = t.begin(SimTime::from_millis(30), "beta");
+        t.end(SimTime::from_millis(40), b);
+        let mut agg = SpanAggregator::new();
+        agg.ingest(&t.drain());
+        let rendered = agg.breakdown_table("breakdown", &["beta", "alpha", "gamma"]).to_string();
+        let beta = rendered.find("beta").unwrap();
+        let alpha = rendered.find("alpha").unwrap();
+        assert!(beta < alpha, "rows follow the given stage order");
+        assert!(rendered.contains("75.0%"), "alpha holds 30 of 40 ms: {rendered}");
+        assert!(rendered.contains("gamma"), "unobserved stages render as zero rows");
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic observability for the Potemkin honeyfarm.
+//!
+//! The paper's evaluation is an exercise in *attribution*: Table 1 breaks
+//! one flash clone into per-stage costs; the telescope experiments reason
+//! about where time goes as load scales. This crate records that
+//! attribution from live runs instead of trusting the cost model:
+//! structured [`TraceEvent`]s with RAII/token [`Span`]s, a per-lane
+//! flight-recorder ring ([`RingRecorder`]), aggregation into latency
+//! histograms and stage-breakdown tables ([`SpanAggregator`]), and
+//! exporters (Chrome `trace_event` JSON, compact JSONL).
+//!
+//! Three properties define the design:
+//!
+//! * **Zero observer effect.** A disabled [`Tracer`] is a `None` — every
+//!   call is one branch. An enabled tracer stamps events with
+//!   caller-supplied sim-time and never touches an RNG or the event
+//!   queue, so every deterministic report is byte-identical with tracing
+//!   on or off (`tests/prop_obs.rs` proves it property-style).
+//! * **Lock-free by construction.** Each component owns its tracer and
+//!   lane exclusively (farm, gateway, shard workers); recording is
+//!   `&mut self` with no atomics or locks — sharding at the ownership
+//!   level, like the simulator's per-shard queues.
+//! * **Sim-time first.** Spans measure *virtual* cost (a flash clone's
+//!   control-plane stage, a barrier window). Wall-clock stamps are
+//!   opt-in for bench runs and excluded from digests.
+//!
+//! # Examples
+//!
+//! ```
+//! use potemkin_obs::{SpanAggregator, TraceConfig, Tracer};
+//! use potemkin_sim::SimTime;
+//!
+//! let mut tracer = Tracer::new(0, TraceConfig::unbounded());
+//! let clone = tracer.begin(SimTime::ZERO, "vmm.flash_clone");
+//! let stage = tracer.begin(SimTime::ZERO, "control plane");
+//! tracer.end(SimTime::from_millis(182), stage);
+//! tracer.end(SimTime::from_millis(182), clone);
+//!
+//! let mut agg = SpanAggregator::new();
+//! agg.ingest(&tracer.drain());
+//! assert_eq!(agg.stats("control plane").unwrap().mean(), SimTime::from_millis(182));
+//! ```
+
+pub mod agg;
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod recorder;
+pub mod tracer;
+
+pub use agg::{SpanAggregator, SpanStats};
+pub use event::{SpanId, TraceEvent, TraceEventKind};
+pub use export::{chrome_trace_json, jsonl};
+pub use json::{JsonError, JsonValue};
+pub use recorder::{RecorderMode, RingRecorder, TraceSink};
+pub use tracer::{Span, SpanToken, TraceConfig, Tracer};
+
+/// Interned span and event names used across the stack, kept in one place
+/// so emitters, aggregators, and experiment tables agree by construction.
+pub mod names {
+    /// Farm: one external packet through the gateway and dispatch queue.
+    pub const FARM_INJECT: &str = "farm.inject";
+    /// Farm: draining the gateway-action queue for one packet.
+    pub const FARM_DISPATCH: &str = "farm.dispatch";
+    /// Farm: periodic maintenance (fault polling, flow expiry).
+    pub const FARM_TICK: &str = "farm.tick";
+    /// VMM: a flash clone (stage spans nested inside).
+    pub const VMM_FLASH_CLONE: &str = "vmm.flash_clone";
+    /// VMM: binding a pre-cloned standby domain.
+    pub const VMM_STANDBY_BIND: &str = "vmm.standby_bind";
+    /// Gateway: inbound classification (one span per inbound packet; the
+    /// resulting action is the adjacent `gw.action.*` instant).
+    pub const GW_CLASSIFY: &str = "gw.classify";
+    /// Gateway: outbound containment policy decision.
+    pub const GW_POLICY: &str = "gw.policy";
+    /// Gateway: a packet tunneled to the external network.
+    pub const GW_TUNNEL: &str = "gw.tunnel.forward";
+    /// Shard engine: one barrier-window execution on a worker.
+    pub const SHARD_WINDOW: &str = "shard.window";
+    /// Shard engine: events processed in a window (counter).
+    pub const SHARD_EVENTS: &str = "shard.events";
+}

@@ -203,10 +203,7 @@ impl FaultPlan {
             let mut down_until = vec![SimTime::ZERO; config.hosts];
             let mut t = SimTime::ZERO;
             loop {
-                t = t.saturating_add(exp_interval(
-                    &mut crash_rng,
-                    config.host_crash_rate_per_hour,
-                ));
+                t = t.saturating_add(exp_interval(&mut crash_rng, config.host_crash_rate_per_hour));
                 if t > config.duration {
                     break;
                 }
@@ -222,10 +219,8 @@ impl FaultPlan {
                 down_until[host] = recover_at;
                 events.push(FaultEvent { at: t, kind: FaultKind::HostCrash { host } });
                 if recover_at <= config.duration {
-                    events.push(FaultEvent {
-                        at: recover_at,
-                        kind: FaultKind::HostRecover { host },
-                    });
+                    events
+                        .push(FaultEvent { at: recover_at, kind: FaultKind::HostRecover { host } });
                 }
             }
         }
@@ -297,7 +292,11 @@ impl FaultInjector {
     /// Wraps a plan in a fresh cursor.
     #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
-        FaultInjector { events: plan.events, cursor: 0, clone_failure_prob: plan.clone_failure_prob }
+        FaultInjector {
+            events: plan.events,
+            cursor: 0,
+            clone_failure_prob: plan.clone_failure_prob,
+        }
     }
 
     /// Pops the next event scheduled at or before `now`, if any.
@@ -398,8 +397,10 @@ mod tests {
         for (at, host) in crashes {
             let recover_at = at.saturating_add(config.host_recovery_time);
             if recover_at <= config.duration {
-                assert!(plan.events.iter().any(|e| e.at == recover_at
-                    && e.kind == FaultKind::HostRecover { host }));
+                assert!(plan
+                    .events
+                    .iter()
+                    .any(|e| e.at == recover_at && e.kind == FaultKind::HostRecover { host }));
             }
         }
     }

@@ -41,7 +41,12 @@ pub trait ShardWorld: World {
 
     /// Accepts one message from a sibling shard at the window barrier,
     /// scheduling any resulting events at or after `at` (the barrier time).
-    fn accept_remote(&mut self, at: SimTime, msg: Self::Remote, queue: &mut EventQueue<Self::Event>);
+    fn accept_remote(
+        &mut self,
+        at: SimTime,
+        msg: Self::Remote,
+        queue: &mut EventQueue<Self::Event>,
+    );
 }
 
 /// One shard: a world plus its private event queue.

@@ -40,19 +40,13 @@ impl AddressSpace {
 
     /// Looks up the entry for `pfn`.
     pub fn lookup(&self, pfn: u64) -> Result<Pte, VmmError> {
-        self.entries
-            .get(pfn as usize)
-            .copied()
-            .ok_or(VmmError::BadPfn { pfn, size: self.size() })
+        self.entries.get(pfn as usize).copied().ok_or(VmmError::BadPfn { pfn, size: self.size() })
     }
 
     /// Replaces the entry for `pfn`.
     pub fn remap(&mut self, pfn: u64, pte: Pte) -> Result<(), VmmError> {
         let size = self.size();
-        let slot = self
-            .entries
-            .get_mut(pfn as usize)
-            .ok_or(VmmError::BadPfn { pfn, size })?;
+        let slot = self.entries.get_mut(pfn as usize).ok_or(VmmError::BadPfn { pfn, size })?;
         *slot = pte;
         Ok(())
     }
@@ -87,9 +81,8 @@ mod tests {
     use super::*;
 
     fn space_with(frames: &mut FrameTable, n: u64) -> AddressSpace {
-        let entries = (0..n)
-            .map(|i| Pte { frame: frames.alloc(i).unwrap(), writable: true })
-            .collect();
+        let entries =
+            (0..n).map(|i| Pte { frame: frames.alloc(i).unwrap(), writable: true }).collect();
         AddressSpace::from_entries(entries)
     }
 

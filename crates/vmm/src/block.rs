@@ -21,9 +21,8 @@ impl BaseDisk {
     /// derived from `seed`.
     #[must_use]
     pub fn generate(size: u64, seed: u64) -> Self {
-        let blocks = (0..size)
-            .map(|i| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i))
-            .collect();
+        let blocks =
+            (0..size).map(|i| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i)).collect();
         BaseDisk { blocks: Arc::new(blocks) }
     }
 
@@ -84,9 +83,11 @@ impl CowDisk {
             return Err(VmmError::BadBlock { block, size: self.size() });
         }
         self.reads += 1;
-        Ok(self.overlay.get(&block).copied().unwrap_or_else(|| {
-            self.base.read(block).expect("bounds checked above")
-        }))
+        Ok(self
+            .overlay
+            .get(&block)
+            .copied()
+            .unwrap_or_else(|| self.base.read(block).expect("bounds checked above")))
     }
 
     /// Writes a block into the private overlay.

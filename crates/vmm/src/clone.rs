@@ -49,6 +49,28 @@ impl CloneTiming {
     pub fn push_stage(&mut self, name: &'static str, t: SimTime) {
         self.stages.push((name, t));
     }
+
+    /// Emits this timing into `tracer` as a span tree: one root span named
+    /// `root` starting at `start`, with one child span per stage laid
+    /// end-to-end in virtual time. A disabled tracer makes this a no-op.
+    pub fn emit_spans(
+        &self,
+        tracer: &mut potemkin_obs::Tracer,
+        start: SimTime,
+        root: &'static str,
+    ) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        let span = tracer.begin(start, root);
+        let mut at = start;
+        for &(name, duration) in &self.stages {
+            let stage = tracer.begin(at, name);
+            at = at.saturating_add(duration);
+            tracer.end(at, stage);
+        }
+        tracer.end(at, span);
+    }
 }
 
 impl fmt::Display for CloneTiming {

@@ -11,6 +11,97 @@
 
 use potemkin_sim::SimTime;
 
+/// How a provisioning stage's duration derives from the model: a fixed
+/// field, or a per-page rate multiplied by the clone's page count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageCost {
+    /// `xend`-style control-path overhead ([`CostModel::control_plane`]).
+    ControlPlane,
+    /// Hypervisor domain construction ([`CostModel::domain_create`]).
+    DomainCreate,
+    /// Per-page CoW mapping installation
+    /// ([`CostModel::cow_map_per_page`] × pages).
+    CowMapPerPage,
+    /// Per-page eager memory copy — also models page allocation for cold
+    /// boots ([`CostModel::copy_per_page`] × pages).
+    CopyPerPage,
+    /// Virtual device attach ([`CostModel::device_attach`]).
+    DeviceAttach,
+    /// Late-bound network configuration ([`CostModel::net_config`]).
+    NetConfig,
+    /// Unpause/resume ([`CostModel::unpause`]).
+    Unpause,
+    /// Full OS boot ([`CostModel::cold_boot`]).
+    ColdBoot,
+}
+
+/// One row of a provisioning-stage table: the stable stage name (the rows
+/// of the paper's clone-latency table reproduction, and the span names the
+/// observability layer emits) plus how its duration derives from the
+/// model. One table feeds both the cost model and the traced breakdown,
+/// so the two can never drift.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Stable stage name.
+    pub name: &'static str,
+    /// Duration rule.
+    pub cost: StageCost,
+}
+
+impl StageSpec {
+    /// Evaluates this stage's duration under `model` for a clone of
+    /// `pages` pages.
+    #[must_use]
+    pub fn duration(&self, model: &CostModel, pages: u64) -> SimTime {
+        match self.cost {
+            StageCost::ControlPlane => model.control_plane,
+            StageCost::DomainCreate => model.domain_create,
+            StageCost::CowMapPerPage => model.cow_map_per_page * pages,
+            StageCost::CopyPerPage => model.copy_per_page * pages,
+            StageCost::DeviceAttach => model.device_attach,
+            StageCost::NetConfig => model.net_config,
+            StageCost::Unpause => model.unpause,
+            StageCost::ColdBoot => model.cold_boot,
+        }
+    }
+}
+
+/// The flash-clone stage table (delta-virtualization path).
+pub const FLASH_CLONE_STAGES: &[StageSpec] = &[
+    StageSpec { name: "control plane", cost: StageCost::ControlPlane },
+    StageSpec { name: "domain creation", cost: StageCost::DomainCreate },
+    StageSpec { name: "CoW memory map", cost: StageCost::CowMapPerPage },
+    StageSpec { name: "device attach", cost: StageCost::DeviceAttach },
+    StageSpec { name: "network config", cost: StageCost::NetConfig },
+    StageSpec { name: "unpause", cost: StageCost::Unpause },
+];
+
+/// The eager full-memory-copy clone stage table (no-delta baseline).
+pub const FULL_COPY_STAGES: &[StageSpec] = &[
+    StageSpec { name: "control plane", cost: StageCost::ControlPlane },
+    StageSpec { name: "domain creation", cost: StageCost::DomainCreate },
+    StageSpec { name: "memory copy", cost: StageCost::CopyPerPage },
+    StageSpec { name: "device attach", cost: StageCost::DeviceAttach },
+    StageSpec { name: "network config", cost: StageCost::NetConfig },
+    StageSpec { name: "unpause", cost: StageCost::Unpause },
+];
+
+/// The cold-boot stage table (no-cloning baseline).
+pub const COLD_BOOT_STAGES: &[StageSpec] = &[
+    StageSpec { name: "control plane", cost: StageCost::ControlPlane },
+    StageSpec { name: "domain creation", cost: StageCost::DomainCreate },
+    StageSpec { name: "memory allocation", cost: StageCost::CopyPerPage },
+    StageSpec { name: "device attach", cost: StageCost::DeviceAttach },
+    StageSpec { name: "network config", cost: StageCost::NetConfig },
+    StageSpec { name: "OS boot", cost: StageCost::ColdBoot },
+];
+
+/// The standby-bind stage table: only the late-binding stages remain.
+pub const STANDBY_BIND_STAGES: &[StageSpec] = &[
+    StageSpec { name: "network config", cost: StageCost::NetConfig },
+    StageSpec { name: "unpause", cost: StageCost::Unpause },
+];
+
 /// Latency model for domain lifecycle operations.
 #[derive(Clone, Copy, Debug)]
 pub struct CostModel {
@@ -81,46 +172,34 @@ impl CostModel {
         }
     }
 
-    /// The per-stage latency breakdown of a flash clone of `pages` pages.
+    /// Evaluates a stage table under this model.
+    fn eval_stages(&self, table: &[StageSpec], pages: u64) -> Vec<(&'static str, SimTime)> {
+        table.iter().map(|spec| (spec.name, spec.duration(self, pages))).collect()
+    }
+
+    /// The per-stage latency breakdown of a flash clone of `pages` pages
+    /// ([`FLASH_CLONE_STAGES`] evaluated under this model).
     ///
     /// Stage names are stable: they are the rows of the reproduction of the
-    /// paper's clone-latency table.
+    /// paper's clone-latency table and the observability layer's span
+    /// names.
     #[must_use]
     pub fn flash_clone_stages(&self, pages: u64) -> Vec<(&'static str, SimTime)> {
-        vec![
-            ("control plane", self.control_plane),
-            ("domain creation", self.domain_create),
-            ("CoW memory map", self.cow_map_per_page * pages),
-            ("device attach", self.device_attach),
-            ("network config", self.net_config),
-            ("unpause", self.unpause),
-        ]
+        self.eval_stages(FLASH_CLONE_STAGES, pages)
     }
 
-    /// The per-stage breakdown of an eager full-copy clone (baseline).
+    /// The per-stage breakdown of an eager full-copy clone (baseline;
+    /// [`FULL_COPY_STAGES`]).
     #[must_use]
     pub fn full_copy_stages(&self, pages: u64) -> Vec<(&'static str, SimTime)> {
-        vec![
-            ("control plane", self.control_plane),
-            ("domain creation", self.domain_create),
-            ("memory copy", self.copy_per_page * pages),
-            ("device attach", self.device_attach),
-            ("network config", self.net_config),
-            ("unpause", self.unpause),
-        ]
+        self.eval_stages(FULL_COPY_STAGES, pages)
     }
 
-    /// The per-stage breakdown of a cold boot (baseline).
+    /// The per-stage breakdown of a cold boot (baseline;
+    /// [`COLD_BOOT_STAGES`]).
     #[must_use]
     pub fn cold_boot_stages(&self, pages: u64) -> Vec<(&'static str, SimTime)> {
-        vec![
-            ("control plane", self.control_plane),
-            ("domain creation", self.domain_create),
-            ("memory allocation", self.copy_per_page * pages),
-            ("device attach", self.device_attach),
-            ("network config", self.net_config),
-            ("OS boot", self.cold_boot),
-        ]
+        self.eval_stages(COLD_BOOT_STAGES, pages)
     }
 
     /// The cost of destroying a domain with `private_pages` private pages.
@@ -136,10 +215,11 @@ impl CostModel {
     }
 
     /// The latency of binding a *standby* (pre-cloned, idle) VM to an
-    /// address: only the network-configuration and unpause stages remain.
+    /// address: only the late-binding stages remain
+    /// ([`STANDBY_BIND_STAGES`]).
     #[must_use]
     pub fn standby_bind_stages(&self) -> Vec<(&'static str, SimTime)> {
-        vec![("network config", self.net_config), ("unpause", self.unpause)]
+        self.eval_stages(STANDBY_BIND_STAGES, 0)
     }
 }
 
@@ -211,6 +291,23 @@ mod tests {
         let standby: SimTime = m.standby_bind_stages().iter().map(|&(_, t)| t).sum();
         let flash: SimTime = m.flash_clone_stages(PAGES_128M).iter().map(|&(_, t)| t).sum();
         assert!(standby < flash / 3, "standby {standby} vs flash {flash}");
+    }
+
+    #[test]
+    fn stage_tables_are_the_single_source() {
+        let m = CostModel::optimized();
+        for (table, evaluated) in [
+            (FLASH_CLONE_STAGES, m.flash_clone_stages(77)),
+            (FULL_COPY_STAGES, m.full_copy_stages(77)),
+            (COLD_BOOT_STAGES, m.cold_boot_stages(77)),
+            (STANDBY_BIND_STAGES, m.standby_bind_stages()),
+        ] {
+            assert_eq!(table.len(), evaluated.len());
+            for (spec, (name, duration)) in table.iter().zip(evaluated) {
+                assert_eq!(spec.name, name);
+                assert_eq!(spec.duration(&m, 77), duration);
+            }
+        }
     }
 
     #[test]

@@ -108,7 +108,9 @@ mod tests {
         );
         assert!(VmmError::NoSuchDomain(DomainId(7)).to_string().contains("dom7"));
         assert!(VmmError::NoSuchImage(ImageId(2)).to_string().contains("img2"));
-        assert!(VmmError::BadState { domain: DomainId(1), op: "write" }.to_string().contains("write"));
+        assert!(VmmError::BadState { domain: DomainId(1), op: "write" }
+            .to_string()
+            .contains("write"));
         assert!(VmmError::BadPfn { pfn: 99, size: 10 }.to_string().contains("99"));
         assert!(VmmError::BadBlock { block: 5, size: 2 }.to_string().contains("5"));
         assert!(VmmError::TooManyDomains { limit: 128 }.to_string().contains("128"));

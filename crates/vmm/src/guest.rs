@@ -183,7 +183,9 @@ mod tests {
 
     #[test]
     fn presets_are_consistent() {
-        for p in [GuestProfile::small(), GuestProfile::windows_server(), GuestProfile::linux_server()] {
+        for p in
+            [GuestProfile::small(), GuestProfile::windows_server(), GuestProfile::linux_server()]
+        {
             assert!(p.memory_pages > 0);
             assert!(p.request_touch_pages <= p.memory_pages);
             assert!(p.infection_touch_pages <= p.memory_pages);

@@ -346,8 +346,13 @@ impl Host {
 
         let id = DomainId(self.next_domain);
         self.next_domain += 1;
-        let mut dom =
-            Domain::new(id, image, ProvisionKind::FlashClone, AddressSpace::from_entries(entries), disk);
+        let mut dom = Domain::new(
+            id,
+            image,
+            ProvisionKind::FlashClone,
+            AddressSpace::from_entries(entries),
+            disk,
+        );
         dom.unpause().expect("fresh domain is paused");
         self.domains.insert(id, dom);
         self.flash_clones += 1;
@@ -373,15 +378,23 @@ impl Host {
         };
         let mut entries: Vec<Pte> = contents
             .into_iter()
-            .map(|c| Pte { frame: self.frames.alloc(c).expect("admission checked"), writable: true })
+            .map(|c| Pte {
+                frame: self.frames.alloc(c).expect("admission checked"),
+                writable: true,
+            })
             .collect();
         entries.extend(self.alloc_overhead());
         let disk = CowDisk::new(self.images.get(&image).expect("checked").disk().clone());
 
         let id = DomainId(self.next_domain);
         self.next_domain += 1;
-        let mut dom =
-            Domain::new(id, image, ProvisionKind::FullCopy, AddressSpace::from_entries(entries), disk);
+        let mut dom = Domain::new(
+            id,
+            image,
+            ProvisionKind::FullCopy,
+            AddressSpace::from_entries(entries),
+            disk,
+        );
         dom.unpause().expect("fresh domain is paused");
         self.domains.insert(id, dom);
         self.full_copies += 1;
@@ -481,8 +494,7 @@ impl Host {
     pub fn rollback(&mut self, id: DomainId) -> Result<SimTime, VmmError> {
         self.ensure_alive()?;
         let image_id = self.domain(id)?.image();
-        let image_frames: Vec<crate::frame::FrameId> =
-            self.image(image_id)?.frames().to_vec();
+        let image_frames: Vec<crate::frame::FrameId> = self.image(image_id)?.frames().to_vec();
         let dom = self.domains.get_mut(&id).ok_or(VmmError::NoSuchDomain(id))?;
         let mut released = 0u64;
         for (pfn, &img_frame) in image_frames.iter().enumerate() {
@@ -531,8 +543,7 @@ impl Host {
     pub fn reshare_reverted_pages(&mut self, id: DomainId) -> Result<u64, VmmError> {
         self.ensure_alive()?;
         let image_id = self.domain(id)?.image();
-        let image_frames: Vec<crate::frame::FrameId> =
-            self.image(image_id)?.frames().to_vec();
+        let image_frames: Vec<crate::frame::FrameId> = self.image(image_id)?.frames().to_vec();
         let dom = self.domains.get_mut(&id).ok_or(VmmError::NoSuchDomain(id))?;
         let mut reclaimed = 0u64;
         for (pfn, &img_frame) in image_frames.iter().enumerate() {
@@ -635,7 +646,11 @@ impl Host {
     /// # Errors
     ///
     /// Propagates memory errors.
-    pub fn apply_request(&mut self, id: DomainId, request_idx: u64) -> Result<TouchStats, VmmError> {
+    pub fn apply_request(
+        &mut self,
+        id: DomainId,
+        request_idx: u64,
+    ) -> Result<TouchStats, VmmError> {
         let image = self.domain(id)?.image();
         let pages = self.image(image)?.profile().pages_for_request(request_idx);
         self.touch_pages(id, &pages, request_idx)

@@ -64,6 +64,10 @@ pub mod host;
 pub mod snapshot;
 
 pub use clone::{CloneTiming, RetryPolicy};
+pub use cost::{
+    CostModel, StageCost, StageSpec, COLD_BOOT_STAGES, FLASH_CLONE_STAGES, FULL_COPY_STAGES,
+    STANDBY_BIND_STAGES,
+};
 pub use domain::{Domain, DomainId, DomainState};
 pub use error::VmmError;
 pub use frame::{FrameId, FrameTable};

@@ -114,7 +114,10 @@ impl ExploitScript {
                 None => return DialogueOutcome::StalledAt { rounds: answered },
             }
         }
-        DialogueOutcome::PayloadDelivered { payload: self.payload_marker.to_vec(), rounds: answered }
+        DialogueOutcome::PayloadDelivered {
+            payload: self.payload_marker.to_vec(),
+            rounds: answered,
+        }
     }
 }
 

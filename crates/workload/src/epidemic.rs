@@ -31,7 +31,12 @@ impl SiModel {
     /// Returns `None` for degenerate parameters (empty population, zero
     /// space, no initial infection, or initial > population).
     #[must_use]
-    pub fn new(population: u64, initial_infected: u64, scan_rate: f64, address_space: u64) -> Option<Self> {
+    pub fn new(
+        population: u64,
+        initial_infected: u64,
+        scan_rate: f64,
+        address_space: u64,
+    ) -> Option<Self> {
         if population == 0
             || address_space == 0
             || initial_infected == 0
@@ -235,9 +240,7 @@ mod tests {
         let slow = SiModel::new(1_000, 1, 10.0, 65_536).unwrap();
         let fast = SiModel::new(1_000, 1, 4_000.0, 65_536).unwrap();
         assert!(fast.early_doubling_time() < slow.early_doubling_time() / 100);
-        assert!(
-            fast.time_to_fraction(0.5).unwrap() < slow.time_to_fraction(0.5).unwrap()
-        );
+        assert!(fast.time_to_fraction(0.5).unwrap() < slow.time_to_fraction(0.5).unwrap());
     }
 
     #[test]

@@ -194,12 +194,12 @@ impl RadiationModel {
         };
         let kind = self.rng.f64();
         let is_ping = kind < self.config.ping_fraction;
-        let is_backscatter = !is_ping && kind < self.config.ping_fraction + self.config.backscatter_fraction;
+        let is_backscatter =
+            !is_ping && kind < self.config.ping_fraction + self.config.backscatter_fraction;
         let telescope = self.config.telescope;
         let first_index = self.rng.below(telescope.len());
-        let gap_dist =
-            Exponential::with_mean(self.config.mean_probe_gap.as_secs_f64().max(1e-9))
-                .expect("positive gap");
+        let gap_dist = Exponential::with_mean(self.config.mean_probe_gap.as_secs_f64().max(1e-9))
+            .expect("positive gap");
         let mut at = start;
         let src_port = 1024 + (self.rng.below(60_000) as u16);
         let ping_ident = self.rng.next_u32() as u16;
@@ -383,10 +383,7 @@ mod tests {
                 Some(445) => tcp445 += 1,
                 Some(1434) => {
                     udp1434 += 1;
-                    assert!(matches!(
-                        e.packet.payload(),
-                        potemkin_net::PacketPayload::Udp { .. }
-                    ));
+                    assert!(matches!(e.packet.payload(), potemkin_net::PacketPayload::Udp { .. }));
                 }
                 _ => other += 1,
             }

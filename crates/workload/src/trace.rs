@@ -217,8 +217,7 @@ impl Trace {
             if line.trim().is_empty() {
                 continue;
             }
-            let (nanos, hex) =
-                line.split_once(' ').ok_or_else(|| bad("missing separator"))?;
+            let (nanos, hex) = line.split_once(' ').ok_or_else(|| bad("missing separator"))?;
             let hex = hex.trim_end();
             let nanos: u64 = nanos.parse().map_err(|_| bad("bad timestamp"))?;
             if !hex.len().is_multiple_of(2) {
@@ -226,8 +225,8 @@ impl Trace {
             }
             let mut bytes = Vec::with_capacity(hex.len() / 2);
             for i in (0..hex.len()).step_by(2) {
-                let byte = u8::from_str_radix(&hex[i..i + 2], 16)
-                    .map_err(|_| bad("bad hex digit"))?;
+                let byte =
+                    u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| bad("bad hex digit"))?;
                 bytes.push(byte);
             }
             let packet = Packet::parse(&bytes)

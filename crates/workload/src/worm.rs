@@ -226,7 +226,9 @@ mod tests {
 
     #[test]
     fn presets_sane() {
-        for w in [WormSpec::code_red(space()), WormSpec::slammer(space()), WormSpec::blaster(space())] {
+        for w in
+            [WormSpec::code_red(space()), WormSpec::slammer(space()), WormSpec::blaster(space())]
+        {
             assert!(w.scan_rate > 0.0);
             assert!(!w.payload_marker.is_empty());
             assert!(w.exploit_depth >= 1);

@@ -19,9 +19,7 @@ fn main() {
     farm.gateway.policy.binding_idle_timeout = SimTime::from_secs(30);
 
     println!("== Telescope replay ==");
-    println!(
-        "replaying {duration} of synthetic /16 radiation, VM recycle after 30s idle...\n"
-    );
+    println!("replaying {duration} of synthetic /16 radiation, VM recycle after 30s idle...\n");
 
     let result = run_telescope(TelescopeConfig {
         farm,
@@ -36,16 +34,16 @@ fn main() {
     println!("packets replayed:           {}", result.packets);
     println!("distinct scan sources:      {}", result.distinct_sources);
     println!("telescope addresses hit:    {}", result.distinct_destinations);
-    println!("VMs cloned / recycled:      {} / {}", result.stats.vms_cloned, result.stats.vms_recycled);
+    println!(
+        "VMs cloned / recycled:      {} / {}",
+        result.stats.vms_cloned, result.stats.vms_recycled
+    );
     println!("peak simultaneous VMs:      {:.0}", result.peak_live_vms);
     println!(
         "clone latency p50 / p99:    {} / {}",
         result.stats.clone_latency_p50, result.stats.clone_latency_p99
     );
-    println!(
-        "pings answered at gateway:  {}",
-        result.stats.counters.get("gateway_pings_answered")
-    );
+    println!("pings answered at gateway:  {}", result.stats.counters.get("gateway_pings_answered"));
 
     println!("\nlive VMs over time:");
     for (at, v) in result.live_vm_series.iter() {

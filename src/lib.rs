@@ -39,6 +39,7 @@ pub use potemkin_core::scenario;
 pub use potemkin_gateway as gateway;
 pub use potemkin_metrics as metrics;
 pub use potemkin_net as net;
+pub use potemkin_obs as obs;
 pub use potemkin_sim as sim;
 pub use potemkin_vmm as vmm;
 pub use potemkin_workload as workload;

@@ -58,9 +58,10 @@ impl Args {
     fn secs(&self, key: &str, default: u64) -> Result<SimTime, String> {
         match self.flags.get(key) {
             None => Ok(SimTime::from_secs(default)),
-            Some(v) => {
-                v.parse::<u64>().map(SimTime::from_secs).map_err(|_| format!("--{key}: bad number {v:?}"))
-            }
+            Some(v) => v
+                .parse::<u64>()
+                .map(SimTime::from_secs)
+                .map_err(|_| format!("--{key}: bad number {v:?}")),
         }
     }
 
@@ -74,9 +75,7 @@ impl Args {
     fn float(&self, key: &str) -> Result<Option<f64>, String> {
         match self.flags.get(key) {
             None => Ok(None),
-            Some(v) => {
-                v.parse().map(Some).map_err(|_| format!("--{key}: bad number {v:?}"))
-            }
+            Some(v) => v.parse().map(Some).map_err(|_| format!("--{key}: bad number {v:?}")),
         }
     }
 
@@ -235,8 +234,8 @@ fn cmd_demand(args: &Args) -> Result<(), String> {
     for e in trace.events() {
         per_dst.entry(u32::from(e.packet.dst())).or_default().push(e.at);
     }
-    let mut t =
-        Table::new(&["recycle time", "peak VMs", "mean VMs"]).with_title("VM demand vs. recycle time");
+    let mut t = Table::new(&["recycle time", "peak VMs", "mean VMs"])
+        .with_title("VM demand vs. recycle time");
     for lifetime in lifetimes {
         let mut analyzer = ConcurrencyAnalyzer::new();
         for times in per_dst.values() {
@@ -277,7 +276,12 @@ fn cmd_clone(args: &Args) -> Result<(), String> {
     let (_, boot) = host.cold_boot(image).map_err(|e| e.to_string())?;
     println!("image: {pages} pages ({} MiB)\n", pages * 4 / 1024);
     println!("flash clone breakdown:\n{flash}");
-    println!("totals: flash {} | full copy {} | cold boot {}", flash.total(), full.total(), boot.total());
+    println!(
+        "totals: flash {} | full copy {} | cold boot {}",
+        flash.total(),
+        full.total(),
+        boot.total()
+    );
     Ok(())
 }
 

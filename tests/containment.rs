@@ -28,7 +28,9 @@ fn farm_with_worm(worm: WormSpec) -> Honeyfarm {
 
 #[test]
 fn no_worm_preset_escapes_under_reflection() {
-    for worm in [WormSpec::slammer(space()), WormSpec::code_red(space()), WormSpec::blaster(space())] {
+    for worm in
+        [WormSpec::slammer(space()), WormSpec::code_red(space()), WormSpec::blaster(space())]
+    {
         let name = worm.name;
         let mut farm = farm_with_worm(worm);
         let vm0 = farm.materialize(SimTime::ZERO, Ipv4Addr::new(10, 1, 0, 1)).unwrap();
@@ -86,7 +88,9 @@ fn dns_resolution_leads_to_sinkhole_honeypot_not_internet() {
     // The gateway answered from the sinkhole; nothing reached 8.8.8.8.
     let outputs = farm.take_outputs();
     assert!(
-        !outputs.iter().any(|o| matches!(o, FarmOutput::SentExternal(p) if p.dst() == Ipv4Addr::new(8, 8, 8, 8))),
+        !outputs.iter().any(
+            |o| matches!(o, FarmOutput::SentExternal(p) if p.dst() == Ipv4Addr::new(8, 8, 8, 8))
+        ),
         "DNS query must not escape"
     );
     let (queries, _) = farm.gateway().dns().counts();
@@ -130,10 +134,8 @@ fn aggressive_recycling_extinguishes_the_internal_epidemic() {
         farm.gateway.policy = PolicyConfig::reflect();
         farm.gateway.policy.binding_idle_timeout = SimTime::from_secs(3_600);
         farm.gateway.policy.binding_max_lifetime = lifetime;
-        farm.worm = Some(WormSpec {
-            scan_rate: 0.5,
-            ..WormSpec::code_red("10.1.0.0/24".parse().unwrap())
-        });
+        farm.worm =
+            Some(WormSpec { scan_rate: 0.5, ..WormSpec::code_red("10.1.0.0/24".parse().unwrap()) });
         farm.frames_per_server = 2_000_000;
         farm.max_domains_per_server = 4_096;
         run_outbreak(OutbreakConfig {
@@ -213,8 +215,11 @@ fn rate_limited_worm_still_contained_but_slower() {
 fn udp_probe_to_closed_port_gets_unreachable_back() {
     // Fidelity detail: a real stack answers closed UDP ports with ICMP.
     let mut farm = Honeyfarm::new(FarmConfig::small_test()).unwrap();
-    let probe = PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, 3))
-        .udp(9_000, 9_999, b"anyone-there");
+    let probe = PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, 3)).udp(
+        9_000,
+        9_999,
+        b"anyone-there",
+    );
     farm.inject_external(SimTime::ZERO, probe);
     let unreachable = farm
         .take_outputs()

@@ -62,9 +62,7 @@ fn full_handshake_and_data_exchange_with_honeypot() {
         .take_outputs()
         .into_iter()
         .find_map(|o| match o {
-            FarmOutput::SentExternal(p) if p.tcp_flags().is_some_and(|f| f.syn && f.ack) => {
-                Some(p)
-            }
+            FarmOutput::SentExternal(p) if p.tcp_flags().is_some_and(|f| f.syn && f.ack) => Some(p),
             _ => None,
         })
         .expect("SYN-ACK");

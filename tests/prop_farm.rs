@@ -62,12 +62,12 @@ fn build(stim: &Stimulus) -> Option<Packet> {
                 &vec![0xAB; payload_len],
             ))
         }
-        Stimulus::Udp { src, dst, sport, dport } => {
-            Some(PacketBuilder::new(external_src(src), telescope_addr(dst)).udp(sport, dport, b"probe"))
-        }
-        Stimulus::Ping { src, dst, ident } => {
-            Some(PacketBuilder::new(external_src(src), telescope_addr(dst)).icmp_echo(ident, 0, b"p"))
-        }
+        Stimulus::Udp { src, dst, sport, dport } => Some(
+            PacketBuilder::new(external_src(src), telescope_addr(dst)).udp(sport, dport, b"probe"),
+        ),
+        Stimulus::Ping { src, dst, ident } => Some(
+            PacketBuilder::new(external_src(src), telescope_addr(dst)).icmp_echo(ident, 0, b"p"),
+        ),
         Stimulus::AdvanceAndTick { .. } => None,
     }
 }

@@ -85,6 +85,7 @@ fn config_for(s: SampledRun) -> ShardedTelescopeConfig {
         window: SimTime::from_millis(s.window_ms),
         faults,
         seed_infections,
+        trace: None,
     }
 }
 

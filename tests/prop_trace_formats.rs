@@ -19,15 +19,35 @@ enum AnyPacket {
 
 fn arb_packet() -> impl Strategy<Value = AnyPacket> {
     prop_oneof![
-        (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), 0u8..64,
-         proptest::collection::vec(any::<u8>(), 0..64))
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u16>(),
+            any::<u16>(),
+            0u8..64,
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
             .prop_map(|(src, dst, sport, dport, flags, payload)| AnyPacket::Tcp {
-                src, dst, sport, dport, flags, payload
+                src,
+                dst,
+                sport,
+                dport,
+                flags,
+                payload
             }),
-        (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(),
-         proptest::collection::vec(any::<u8>(), 0..64))
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u16>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
             .prop_map(|(src, dst, sport, dport, payload)| AnyPacket::Udp {
-                src, dst, sport, dport, payload
+                src,
+                dst,
+                sport,
+                dport,
+                payload
             }),
         (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>())
             .prop_map(|(src, dst, ident, seq)| AnyPacket::Icmp { src, dst, ident, seq }),
@@ -36,16 +56,11 @@ fn arb_packet() -> impl Strategy<Value = AnyPacket> {
 
 fn build(p: &AnyPacket) -> Packet {
     match p {
-        AnyPacket::Tcp { src, dst, sport, dport, flags, payload } => {
-            PacketBuilder::new(Ipv4Addr::from(*src), Ipv4Addr::from(*dst)).tcp_segment(
-                *sport,
-                *dport,
-                TcpFlags::from_byte(*flags),
-                1,
-                2,
-                payload,
-            )
-        }
+        AnyPacket::Tcp { src, dst, sport, dport, flags, payload } => PacketBuilder::new(
+            Ipv4Addr::from(*src),
+            Ipv4Addr::from(*dst),
+        )
+        .tcp_segment(*sport, *dport, TcpFlags::from_byte(*flags), 1, 2, payload),
         AnyPacket::Udp { src, dst, sport, dport, payload } => {
             PacketBuilder::new(Ipv4Addr::from(*src), Ipv4Addr::from(*dst))
                 .udp(*sport, *dport, payload)

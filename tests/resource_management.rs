@@ -78,7 +78,11 @@ fn flow_table_bound_survives_a_scan_flood() {
         let p = PacketBuilder::new(SCANNER, dst).tcp_syn((i % 60_000) as u16, 445);
         farm.inject_external(SimTime::from_millis(u64::from(i)), p);
     }
-    assert!(farm.gateway().live_flows() <= 500, "flow table bounded: {}", farm.gateway().live_flows());
+    assert!(
+        farm.gateway().live_flows() <= 500,
+        "flow table bounded: {}",
+        farm.gateway().live_flows()
+    );
     assert_eq!(farm.live_vms(), 4, "quota held");
 }
 
@@ -104,7 +108,11 @@ fn rollback_recycling_sustains_load_without_leaking() {
         }
     }
     let stats = farm.stats();
-    assert!(stats.counters.get("vms_rolled_back") > 20, "rollbacks: {}", stats.counters.get("vms_rolled_back"));
+    assert!(
+        stats.counters.get("vms_rolled_back") > 20,
+        "rollbacks: {}",
+        stats.counters.get("vms_rolled_back")
+    );
     assert!(stats.counters.get("standby_hits") > stats.vms_cloned / 2, "pool serves most contacts");
 
     // Everything comes back after the load stops: only standby overhead

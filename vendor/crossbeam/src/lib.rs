@@ -183,8 +183,7 @@ mod tests {
     fn scoped_threads_join_with_results() {
         let data = [1u64, 2, 3, 4];
         let total = crate::thread::scope(|s| {
-            let handles: Vec<_> =
-                data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
         })
         .unwrap();

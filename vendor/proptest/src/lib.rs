@@ -349,7 +349,8 @@ pub mod strategy {
                 (1, 1)
             };
 
-            let count = if max > min { min + rng.below((max - min + 1) as u64) as usize } else { min };
+            let count =
+                if max > min { min + rng.below((max - min + 1) as u64) as usize } else { min };
             for _ in 0..count {
                 out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
             }

@@ -14,13 +14,13 @@ fn config(policy: PolicyConfig) -> OutbreakConfig {
     farm.worm = Some(WormSpec::code_red("10.1.0.0/24".parse().unwrap()));
     farm.frames_per_server = 2_000_000;
     farm.max_domains_per_server = 2_048;
-    OutbreakConfig {
-        farm,
-        initial_infections: 1,
-        duration: SimTime::from_secs(20),
-        sample_interval: SimTime::from_secs(1),
-        tick_interval: SimTime::from_secs(10),
-    }
+    OutbreakConfig::builder(farm)
+        .initial_infections(1)
+        .duration(SimTime::from_secs(20))
+        .sample_interval(SimTime::from_secs(1))
+        .tick_interval(SimTime::from_secs(10))
+        .build()
+        .expect("fixed outbreak config is valid")
 }
 
 fn bench_outbreaks(c: &mut Criterion) {

@@ -51,15 +51,14 @@ fn bench_replay(c: &mut Criterion) {
             farm.frames_per_server = 1_000_000;
             farm.max_domains_per_server = 4_096;
             farm.gateway.policy.binding_idle_timeout = SimTime::from_secs(10);
-            run_telescope(TelescopeConfig {
-                farm,
-                radiation: RadiationConfig::default(),
-                seed: 7,
-                duration: SimTime::from_secs(30),
-                sample_interval: SimTime::from_secs(5),
-                tick_interval: SimTime::from_secs(1),
-            })
-            .unwrap()
+            let config = TelescopeConfig::builder(farm, RadiationConfig::default())
+                .seed(7)
+                .duration(SimTime::from_secs(30))
+                .sample_interval(SimTime::from_secs(5))
+                .tick_interval(SimTime::from_secs(1))
+                .build()
+                .unwrap();
+            run_telescope(config).unwrap()
         });
     });
     group.finish();

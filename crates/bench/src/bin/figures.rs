@@ -1,52 +1,80 @@
 //! Regenerates every table and figure of the Potemkin evaluation.
 //!
 //! ```text
-//! figures            # all experiments
-//! figures e1 e5      # a subset
-//! figures --fast     # all, with shortened runs
-//! figures --csv e3   # machine-readable output for plotting pipelines
+//! figures                  # all experiments
+//! figures e1 e5            # a subset
+//! figures --fast           # all, with shortened runs
+//! figures --csv e3         # machine-readable output for plotting pipelines
+//! figures --out-dir out    # also write every JSON artifact into out/
 //! ```
 //!
 //! Output is plain aligned text; EXPERIMENTS.md quotes it directly.
 
-use potemkin_bench::experiments::{e1, e10, e11, e12, e2, e3, e4, e5, e6, e7, e8, e9};
+use potemkin_bench::experiments::{e1, e10, e11, e12, e13, e2, e3, e4, e5, e6, e7, e8, e9};
 use potemkin_sim::SimTime;
 
 struct Opts {
     which: Vec<String>,
     fast: bool,
     csv: bool,
+    /// Directory receiving every emitted artifact (`BENCH_replay.json`,
+    /// `BENCH_obs.json`, `BENCH_memory.json`, `trace.json`). The legacy
+    /// per-file flags below override the directory-derived path for their
+    /// artifact and remain accepted as aliases.
+    out_dir: Option<String>,
     bench_out: Option<String>,
     obs_out: Option<String>,
     trace_out: Option<String>,
+    memory_out: Option<String>,
+}
+
+impl Opts {
+    /// The output path for `name`: the explicit alias flag when given,
+    /// else `<out-dir>/<name>`.
+    fn artifact(&self, alias: &Option<String>, name: &str) -> Option<String> {
+        alias.clone().or_else(|| self.out_dir.as_ref().map(|dir| format!("{dir}/{name}")))
+    }
 }
 
 fn parse_args() -> Opts {
-    let mut which = Vec::new();
-    let mut fast = false;
-    let mut csv = false;
-    let mut bench_out = None;
-    let mut obs_out = None;
-    let mut trace_out = None;
+    let mut opts = Opts {
+        which: Vec::new(),
+        fast: false,
+        csv: false,
+        out_dir: None,
+        bench_out: None,
+        obs_out: None,
+        trace_out: None,
+        memory_out: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--fast" => fast = true,
-            "--csv" => csv = true,
-            "--bench-out" => bench_out = args.next(),
-            "--obs-out" => obs_out = args.next(),
-            "--trace-out" => trace_out = args.next(),
+            "--fast" => opts.fast = true,
+            "--csv" => opts.csv = true,
+            "--out-dir" => opts.out_dir = args.next(),
+            // Aliases kept from before --out-dir existed.
+            "--bench-out" => opts.bench_out = args.next(),
+            "--obs-out" => opts.obs_out = args.next(),
+            "--trace-out" => opts.trace_out = args.next(),
+            "--memory-out" => opts.memory_out = args.next(),
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fast] [--csv] [--bench-out FILE] [--obs-out FILE] \
-                     [--trace-out FILE] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12]"
+                    "usage: figures [--fast] [--csv] [--out-dir DIR] \
+                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13]\n\
+                     --out-dir DIR   write BENCH_replay.json, BENCH_obs.json, \
+                     BENCH_memory.json and trace.json into DIR\n\
+                     (per-file aliases: --bench-out, --obs-out, --trace-out, --memory-out)"
                 );
                 std::process::exit(0);
             }
-            other => which.push(other.trim_start_matches("--").to_string()),
+            other => opts.which.push(other.trim_start_matches("--").to_string()),
         }
     }
-    Opts { which, fast, csv, bench_out, obs_out, trace_out }
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir).expect("create --out-dir");
+    }
+    opts
 }
 
 fn emit(opts: &Opts, table: &potemkin_metrics::Table) {
@@ -137,8 +165,8 @@ fn main() {
             r.packets, r.events, r.cross_cell_packets, r.deterministic
         );
         emit(&opts, &e11::table(&r));
-        if let Some(path) = &opts.bench_out {
-            std::fs::write(path, e11::bench_json(&r)).expect("write bench json");
+        if let Some(path) = opts.artifact(&opts.bench_out, "BENCH_replay.json") {
+            std::fs::write(&path, e11::bench_json(&r)).expect("write bench json");
             println!("wrote {path}");
         }
     }
@@ -153,14 +181,31 @@ fn main() {
         );
         emit(&opts, &e12::breakdown_table(&r));
         emit(&opts, &e12::overhead_table(&r));
-        if let Some(path) = &opts.obs_out {
-            std::fs::write(path, e12::bench_json(&r)).expect("write obs bench json");
+        if let Some(path) = opts.artifact(&opts.obs_out, "BENCH_obs.json") {
+            std::fs::write(&path, e12::bench_json(&r)).expect("write obs bench json");
             println!("wrote {path}");
         }
-        if let Some(path) = &opts.trace_out {
+        if let Some(path) = opts.artifact(&opts.trace_out, "trace.json") {
             let chrome = potemkin_obs::chrome_trace_json(&r.trace, &r.trace_lanes);
-            std::fs::write(path, chrome).expect("write chrome trace");
+            std::fs::write(&path, chrome).expect("write chrome trace");
             println!("wrote {path} (open in chrome://tracing or ui.perfetto.dev)");
+        }
+    }
+    if wants(&opts, "e13") {
+        let duration = if opts.fast { SimTime::from_secs(4) } else { SimTime::from_secs(10) };
+        let counts: &[usize] = if opts.fast { &[8, 16, 32] } else { &[8, 16, 32, 64] };
+        let workers: &[usize] = if opts.fast { &[1, 2] } else { &[1, 2, 4] };
+        let r = e13::run(duration, counts, workers);
+        println!(
+            "sharing curves identical across policies: {}, min post-merge ratio: {:.2}x, \
+             deterministic: {}",
+            r.curves_identical, r.sharing_ratio_min, r.deterministic
+        );
+        emit(&opts, &e13::sharing_table(&r));
+        emit(&opts, &e13::pressure_table(&r));
+        if let Some(path) = opts.artifact(&opts.memory_out, "BENCH_memory.json") {
+            std::fs::write(&path, e13::bench_json(&r)).expect("write memory bench json");
+            println!("wrote {path}");
         }
     }
 }

@@ -104,14 +104,16 @@ pub fn run(duration: SimTime, levels: &[FaultLevel]) -> FaultSweepResult {
     let mut points = Vec::with_capacity(levels.len());
     let mut packets = 0;
     for &level in levels {
-        let config = TelescopeConfig {
-            farm: farm_config(),
-            radiation: potemkin_workload::radiation::RadiationConfig::default(),
-            seed: 7,
-            duration,
-            sample_interval: SimTime::from_secs(1),
-            tick_interval: SimTime::from_secs(1),
-        };
+        let config = TelescopeConfig::builder(
+            farm_config(),
+            potemkin_workload::radiation::RadiationConfig::default(),
+        )
+        .seed(7)
+        .duration(duration)
+        .sample_interval(SimTime::from_secs(1))
+        .tick_interval(SimTime::from_secs(1))
+        .build()
+        .expect("fixed telescope config is valid");
         let (result, report) =
             run_telescope_faulted(config, plan_for(&level, duration)).expect("replay runs");
         packets = result.packets;

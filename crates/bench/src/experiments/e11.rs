@@ -85,21 +85,19 @@ pub(crate) fn config(duration: SimTime, cells: usize) -> ShardedTelescopeConfig 
     // full sweep fits comfortably in memory.
     farm.worm = Some(WormSpec::code_red("10.1.0.0/19".parse().unwrap()));
     let radiation = RadiationConfig { peak_source_rate: 40.0, ..RadiationConfig::default() };
-    ShardedTelescopeConfig {
-        base: TelescopeConfig {
-            farm,
-            radiation,
-            seed: 2005,
-            duration,
-            sample_interval: SimTime::from_secs(1),
-            tick_interval: SimTime::from_secs(1),
-        },
-        cells,
-        window: SimTime::from_millis(500),
-        faults: None,
-        seed_infections: 2,
-        trace: None,
-    }
+    let base = TelescopeConfig::builder(farm, radiation)
+        .seed(2005)
+        .duration(duration)
+        .sample_interval(SimTime::from_secs(1))
+        .tick_interval(SimTime::from_secs(1))
+        .build()
+        .expect("fixed telescope config is valid");
+    ShardedTelescopeConfig::builder(base)
+        .cells(cells)
+        .window(SimTime::from_millis(500))
+        .seed_infections(2)
+        .build()
+        .expect("fixed sharded config is valid")
 }
 
 /// Runs the sweep: the same sharded replay at each worker count.

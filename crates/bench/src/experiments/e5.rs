@@ -51,13 +51,13 @@ fn config_for(mode: ContainmentMode, duration: SimTime) -> OutbreakConfig {
     farm.worm = Some(slow_worm());
     farm.frames_per_server = 4_000_000;
     farm.max_domains_per_server = 4_096;
-    OutbreakConfig {
-        farm,
-        initial_infections: 1,
-        duration,
-        sample_interval: SimTime::from_secs(1),
-        tick_interval: SimTime::from_secs(10),
-    }
+    OutbreakConfig::builder(farm)
+        .initial_infections(1)
+        .duration(duration)
+        .sample_interval(SimTime::from_secs(1))
+        .tick_interval(SimTime::from_secs(10))
+        .build()
+        .expect("fixed outbreak config is valid")
 }
 
 /// Runs the comparison.

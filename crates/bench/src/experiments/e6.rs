@@ -19,14 +19,13 @@ pub fn config(duration: SimTime, idle_timeout: SimTime, servers: usize) -> Teles
     farm.frames_per_server = 1_500_000;
     farm.max_domains_per_server = 2_048;
     farm.gateway.policy.binding_idle_timeout = idle_timeout;
-    TelescopeConfig {
-        farm,
-        radiation: RadiationConfig::default(),
-        seed: 2005,
-        duration,
-        sample_interval: SimTime::from_secs(5),
-        tick_interval: SimTime::from_secs(1),
-    }
+    TelescopeConfig::builder(farm, RadiationConfig::default())
+        .seed(2005)
+        .duration(duration)
+        .sample_interval(SimTime::from_secs(5))
+        .tick_interval(SimTime::from_secs(1))
+        .build()
+        .expect("fixed telescope config is valid")
 }
 
 /// Runs the replay.

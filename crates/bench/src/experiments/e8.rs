@@ -45,14 +45,13 @@ fn base_config(duration: SimTime) -> TelescopeConfig {
     farm.frames_per_server = 2_000_000;
     farm.max_domains_per_server = 8_192;
     farm.gateway.policy.binding_idle_timeout = SimTime::from_secs(20);
-    TelescopeConfig {
-        farm,
-        radiation: RadiationConfig::default(),
-        seed: 77,
-        duration,
-        sample_interval: SimTime::from_secs(10),
-        tick_interval: SimTime::from_secs(1),
-    }
+    TelescopeConfig::builder(farm, RadiationConfig::default())
+        .seed(77)
+        .duration(duration)
+        .sample_interval(SimTime::from_secs(10))
+        .tick_interval(SimTime::from_secs(1))
+        .build()
+        .expect("fixed telescope config is valid")
 }
 
 /// Runs the ablation suite over `duration` of identical radiation.

@@ -68,14 +68,14 @@ pub fn run(duration: SimTime, lifetimes: &[SimTime]) -> RecycleResult {
         farm.worm = Some(slow_worm());
         farm.frames_per_server = 2_000_000;
         farm.max_domains_per_server = 4_096;
-        let result = run_outbreak(OutbreakConfig {
-            farm,
-            initial_infections: SEEDS,
-            duration,
-            sample_interval: SimTime::from_secs(1),
-            tick_interval: SimTime::from_millis(500),
-        })
-        .expect("outbreak runs");
+        let config = OutbreakConfig::builder(farm)
+            .initial_infections(SEEDS)
+            .duration(duration)
+            .sample_interval(SimTime::from_secs(1))
+            .tick_interval(SimTime::from_millis(500))
+            .build()
+            .expect("fixed outbreak config is valid");
+        let result = run_outbreak(config).expect("outbreak runs");
         let model =
             SisModel::new(256, SEEDS as u64, SCAN_RATE, 256, lifetime).expect("valid model");
         points.push(RecyclePoint {

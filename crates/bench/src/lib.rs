@@ -7,4 +7,4 @@
 
 pub mod experiments;
 
-pub use experiments::{e1, e10, e12, e2, e3, e4, e5, e6, e7, e8, e9};
+pub use experiments::{e1, e10, e12, e13, e2, e3, e4, e5, e6, e7, e8, e9};

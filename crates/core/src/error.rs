@@ -1,7 +1,9 @@
-//! Controller-level errors.
+//! Controller-level errors and the workspace-wide [`Error`] umbrella.
 
 use core::fmt;
 
+use potemkin_gateway::ConfigError;
+use potemkin_net::NetError;
 use potemkin_vmm::VmmError;
 
 /// Errors from farm construction and operation.
@@ -43,6 +45,89 @@ impl From<VmmError> for FarmError {
     }
 }
 
+/// The workspace-wide error: one type that any crate's failure converts
+/// into, so binaries and examples handle a single `Result` instead of
+/// matching per-crate enums. Every variant chains its cause through
+/// [`std::error::Error::source`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A VMM operation failed.
+    Vmm(VmmError),
+    /// A farm operation failed.
+    Farm(FarmError),
+    /// A packet/addressing operation failed.
+    Net(NetError),
+    /// A configuration builder rejected its input.
+    Config(ConfigError),
+    /// An I/O operation (artifact write, file read) failed.
+    Io(std::io::Error),
+    /// Command-line arguments were invalid.
+    Cli(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Vmm(e) => write!(f, "vmm: {e}"),
+            Error::Farm(e) => write!(f, "farm: {e}"),
+            Error::Net(e) => write!(f, "net: {e}"),
+            Error::Config(e) => write!(f, "config: {e}"),
+            Error::Io(e) => write!(f, "io: {e}"),
+            Error::Cli(msg) => write!(f, "cli: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Vmm(e) => Some(e),
+            Error::Farm(e) => Some(e),
+            Error::Net(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::Cli(_) => None,
+        }
+    }
+}
+
+impl From<VmmError> for Error {
+    fn from(e: VmmError) -> Self {
+        Error::Vmm(e)
+    }
+}
+
+impl From<FarmError> for Error {
+    fn from(e: FarmError) -> Self {
+        Error::Farm(e)
+    }
+}
+
+impl From<NetError> for Error {
+    fn from(e: NetError) -> Self {
+        Error::Net(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<String> for Error {
+    fn from(msg: String) -> Self {
+        Error::Cli(msg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +145,24 @@ mod tests {
         let n = FarmError::NoCapacity;
         assert_eq!(n.to_string(), "no server has capacity");
         assert!(n.source().is_none());
+    }
+
+    #[test]
+    fn umbrella_chains_sources() {
+        use std::error::Error as _;
+        let e = Error::from(FarmError::from(VmmError::NoSuchDomain(DomainId(3))));
+        assert!(e.to_string().starts_with("farm:"));
+        // farm -> vmm: two links down the chain.
+        let farm_src = e.source().expect("farm source");
+        assert!(farm_src.source().is_some(), "vmm cause is chained");
+        let c = Error::from(ConfigError::new("FarmConfig", "servers", "must be > 0"));
+        assert_eq!(c.to_string(), "config: FarmConfig.servers: must be > 0");
+        assert!(c.source().is_some());
+        let cli = Error::from(String::from("unknown flag"));
+        assert_eq!(cli.to_string(), "cli: unknown flag");
+        assert!(cli.source().is_none());
+        let io = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().starts_with("io:"));
+        assert!(io.source().is_some());
     }
 }

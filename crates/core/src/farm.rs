@@ -14,7 +14,9 @@ use std::net::Ipv4Addr;
 use potemkin_gateway::binding::VmRef;
 use potemkin_gateway::gateway::{Gateway, GatewayAction, GatewayConfig};
 use potemkin_gateway::policy::DropReason;
-use potemkin_metrics::{CounterSet, FaultClass, FaultLedger, LogHistogram};
+use potemkin_gateway::reclaim::{ReclaimPolicy, ReclaimPolicyKind};
+use potemkin_gateway::ConfigError;
+use potemkin_metrics::{CounterSet, FaultClass, FaultLedger, LogHistogram, TimeSeries};
 use potemkin_net::icmp::IcmpMessage;
 use potemkin_net::tcp::TcpFlags;
 use potemkin_net::{Packet, PacketBuilder, PacketPayload};
@@ -22,7 +24,10 @@ use potemkin_obs::{names as obs, TraceConfig, TraceEvent, Tracer};
 use potemkin_sim::{FaultInjector, FaultKind, FaultPlan, SimRng, SimTime};
 use potemkin_vmm::cost::CostModel;
 use potemkin_vmm::guest::GuestProfile;
-use potemkin_vmm::{CloneTiming, DomainId, Host, ImageId, RetryPolicy, VmmError};
+use potemkin_vmm::{
+    CloneTiming, DomainId, Host, ImageId, MemoryBudget, MergeReport, PressureEvent, RetryPolicy,
+    SharingReport, VmmError,
+};
 use potemkin_workload::worm::WormSpec;
 
 use crate::error::FarmError;
@@ -40,7 +45,13 @@ pub enum RecycleStrategy {
 }
 
 /// Farm-level configuration.
+///
+/// Construct via [`FarmConfig::builder`] (validated), or start from a
+/// preset ([`FarmConfig::small_test`], [`FarmConfig::paper_scale`]) and
+/// mutate fields. The struct is `#[non_exhaustive]`: new knobs may be
+/// added without breaking downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct FarmConfig {
     /// Gateway configuration (containment policy, binding granularity).
     pub gateway: GatewayConfig,
@@ -85,6 +96,22 @@ pub struct FarmConfig {
     /// of dropping outright. Off by default so fault-free runs are
     /// unchanged.
     pub degradation_ladder: bool,
+    /// Which binding the farm reclaims under memory pressure (only
+    /// consulted when `evict_on_pressure` is set). Defaults to
+    /// [`ReclaimPolicyKind::Oldest`], the pre-policy behaviour.
+    pub reclaim_policy: ReclaimPolicyKind,
+    /// Per-host cap on resident frames, checked before each flash clone
+    /// (None = no budget; only the physical frame count limits). A clone
+    /// that would exceed the budget raises a typed [`PressureEvent`] and
+    /// the host is skipped, driving the pressure-eviction path.
+    pub memory_budget_frames: Option<u64>,
+    /// Period of the content-index merge pass over every host (None =
+    /// merging off, the seed behaviour). When set, each
+    /// [`Honeyfarm::tick`] that crosses a period boundary runs one
+    /// deterministic [`Host::scan_and_merge`] sweep.
+    ///
+    /// [`Host::scan_and_merge`]: potemkin_vmm::host::Host::scan_and_merge
+    pub merge_interval: Option<SimTime>,
 }
 
 impl FarmConfig {
@@ -108,6 +135,9 @@ impl FarmConfig {
             evict_on_pressure: false,
             retry: None,
             degradation_ladder: false,
+            reclaim_policy: ReclaimPolicyKind::Oldest,
+            memory_budget_frames: None,
+            merge_interval: None,
         }
     }
 
@@ -131,7 +161,187 @@ impl FarmConfig {
             evict_on_pressure: true,
             retry: None,
             degradation_ladder: false,
+            reclaim_policy: ReclaimPolicyKind::Oldest,
+            memory_budget_frames: None,
+            merge_interval: None,
         }
+    }
+
+    /// A validating builder seeded from [`FarmConfig::small_test`].
+    #[must_use]
+    pub fn builder() -> FarmConfigBuilder {
+        FarmConfigBuilder { inner: FarmConfig::small_test() }
+    }
+}
+
+/// Typed builder for [`FarmConfig`]; see [`FarmConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct FarmConfigBuilder {
+    inner: FarmConfig,
+}
+
+impl FarmConfigBuilder {
+    /// Sets the gateway configuration.
+    #[must_use]
+    pub fn gateway(mut self, gateway: GatewayConfig) -> Self {
+        self.inner.gateway = gateway;
+        self
+    }
+
+    /// Sets the physical server count.
+    #[must_use]
+    pub fn servers(mut self, servers: usize) -> Self {
+        self.inner.servers = servers;
+        self
+    }
+
+    /// Sets machine frames per server.
+    #[must_use]
+    pub fn frames_per_server(mut self, frames: u64) -> Self {
+        self.inner.frames_per_server = frames;
+        self
+    }
+
+    /// Sets the default guest image profile.
+    #[must_use]
+    pub fn profile(mut self, profile: GuestProfile) -> Self {
+        self.inner.profile = profile;
+        self
+    }
+
+    /// Sets the VMM latency model.
+    #[must_use]
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
+        self.inner.cost_model = cost_model;
+        self
+    }
+
+    /// Sets the fixed per-domain page overhead.
+    #[must_use]
+    pub fn overhead_pages(mut self, pages: u64) -> Self {
+        self.inner.overhead_pages = pages;
+        self
+    }
+
+    /// Sets the per-server live-domain cap.
+    #[must_use]
+    pub fn max_domains_per_server(mut self, max: usize) -> Self {
+        self.inner.max_domains_per_server = max;
+        self
+    }
+
+    /// Sets the worm infected guests exhibit.
+    #[must_use]
+    pub fn worm(mut self, worm: WormSpec) -> Self {
+        self.inner.worm = Some(worm);
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Sets the VM recycling strategy.
+    #[must_use]
+    pub fn recycle(mut self, recycle: RecycleStrategy) -> Self {
+        self.inner.recycle = recycle;
+        self
+    }
+
+    /// Sets the per-host standby-pool size.
+    #[must_use]
+    pub fn standby_per_host(mut self, n: usize) -> Self {
+        self.inner.standby_per_host = n;
+        self
+    }
+
+    /// Sets heterogeneous per-prefix guest profiles.
+    #[must_use]
+    pub fn address_profiles(
+        mut self,
+        profiles: Vec<(potemkin_net::addr::Ipv4Prefix, GuestProfile)>,
+    ) -> Self {
+        self.inner.address_profiles = profiles;
+        self
+    }
+
+    /// Enables or disables pressure eviction.
+    #[must_use]
+    pub fn evict_on_pressure(mut self, on: bool) -> Self {
+        self.inner.evict_on_pressure = on;
+        self
+    }
+
+    /// Sets bounded retry for transient clone faults.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.inner.retry = Some(retry);
+        self
+    }
+
+    /// Enables or disables the degradation ladder.
+    #[must_use]
+    pub fn degradation_ladder(mut self, on: bool) -> Self {
+        self.inner.degradation_ladder = on;
+        self
+    }
+
+    /// Sets the pressure-reclaim policy.
+    #[must_use]
+    pub fn reclaim_policy(mut self, policy: ReclaimPolicyKind) -> Self {
+        self.inner.reclaim_policy = policy;
+        self
+    }
+
+    /// Sets the per-host resident-frame budget.
+    #[must_use]
+    pub fn memory_budget_frames(mut self, frames: u64) -> Self {
+        self.inner.memory_budget_frames = Some(frames);
+        self
+    }
+
+    /// Sets the content-merge pass period.
+    #[must_use]
+    pub fn merge_interval(mut self, interval: SimTime) -> Self {
+        self.inner.merge_interval = Some(interval);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for zero servers, zero frames, a zero
+    /// memory budget, or a zero merge interval.
+    pub fn build(self) -> Result<FarmConfig, ConfigError> {
+        let c = self.inner;
+        if c.servers == 0 {
+            return Err(ConfigError::new("FarmConfig", "servers", "must be > 0"));
+        }
+        if c.frames_per_server == 0 {
+            return Err(ConfigError::new("FarmConfig", "frames_per_server", "must be > 0"));
+        }
+        if c.max_domains_per_server == 0 {
+            return Err(ConfigError::new("FarmConfig", "max_domains_per_server", "must be > 0"));
+        }
+        if c.memory_budget_frames == Some(0) {
+            return Err(ConfigError::new(
+                "FarmConfig",
+                "memory_budget_frames",
+                "budget of zero frames admits nothing; use None to disable",
+            ));
+        }
+        if c.merge_interval == Some(SimTime::ZERO) {
+            return Err(ConfigError::new(
+                "FarmConfig",
+                "merge_interval",
+                "must be > 0; use None to disable merging",
+            ));
+        }
+        Ok(c)
     }
 }
 
@@ -241,6 +451,22 @@ pub struct Honeyfarm {
     tunnel_extra_latency: SimTime,
     /// Observability lane (disabled by default: one branch per call site).
     tracer: Tracer,
+    /// The instantiated pressure-reclaim policy (from
+    /// `config.reclaim_policy`). Stateful policies (clock) keep their
+    /// state here across evictions.
+    reclaim: Box<dyn ReclaimPolicy>,
+    /// Per-host resident-frame budget (None = unbudgeted).
+    budget: Option<MemoryBudget>,
+    /// Next merge-pass deadline (meaningful only with a merge interval).
+    next_merge: SimTime,
+    /// Cumulative totals across every merge pass.
+    merge_total: MergeReport,
+    /// Every budget rejection, in occurrence order.
+    pressure_log: Vec<PressureEvent>,
+    /// Farm-wide sharing ratio sampled at each merge pass.
+    sharing_series: TimeSeries,
+    /// Farm-wide resident frames sampled at each merge pass.
+    resident_series: TimeSeries,
 }
 
 impl Honeyfarm {
@@ -289,6 +515,12 @@ impl Honeyfarm {
         let gateway = Gateway::new(config.gateway.clone());
         let rng = SimRng::seed_from(config.seed);
         let fault_rng = SimRng::seed_from(config.seed ^ 0xFA17);
+        let reclaim = config.reclaim_policy.instantiate();
+        let budget = config.memory_budget_frames.map(MemoryBudget::new);
+        // Sample series at merge cadence; one-second bins when merging is
+        // off (the series stay empty then anyway).
+        let bin = config.merge_interval.unwrap_or(SimTime::from_secs(1));
+        let next_merge = config.merge_interval.unwrap_or(SimTime::ZERO);
         Ok(Honeyfarm {
             config,
             gateway,
@@ -318,6 +550,13 @@ impl Honeyfarm {
             tunnel_loss: 0.0,
             tunnel_extra_latency: SimTime::ZERO,
             tracer: Tracer::disabled(),
+            reclaim,
+            budget,
+            next_merge,
+            merge_total: MergeReport::default(),
+            pressure_log: Vec::new(),
+            sharing_series: TimeSeries::new(bin),
+            resident_series: TimeSeries::new(bin),
         })
     }
 
@@ -442,16 +681,56 @@ impl Honeyfarm {
         self.emit_from_vm(now, vm, probe)
     }
 
-    /// Advances time: fires due fault events, expires idle bindings, and
+    /// Advances time: fires due fault events, expires idle bindings,
     /// reclaims expired VMs according to the configured
-    /// [`RecycleStrategy`].
+    /// [`RecycleStrategy`], and runs the content-merge pass when its
+    /// period elapses.
     pub fn tick(&mut self, now: SimTime) {
         let span = self.tracer.begin(now, obs::FARM_TICK);
         self.poll_faults(now);
         for expired in self.gateway.expire(now) {
             self.reclaim_vm(expired.vm);
         }
+        if let Some(interval) = self.config.merge_interval {
+            if now >= self.next_merge {
+                self.run_merge(now);
+                while self.next_merge <= now {
+                    self.next_merge = self.next_merge.saturating_add(interval);
+                }
+            }
+        }
         self.tracer.end(now, span);
+    }
+
+    /// Runs one content-index merge pass over every live host, records
+    /// its accounting (counters, trace lane, sharing/resident series),
+    /// and returns the pass report. Scheduled by [`Honeyfarm::tick`] at
+    /// `merge_interval` cadence; experiments may also call it directly.
+    ///
+    /// Determinism: hosts are swept in index order and each host's scan
+    /// is itself deterministic, so the merged state — and every report
+    /// derived from it — depends only on the farm state, never on wall
+    /// clock or worker count.
+    pub fn run_merge(&mut self, now: SimTime) -> MergeReport {
+        let span = self.tracer.begin(now, obs::MEM_SCAN);
+        let mut pass = MergeReport::default();
+        for host in &mut self.hosts {
+            if let Ok(report) = host.scan_and_merge() {
+                pass.absorb(report);
+            }
+        }
+        self.tracer.end(now, span);
+        if pass.merged_pages > 0 {
+            self.tracer.instant(now, obs::MEM_MERGE, pass.merged_pages);
+        }
+        self.counters.incr("mem_scans");
+        self.counters.add("pages_merged", pass.merged_pages);
+        self.counters.add("frames_reclaimed_by_merge", pass.frames_reclaimed);
+        self.merge_total.absorb(pass);
+        let sharing = self.sharing_report();
+        self.sharing_series.record_max(now, sharing.ratio());
+        self.resident_series.record_max(now, sharing.resident_frames as f64);
+        pass
     }
 
     /// Fires every scheduled fault event whose time has passed.
@@ -610,8 +889,11 @@ impl Honeyfarm {
                 GatewayAction::CloneAndDeliver { addr, packet } => {
                     let mut placed = self.place_clone(now, packet.src(), addr);
                     if placed.is_none() && self.config.evict_on_pressure {
-                        // Resource pressure: replace the oldest binding.
-                        if let Some(evicted) = self.gateway.evict_oldest_binding(now) {
+                        // Resource pressure: the configured reclaim policy
+                        // picks the victim binding.
+                        if let Some(evicted) =
+                            self.gateway.evict_for_pressure(now, self.reclaim.as_mut())
+                        {
                             self.reclaim_vm(evicted.vm);
                             self.counters.incr("evicted_for_pressure");
                             placed = self.place_clone(now, packet.src(), addr);
@@ -733,6 +1015,20 @@ impl Honeyfarm {
         }
         for offset in 0..n {
             let h = (self.next_host + offset) % n;
+            // Budget admission: a fresh clone pins its overhead frames
+            // immediately (image pages stay CoW-shared). Over-budget hosts
+            // are skipped; if every host is over, the caller's pressure
+            // path evicts per the reclaim policy and retries. Standby
+            // binds above allocate nothing, so they bypass the check.
+            if let Some(budget) = self.budget {
+                let used = self.hosts[h].memory_report().used_frames;
+                if let Err(event) = budget.admit(used, self.config.overhead_pages) {
+                    self.counters.incr("memory_pressure_events");
+                    self.tracer.instant(now, obs::MEM_PRESSURE, event.requested_frames);
+                    self.pressure_log.push(event);
+                    continue;
+                }
+            }
             match self.clone_with_retry(h, self.images[h][profile_idx]) {
                 Ok((domain, timing)) => {
                     self.next_host = (h + 1) % n;
@@ -1251,6 +1547,48 @@ impl Honeyfarm {
     #[must_use]
     pub fn pending_fault_events(&self) -> usize {
         self.faults.as_ref().map_or(0, FaultInjector::remaining)
+    }
+
+    /// Farm-wide logical-vs-resident memory occupancy (summed over all
+    /// servers). `ratio() > 1` means frames are multiply shared.
+    #[must_use]
+    pub fn sharing_report(&self) -> SharingReport {
+        let mut total = SharingReport::default();
+        for host in &self.hosts {
+            total.absorb(host.sharing_report());
+        }
+        total
+    }
+
+    /// Cumulative totals across every content-merge pass run so far.
+    #[must_use]
+    pub fn merge_report(&self) -> MergeReport {
+        self.merge_total
+    }
+
+    /// Every memory-budget rejection so far, in occurrence order.
+    #[must_use]
+    pub fn pressure_events(&self) -> &[PressureEvent] {
+        &self.pressure_log
+    }
+
+    /// Sharing ratio sampled at each merge pass (empty when merging is
+    /// off).
+    #[must_use]
+    pub fn sharing_ratio_series(&self) -> &TimeSeries {
+        &self.sharing_series
+    }
+
+    /// Resident machine frames sampled at each merge pass.
+    #[must_use]
+    pub fn resident_frames_series(&self) -> &TimeSeries {
+        &self.resident_series
+    }
+
+    /// Stable name of the active pressure-reclaim policy.
+    #[must_use]
+    pub fn reclaim_policy_name(&self) -> &'static str {
+        self.reclaim.name()
     }
 }
 

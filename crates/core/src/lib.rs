@@ -42,10 +42,14 @@ pub mod report;
 pub mod scenario;
 
 pub use baseline::{LowInteractionResponder, ResponderKind};
-pub use error::FarmError;
-pub use farm::{FarmConfig, Honeyfarm};
+pub use error::{Error, FarmError};
+pub use farm::{FarmConfig, FarmConfigBuilder, Honeyfarm};
 pub use parallel::{
     cell_for, derive_cell_seed, run_telescope_sharded, CellSlot, ShardedTelescopeConfig,
-    ShardedTelescopeResult,
+    ShardedTelescopeConfigBuilder, ShardedTelescopeResult,
 };
+pub use potemkin_gateway::ConfigError;
 pub use report::{DegradationReport, FarmStats};
+pub use scenario::{
+    OutbreakConfig, OutbreakConfigBuilder, TelescopeConfig, TelescopeConfigBuilder,
+};

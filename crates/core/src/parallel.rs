@@ -91,7 +91,12 @@ impl CellSlot {
 }
 
 /// Configuration of a sharded telescope replay.
+///
+/// Construct via [`ShardedTelescopeConfig::builder`]; the struct is
+/// `#[non_exhaustive]`, so new knobs may be added without breaking
+/// downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ShardedTelescopeConfig {
     /// The scenario (per-cell farm template, radiation, horizon). Each
     /// cell instantiates `base.farm` with a seed derived from
@@ -115,6 +120,93 @@ pub struct ShardedTelescopeConfig {
     /// compiled out of the hot path. Tracing never changes any
     /// deterministic result field.
     pub trace: Option<potemkin_obs::TraceConfig>,
+}
+
+impl ShardedTelescopeConfig {
+    /// A validating builder: one cell, a 500 ms barrier window, no
+    /// faults, no seed infections, tracing off.
+    #[must_use]
+    pub fn builder(base: TelescopeConfig) -> ShardedTelescopeConfigBuilder {
+        ShardedTelescopeConfigBuilder {
+            inner: ShardedTelescopeConfig {
+                base,
+                cells: 1,
+                window: SimTime::from_millis(500),
+                faults: None,
+                seed_infections: 0,
+                trace: None,
+            },
+        }
+    }
+}
+
+/// Typed builder for [`ShardedTelescopeConfig`]; see
+/// [`ShardedTelescopeConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct ShardedTelescopeConfigBuilder {
+    inner: ShardedTelescopeConfig,
+}
+
+impl ShardedTelescopeConfigBuilder {
+    /// Sets the address-space cell count.
+    #[must_use]
+    pub fn cells(mut self, cells: usize) -> Self {
+        self.inner.cells = cells;
+        self
+    }
+
+    /// Sets the conservative barrier window width.
+    #[must_use]
+    pub fn window(mut self, window: SimTime) -> Self {
+        self.inner.window = window;
+        self
+    }
+
+    /// Installs a per-cell fault-plan template.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlanConfig) -> Self {
+        self.inner.faults = Some(faults);
+        self
+    }
+
+    /// Sets the patient-zero count (requires the base farm's worm).
+    #[must_use]
+    pub fn seed_infections(mut self, n: usize) -> Self {
+        self.inner.seed_infections = n;
+        self
+    }
+
+    /// Enables per-cell tracing.
+    #[must_use]
+    pub fn trace(mut self, trace: potemkin_obs::TraceConfig) -> Self {
+        self.inner.trace = Some(trace);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for zero cells, a zero window, or seed
+    /// infections without a worm on the base farm.
+    pub fn build(self) -> Result<ShardedTelescopeConfig, potemkin_gateway::ConfigError> {
+        use potemkin_gateway::ConfigError;
+        let c = self.inner;
+        if c.cells == 0 {
+            return Err(ConfigError::new("ShardedTelescopeConfig", "cells", "must be > 0"));
+        }
+        if c.window == SimTime::ZERO {
+            return Err(ConfigError::new("ShardedTelescopeConfig", "window", "must be > 0"));
+        }
+        if c.seed_infections > 0 && c.base.farm.worm.is_none() {
+            return Err(ConfigError::new(
+                "ShardedTelescopeConfig",
+                "seed_infections",
+                "seeding infections needs base.farm.worm",
+            ));
+        }
+        Ok(c)
+    }
 }
 
 /// Result of a sharded telescope replay: the serial [`TelescopeResult`]

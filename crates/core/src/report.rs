@@ -2,7 +2,7 @@
 
 use potemkin_metrics::{CounterSet, FaultLedger, LogHistogram};
 use potemkin_sim::SimTime;
-use potemkin_vmm::MemoryReport;
+use potemkin_vmm::{MemoryReport, SharingReport};
 
 use crate::farm::Honeyfarm;
 
@@ -27,6 +27,8 @@ pub struct FarmStats {
     pub clone_latency_p99: SimTime,
     /// Total virtual time spent in VMM operations.
     pub vmm_time: SimTime,
+    /// Farm-wide logical-vs-resident memory occupancy (content sharing).
+    pub sharing: SharingReport,
 }
 
 impl FarmStats {
@@ -45,6 +47,7 @@ impl FarmStats {
             clone_latency_p50: SimTime::from_micros(h.quantile(0.5)),
             clone_latency_p99: SimTime::from_micros(h.quantile(0.99)),
             vmm_time: farm.vmm_time(),
+            sharing: farm.sharing_report(),
             counters,
         }
     }
@@ -61,6 +64,7 @@ impl FarmStats {
         let mut counters = CounterSet::new();
         let mut clone_latency = LogHistogram::new(32);
         let mut vmm_time = SimTime::ZERO;
+        let mut sharing = SharingReport::default();
         for farm in farms {
             live_vms += farm.live_vms();
             infected_vms += farm.infected_vms();
@@ -69,6 +73,7 @@ impl FarmStats {
             counters.merge(farm.gateway().counters());
             clone_latency.merge(farm.clone_latency_us());
             vmm_time += farm.vmm_time();
+            sharing.absorb(farm.sharing_report());
         }
         FarmStats {
             live_vms,
@@ -79,6 +84,7 @@ impl FarmStats {
             clone_latency_p50: SimTime::from_micros(clone_latency.quantile(0.5)),
             clone_latency_p99: SimTime::from_micros(clone_latency.quantile(0.99)),
             vmm_time,
+            sharing,
             counters,
         }
     }

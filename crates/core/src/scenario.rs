@@ -12,6 +12,7 @@
 //! configurations across OS threads for parameter sweeps.
 
 use potemkin_gateway::binding::VmRef;
+use potemkin_gateway::ConfigError;
 use potemkin_metrics::TimeSeries;
 use potemkin_sim::{run_until, EventQueue, FaultPlan, SimTime, World};
 use potemkin_workload::radiation::{RadiationConfig, RadiationModel};
@@ -22,7 +23,12 @@ use crate::farm::{FarmConfig, Honeyfarm};
 use crate::report::{DegradationReport, FarmStats};
 
 /// Configuration of an in-farm worm outbreak experiment.
+///
+/// Construct via [`OutbreakConfig::builder`]; the struct is
+/// `#[non_exhaustive]`, so new knobs may be added without breaking
+/// downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct OutbreakConfig {
     /// The farm (its `worm` field must be set).
     pub farm: FarmConfig,
@@ -34,6 +40,90 @@ pub struct OutbreakConfig {
     pub sample_interval: SimTime,
     /// Gateway/binding expiry tick interval.
     pub tick_interval: SimTime,
+}
+
+impl OutbreakConfig {
+    /// A validating builder: one patient zero, a 10-second horizon,
+    /// 1-second sampling and ticking. The farm's `worm` must be set by
+    /// [`OutbreakConfigBuilder::build`] time.
+    #[must_use]
+    pub fn builder(farm: FarmConfig) -> OutbreakConfigBuilder {
+        OutbreakConfigBuilder {
+            inner: OutbreakConfig {
+                farm,
+                initial_infections: 1,
+                duration: SimTime::from_secs(10),
+                sample_interval: SimTime::from_secs(1),
+                tick_interval: SimTime::from_secs(1),
+            },
+        }
+    }
+}
+
+/// Typed builder for [`OutbreakConfig`]; see [`OutbreakConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct OutbreakConfigBuilder {
+    inner: OutbreakConfig,
+}
+
+impl OutbreakConfigBuilder {
+    /// Sets the number of seeded patient-zero VMs.
+    #[must_use]
+    pub fn initial_infections(mut self, n: usize) -> Self {
+        self.inner.initial_infections = n;
+        self
+    }
+
+    /// Sets the run horizon.
+    #[must_use]
+    pub fn duration(mut self, duration: SimTime) -> Self {
+        self.inner.duration = duration;
+        self
+    }
+
+    /// Sets the time-series sampling interval.
+    #[must_use]
+    pub fn sample_interval(mut self, interval: SimTime) -> Self {
+        self.inner.sample_interval = interval;
+        self
+    }
+
+    /// Sets the gateway/binding expiry tick interval.
+    #[must_use]
+    pub fn tick_interval(mut self, interval: SimTime) -> Self {
+        self.inner.tick_interval = interval;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the farm has no worm, there are zero
+    /// seeds, or any interval is zero.
+    pub fn build(self) -> Result<OutbreakConfig, ConfigError> {
+        let c = self.inner;
+        if c.farm.worm.is_none() {
+            return Err(ConfigError::new("OutbreakConfig", "farm.worm", "outbreak needs a worm"));
+        }
+        if c.initial_infections == 0 {
+            return Err(ConfigError::new(
+                "OutbreakConfig",
+                "initial_infections",
+                "need at least one seed infection",
+            ));
+        }
+        if c.duration == SimTime::ZERO {
+            return Err(ConfigError::new("OutbreakConfig", "duration", "must be > 0"));
+        }
+        if c.sample_interval == SimTime::ZERO {
+            return Err(ConfigError::new("OutbreakConfig", "sample_interval", "must be > 0"));
+        }
+        if c.tick_interval == SimTime::ZERO {
+            return Err(ConfigError::new("OutbreakConfig", "tick_interval", "must be > 0"));
+        }
+        Ok(c)
+    }
 }
 
 /// Result of an outbreak run.
@@ -115,17 +205,19 @@ impl World for OutbreakWorld {
 /// use potemkin_sim::SimTime;
 /// use potemkin_workload::worm::WormSpec;
 ///
-/// let mut farm = FarmConfig::small_test();
-/// farm.worm = Some(WormSpec::code_red("10.1.0.0/28".parse().unwrap()));
-/// farm.frames_per_server = 200_000;
-/// let result = run_outbreak(OutbreakConfig {
-///     farm,
-///     initial_infections: 1,
-///     duration: SimTime::from_secs(5),
-///     sample_interval: SimTime::from_secs(1),
-///     tick_interval: SimTime::from_secs(2),
-/// })
-/// .unwrap();
+/// let farm = FarmConfig::builder()
+///     .worm(WormSpec::code_red("10.1.0.0/28".parse().unwrap()))
+///     .frames_per_server(200_000)
+///     .build()
+///     .unwrap();
+/// let config = OutbreakConfig::builder(farm)
+///     .initial_infections(1)
+///     .duration(SimTime::from_secs(5))
+///     .sample_interval(SimTime::from_secs(1))
+///     .tick_interval(SimTime::from_secs(2))
+///     .build()
+///     .unwrap();
+/// let result = run_outbreak(config).unwrap();
 /// assert!(result.final_infected >= 1);
 /// assert_eq!(result.escapes, 0, "reflection contains the worm");
 /// ```
@@ -181,7 +273,12 @@ pub fn run_outbreak(config: OutbreakConfig) -> Result<OutbreakResult, FarmError>
 }
 
 /// Configuration of a telescope-replay experiment.
+///
+/// Construct via [`TelescopeConfig::builder`]; the struct is
+/// `#[non_exhaustive]`, so new knobs may be added without breaking
+/// downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct TelescopeConfig {
     /// The farm.
     pub farm: FarmConfig,
@@ -195,6 +292,80 @@ pub struct TelescopeConfig {
     pub sample_interval: SimTime,
     /// Gateway/binding expiry tick interval.
     pub tick_interval: SimTime,
+}
+
+impl TelescopeConfig {
+    /// A validating builder: the radiation seed defaults to the farm's
+    /// seed, with a 10-second horizon and 1-second sampling and ticking.
+    #[must_use]
+    pub fn builder(farm: FarmConfig, radiation: RadiationConfig) -> TelescopeConfigBuilder {
+        let seed = farm.seed;
+        TelescopeConfigBuilder {
+            inner: TelescopeConfig {
+                farm,
+                radiation,
+                seed,
+                duration: SimTime::from_secs(10),
+                sample_interval: SimTime::from_secs(1),
+                tick_interval: SimTime::from_secs(1),
+            },
+        }
+    }
+}
+
+/// Typed builder for [`TelescopeConfig`]; see [`TelescopeConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct TelescopeConfigBuilder {
+    inner: TelescopeConfig,
+}
+
+impl TelescopeConfigBuilder {
+    /// Sets the radiation seed (defaults to the farm seed).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Sets the replay horizon.
+    #[must_use]
+    pub fn duration(mut self, duration: SimTime) -> Self {
+        self.inner.duration = duration;
+        self
+    }
+
+    /// Sets the time-series sampling interval.
+    #[must_use]
+    pub fn sample_interval(mut self, interval: SimTime) -> Self {
+        self.inner.sample_interval = interval;
+        self
+    }
+
+    /// Sets the gateway/binding expiry tick interval.
+    #[must_use]
+    pub fn tick_interval(mut self, interval: SimTime) -> Self {
+        self.inner.tick_interval = interval;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when any interval is zero.
+    pub fn build(self) -> Result<TelescopeConfig, ConfigError> {
+        let c = self.inner;
+        if c.duration == SimTime::ZERO {
+            return Err(ConfigError::new("TelescopeConfig", "duration", "must be > 0"));
+        }
+        if c.sample_interval == SimTime::ZERO {
+            return Err(ConfigError::new("TelescopeConfig", "sample_interval", "must be > 0"));
+        }
+        if c.tick_interval == SimTime::ZERO {
+            return Err(ConfigError::new("TelescopeConfig", "tick_interval", "must be > 0"));
+        }
+        Ok(c)
+    }
 }
 
 /// Result of a telescope replay.

@@ -11,6 +11,8 @@ use std::net::Ipv4Addr;
 
 use potemkin_sim::{SimTime, TimerHandle, TimerWheel};
 
+use crate::reclaim::ReclaimCandidate;
+
 /// Opaque reference to a honeypot VM, minted by the controller.
 ///
 /// The gateway never dereferences it — it only routes packets to it.
@@ -196,13 +198,33 @@ impl AddressBinder {
         keys
     }
 
-    /// Forcibly expires the oldest binding (resource pressure: the farm is
-    /// full and a new address needs a VM). Returns the evicted binding, or
-    /// `None` when nothing is bound.
-    pub fn evict_oldest(&mut self, now: SimTime) -> Option<ExpiredBinding> {
-        let (&key, binding) = self.bindings.iter().min_by_key(|(_, b)| b.bound_at)?;
-        let _ = binding;
-        let binding = self.bindings.remove(&key).expect("key just found");
+    /// Every live binding as a reclaim candidate, sorted by ascending bind
+    /// epoch. Epochs are unique and monotone, so the order is deterministic
+    /// regardless of hash-map iteration order — the contract
+    /// [`crate::reclaim::ReclaimPolicy`] implementations rely on.
+    #[must_use]
+    pub fn reclaim_candidates(&self) -> Vec<ReclaimCandidate> {
+        let mut candidates: Vec<ReclaimCandidate> = self
+            .bindings
+            .iter()
+            .map(|(&key, b)| ReclaimCandidate {
+                key,
+                vm: b.vm,
+                bound_at: b.bound_at,
+                last_active: b.last_active,
+                packets: b.packets,
+                epoch: b.epoch,
+            })
+            .collect();
+        candidates.sort_by_key(|c| c.epoch);
+        candidates
+    }
+
+    /// Forcibly expires the binding for `key` (resource pressure: a reclaim
+    /// policy chose it as the victim). Returns the evicted binding, or
+    /// `None` when the key is not bound.
+    pub fn evict_key(&mut self, key: BindKey, now: SimTime) -> Option<ExpiredBinding> {
+        let binding = self.bindings.remove(&key)?;
         self.timers.cancel(binding.idle_timer);
         Self::decr_source(&mut self.per_source, binding.src);
         self.expiries += 1;
@@ -407,16 +429,30 @@ mod tests {
     }
 
     #[test]
-    fn evict_oldest_picks_earliest_binding() {
+    fn reclaim_candidates_sorted_by_epoch() {
         let mut b = binder(600);
-        assert!(b.evict_oldest(SimTime::ZERO).is_none(), "empty binder");
+        assert!(b.reclaim_candidates().is_empty(), "empty binder");
+        b.bind(SimTime::from_secs(5), SRC2, DST2, VmRef(2));
+        b.bind(SimTime::from_secs(1), SRC, DST, VmRef(1));
+        let cs = b.reclaim_candidates();
+        assert_eq!(cs.len(), 2);
+        assert!(cs[0].epoch < cs[1].epoch, "ascending epoch");
+        assert_eq!(cs[0].vm, VmRef(2), "first bound first");
+        assert_eq!(cs[1].bound_at, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn evict_key_releases_state_like_expiry() {
+        let mut b = binder(600);
         b.bind(SimTime::from_secs(1), SRC, DST, VmRef(1));
         b.bind(SimTime::from_secs(5), SRC2, DST2, VmRef(2));
-        let e = b.evict_oldest(SimTime::from_secs(10)).unwrap();
-        assert_eq!(e.vm, VmRef(1), "oldest first");
+        let key = b.key_for(SRC, DST);
+        let e = b.evict_key(key, SimTime::from_secs(10)).unwrap();
+        assert_eq!(e.vm, VmRef(1));
         assert_eq!(e.lifetime, SimTime::from_secs(9));
         assert_eq!(b.len(), 1);
         assert_eq!(b.source_bindings(SRC), 0, "quota released");
+        assert!(b.evict_key(key, SimTime::from_secs(11)).is_none(), "already gone");
         // The cancelled idle timer never fires for the evicted key.
         assert!(b.expire(SimTime::from_hours(1)).len() == 1, "only the survivor expires");
         assert!(b.is_empty());

@@ -16,12 +16,19 @@ use potemkin_obs::{names as obs, TraceEvent, Tracer};
 use potemkin_sim::{SimTime, TokenBucket};
 
 use crate::binding::{AddressBinder, BindGranularity, ExpiredBinding, VmRef};
+use crate::config::ConfigError;
 use crate::dnsgw::DnsProxy;
 use crate::flowtable::{FlowDirection, FlowTable};
 use crate::policy::{ContainmentMode, DropReason, PolicyConfig};
+use crate::reclaim::ReclaimPolicy;
 
 /// Gateway configuration.
+///
+/// Construct via [`GatewayConfig::builder`] (the struct is
+/// `#[non_exhaustive]`, so literal construction only works inside this
+/// crate); existing instances may still be mutated field-by-field.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct GatewayConfig {
     /// The containment policy.
     pub policy: PolicyConfig,
@@ -38,6 +45,70 @@ impl Default for GatewayConfig {
             granularity: BindGranularity::PerDestination,
             sinkhole: "172.20.0.0/16".parse().expect("static prefix"),
         }
+    }
+}
+
+impl GatewayConfig {
+    /// A builder starting from [`GatewayConfig::default`].
+    #[must_use]
+    pub fn builder() -> GatewayConfigBuilder {
+        GatewayConfigBuilder { inner: GatewayConfig::default() }
+    }
+}
+
+/// Typed builder for [`GatewayConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use potemkin_gateway::gateway::GatewayConfig;
+/// use potemkin_gateway::policy::PolicyConfig;
+///
+/// let config = GatewayConfig::builder().policy(PolicyConfig::reflect()).build().unwrap();
+/// assert!(config.policy.proxy_dns);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GatewayConfigBuilder {
+    inner: GatewayConfig,
+}
+
+impl GatewayConfigBuilder {
+    /// Sets the containment policy.
+    #[must_use]
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.inner.policy = policy;
+        self
+    }
+
+    /// Sets the address-binding granularity.
+    #[must_use]
+    pub fn granularity(mut self, granularity: BindGranularity) -> Self {
+        self.inner.granularity = granularity;
+        self
+    }
+
+    /// Sets the sinkhole prefix DNS answers come from.
+    #[must_use]
+    pub fn sinkhole(mut self, sinkhole: Ipv4Prefix) -> Self {
+        self.inner.sinkhole = sinkhole;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the sinkhole prefix is a single address
+    /// (DNS answers need room for more than one sinkholed name).
+    pub fn build(self) -> Result<GatewayConfig, ConfigError> {
+        if self.inner.sinkhole.bits() >= 32 {
+            return Err(ConfigError::new(
+                "GatewayConfig",
+                "sinkhole",
+                "prefix must contain more than one address",
+            ));
+        }
+        Ok(self.inner)
     }
 }
 
@@ -401,13 +472,24 @@ impl Gateway {
         }
     }
 
-    /// Forcibly expires the oldest binding to make room (resource
-    /// pressure). The controller must destroy/recycle the returned VM.
-    pub fn evict_oldest_binding(&mut self, now: SimTime) -> Option<ExpiredBinding> {
-        let evicted = self.binder.evict_oldest(now)?;
+    /// Forcibly expires one binding to make room (resource pressure),
+    /// letting `policy` choose the victim from a deterministically ordered
+    /// candidate list. The controller must destroy/recycle the returned VM.
+    pub fn evict_for_pressure(
+        &mut self,
+        now: SimTime,
+        policy: &mut dyn ReclaimPolicy,
+    ) -> Option<ExpiredBinding> {
+        let candidates = self.binder.reclaim_candidates();
+        if candidates.is_empty() {
+            return None;
+        }
+        let chosen = candidates[policy.pick(now, &candidates).min(candidates.len() - 1)];
+        let evicted = self.binder.evict_key(chosen.key, now).expect("candidate is bound");
         self.rate.remove(&evicted.vm);
         self.retire_binding_flows(evicted.key.dst);
         self.counters.incr("bindings_evicted_pressure");
+        self.tracer.instant(now, obs::MEM_RECLAIM, 1);
         Some(evicted)
     }
 
@@ -945,9 +1027,28 @@ mod tests {
         g.bind(t, ATTACKER, HP1, VmRef(1));
         g.on_inbound(t, syn(ATTACKER, HP1));
         assert!(g.flows_alive_for(HP1) > 0);
-        let evicted = g.evict_oldest_binding(SimTime::from_secs(1)).unwrap();
+        let mut policy = crate::reclaim::OldestFirst;
+        let evicted = g.evict_for_pressure(SimTime::from_secs(1), &mut policy).unwrap();
         assert_eq!(evicted.vm, VmRef(1));
         assert_eq!(g.flows_alive_for(HP1), 0);
+        assert_eq!(g.counters().get("bindings_evicted_pressure"), 1);
+    }
+
+    #[test]
+    fn pressure_eviction_respects_the_policy_choice() {
+        let mut g = gw(PolicyConfig::reflect());
+        g.on_inbound(SimTime::ZERO, syn(ATTACKER, HP1));
+        g.bind(SimTime::ZERO, ATTACKER, HP1, VmRef(1));
+        g.on_inbound(SimTime::from_secs(1), syn(ATTACKER, HP2));
+        g.bind(SimTime::from_secs(1), ATTACKER, HP2, VmRef(2));
+        // HP1 stays active; HP2 never hears another packet, so LRU evicts it
+        // even though HP1's binding is older.
+        g.on_inbound(SimTime::from_secs(5), syn(ATTACKER, HP1));
+        let mut policy = crate::reclaim::LruByLastPacket;
+        let evicted = g.evict_for_pressure(SimTime::from_secs(6), &mut policy).unwrap();
+        assert_eq!(evicted.vm, VmRef(2), "least recently active loses");
+        assert!(g.evict_for_pressure(SimTime::from_secs(7), &mut policy).is_some());
+        assert!(g.evict_for_pressure(SimTime::from_secs(8), &mut policy).is_none(), "empty");
     }
 
     #[test]

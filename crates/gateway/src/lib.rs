@@ -22,14 +22,21 @@
 //! gateway router and the VMM servers.
 
 pub mod binding;
+pub mod config;
 pub mod dnsgw;
 pub mod flowtable;
 pub mod gateway;
 pub mod policy;
+pub mod reclaim;
 pub mod tunnel;
 
 pub use binding::{AddressBinder, BindGranularity, VmRef};
+pub use config::ConfigError;
 pub use dnsgw::{DnsProxy, SinkholeError};
 pub use flowtable::{FlowDirection, FlowTable};
-pub use gateway::{Gateway, GatewayAction, GatewayConfig};
-pub use policy::{ContainmentMode, DropReason, PolicyConfig};
+pub use gateway::{Gateway, GatewayAction, GatewayConfig, GatewayConfigBuilder};
+pub use policy::{ContainmentMode, DropReason, PolicyConfig, PolicyConfigBuilder};
+pub use reclaim::{
+    ClockSecondChance, LruByLastPacket, OldestFirst, ReclaimCandidate, ReclaimPolicy,
+    ReclaimPolicyKind,
+};

@@ -79,4 +79,16 @@ pub mod names {
     pub const SHARD_WINDOW: &str = "shard.window";
     /// Shard engine: events processed in a window (counter).
     pub const SHARD_EVENTS: &str = "shard.events";
+    /// Memory control plane: one content-index scan pass over a host
+    /// (span; merges happen inside).
+    pub const MEM_SCAN: &str = "mem.scan";
+    /// Memory control plane: pages merged back to shared frames in a scan
+    /// (instant; value = pages merged).
+    pub const MEM_MERGE: &str = "mem.merge";
+    /// Memory control plane: a binding evicted by the reclaim policy
+    /// under pressure (instant).
+    pub const MEM_RECLAIM: &str = "mem.reclaim";
+    /// Memory control plane: a clone allocation exceeded the host budget
+    /// (instant; value = requested frames).
+    pub const MEM_PRESSURE: &str = "mem.pressure";
 }

@@ -7,7 +7,7 @@
 //! ([`Host::memory_report`]) is the ground truth behind the reproduction of
 //! the paper's delta-virtualization figure.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use potemkin_sim::SimTime;
 
@@ -562,6 +562,108 @@ impl Host {
             }
         }
         Ok(reclaimed)
+    }
+
+    /// One content-index pass over every domain's guest region: divergent
+    /// pages whose contents match an already-resident frame (an image page,
+    /// a previously merged frame, or another domain's divergent page) are
+    /// released and remapped to that frame copy-on-write.
+    ///
+    /// This generalizes [`Host::reshare_reverted_pages`] from
+    /// image-identical pages to *any* identical content — the KSM-style
+    /// content-based sharing the paper leaves as future work. Worm payloads
+    /// write the same bytes into every victim, so post-infection clones
+    /// re-converge. When the merge target is another domain's still-writable
+    /// page, that page is first downgraded to read-only so a future write by
+    /// either side faults a private copy (guest-visible contents never
+    /// change).
+    ///
+    /// Only the image-backed guest region is scanned: the fixed overhead
+    /// pages model per-domain hypervisor structures (shadow tables, device
+    /// rings), which are never content-shareable on real hardware.
+    ///
+    /// Scan order is domain-id then pfn order — deterministic, so merged
+    /// frame topology (and every report derived from it) is identical
+    /// across runs and shard worker counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::HostDown`] on a crashed host.
+    pub fn scan_and_merge(&mut self) -> Result<crate::memctl::MergeReport, VmmError> {
+        self.ensure_alive()?;
+        let free_before = self.frames.free_frames();
+        // content word -> (canonical frame, the domain still mapping it
+        // writable, if any). Seeded from reference images in id order so
+        // pristine frames always win canonical status.
+        let mut canonical: HashMap<u64, (crate::frame::FrameId, Option<(DomainId, u64)>)> =
+            HashMap::new();
+        for img in self.images.values() {
+            for &frame in img.frames() {
+                canonical.entry(self.frames.read(frame)).or_insert((frame, None));
+            }
+        }
+        let mut report = crate::memctl::MergeReport::default();
+        let scan: Vec<(DomainId, u64)> =
+            self.domains.values().map(|d| (d.id(), self.image_guest_pages(d.image()))).collect();
+        for (id, guest_pages) in scan {
+            for pfn in 0..guest_pages {
+                let pte = {
+                    let dom = self.domains.get(&id).expect("listed above");
+                    dom.space().lookup(pfn).expect("guest pfns are mapped")
+                };
+                report.scanned_pages += 1;
+                let content = self.frames.read(pte.frame);
+                if !pte.writable {
+                    // Already shared; index it so later duplicates can join.
+                    canonical.entry(content).or_insert((pte.frame, None));
+                    continue;
+                }
+                match canonical.get(&content).copied() {
+                    None => {
+                        canonical.insert(content, (pte.frame, Some((id, pfn))));
+                    }
+                    Some((cframe, _)) if cframe == pte.frame => {}
+                    Some((cframe, owner)) => {
+                        // The canonical frame may still be writable in its
+                        // owner's map; freeze it first so neither side can
+                        // mutate the now-shared frame in place.
+                        if let Some((oid, opfn)) = owner {
+                            let odom = self.domains.get_mut(&oid).expect("owner is live");
+                            odom.space_mut()
+                                .remap(opfn, Pte { frame: cframe, writable: false })
+                                .expect("owner pfn in range");
+                            canonical.insert(content, (cframe, None));
+                        }
+                        self.frames.share(cframe);
+                        self.frames.release(pte.frame);
+                        self.domains
+                            .get_mut(&id)
+                            .expect("listed above")
+                            .space_mut()
+                            .remap(pfn, Pte { frame: cframe, writable: false })
+                            .expect("pfn in range");
+                        report.merged_pages += 1;
+                    }
+                }
+            }
+        }
+        report.frames_reclaimed = self.frames.free_frames().saturating_sub(free_before);
+        Ok(report)
+    }
+
+    /// Pages of the guest region (the image-backed prefix of the address
+    /// space) for domains cloned from `image`.
+    fn image_guest_pages(&self, image: ImageId) -> u64 {
+        self.images.get(&image).map_or(0, ReferenceImage::pages)
+    }
+
+    /// The host's logical-vs-physical occupancy (sharing ratio input).
+    #[must_use]
+    pub fn sharing_report(&self) -> crate::memctl::SharingReport {
+        crate::memctl::SharingReport {
+            logical_pages: self.domains.values().map(Domain::memory_pages).sum(),
+            resident_frames: self.frames.used_frames(),
+        }
     }
 
     /// Reads a guest page through the domain's p2m map.
@@ -1167,5 +1269,111 @@ mod tests {
         let r = host.memory_report();
         assert_eq!(r.used_frames + r.free_frames, r.total_frames);
         assert_eq!(r.used_frames, r.image_frames + r.private_frames);
+    }
+
+    #[test]
+    fn merge_collapses_identical_divergent_pages() {
+        let (mut host, image) = small_host();
+        let (a, _) = host.flash_clone(image).unwrap();
+        let (b, _) = host.flash_clone(image).unwrap();
+        // Both clones write the same "payload" into the same pfns — the
+        // worm-infection pattern.
+        for pfn in 0..50u64 {
+            host.write_page(a, pfn, 0x1000 + pfn).unwrap();
+            host.write_page(b, pfn, 0x1000 + pfn).unwrap();
+        }
+        let diverged = host.memory_report().used_frames;
+        let report = host.scan_and_merge().unwrap();
+        assert_eq!(report.merged_pages, 50, "one side of each pair remaps");
+        assert_eq!(report.frames_reclaimed, 50);
+        assert_eq!(host.memory_report().used_frames, diverged - 50);
+        // Guest-visible contents unchanged.
+        for pfn in 0..50u64 {
+            assert_eq!(host.read_page(a, pfn).unwrap(), 0x1000 + pfn);
+            assert_eq!(host.read_page(b, pfn).unwrap(), 0x1000 + pfn);
+        }
+    }
+
+    #[test]
+    fn merge_reshares_image_identical_pages() {
+        let (mut host, image) = small_host();
+        let (vm, _) = host.flash_clone(image).unwrap();
+        let orig = host.read_page(vm, 3).unwrap();
+        host.write_page(vm, 3, 0xFEED).unwrap();
+        host.write_page(vm, 3, orig).unwrap(); // reverted to image content
+        let before = host.memory_report().used_frames;
+        let report = host.scan_and_merge().unwrap();
+        assert_eq!(report.merged_pages, 1);
+        assert_eq!(host.memory_report().used_frames, before - 1);
+        assert_eq!(host.read_page(vm, 3).unwrap(), orig);
+    }
+
+    #[test]
+    fn writes_after_merge_fault_private_copies_again() {
+        let (mut host, image) = small_host();
+        let (a, _) = host.flash_clone(image).unwrap();
+        let (b, _) = host.flash_clone(image).unwrap();
+        host.write_page(a, 9, 0xC0DE).unwrap();
+        host.write_page(b, 9, 0xC0DE).unwrap();
+        assert_eq!(host.scan_and_merge().unwrap().merged_pages, 1);
+        // The canonical owner's mapping was frozen too: its next write must
+        // fault a private copy, not mutate the shared frame.
+        let out = host.write_page(a, 9, 0xAAAA).unwrap();
+        assert!(out.faulted, "merged page is read-only for both domains");
+        assert_eq!(host.read_page(a, 9).unwrap(), 0xAAAA);
+        assert_eq!(host.read_page(b, 9).unwrap(), 0xC0DE, "sibling keeps merged content");
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_skips_overhead_pages() {
+        let (mut host, image) = small_host();
+        let (a, _) = host.flash_clone(image).unwrap();
+        let (b, _) = host.flash_clone(image).unwrap();
+        // Overhead pages (pfn >= image pages) start identical (zero) across
+        // domains but model per-domain hypervisor state: never merged.
+        host.write_page(a, 4, 7).unwrap();
+        host.write_page(b, 4, 7).unwrap();
+        let first = host.scan_and_merge().unwrap();
+        assert_eq!(first.merged_pages, 1, "only the guest-region duplicate merges");
+        assert_eq!(first.scanned_pages, 2 * 8_192);
+        let second = host.scan_and_merge().unwrap();
+        assert_eq!(second.merged_pages, 0, "second pass finds nothing");
+        assert_eq!(second.frames_reclaimed, 0);
+        let r = host.memory_report();
+        // The merged frame is shared between the two domains (writable in
+        // neither map), so only the per-domain overhead stays private.
+        assert_eq!(r.private_frames, 2 * 16, "overhead stays private per domain");
+        assert_eq!(r.used_frames, r.image_frames + r.private_frames + 1, "one merged frame");
+    }
+
+    #[test]
+    fn sharing_ratio_grows_with_clones_and_merging() {
+        let (mut host, image) = small_host();
+        let mut vms = Vec::new();
+        for _ in 0..4 {
+            let (vm, _) = host.flash_clone(image).unwrap();
+            vms.push(vm);
+        }
+        let fresh = host.sharing_report();
+        assert_eq!(fresh.logical_pages, 4 * (8_192 + 16));
+        assert!(fresh.ratio() > 1.0, "CoW sharing alone beats 1x");
+        for &vm in &vms {
+            for pfn in 0..64u64 {
+                host.write_page(vm, pfn, 0xBEEF + pfn).unwrap();
+            }
+        }
+        let diverged = host.sharing_report();
+        assert!(diverged.ratio() < fresh.ratio(), "divergence costs sharing");
+        host.scan_and_merge().unwrap();
+        let merged = host.sharing_report();
+        assert!(merged.ratio() > diverged.ratio(), "merging recovers sharing");
+        assert!(merged.ratio() > 1.0);
+    }
+
+    #[test]
+    fn merge_on_dead_host_is_rejected() {
+        let (mut host, _) = small_host();
+        host.crash();
+        assert!(matches!(host.scan_and_merge(), Err(VmmError::HostDown)));
     }
 }

@@ -61,6 +61,7 @@ pub mod error;
 pub mod frame;
 pub mod guest;
 pub mod host;
+pub mod memctl;
 pub mod snapshot;
 
 pub use clone::{CloneTiming, RetryPolicy};
@@ -73,6 +74,7 @@ pub use error::VmmError;
 pub use frame::{FrameId, FrameTable};
 pub use guest::GuestProfile;
 pub use host::{Host, MemoryReport};
+pub use memctl::{MemoryBudget, MergeReport, PressureEvent, SharingReport};
 pub use snapshot::ImageId;
 
 /// Page size used throughout the simulation (bytes).

@@ -24,14 +24,14 @@ fn outbreak(mode: ContainmentMode) -> (ContainmentMode, usize, u64, u64) {
     farm.worm = Some(WormSpec::code_red("10.1.0.0/24".parse().expect("valid")));
     farm.frames_per_server = 4_000_000;
     farm.max_domains_per_server = 4_096;
-    let result = run_outbreak(OutbreakConfig {
-        farm,
-        initial_infections: 1,
-        duration: SimTime::from_secs(30),
-        sample_interval: SimTime::from_secs(5),
-        tick_interval: SimTime::from_secs(10),
-    })
-    .expect("outbreak runs");
+    let config = OutbreakConfig::builder(farm)
+        .initial_infections(1)
+        .duration(SimTime::from_secs(30))
+        .sample_interval(SimTime::from_secs(5))
+        .tick_interval(SimTime::from_secs(10))
+        .build()
+        .expect("valid config");
+    let result = run_outbreak(config).expect("outbreak runs");
     (mode, result.final_infected, result.escapes, result.probes)
 }
 

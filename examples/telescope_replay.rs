@@ -21,15 +21,14 @@ fn main() {
     println!("== Telescope replay ==");
     println!("replaying {duration} of synthetic /16 radiation, VM recycle after 30s idle...\n");
 
-    let result = run_telescope(TelescopeConfig {
-        farm,
-        radiation: RadiationConfig::default(),
-        seed: 2005,
-        duration,
-        sample_interval: SimTime::from_secs(10),
-        tick_interval: SimTime::from_secs(1),
-    })
-    .expect("replay runs");
+    let config = TelescopeConfig::builder(farm, RadiationConfig::default())
+        .seed(2005)
+        .duration(duration)
+        .sample_interval(SimTime::from_secs(10))
+        .tick_interval(SimTime::from_secs(1))
+        .build()
+        .expect("valid config");
+    let result = run_telescope(config).expect("replay runs");
 
     println!("packets replayed:           {}", result.packets);
     println!("distinct scan sources:      {}", result.distinct_sources);

@@ -30,14 +30,14 @@ fn main() {
     farm.max_domains_per_server = 4_096;
 
     let duration = SimTime::from_secs(40);
-    let result = run_outbreak(OutbreakConfig {
-        farm,
-        initial_infections: 1,
-        duration,
-        sample_interval: SimTime::from_secs(2),
-        tick_interval: SimTime::from_secs(10),
-    })
-    .expect("outbreak runs");
+    let config = OutbreakConfig::builder(farm)
+        .initial_infections(1)
+        .duration(duration)
+        .sample_interval(SimTime::from_secs(2))
+        .tick_interval(SimTime::from_secs(10))
+        .build()
+        .expect("valid config");
+    let result = run_outbreak(config).expect("outbreak runs");
 
     let analytic = SiModel::new(256, 1, worm.scan_rate, 256).expect("valid model");
     println!("t(s)  infected(sim)  infected(SI model)");

@@ -36,6 +36,7 @@ pub use potemkin_core::farm;
 pub use potemkin_core::parallel;
 pub use potemkin_core::report;
 pub use potemkin_core::scenario;
+pub use potemkin_core::{ConfigError, Error};
 pub use potemkin_gateway as gateway;
 pub use potemkin_metrics as metrics;
 pub use potemkin_net as net;

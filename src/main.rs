@@ -26,6 +26,7 @@ use potemkin::vmm::Host;
 use potemkin::workload::radiation::{RadiationConfig, RadiationModel};
 use potemkin::workload::trace::Trace;
 use potemkin::workload::worm::WormSpec;
+use potemkin::Error;
 
 /// Parsed `--key value` flags plus the subcommand.
 struct Args {
@@ -84,7 +85,7 @@ impl Args {
     }
 }
 
-fn cmd_replay(args: &Args) -> Result<(), String> {
+fn cmd_replay(args: &Args) -> Result<(), Error> {
     let duration = args.secs("duration", 120)?;
     let idle = args.secs("idle", 60)?;
     let servers = args.num("servers", 1)? as usize;
@@ -99,27 +100,27 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     if let Some(path) = args.flags.get("save-trace") {
         let mut model = RadiationModel::new(RadiationConfig::default(), seed);
         let trace = model.generate(duration);
-        let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
-        trace.write_to(&mut file).map_err(|e| e.to_string())?;
+        let mut file = std::fs::File::create(path)?;
+        trace.write_to(&mut file)?;
         println!("wrote {} events to {path}", trace.len());
         return Ok(());
     }
     if let Some(path) = args.flags.get("save-pcap") {
         let mut model = RadiationModel::new(RadiationConfig::default(), seed);
         let trace = model.generate(duration);
-        let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
-        trace.write_pcap(&mut file).map_err(|e| e.to_string())?;
+        let mut file = std::fs::File::create(path)?;
+        trace.write_pcap(&mut file)?;
         println!("wrote {} packets to {path} (libpcap, LINKTYPE_RAW)", trace.len());
         return Ok(());
     }
 
     let result = if let Some(path) = args.flags.get("load-trace") {
         // Replay a saved trace through a hand-driven farm.
-        let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+        let file = std::fs::File::open(path)?;
         let mut reader = std::io::BufReader::new(file);
-        let trace = Trace::read_from(&mut reader).map_err(|e| e.to_string())?;
+        let trace = Trace::read_from(&mut reader)?;
         println!("loaded {} events from {path}", trace.len());
-        let mut live_farm = Honeyfarm::new(farm).map_err(|e| e.to_string())?;
+        let mut live_farm = Honeyfarm::new(farm)?;
         let mut last_tick = SimTime::ZERO;
         for event in trace.events() {
             live_farm.inject_external(event.at, event.packet.clone());
@@ -131,15 +132,13 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         println!("\n{}", live_farm.stats());
         return Ok(());
     } else {
-        run_telescope(TelescopeConfig {
-            farm,
-            radiation: RadiationConfig::default(),
-            seed,
-            duration,
-            sample_interval: SimTime::from_secs(5),
-            tick_interval: SimTime::from_secs(1),
-        })
-        .map_err(|e| e.to_string())?
+        let config = TelescopeConfig::builder(farm, RadiationConfig::default())
+            .seed(seed)
+            .duration(duration)
+            .sample_interval(SimTime::from_secs(5))
+            .tick_interval(SimTime::from_secs(1))
+            .build()?;
+        run_telescope(config)?
     };
 
     let mut t = Table::new(&["metric", "value"]).with_title("telescope replay");
@@ -155,18 +154,18 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_outbreak(args: &Args) -> Result<(), String> {
+fn cmd_outbreak(args: &Args) -> Result<(), Error> {
     let duration = args.secs("duration", 40)?;
     let space = "10.1.0.0/24".parse().expect("static prefix");
     let mut worm = match args.str("worm", "codered").as_str() {
         "codered" => WormSpec::code_red(space),
         "slammer" => WormSpec::slammer(space),
         "blaster" => WormSpec::blaster(space),
-        other => return Err(format!("unknown worm {other:?}")),
+        other => return Err(Error::Cli(format!("unknown worm {other:?}"))),
     };
     if let Some(rate) = args.float("scan-rate")? {
         if rate <= 0.0 {
-            return Err("--scan-rate must be positive".to_string());
+            return Err(Error::Cli("--scan-rate must be positive".to_string()));
         }
         worm.scan_rate = rate;
     }
@@ -174,7 +173,7 @@ fn cmd_outbreak(args: &Args) -> Result<(), String> {
         "reflect" => PolicyConfig::reflect(),
         "drop" => PolicyConfig::drop_all(),
         "allow" => PolicyConfig::allow_all(),
-        other => return Err(format!("unknown policy {other:?}")),
+        other => return Err(Error::Cli(format!("unknown policy {other:?}"))),
     };
 
     let mut farm = FarmConfig::small_test();
@@ -185,14 +184,13 @@ fn cmd_outbreak(args: &Args) -> Result<(), String> {
     farm.frames_per_server = 16_000_000;
     farm.max_domains_per_server = 4_096;
 
-    let result = run_outbreak(OutbreakConfig {
-        farm,
-        initial_infections: args.num("seeds", 1)? as usize,
-        duration,
-        sample_interval: SimTime::from_secs(1),
-        tick_interval: SimTime::from_secs(10),
-    })
-    .map_err(|e| e.to_string())?;
+    let config = OutbreakConfig::builder(farm)
+        .initial_infections(args.num("seeds", 1)? as usize)
+        .duration(duration)
+        .sample_interval(SimTime::from_secs(1))
+        .tick_interval(SimTime::from_secs(10))
+        .build()?;
+    let result = run_outbreak(config)?;
 
     println!("worm: {} ({} probes/s, port {})", worm.name, worm.scan_rate, worm.port);
     println!("t(s)  infected");
@@ -208,7 +206,7 @@ fn cmd_outbreak(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_demand(args: &Args) -> Result<(), String> {
+fn cmd_demand(args: &Args) -> Result<(), Error> {
     let duration = args.secs("duration", 600)?;
     let seed = args.num("seed", 2005)?;
     let lifetimes: Vec<SimTime> = match args.flags.get("lifetimes") {
@@ -261,19 +259,19 @@ fn cmd_demand(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_clone(args: &Args) -> Result<(), String> {
+fn cmd_clone(args: &Args) -> Result<(), Error> {
     let profile = match args.str("image", "windows").as_str() {
         "small" => GuestProfile::small(),
         "windows" => GuestProfile::windows_server(),
         "linux" => GuestProfile::linux_server(),
-        other => return Err(format!("unknown image {other:?}")),
+        other => return Err(Error::Cli(format!("unknown image {other:?}"))),
     };
     let pages = profile.memory_pages;
     let mut host = Host::new(4 * pages + 8_192);
-    let image = host.create_reference_image("cli", profile).map_err(|e| e.to_string())?;
-    let (_, flash) = host.flash_clone(image).map_err(|e| e.to_string())?;
-    let (_, full) = host.full_copy_clone(image).map_err(|e| e.to_string())?;
-    let (_, boot) = host.cold_boot(image).map_err(|e| e.to_string())?;
+    let image = host.create_reference_image("cli", profile)?;
+    let (_, flash) = host.flash_clone(image)?;
+    let (_, full) = host.full_copy_clone(image)?;
+    let (_, boot) = host.cold_boot(image)?;
     println!("image: {pages} pages ({} MiB)\n", pages * 4 / 1024);
     println!("flash clone breakdown:\n{flash}");
     println!(
@@ -302,7 +300,7 @@ fn main() -> ExitCode {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        other => Err(Error::Cli(format!("unknown command {other:?}\n{}", usage()))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

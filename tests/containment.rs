@@ -138,14 +138,14 @@ fn aggressive_recycling_extinguishes_the_internal_epidemic() {
             Some(WormSpec { scan_rate: 0.5, ..WormSpec::code_red("10.1.0.0/24".parse().unwrap()) });
         farm.frames_per_server = 2_000_000;
         farm.max_domains_per_server = 4_096;
-        run_outbreak(OutbreakConfig {
-            farm,
-            initial_infections: 4,
-            duration: SimTime::from_secs(60),
-            sample_interval: SimTime::from_secs(1),
-            tick_interval: SimTime::from_millis(500),
-        })
-        .expect("outbreak runs")
+        let config = OutbreakConfig::builder(farm)
+            .initial_infections(4)
+            .duration(SimTime::from_secs(60))
+            .sample_interval(SimTime::from_secs(1))
+            .tick_interval(SimTime::from_millis(500))
+            .build()
+            .expect("valid config");
+        run_outbreak(config).expect("outbreak runs")
     };
 
     let subcritical = run_with_lifetime(SimTime::from_secs(1));

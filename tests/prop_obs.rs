@@ -76,21 +76,24 @@ fn config_for(s: SampledRun, trace: Option<TraceConfig>) -> ShardedTelescopeConf
         host_recovery_time: SimTime::from_secs(2),
         ..FaultPlanConfig::zero(duration, farm.servers)
     });
-    ShardedTelescopeConfig {
-        base: TelescopeConfig {
-            farm,
-            radiation: RadiationConfig::default(),
-            seed: s.seed,
-            duration,
-            sample_interval: SimTime::from_secs(1),
-            tick_interval: SimTime::from_secs(1),
-        },
-        cells: s.cells,
-        window: SimTime::from_millis(500),
-        faults,
-        seed_infections,
-        trace,
+    let base = TelescopeConfig::builder(farm, RadiationConfig::default())
+        .seed(s.seed)
+        .duration(duration)
+        .sample_interval(SimTime::from_secs(1))
+        .tick_interval(SimTime::from_secs(1))
+        .build()
+        .expect("valid telescope config");
+    let mut builder = ShardedTelescopeConfig::builder(base)
+        .cells(s.cells)
+        .window(SimTime::from_millis(500))
+        .seed_infections(seed_infections);
+    if let Some(faults) = faults {
+        builder = builder.faults(faults);
     }
+    if let Some(trace) = trace {
+        builder = builder.trace(trace);
+    }
+    builder.build().expect("valid sharded config")
 }
 
 /// Everything a replay reports except wall-clock telemetry and the trace

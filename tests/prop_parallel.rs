@@ -72,21 +72,21 @@ fn config_for(s: SampledRun) -> ShardedTelescopeConfig {
         host_recovery_time: SimTime::from_secs(2),
         ..FaultPlanConfig::zero(duration, farm.servers)
     });
-    ShardedTelescopeConfig {
-        base: TelescopeConfig {
-            farm,
-            radiation: RadiationConfig::default(),
-            seed: s.seed,
-            duration,
-            sample_interval: SimTime::from_secs(1),
-            tick_interval: SimTime::from_secs(1),
-        },
-        cells: s.cells,
-        window: SimTime::from_millis(s.window_ms),
-        faults,
-        seed_infections,
-        trace: None,
+    let base = TelescopeConfig::builder(farm, RadiationConfig::default())
+        .seed(s.seed)
+        .duration(duration)
+        .sample_interval(SimTime::from_secs(1))
+        .tick_interval(SimTime::from_secs(1))
+        .build()
+        .expect("valid telescope config");
+    let mut builder = ShardedTelescopeConfig::builder(base)
+        .cells(s.cells)
+        .window(SimTime::from_millis(s.window_ms))
+        .seed_infections(seed_infections);
+    if let Some(faults) = faults {
+        builder = builder.faults(faults);
     }
+    builder.build().expect("valid sharded config")
 }
 
 /// Everything a replay reports except wall-clock telemetry, rendered to

@@ -10,7 +10,7 @@
 //!
 //! Output is plain aligned text; EXPERIMENTS.md quotes it directly.
 
-use potemkin_bench::experiments::{e1, e10, e11, e12, e13, e2, e3, e4, e5, e6, e7, e8, e9};
+use potemkin_bench::experiments::{e1, e10, e11, e12, e13, e14, e2, e3, e4, e5, e6, e7, e8, e9};
 use potemkin_sim::SimTime;
 
 struct Opts {
@@ -18,14 +18,16 @@ struct Opts {
     fast: bool,
     csv: bool,
     /// Directory receiving every emitted artifact (`BENCH_replay.json`,
-    /// `BENCH_obs.json`, `BENCH_memory.json`, `trace.json`). The legacy
-    /// per-file flags below override the directory-derived path for their
-    /// artifact and remain accepted as aliases.
+    /// `BENCH_obs.json`, `BENCH_memory.json`, `BENCH_snapshot.json`,
+    /// `trace.json`). The legacy per-file flags below override the
+    /// directory-derived path for their artifact and remain accepted as
+    /// aliases.
     out_dir: Option<String>,
     bench_out: Option<String>,
     obs_out: Option<String>,
     trace_out: Option<String>,
     memory_out: Option<String>,
+    snapshot_out: Option<String>,
 }
 
 impl Opts {
@@ -46,6 +48,7 @@ fn parse_args() -> Opts {
         obs_out: None,
         trace_out: None,
         memory_out: None,
+        snapshot_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,13 +61,15 @@ fn parse_args() -> Opts {
             "--obs-out" => opts.obs_out = args.next(),
             "--trace-out" => opts.trace_out = args.next(),
             "--memory-out" => opts.memory_out = args.next(),
+            "--snapshot-out" => opts.snapshot_out = args.next(),
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--fast] [--csv] [--out-dir DIR] \
-                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13]\n\
+                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14]\n\
                      --out-dir DIR   write BENCH_replay.json, BENCH_obs.json, \
-                     BENCH_memory.json and trace.json into DIR\n\
-                     (per-file aliases: --bench-out, --obs-out, --trace-out, --memory-out)"
+                     BENCH_memory.json, BENCH_snapshot.json and trace.json into DIR\n\
+                     (per-file aliases: --bench-out, --obs-out, --trace-out, \
+                     --memory-out, --snapshot-out)"
                 );
                 std::process::exit(0);
             }
@@ -205,6 +210,27 @@ fn main() {
         emit(&opts, &e13::pressure_table(&r));
         if let Some(path) = opts.artifact(&opts.memory_out, "BENCH_memory.json") {
             std::fs::write(&path, e13::bench_json(&r)).expect("write memory bench json");
+            println!("wrote {path}");
+        }
+    }
+    if wants(&opts, "e14") {
+        let duration = if opts.fast { SimTime::from_secs(3) } else { SimTime::from_secs(6) };
+        let workers: &[usize] = if opts.fast { &[1, 2] } else { &[1, 2, 4] };
+        let r = e14::run(duration, workers);
+        println!(
+            "snapshot: {} windows, killed after {}, {} checkpoints, {} bytes; \
+             resume deterministic: {}, corruption rejected: {}",
+            r.windows,
+            r.kill_after_windows,
+            r.checkpoints_written,
+            r.snapshot_bytes,
+            r.deterministic,
+            r.all_rejected
+        );
+        emit(&opts, &e14::resume_table(&r));
+        emit(&opts, &e14::integrity_table(&r));
+        if let Some(path) = opts.artifact(&opts.snapshot_out, "BENCH_snapshot.json") {
+            std::fs::write(&path, e14::bench_json(&r)).expect("write snapshot bench json");
             println!("wrote {path}");
         }
     }

@@ -1,0 +1,487 @@
+//! E14 — whole-farm checkpoint/restore: crash-consistent snapshots,
+//! integrity verification, and deterministic resume (extension).
+//!
+//! The paper's honeyfarm is a long-running service; §6 discusses the
+//! operational reality of keeping a farm alive across gateway and VMM
+//! restarts. This experiment makes the reproduction's durability story
+//! measurable with four claims:
+//!
+//! 1. **Observation purity.** Auto-checkpointing at window barriers is
+//!    pure observation: a checkpointed run's report is byte-identical to a
+//!    plain [`run_telescope_sharded`] run.
+//! 2. **Deterministic resume.** Killing the run mid-outbreak, recovering
+//!    the latest snapshot, and resuming produces a final report
+//!    byte-identical to the uninterrupted run — at every worker count.
+//! 3. **Integrity.** Truncated and bit-flipped snapshots are rejected
+//!    with typed errors ([`SnapshotError::TornWrite`],
+//!    [`SnapshotError::SectionCorrupt`], [`SnapshotError::DigestMismatch`]),
+//!    a snapshot offered to the wrong scenario is rejected with
+//!    [`SnapshotError::ConfigMismatch`], and a corrupted primary falls
+//!    back to the rotated previous checkpoint.
+//! 4. **Robust writes and what-if forks.** Injected transient write
+//!    failures are absorbed by bounded deterministic retry without
+//!    touching results, and a reseeded fork explores a reproducibly
+//!    different branch from the faithful resume.
+//!
+//! Everything here is virtual-time simulation; `BENCH_snapshot.json`
+//! carries no wall-clock fields and is comparable across machines.
+
+use std::path::PathBuf;
+
+use potemkin_core::checkpoint::{
+    fork_telescope_checkpointed, read_snapshot, recover_snapshot, resume_telescope_checkpointed,
+    run_telescope_checkpointed, CheckpointOptions,
+};
+use potemkin_core::farm::FarmConfig;
+use potemkin_core::parallel::{
+    run_telescope_sharded, ShardedTelescopeConfig, ShardedTelescopeResult,
+};
+use potemkin_core::scenario::TelescopeConfig;
+use potemkin_gateway::policy::PolicyConfig;
+use potemkin_metrics::Table;
+use potemkin_sim::{FaultPlanConfig, SimTime};
+use potemkin_snapshot::{RetryPolicy, SnapshotError, SnapshotFile};
+use potemkin_workload::radiation::RadiationConfig;
+use potemkin_workload::worm::WormSpec;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Checkpoint cadence: one snapshot per window barrier, so the kill
+/// point always has both a primary and a rotated previous checkpoint.
+const EVERY_WINDOWS: u64 = 1;
+
+/// One resume measurement at a worker count.
+#[derive(Clone, Debug)]
+pub struct ResumePoint {
+    /// Shard workers driving the resumed run.
+    pub workers: usize,
+    /// Canonical report digest of the resumed run.
+    pub digest: u64,
+    /// Whether the digest matches the uninterrupted baseline.
+    pub matches_baseline: bool,
+}
+
+/// One corruption-rejection case.
+#[derive(Clone, Debug)]
+pub struct RejectionCase {
+    /// Case label (`truncated`, `bit-flip`, `config-mismatch`).
+    pub case: &'static str,
+    /// The typed error's variant name (empty when wrongly accepted).
+    pub error: &'static str,
+    /// Whether the snapshot was rejected.
+    pub rejected: bool,
+}
+
+/// Result of the full experiment.
+#[derive(Clone, Debug)]
+pub struct SnapshotResult {
+    /// Replay horizon.
+    pub duration: SimTime,
+    /// Barrier windows in the horizon.
+    pub windows: u64,
+    /// Window after which the mid-outbreak run is killed.
+    pub kill_after_windows: u64,
+    /// Canonical digest of the uninterrupted baseline run.
+    pub baseline_digest: u64,
+    /// Whether the fully checkpointed run matched the plain run.
+    pub observation_pure: bool,
+    /// Checkpoints the full run wrote.
+    pub checkpoints_written: u64,
+    /// Encoded size of the recovered mid-outbreak snapshot.
+    pub snapshot_bytes: u64,
+    /// Infected VMs at the kill point (the "mid-outbreak" witness).
+    pub infected_at_kill: usize,
+    /// Infected VMs at the end of the resumed run.
+    pub final_infected: usize,
+    /// One resume measurement per worker count, in input order.
+    pub resumes: Vec<ResumePoint>,
+    /// Whether every resume matched the baseline digest.
+    pub deterministic: bool,
+    /// Retry attempts burned absorbing injected write failures.
+    pub retried_attempts: u64,
+    /// Checkpoints skipped after retry exhaustion (run survives).
+    pub retry_skipped: u64,
+    /// Whether the flaky-writes run still matched the baseline.
+    pub retry_digest_clean: bool,
+    /// Whether a corrupted primary recovered via the rotated previous
+    /// checkpoint and resumed to the baseline digest.
+    pub fallback_recovered: bool,
+    /// One entry per corruption case, in fixed order.
+    pub rejections: Vec<RejectionCase>,
+    /// Whether every corruption case was rejected with a typed error.
+    pub all_rejected: bool,
+    /// Whether the reseeded fork diverged from the faithful resume.
+    pub fork_diverges: bool,
+    /// Whether the same fork salt reproduced the same branch.
+    pub fork_reproducible: bool,
+}
+
+/// The scenario: a code-red outbreak over telescope radiation across four
+/// cells, with clone faults enabled so degradation (and therefore the
+/// fork branch point) is non-trivial. Guest footprint is trimmed — the
+/// snapshot encoder walks every domain page table and host free list, and
+/// E14 measures durability semantics, not encoder bandwidth.
+fn sharded_config(duration: SimTime) -> ShardedTelescopeConfig {
+    let mut farm = FarmConfig::small_test();
+    farm.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10));
+    farm.frames_per_server = 65_536;
+    let mut profile = potemkin_vmm::guest::GuestProfile::small();
+    profile.memory_pages = 2_048;
+    profile.disk_blocks = 1_024;
+    farm.profile = profile;
+    farm.worm = Some(WormSpec::code_red("10.1.8.0/24".parse().expect("static prefix")));
+    farm.retry = Some(potemkin_vmm::RetryPolicy::default_clone());
+    let base = TelescopeConfig::builder(farm, RadiationConfig::default())
+        .seed(2005)
+        .duration(duration)
+        .sample_interval(SimTime::from_secs(1))
+        .tick_interval(SimTime::from_secs(1))
+        .build()
+        .expect("fixed telescope config is valid");
+    let mut config = ShardedTelescopeConfig::builder(base)
+        .cells(4)
+        .window(SimTime::from_millis(500))
+        .seed_infections(1)
+        .build()
+        .expect("fixed sharded config is valid");
+    // Clone faults draw from each farm's fault RNG, so a reseeded fork's
+    // degradation report must diverge from the faithful resume.
+    config.faults = Some(FaultPlanConfig {
+        clone_failure_prob: 0.1,
+        ..FaultPlanConfig::zero(config.base.duration, config.base.farm.servers)
+    });
+    config
+}
+
+/// The canonical report digest — same field set as E11/E13, so "byte
+/// identical" means the same thing across the determinism experiments.
+fn digest(r: &ShardedTelescopeResult) -> u64 {
+    fnv1a(
+        format!(
+            "{}|{}|{}|{}|{}|{}|{:?}|{}",
+            r.degradation.canonical_string(),
+            r.stats.live_vms,
+            r.stats.counters.get("packets_in"),
+            r.packets,
+            r.cross_cell_packets,
+            r.final_infected,
+            r.live_vm_series.iter().collect::<Vec<_>>(),
+            r.engine.remote_messages,
+        )
+        .as_bytes(),
+    )
+}
+
+fn error_name(e: &SnapshotError) -> &'static str {
+    match e {
+        SnapshotError::BadMagic { .. } => "bad-magic",
+        SnapshotError::VersionMismatch { .. } => "version-mismatch",
+        SnapshotError::TornWrite { .. } => "torn-write",
+        SnapshotError::SectionCorrupt { .. } => "section-corrupt",
+        SnapshotError::DigestMismatch { .. } => "digest-mismatch",
+        SnapshotError::MissingSection { .. } => "missing-section",
+        SnapshotError::Decode { .. } => "decode",
+        SnapshotError::ConfigMismatch { .. } => "config-mismatch",
+        SnapshotError::Io { .. } => "io",
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("potemkin-e14-{}-{name}", std::process::id()));
+    p
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let mut prev = path.clone();
+    if let Some(name) = path.file_name() {
+        let mut name = name.to_os_string();
+        name.push(".prev");
+        prev.set_file_name(name);
+        let _ = std::fs::remove_file(&prev);
+    }
+}
+
+/// Runs all four claims against one scenario.
+///
+/// # Panics
+///
+/// Panics if a fixed configuration fails to build or a run fails (a bug).
+#[must_use]
+pub fn run(duration: SimTime, worker_counts: &[usize]) -> SnapshotResult {
+    let config = sharded_config(duration);
+    let windows = duration.as_nanos().div_ceil(config.window.as_nanos());
+    // Kill a third of the way in, while the outbreak is still growing. At
+    // least two windows must have run before the kill so the rotated
+    // previous checkpoint exists for the fallback claim.
+    let kill_after_windows = (windows / 3).max(2);
+    assert!(windows > kill_after_windows, "horizon too short to kill mid-run");
+
+    // Claim 1: checkpointing is pure observation.
+    let baseline = run_telescope_sharded(&config, 1).expect("baseline runs");
+    let baseline_digest = digest(&baseline);
+    let full_path = temp_path("full.snap");
+    let mut options = CheckpointOptions::new(&full_path);
+    options.every_windows = EVERY_WINDOWS;
+    let full = run_telescope_checkpointed(&config, 1, &options).expect("checkpointed run");
+    let observation_pure = digest(&full.result) == baseline_digest;
+    let checkpoints_written = full.checkpoints.written;
+    cleanup(&full_path);
+
+    // Claim 2: kill mid-outbreak, recover, resume — byte identical at
+    // every worker count.
+    let kill_path = temp_path("kill.snap");
+    let mut kill_options = CheckpointOptions::new(&kill_path);
+    kill_options.every_windows = EVERY_WINDOWS;
+    kill_options.stop_after_windows = Some(kill_after_windows);
+    let killed = run_telescope_checkpointed(&config, 1, &kill_options).expect("killed run");
+    assert!(killed.checkpoints.interrupted, "run must stop at the kill window");
+    let infected_at_kill = killed.result.final_infected;
+    let (snapshot, fell_back) = recover_snapshot(&kill_path).expect("recover latest snapshot");
+    assert!(!fell_back, "primary checkpoint must be intact");
+    let snapshot_bytes = snapshot.encode().len() as u64;
+    let mut resume_options = CheckpointOptions::new(&kill_path);
+    resume_options.every_windows = 0; // pure resume: no further writes
+    let mut resumes = Vec::with_capacity(worker_counts.len());
+    let mut final_infected = 0;
+    for &workers in worker_counts {
+        let resumed = resume_telescope_checkpointed(&config, workers, &snapshot, &resume_options)
+            .expect("resume runs");
+        let d = digest(&resumed.result);
+        final_infected = resumed.result.final_infected;
+        resumes.push(ResumePoint { workers, digest: d, matches_baseline: d == baseline_digest });
+    }
+    let deterministic = resumes.iter().all(|p| p.matches_baseline);
+
+    // Claim 4a: transient write failures retry, then skip — never kill
+    // the run or touch its results.
+    let flaky_path = temp_path("flaky.snap");
+    let mut flaky_options = CheckpointOptions::new(&flaky_path);
+    flaky_options.every_windows = EVERY_WINDOWS;
+    flaky_options.retry = RetryPolicy { max_attempts: 2, ..RetryPolicy::default_checkpoint() };
+    flaky_options.inject_write_failures = 3;
+    let flaky = run_telescope_checkpointed(&config, 1, &flaky_options).expect("flaky run");
+    let retried_attempts = flaky.checkpoints.retried_attempts;
+    let retry_skipped = flaky.checkpoints.skipped;
+    let retry_digest_clean = digest(&flaky.result) == baseline_digest;
+    cleanup(&flaky_path);
+
+    // Claim 3a: a corrupted primary falls back to the rotated previous
+    // checkpoint, which still resumes to the baseline digest.
+    let mut bytes = std::fs::read(&kill_path).expect("read primary checkpoint");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&kill_path, &bytes).expect("corrupt primary checkpoint");
+    let fallback_recovered = read_snapshot(&kill_path).is_err()
+        && match recover_snapshot(&kill_path) {
+            Ok((older, fell_back)) => {
+                fell_back
+                    && resume_telescope_checkpointed(&config, 1, &older, &resume_options)
+                        .is_ok_and(|r| digest(&r.result) == baseline_digest)
+            }
+            Err(_) => false,
+        };
+    cleanup(&kill_path);
+
+    // Claim 3b: torn, flipped, and mismatched snapshots are rejected
+    // with typed errors.
+    let good = snapshot.encode();
+    let mut rejections = Vec::with_capacity(3);
+    let truncated = SnapshotFile::decode(&good[..good.len() / 3]);
+    rejections.push(RejectionCase {
+        case: "truncated",
+        error: truncated.as_ref().err().map_or("", error_name),
+        rejected: truncated.is_err(),
+    });
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    let bitflip = SnapshotFile::decode(&flipped);
+    rejections.push(RejectionCase {
+        case: "bit-flip",
+        error: bitflip.as_ref().err().map_or("", error_name),
+        rejected: bitflip.is_err(),
+    });
+    let mut other = sharded_config(duration);
+    other.base.seed = 999;
+    let mismatch = resume_telescope_checkpointed(&other, 1, &snapshot, &resume_options);
+    rejections.push(RejectionCase {
+        case: "config-mismatch",
+        error: match &mismatch {
+            Err(potemkin_core::FarmError::Snapshot(e)) => error_name(e),
+            _ => "",
+        },
+        rejected: mismatch.is_err(),
+    });
+    let all_rejected = rejections.iter().all(|c| c.rejected && !c.error.is_empty());
+
+    // Claim 4b: a reseeded fork is a reproducible what-if branch.
+    let resume_digest = resumes.first().map_or(0, |p| p.digest);
+    let fork_a =
+        fork_telescope_checkpointed(&config, 1, &snapshot, 42, &resume_options).expect("fork runs");
+    let fork_b = fork_telescope_checkpointed(&config, 1, &snapshot, 42, &resume_options)
+        .expect("fork reruns");
+    let fork_reproducible = digest(&fork_a.result) == digest(&fork_b.result);
+    let fork_diverges = digest(&fork_a.result) != resume_digest;
+
+    SnapshotResult {
+        duration,
+        windows,
+        kill_after_windows,
+        baseline_digest,
+        observation_pure,
+        checkpoints_written,
+        snapshot_bytes,
+        infected_at_kill,
+        final_infected,
+        resumes,
+        deterministic,
+        retried_attempts,
+        retry_skipped,
+        retry_digest_clean,
+        fallback_recovered,
+        rejections,
+        all_rejected,
+        fork_diverges,
+        fork_reproducible,
+    }
+}
+
+/// Renders the kill/restore/resume sweep.
+#[must_use]
+pub fn resume_table(result: &SnapshotResult) -> Table {
+    let mut t = Table::new(&["run", "workers", "digest", "matches baseline"])
+        .with_title("E14a: kill mid-outbreak, restore, resume — digest vs. uninterrupted run");
+    t.row_owned(vec![
+        "uninterrupted".to_string(),
+        "1".to_string(),
+        format!("{:016x}", result.baseline_digest),
+        "—".to_string(),
+    ]);
+    for p in &result.resumes {
+        t.row_owned(vec![
+            "resumed".to_string(),
+            p.workers.to_string(),
+            format!("{:016x}", p.digest),
+            p.matches_baseline.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the integrity and robustness cases.
+#[must_use]
+pub fn integrity_table(result: &SnapshotResult) -> Table {
+    let mut t = Table::new(&["case", "typed error", "handled"])
+        .with_title("E14b: integrity verification and write robustness");
+    for c in &result.rejections {
+        t.row_owned(vec![c.case.to_string(), c.error.to_string(), c.rejected.to_string()]);
+    }
+    t.row_owned(vec![
+        "corrupt primary".to_string(),
+        "fell back to rotated previous".to_string(),
+        result.fallback_recovered.to_string(),
+    ]);
+    t.row_owned(vec![
+        "injected write failures".to_string(),
+        format!("{} retries, {} skipped", result.retried_attempts, result.retry_skipped),
+        result.retry_digest_clean.to_string(),
+    ]);
+    t.row_owned(vec![
+        "what-if fork".to_string(),
+        "diverges, reproducibly".to_string(),
+        (result.fork_diverges && result.fork_reproducible).to_string(),
+    ]);
+    t
+}
+
+/// Renders `BENCH_snapshot.json`. Every field is virtual-time canonical —
+/// snapshot size is a deterministic function of the scenario.
+#[must_use]
+pub fn bench_json(result: &SnapshotResult) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"snapshot\",\n");
+    s.push_str(&format!("  \"duration_secs\": {},\n", result.duration.as_secs()));
+    s.push_str(&format!("  \"windows\": {},\n", result.windows));
+    s.push_str(&format!("  \"kill_after_windows\": {},\n", result.kill_after_windows));
+    s.push_str(&format!("  \"baseline_digest\": \"{:016x}\",\n", result.baseline_digest));
+    s.push_str(&format!("  \"observation_pure\": {},\n", result.observation_pure));
+    s.push_str(&format!("  \"checkpoints_written\": {},\n", result.checkpoints_written));
+    s.push_str(&format!("  \"snapshot_bytes\": {},\n", result.snapshot_bytes));
+    s.push_str(&format!("  \"infected_at_kill\": {},\n", result.infected_at_kill));
+    s.push_str(&format!("  \"final_infected\": {},\n", result.final_infected));
+    s.push_str(&format!("  \"deterministic\": {},\n", result.deterministic));
+    s.push_str(&format!("  \"retried_attempts\": {},\n", result.retried_attempts));
+    s.push_str(&format!("  \"retry_skipped\": {},\n", result.retry_skipped));
+    s.push_str(&format!("  \"retry_digest_clean\": {},\n", result.retry_digest_clean));
+    s.push_str(&format!("  \"fallback_recovered\": {},\n", result.fallback_recovered));
+    s.push_str(&format!("  \"all_rejected\": {},\n", result.all_rejected));
+    s.push_str(&format!("  \"fork_diverges\": {},\n", result.fork_diverges));
+    s.push_str(&format!("  \"fork_reproducible\": {},\n", result.fork_reproducible));
+    s.push_str("  \"resumes\": [\n");
+    for (i, p) in result.resumes.iter().enumerate() {
+        let sep = if i + 1 == result.resumes.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"workers\": {}, \"digest\": \"{:016x}\", \"matches_baseline\": {}}}{}\n",
+            p.workers, p.digest, p.matches_baseline, sep
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"rejections\": [\n");
+    for (i, c) in result.rejections.iter().enumerate() {
+        let sep = if i + 1 == result.rejections.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"case\": \"{}\", \"error\": \"{}\", \"rejected\": {}}}{}\n",
+            c.case, c.error, c.rejected, sep
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_restore_resume_is_byte_identical_and_corruption_is_rejected() {
+        let r = run(SimTime::from_secs(2), &[1, 2]);
+        assert!(r.observation_pure, "checkpointing must not perturb results");
+        assert!(r.deterministic, "a resume digest diverged from the baseline");
+        assert!(r.checkpoints_written > 0);
+        assert!(r.snapshot_bytes > 0);
+        assert!(r.infected_at_kill > 0, "the kill point must be mid-outbreak");
+        assert!(r.final_infected >= r.infected_at_kill);
+        assert!(r.all_rejected, "corruption cases must be rejected: {:?}", r.rejections);
+        assert_eq!(
+            r.rejections.iter().map(|c| c.error).collect::<Vec<_>>(),
+            // Truncation loses the trailer, a flip trips a CRC or the
+            // digest, the wrong scenario trips the fingerprint.
+            vec!["torn-write", r.rejections[1].error, "config-mismatch"],
+        );
+        assert!(matches!(r.rejections[1].error, "section-corrupt" | "digest-mismatch"));
+        assert!(r.fallback_recovered, "rotated previous checkpoint must recover");
+        assert!(r.retried_attempts >= 2, "injected failures must burn retries");
+        assert!(r.retry_digest_clean, "flaky checkpoint writes must not touch results");
+        assert!(r.fork_diverges, "a reseeded fork must explore a different branch");
+        assert!(r.fork_reproducible, "the same salt must reproduce the same branch");
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let r = run(SimTime::from_secs(2), &[1]);
+        let json = bench_json(&r);
+        assert!(json.contains("\"bench\": \"snapshot\""));
+        assert!(json.contains("\"deterministic\": true"));
+        assert!(json.contains("\"rejections\""));
+        assert!(json.contains("\"resumes\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

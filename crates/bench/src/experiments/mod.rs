@@ -15,12 +15,14 @@
 //! | [`e11`] | (extension) | sharded parallel replay: throughput scaling with byte-identical results |
 //! | [`e12`] | (extension) | observability: clone-stage breakdown from trace events + recorder overhead |
 //! | [`e13`] | (extension) | memory control plane: content-hash frame sharing + reclaim-policy determinism |
+//! | [`e14`] | (extension) | checkpoint/restore: crash-consistent snapshots, integrity verification, deterministic resume |
 
 pub mod e1;
 pub mod e10;
 pub mod e11;
 pub mod e12;
 pub mod e13;
+pub mod e14;
 pub mod e2;
 pub mod e3;
 pub mod e4;

@@ -1,0 +1,710 @@
+//! Whole-farm checkpoint/restore for the sharded telescope driver.
+//!
+//! A long outbreak replay is exactly the kind of run a machine reboot
+//! should not erase. This module serializes *everything* the sharded
+//! engine needs to continue — every cell farm (server pool, gateway
+//! bindings and flow tables, RNG streams, fault-injector cursor), every
+//! pending event queue with original sequence numbers, and the engine's
+//! own window progress — into one versioned [`SnapshotFile`] with
+//! per-section CRCs and a whole-file digest, written crash-consistently
+//! via temp-file + atomic rename.
+//!
+//! The contract is *deterministic resume*: a run killed at a window
+//! barrier and restored from its latest checkpoint produces a final
+//! report byte-identical to the uninterrupted run, at any worker count
+//! (`tests/prop_snapshot.rs` and experiment E14 enforce this). Three
+//! guarantees make that work:
+//!
+//! 1. **Barrier-aligned capture.** Checkpoints are taken only inside the
+//!    engine's barrier hook, when no event is mid-flight and cross-cell
+//!    messages for the window have been delivered into their destination
+//!    queues.
+//! 2. **Complete state, original identities.** Queue entries keep their
+//!    FIFO sequence numbers, RNGs their exact word state, the fault
+//!    injector its cursor — nothing is re-derived in a way that could
+//!    reorder events after restore.
+//! 3. **Config fingerprinting.** A snapshot records a fingerprint of the
+//!    deterministic configuration; restoring under a different config is
+//!    a typed error ([`SnapshotError::ConfigMismatch`]), not a silent
+//!    divergence. The observability config is excluded — tracing is
+//!    observer-effect-free, so a traced resume of an untraced run is
+//!    legal.
+//!
+//! The auto-checkpoint write path is wrapped in bounded retry with
+//! deterministic backoff ([`retry_with_backoff`]): a transient I/O
+//! failure never kills the run, it only costs (at worst) one skipped
+//! checkpoint. Recovery reads fall back from the newest checkpoint to
+//! the rotated previous one ([`recover_snapshot`]) when the newest fails
+//! integrity validation. [`fork_telescope_checkpointed`] reseeds a
+//! restored farm into a deterministic what-if branch instead of
+//! replaying the original timeline.
+
+use std::path::{Path, PathBuf};
+
+use potemkin_obs::{names as obs, TraceEvent, Tracer};
+use potemkin_sim::{
+    run_sharded_resumable, BarrierControl, RunStats, Shard, ShardConfig, ShardProgress, SimTime,
+};
+use potemkin_snapshot::{
+    fnv1a64, retry_with_backoff, write_atomic, RetryOutcome, RetryPolicy, SnapReader, SnapWriter,
+    SnapshotError, SnapshotFile,
+};
+
+use crate::error::FarmError;
+use crate::parallel::{
+    assemble_result, decode_cell_queue, encode_cell_aux, encode_cell_queue, prepare_shards,
+    restore_cell_aux, CellWorld, PreparedRun, ShardedTelescopeConfig, ShardedTelescopeResult,
+};
+
+/// How a checkpointed run writes its snapshots.
+#[derive(Clone, Debug)]
+pub struct CheckpointOptions {
+    /// Destination file. Written atomically; the previous checkpoint is
+    /// rotated to `<path>.prev` first, so one good snapshot survives even
+    /// a corrupted write.
+    pub path: PathBuf,
+    /// Checkpoint every N window barriers (`1` = every window).
+    pub every_windows: u64,
+    /// Bounded-retry policy for the write path.
+    pub retry: RetryPolicy,
+    /// Test hook: fail this many write attempts with a synthetic
+    /// transient I/O error before letting writes through. Deterministic,
+    /// so faulted checkpoint runs replay bit-identically.
+    pub inject_write_failures: u32,
+    /// Kill switch: stop the run (as if the process died) after this many
+    /// windows have executed. `None` runs to the horizon.
+    pub stop_after_windows: Option<u64>,
+}
+
+impl CheckpointOptions {
+    /// Checkpoint every window to `path` with the default retry policy.
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointOptions {
+            path: path.into(),
+            every_windows: 1,
+            retry: RetryPolicy::default_checkpoint(),
+            inject_write_failures: 0,
+            stop_after_windows: None,
+        }
+    }
+}
+
+/// What the checkpoint side of a run did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Snapshots successfully written.
+    pub written: u64,
+    /// Checkpoints abandoned after exhausting retries (the run continued).
+    pub skipped: u64,
+    /// Total write attempts beyond the first, across all checkpoints.
+    pub retried_attempts: u64,
+    /// Total deterministic backoff charged by the retry loop, in nanos.
+    pub total_backoff_nanos: u64,
+    /// Encoded size of the most recent snapshot, in bytes.
+    pub last_snapshot_bytes: u64,
+    /// Content digest of the most recent snapshot.
+    pub last_digest: u64,
+    /// Whether the run was stopped at a barrier by `stop_after_windows`.
+    pub interrupted: bool,
+}
+
+/// A finished (or deliberately killed) checkpointed run.
+#[derive(Clone, Debug)]
+pub struct CheckpointedRun {
+    /// The merged telescope result. For an interrupted run this covers
+    /// only the windows executed before the kill.
+    pub result: ShardedTelescopeResult,
+    /// Checkpoint-side accounting.
+    pub checkpoints: CheckpointReport,
+}
+
+/// Fingerprint of every configuration field that affects deterministic
+/// results. The trace config is deliberately excluded (tracing is
+/// observer-effect-free by the `prop_obs` rule), so traced and untraced
+/// runs share snapshots.
+#[must_use]
+pub fn config_fingerprint(config: &ShardedTelescopeConfig) -> u64 {
+    let canonical = format!(
+        "{:?}|{}|{:?}|{:?}|{}",
+        config.base, config.cells, config.window, config.faults, config.seed_infections
+    );
+    fnv1a64(canonical.as_bytes())
+}
+
+fn encode_progress(progress: &ShardProgress) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.u64(progress.next_window);
+    w.u64(progress.window_start.as_nanos());
+    w.u64(progress.per_shard.len() as u64);
+    for stats in &progress.per_shard {
+        w.u64(stats.events_processed);
+        w.u64(stats.last_event_time.as_nanos());
+        w.bool(stats.hit_horizon);
+    }
+    w.u64(progress.remote_messages);
+    w.u64(progress.windows);
+    w.into_bytes()
+}
+
+fn decode_progress(bytes: &[u8]) -> Result<ShardProgress, SnapshotError> {
+    let mut r = SnapReader::new(bytes, "core.checkpoint.progress");
+    let next_window = r.u64()?;
+    let window_start = SimTime::from_nanos(r.u64()?);
+    let n = r.u64()?;
+    let mut per_shard = Vec::with_capacity(n.min(1 << 16) as usize);
+    for _ in 0..n {
+        per_shard.push(RunStats {
+            events_processed: r.u64()?,
+            last_event_time: SimTime::from_nanos(r.u64()?),
+            hit_horizon: r.bool()?,
+        });
+    }
+    let remote_messages = r.u64()?;
+    let windows = r.u64()?;
+    r.finish()?;
+    Ok(ShardProgress { next_window, window_start, per_shard, remote_messages, windows })
+}
+
+/// Assembles the whole-farm snapshot at a window barrier.
+fn encode_snapshot(
+    config: &ShardedTelescopeConfig,
+    progress: &ShardProgress,
+    shards: &[Shard<CellWorld>],
+) -> SnapshotFile {
+    let mut file = SnapshotFile::new(config_fingerprint(config));
+    let mut meta = SnapWriter::new();
+    meta.u64(config.cells as u64);
+    meta.u64(config.window.as_nanos());
+    meta.u64(config.base.duration.as_nanos());
+    meta.u64(config.base.seed);
+    file.push("meta", meta.into_bytes());
+    file.push("progress", encode_progress(progress));
+    for (cell, shard) in shards.iter().enumerate() {
+        file.push(&format!("cell{cell}.farm"), shard.world.farm.encode_state());
+        file.push(&format!("cell{cell}.world"), encode_cell_aux(&shard.world));
+        file.push(&format!("cell{cell}.queue"), encode_cell_queue(&shard.queue));
+    }
+    file
+}
+
+/// Restores a decoded snapshot into freshly prepared shards.
+fn restore_snapshot(
+    config: &ShardedTelescopeConfig,
+    file: &SnapshotFile,
+    shards: &mut [Shard<CellWorld>],
+) -> Result<ShardProgress, SnapshotError> {
+    let offered = config_fingerprint(config);
+    if file.config_fingerprint != offered {
+        return Err(SnapshotError::ConfigMismatch { stored: file.config_fingerprint, offered });
+    }
+    let mut meta = SnapReader::new(file.section("meta")?, "core.checkpoint.meta");
+    let cells = meta.u64()? as usize;
+    let _window = meta.u64()?;
+    let _duration = meta.u64()?;
+    let _seed = meta.u64()?;
+    meta.finish()?;
+    if cells != shards.len() {
+        return Err(SnapshotError::Decode { context: "core.checkpoint.meta" });
+    }
+    let progress = decode_progress(file.section("progress")?)?;
+    if progress.per_shard.len() != shards.len() {
+        return Err(SnapshotError::Decode { context: "core.checkpoint.progress" });
+    }
+    for (cell, shard) in shards.iter_mut().enumerate() {
+        shard.world.farm.restore_state(file.section(&format!("cell{cell}.farm"))?)?;
+        restore_cell_aux(&mut shard.world, file.section(&format!("cell{cell}.world"))?)?;
+        shard.queue = decode_cell_queue(file.section(&format!("cell{cell}.queue"))?)?;
+    }
+    Ok(progress)
+}
+
+/// Reads and validates a snapshot file, falling back to the rotated
+/// `<path>.prev` checkpoint when the newest one is missing or fails
+/// integrity validation. Returns the decoded snapshot and whether the
+/// fallback was taken.
+///
+/// # Errors
+///
+/// Returns the *primary* snapshot's error when neither file validates
+/// (the fallback's own failure is strictly less interesting).
+pub fn recover_snapshot(path: &Path) -> Result<(SnapshotFile, bool), SnapshotError> {
+    let primary = read_snapshot(path);
+    match primary {
+        Ok(file) => Ok((file, false)),
+        Err(primary_err) => match read_snapshot(&rotated_path(path)) {
+            Ok(file) => Ok((file, true)),
+            Err(_) => Err(primary_err),
+        },
+    }
+}
+
+/// Reads and fully validates one snapshot file.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`]: I/O failure, torn write, bad magic/version,
+/// section CRC or whole-file digest mismatch.
+pub fn read_snapshot(path: &Path) -> Result<SnapshotFile, SnapshotError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| SnapshotError::Io { op: "read", kind: e.kind() })?;
+    SnapshotFile::decode(&bytes)
+}
+
+fn rotated_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+    name.push_str(".prev");
+    path.with_file_name(name)
+}
+
+/// The per-barrier checkpoint driver shared by fresh and resumed runs.
+struct CheckpointSink<'a> {
+    config: &'a ShardedTelescopeConfig,
+    options: &'a CheckpointOptions,
+    report: CheckpointReport,
+    remaining_failures: u32,
+    /// Snapshot-lane tracer (lane `3 * cells`), present only when the run
+    /// is traced. Emits one `snap.save` span per checkpoint with the
+    /// encoded size as a `snap.bytes` counter — never any result field.
+    tracer: Option<Tracer>,
+}
+
+impl<'a> CheckpointSink<'a> {
+    fn new(config: &'a ShardedTelescopeConfig, options: &'a CheckpointOptions) -> Self {
+        let tracer =
+            config.trace.map(|trace_config| Tracer::new((config.cells * 3) as u32, trace_config));
+        CheckpointSink {
+            config,
+            options,
+            report: CheckpointReport::default(),
+            remaining_failures: options.inject_write_failures,
+            tracer,
+        }
+    }
+
+    /// Runs at every barrier; returns the engine control decision.
+    fn on_barrier(
+        &mut self,
+        progress: &ShardProgress,
+        shards: &mut [Shard<CellWorld>],
+    ) -> BarrierControl {
+        if self.options.every_windows > 0
+            && progress.windows.is_multiple_of(self.options.every_windows)
+        {
+            self.save(progress, shards);
+        }
+        if self.options.stop_after_windows.is_some_and(|stop| progress.windows >= stop) {
+            self.report.interrupted = true;
+            return BarrierControl::Stop;
+        }
+        BarrierControl::Continue
+    }
+
+    fn save(&mut self, progress: &ShardProgress, shards: &[Shard<CellWorld>]) {
+        let file = encode_snapshot(self.config, progress, shards);
+        let digest = file.digest();
+        let bytes = file.encode();
+        let path = &self.options.path;
+        let span = self.tracer.as_mut().map(|t| t.begin(progress.window_start, obs::SNAP_SAVE));
+        let outcome = retry_with_backoff(self.options.retry, |_attempt| {
+            if self.remaining_failures > 0 {
+                self.remaining_failures -= 1;
+                return Err(SnapshotError::Io {
+                    op: "write(injected)",
+                    kind: std::io::ErrorKind::Interrupted,
+                });
+            }
+            rotate_previous(path);
+            write_atomic(path, &bytes)
+        });
+        match outcome {
+            RetryOutcome::Succeeded { attempts, total_backoff_nanos, .. } => {
+                self.report.written += 1;
+                self.report.retried_attempts += u64::from(attempts - 1);
+                self.report.total_backoff_nanos += total_backoff_nanos;
+                self.report.last_snapshot_bytes = bytes.len() as u64;
+                self.report.last_digest = digest;
+            }
+            RetryOutcome::Exhausted { attempts, .. } => {
+                // The run survives a failed checkpoint; it only loses the
+                // ability to resume from this barrier.
+                self.report.skipped += 1;
+                self.report.retried_attempts += u64::from(attempts.saturating_sub(1));
+            }
+        }
+        if let (Some(tracer), Some(span)) = (self.tracer.as_mut(), span) {
+            tracer.counter(progress.window_start, "snap.bytes", bytes.len() as u64);
+            tracer.end(progress.window_start, span);
+        }
+    }
+
+    /// Folds the snapshot lane into an assembled result's trace.
+    fn finish_into(mut self, result: &mut ShardedTelescopeResult) -> CheckpointReport {
+        if let Some(mut tracer) = self.tracer.take() {
+            let events: Vec<TraceEvent> = tracer.drain();
+            if !events.is_empty() {
+                result.trace.extend(events);
+                result.trace.sort_by_key(|e| (e.at, e.lane, e.seq));
+                result.trace_lanes.push(((self.config.cells * 3) as u32, "snapshot".to_string()));
+            }
+        }
+        self.report
+    }
+}
+
+/// Best-effort rotation of the existing checkpoint to `<path>.prev` so a
+/// torn or corrupted write of the new one cannot destroy the only copy.
+fn rotate_previous(path: &Path) {
+    if path.exists() {
+        let _ = std::fs::rename(path, rotated_path(path));
+    }
+}
+
+/// Runs a sharded telescope replay with periodic whole-farm checkpoints.
+///
+/// Identical to [`run_telescope_sharded`] in every deterministic result
+/// field (checkpointing is pure observation), plus snapshot writes at
+/// window barriers per `options`. With `options.stop_after_windows` set,
+/// the run is killed at that barrier — models a process death for
+/// restore experiments — and `checkpoints.interrupted` is `true`.
+///
+/// # Errors
+///
+/// Returns [`FarmError::BadConfig`] for the same rejects as
+/// [`run_telescope_sharded`]. Checkpoint write failures are *not*
+/// errors: the retry loop absorbs transients and exhaustion only
+/// increments `checkpoints.skipped`.
+///
+/// [`run_telescope_sharded`]: crate::parallel::run_telescope_sharded
+pub fn run_telescope_checkpointed(
+    config: &ShardedTelescopeConfig,
+    workers: usize,
+    options: &CheckpointOptions,
+) -> Result<CheckpointedRun, FarmError> {
+    let PreparedRun { mut shards, meta } = prepare_shards(config, true)?;
+    let mut sink = CheckpointSink::new(config, options);
+    let (engine, interrupted) = run_sharded_resumable(
+        &mut shards,
+        config.base.duration,
+        &ShardConfig { window: config.window, workers },
+        None,
+        |progress, shards| sink.on_barrier(progress, shards),
+    );
+    sink.report.interrupted = interrupted;
+    let mut result = assemble_result(config, &mut shards, engine, &meta);
+    let checkpoints = sink.finish_into(&mut result);
+    Ok(CheckpointedRun { result, checkpoints })
+}
+
+/// Resumes a killed run from a decoded snapshot and runs it to the
+/// horizon, continuing the periodic checkpoints.
+///
+/// The final result is byte-identical (in every deterministic field) to
+/// the run that was never killed, for any worker count.
+///
+/// # Errors
+///
+/// [`FarmError::Snapshot`] when the snapshot fails fingerprint or
+/// structural validation; [`FarmError::BadConfig`] for config rejects.
+pub fn resume_telescope_checkpointed(
+    config: &ShardedTelescopeConfig,
+    workers: usize,
+    snapshot: &SnapshotFile,
+    options: &CheckpointOptions,
+) -> Result<CheckpointedRun, FarmError> {
+    let PreparedRun { mut shards, meta } = prepare_shards(config, false)?;
+    let progress = restore_snapshot(config, snapshot, &mut shards)?;
+    let mut sink = CheckpointSink::new(config, options);
+    if let Some(tracer) = sink.tracer.as_mut() {
+        let span = tracer.begin(progress.window_start, obs::SNAP_RESTORE);
+        tracer.counter(progress.window_start, "snap.bytes", snapshot.encode().len() as u64);
+        tracer.end(progress.window_start, span);
+    }
+    let (engine, interrupted) = run_sharded_resumable(
+        &mut shards,
+        config.base.duration,
+        &ShardConfig { window: config.window, workers },
+        Some(progress),
+        |progress, shards| sink.on_barrier(progress, shards),
+    );
+    sink.report.interrupted = interrupted;
+    let mut result = assemble_result(config, &mut shards, engine, &meta);
+    let checkpoints = sink.finish_into(&mut result);
+    Ok(CheckpointedRun { result, checkpoints })
+}
+
+/// Restores a snapshot, then *reseeds* every cell farm's RNG streams with
+/// `salt` before resuming — a deterministic what-if branch of the
+/// captured outbreak instead of a faithful replay. Two forks with the
+/// same salt are identical; different salts diverge.
+///
+/// # Errors
+///
+/// Same as [`resume_telescope_checkpointed`].
+pub fn fork_telescope_checkpointed(
+    config: &ShardedTelescopeConfig,
+    workers: usize,
+    snapshot: &SnapshotFile,
+    salt: u64,
+    options: &CheckpointOptions,
+) -> Result<CheckpointedRun, FarmError> {
+    let PreparedRun { mut shards, meta } = prepare_shards(config, false)?;
+    let progress = restore_snapshot(config, snapshot, &mut shards)?;
+    for shard in &mut shards {
+        shard.world.farm.reseed(salt);
+    }
+    let mut sink = CheckpointSink::new(config, options);
+    let (engine, interrupted) = run_sharded_resumable(
+        &mut shards,
+        config.base.duration,
+        &ShardConfig { window: config.window, workers },
+        Some(progress),
+        |progress, shards| sink.on_barrier(progress, shards),
+    );
+    sink.report.interrupted = interrupted;
+    let mut result = assemble_result(config, &mut shards, engine, &meta);
+    let checkpoints = sink.finish_into(&mut result);
+    Ok(CheckpointedRun { result, checkpoints })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farm::FarmConfig;
+    use crate::parallel::run_telescope_sharded;
+    use crate::scenario::TelescopeConfig;
+    use potemkin_gateway::policy::PolicyConfig;
+    use potemkin_workload::radiation::RadiationConfig;
+    use potemkin_workload::worm::WormSpec;
+
+    /// A deliberately small scenario: checkpoint encoding walks every
+    /// domain page table and every host free list, so tests trim the guest
+    /// footprint (1 Ki pages) and frame pool to keep per-window snapshots
+    /// cheap in debug builds.
+    fn sharded_config(cells: usize) -> ShardedTelescopeConfig {
+        let mut farm = FarmConfig::small_test();
+        farm.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10));
+        farm.frames_per_server = 32_768;
+        let mut profile = potemkin_vmm::guest::GuestProfile::small();
+        profile.memory_pages = 1_024;
+        profile.disk_blocks = 512;
+        farm.profile = profile;
+        farm.worm = Some(WormSpec::code_red("10.1.8.0/26".parse().unwrap()));
+        ShardedTelescopeConfig::builder(TelescopeConfig {
+            farm,
+            radiation: RadiationConfig::default(),
+            seed: 11,
+            duration: SimTime::from_secs(3),
+            sample_interval: SimTime::from_secs(1),
+            tick_interval: SimTime::from_secs(1),
+        })
+        .cells(cells)
+        .window(SimTime::from_millis(500))
+        .seed_infections(1)
+        .build()
+        .unwrap()
+    }
+
+    fn digest(r: &ShardedTelescopeResult) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}|{:?}|{}",
+            r.degradation.canonical_string(),
+            r.stats.live_vms,
+            r.stats.counters.get("packets_in"),
+            r.packets,
+            r.cross_cell_packets,
+            r.final_infected,
+            r.live_vm_series.iter().collect::<Vec<_>>(),
+            r.engine.remote_messages,
+        )
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("potemkin-ckpt-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        let config = sharded_config(2);
+        let path = temp_path("plain.snap");
+        let plain = run_telescope_sharded(&config, 1).unwrap();
+        let checked =
+            run_telescope_checkpointed(&config, 1, &CheckpointOptions::new(&path)).unwrap();
+        assert_eq!(digest(&plain), digest(&checked.result), "checkpointing is pure observation");
+        assert!(checked.checkpoints.written > 0);
+        assert!(!checked.checkpoints.interrupted);
+        assert!(path.exists());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(rotated_path(&path));
+    }
+
+    #[test]
+    fn kill_restore_resume_is_byte_identical() {
+        let config = sharded_config(2);
+        let path = temp_path("resume.snap");
+        let uninterrupted = run_telescope_sharded(&config, 1).unwrap();
+
+        let mut options = CheckpointOptions::new(&path);
+        options.stop_after_windows = Some(4);
+        let killed = run_telescope_checkpointed(&config, 1, &options).unwrap();
+        assert!(killed.checkpoints.interrupted);
+
+        let (snapshot, fell_back) = recover_snapshot(&path).unwrap();
+        assert!(!fell_back);
+        options.stop_after_windows = None;
+        for workers in [1, 2] {
+            let resumed =
+                resume_telescope_checkpointed(&config, workers, &snapshot, &options).unwrap();
+            assert_eq!(digest(&uninterrupted), digest(&resumed.result), "workers={workers}");
+            assert!(!resumed.checkpoints.interrupted);
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(rotated_path(&path));
+    }
+
+    #[test]
+    fn injected_write_failures_retry_then_skip_without_killing_the_run() {
+        let config = sharded_config(1);
+        let path = temp_path("faulty.snap");
+        let mut options = CheckpointOptions::new(&path);
+        options.retry = RetryPolicy { max_attempts: 2, ..RetryPolicy::default_checkpoint() };
+        // First checkpoint exhausts both attempts and is skipped; the
+        // second loses one attempt to the last injected failure and then
+        // lands.
+        options.inject_write_failures = 3;
+        let run = run_telescope_checkpointed(&config, 1, &options).unwrap();
+        assert!(run.checkpoints.skipped >= 1, "{:?}", run.checkpoints);
+        assert!(run.checkpoints.written >= 1, "{:?}", run.checkpoints);
+        assert!(run.checkpoints.retried_attempts >= 2);
+        let plain = run_telescope_sharded(&config, 1).unwrap();
+        assert_eq!(digest(&plain), digest(&run.result), "faulted writes don't touch results");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(rotated_path(&path));
+    }
+
+    #[test]
+    fn corrupted_primary_falls_back_to_rotated_previous() {
+        let config = sharded_config(1);
+        let path = temp_path("fallback.snap");
+        let mut options = CheckpointOptions::new(&path);
+        options.stop_after_windows = Some(4);
+        run_telescope_checkpointed(&config, 1, &options).unwrap();
+        assert!(rotated_path(&path).exists(), "rotation kept the previous checkpoint");
+
+        // Flip a byte mid-file: the primary must fail integrity
+        // validation and recovery must fall back.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path).is_err());
+        let (snapshot, fell_back) = recover_snapshot(&path).unwrap();
+        assert!(fell_back);
+        // The fallback is one checkpoint older but still resumable.
+        options.stop_after_windows = None;
+        let resumed = resume_telescope_checkpointed(&config, 1, &snapshot, &options).unwrap();
+        let plain = run_telescope_sharded(&config, 1).unwrap();
+        assert_eq!(digest(&plain), digest(&resumed.result));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(rotated_path(&path));
+    }
+
+    #[test]
+    fn truncated_and_bitflipped_snapshots_are_rejected_with_typed_errors() {
+        let config = sharded_config(1);
+        let path = temp_path("reject.snap");
+        let mut options = CheckpointOptions::new(&path);
+        options.stop_after_windows = Some(2);
+        run_telescope_checkpointed(&config, 1, &options).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        assert!(matches!(
+            SnapshotFile::decode(&bytes[..bytes.len() / 3]),
+            Err(SnapshotError::TornWrite { .. })
+        ));
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert!(matches!(
+            SnapshotFile::decode(&flipped),
+            Err(SnapshotError::SectionCorrupt { .. } | SnapshotError::DigestMismatch { .. })
+        ));
+
+        // Config mismatch is typed, not a silent divergence.
+        let snapshot = SnapshotFile::decode(&bytes).unwrap();
+        let mut other = sharded_config(1);
+        other.base.seed = 999;
+        assert!(matches!(
+            resume_telescope_checkpointed(&other, 1, &snapshot, &options),
+            Err(FarmError::Snapshot(SnapshotError::ConfigMismatch { .. }))
+        ));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(rotated_path(&path));
+    }
+
+    #[test]
+    fn fork_diverges_from_resume_but_is_reproducible() {
+        let mut config = sharded_config(2);
+        // Clone faults draw from the farm's fault RNG on every clone
+        // attempt, so a reseeded fork's degradation report must diverge
+        // from the faithful resume.
+        config.faults = Some(potemkin_sim::FaultPlanConfig {
+            clone_failure_prob: 0.25,
+            ..potemkin_sim::FaultPlanConfig::zero(config.base.duration, config.base.farm.servers)
+        });
+        config.base.farm.retry = Some(potemkin_vmm::RetryPolicy::default_clone());
+        let path = temp_path("fork.snap");
+        let mut options = CheckpointOptions::new(&path);
+        options.stop_after_windows = Some(3);
+        run_telescope_checkpointed(&config, 1, &options).unwrap();
+        let (snapshot, _) = recover_snapshot(&path).unwrap();
+        options.stop_after_windows = None;
+
+        let resumed = resume_telescope_checkpointed(&config, 1, &snapshot, &options).unwrap();
+        let fork_a = fork_telescope_checkpointed(&config, 1, &snapshot, 42, &options).unwrap();
+        let fork_b = fork_telescope_checkpointed(&config, 1, &snapshot, 42, &options).unwrap();
+        assert_eq!(digest(&fork_a.result), digest(&fork_b.result), "same salt, same branch");
+        assert_ne!(
+            digest(&resumed.result),
+            digest(&fork_a.result),
+            "fork must explore a different branch"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(rotated_path(&path));
+    }
+
+    #[test]
+    fn traced_checkpoint_run_emits_snapshot_lane_without_changing_results() {
+        let mut config = sharded_config(1);
+        let path = temp_path("traced.snap");
+        let plain = run_telescope_checkpointed(&config, 1, &CheckpointOptions::new(&path)).unwrap();
+        config.trace = Some(potemkin_obs::TraceConfig::unbounded());
+        let traced =
+            run_telescope_checkpointed(&config, 1, &CheckpointOptions::new(&path)).unwrap();
+        assert_eq!(digest(&plain.result), digest(&traced.result));
+        assert_eq!(plain.checkpoints, traced.checkpoints, "tracing is observer-effect-free");
+        let snap_lane = (config.cells * 3) as u32;
+        let saves = traced
+            .result
+            .trace
+            .iter()
+            .filter(|e| {
+                e.lane == snap_lane
+                    && matches!(
+                        e.kind,
+                        potemkin_obs::TraceEventKind::SpanBegin { name: obs::SNAP_SAVE, .. }
+                    )
+            })
+            .count();
+        assert_eq!(saves as u64, traced.checkpoints.written + traced.checkpoints.skipped);
+        assert!(traced
+            .result
+            .trace_lanes
+            .iter()
+            .any(|(lane, name)| { *lane == snap_lane && name == "snapshot" }));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(rotated_path(&path));
+    }
+}

@@ -18,6 +18,9 @@ pub enum FarmError {
     },
     /// No server could supply a VM (farm full or all hosts down).
     NoCapacity,
+    /// A whole-farm snapshot failed integrity validation or could not be
+    /// written/read.
+    Snapshot(potemkin_snapshot::SnapshotError),
 }
 
 impl fmt::Display for FarmError {
@@ -26,6 +29,7 @@ impl fmt::Display for FarmError {
             FarmError::Vmm(e) => write!(f, "vmm: {e}"),
             FarmError::BadConfig { what } => write!(f, "bad config: {what}"),
             FarmError::NoCapacity => write!(f, "no server has capacity"),
+            FarmError::Snapshot(e) => write!(f, "snapshot: {e}"),
         }
     }
 }
@@ -34,6 +38,7 @@ impl std::error::Error for FarmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FarmError::Vmm(e) => Some(e),
+            FarmError::Snapshot(e) => Some(e),
             FarmError::BadConfig { .. } | FarmError::NoCapacity => None,
         }
     }
@@ -42,6 +47,12 @@ impl std::error::Error for FarmError {
 impl From<VmmError> for FarmError {
     fn from(e: VmmError) -> Self {
         FarmError::Vmm(e)
+    }
+}
+
+impl From<potemkin_snapshot::SnapshotError> for FarmError {
+    fn from(e: potemkin_snapshot::SnapshotError) -> Self {
+        FarmError::Snapshot(e)
     }
 }
 
@@ -125,6 +136,12 @@ impl From<std::io::Error> for Error {
 impl From<String> for Error {
     fn from(msg: String) -> Self {
         Error::Cli(msg)
+    }
+}
+
+impl From<potemkin_snapshot::SnapshotError> for Error {
+    fn from(e: potemkin_snapshot::SnapshotError) -> Self {
+        Error::Farm(FarmError::Snapshot(e))
     }
 }
 

@@ -22,6 +22,7 @@ use potemkin_net::tcp::TcpFlags;
 use potemkin_net::{Packet, PacketBuilder, PacketPayload};
 use potemkin_obs::{names as obs, TraceConfig, TraceEvent, Tracer};
 use potemkin_sim::{FaultInjector, FaultKind, FaultPlan, SimRng, SimTime};
+use potemkin_snapshot::{SnapReader, SnapshotError};
 use potemkin_vmm::cost::CostModel;
 use potemkin_vmm::guest::GuestProfile;
 use potemkin_vmm::{
@@ -1592,6 +1593,533 @@ impl Honeyfarm {
     }
 }
 
+/// Whole-farm checkpoint support.
+///
+/// [`Honeyfarm::encode_state`] serializes every piece of mutable farm
+/// state — the server pool (via [`Host::encode_state`]), the gateway (via
+/// [`Gateway::encode_state`]), VM slots, standby pools, both RNG streams,
+/// the fault-injector cursor, provenance/capture logs, counters and
+/// histograms — into one flat payload. [`Honeyfarm::restore_state`] loads
+/// it back into a farm built from the *same configuration* (config-derived
+/// state — images, budget, cell slot, tracer — is reconstructed by
+/// [`Honeyfarm::new`] and the driver, not serialized).
+///
+/// Restore parses and validates the entire payload before committing any
+/// field **except** the per-host blobs, which restore in place; on error,
+/// discard the farm and rebuild (the whole-farm snapshot layer always
+/// restores into a scratch farm).
+///
+/// [`Host::encode_state`]: potemkin_vmm::Host::encode_state
+/// [`Gateway::encode_state`]: potemkin_gateway::gateway::Gateway::encode_state
+impl Honeyfarm {
+    /// Encodes the farm's mutable state for a checkpoint section.
+    #[must_use]
+    pub fn encode_state(&self) -> Vec<u8> {
+        use potemkin_snapshot::SnapWriter;
+        let mut w = SnapWriter::new();
+        // Server pool.
+        w.u64(self.hosts.len() as u64);
+        for host in &self.hosts {
+            w.bytes(&host.encode_state());
+        }
+        for pool in &self.standby {
+            w.u64(pool.len() as u64);
+            for dom in pool {
+                w.u64(dom.0);
+            }
+        }
+        // VM slots, in VmRef order (the map key is unique and monotone).
+        let mut vms: Vec<(u64, usize, u64)> =
+            self.vms.iter().map(|(vm, slot)| (vm.0, slot.host, slot.domain.0)).collect();
+        vms.sort_unstable();
+        w.u64(vms.len() as u64);
+        for (vm, host, domain) in vms {
+            w.u64(vm);
+            w.usize(host);
+            w.u64(domain);
+        }
+        w.u64(self.next_vmref);
+        w.usize(self.next_host);
+        w.u64(self.request_counter);
+        // RNG streams.
+        for part in self.rng.state() {
+            w.u64(part);
+        }
+        for part in self.fault_rng.state() {
+            w.u64(part);
+        }
+        // Infection bookkeeping.
+        w.u64(self.newly_infected.len() as u64);
+        for vm in &self.newly_infected {
+            w.u64(vm.0);
+        }
+        w.u64(self.infection_log.len() as u64);
+        for rec in &self.infection_log {
+            w.u64(rec.vm.0);
+            match rec.victim_addr {
+                Some(a) => {
+                    w.bool(true);
+                    w.u32(u32::from(a));
+                }
+                None => w.bool(false),
+            }
+            w.u32(u32::from(rec.infected_by));
+            match rec.port {
+                Some(p) => {
+                    w.bool(true);
+                    w.u16(p);
+                }
+                None => w.bool(false),
+            }
+            w.bool(rec.internal_origin);
+            w.u64(rec.at.as_nanos());
+        }
+        // Captures, in content-hash order (the map key).
+        let mut captures: Vec<(&u64, &CaptureRecord)> = self.captures.iter().collect();
+        captures.sort_unstable_by_key(|(hash, _)| **hash);
+        w.u64(captures.len() as u64);
+        for (hash, rec) in captures {
+            w.u64(*hash);
+            w.bytes(&rec.payload);
+            w.u16(rec.port);
+            w.u32(u32::from(rec.first_source));
+            w.u64(rec.first_seen.as_nanos());
+            w.u64(rec.hits);
+        }
+        // Undrained outputs (packets ride as wire bytes).
+        w.u64(self.outputs.len() as u64);
+        for out in &self.outputs {
+            match out {
+                FarmOutput::SentExternal(p) => {
+                    w.u8(0);
+                    w.bytes(p.wire());
+                }
+                FarmOutput::ForwardedCell(p) => {
+                    w.u8(1);
+                    w.bytes(p.wire());
+                }
+                FarmOutput::DroppedInbound(reason) => {
+                    w.u8(2);
+                    w.u8(encode_drop_reason(*reason));
+                }
+                FarmOutput::DroppedOutbound(reason) => {
+                    w.u8(3);
+                    w.u8(encode_drop_reason(*reason));
+                }
+            }
+        }
+        // Counters and latency accounting.
+        w.usize(self.counters.len());
+        for (name, value) in self.counters.iter() {
+            w.str(name);
+            w.u64(value);
+        }
+        encode_histogram(&mut w, &self.clone_latency_us);
+        w.u64(self.vmm_time.as_nanos());
+        // Fault machinery: the plan plus the injector's cursor.
+        match &self.faults {
+            Some(injector) => {
+                w.bool(true);
+                let plan = injector.plan();
+                w.f64(plan.clone_failure_prob);
+                w.u64(injector.cursor() as u64);
+                w.u64(plan.events.len() as u64);
+                for event in &plan.events {
+                    w.u64(event.at.as_nanos());
+                    encode_fault_kind(&mut w, event.kind);
+                }
+            }
+            None => w.bool(false),
+        }
+        let (counts, rebind, delay) = self.fault_ledger.snapshot_parts();
+        w.u64(counts.len() as u64);
+        for c in counts {
+            w.u64(c);
+        }
+        encode_histogram(&mut w, rebind);
+        encode_histogram(&mut w, delay);
+        let mut rebinds: Vec<(u32, u64)> = self
+            .pending_rebinds
+            .iter()
+            .map(|(addr, at)| (u32::from(*addr), at.as_nanos()))
+            .collect();
+        rebinds.sort_unstable();
+        w.u64(rebinds.len() as u64);
+        for (addr, at) in rebinds {
+            w.u32(addr);
+            w.u64(at);
+        }
+        w.f64(self.clone_failure_prob);
+        w.u64(self.tunnel_degraded_until.as_nanos());
+        w.f64(self.tunnel_loss);
+        w.u64(self.tunnel_extra_latency.as_nanos());
+        // Memory control plane.
+        w.bytes(&self.reclaim.snapshot_state());
+        w.u64(self.next_merge.as_nanos());
+        w.u64(self.merge_total.scanned_pages);
+        w.u64(self.merge_total.merged_pages);
+        w.u64(self.merge_total.frames_reclaimed);
+        w.u64(self.pressure_log.len() as u64);
+        for event in &self.pressure_log {
+            w.u64(event.used_frames);
+            w.u64(event.requested_frames);
+            w.u64(event.limit_frames);
+        }
+        encode_series(&mut w, &self.sharing_series);
+        encode_series(&mut w, &self.resident_series);
+        // The gateway composite blob last.
+        w.bytes(&self.gateway.encode_state());
+        w.into_bytes()
+    }
+
+    /// Restores state encoded by [`Honeyfarm::encode_state`] into this
+    /// farm, which must have been built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Decode`] when the payload is truncated,
+    /// structurally inconsistent, or was captured from a farm with a
+    /// different server count. On error this farm may be partially
+    /// restored — discard it and rebuild.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        const CTX: &str = "core.farm";
+        let bad = || SnapshotError::Decode { context: CTX };
+        let mut r = SnapReader::new(bytes, CTX);
+        let host_count = r.u64()? as usize;
+        if host_count != self.hosts.len() {
+            return Err(bad());
+        }
+        let mut host_blobs = Vec::with_capacity(host_count);
+        for _ in 0..host_count {
+            host_blobs.push(r.bytes()?);
+        }
+        let mut standby = Vec::with_capacity(host_count);
+        for _ in 0..host_count {
+            let n = r.u64()?;
+            let mut pool = Vec::with_capacity(n.min(1 << 20) as usize);
+            for _ in 0..n {
+                pool.push(DomainId(r.u64()?));
+            }
+            standby.push(pool);
+        }
+        let n_vms = r.u64()?;
+        let mut vms = HashMap::with_capacity(n_vms.min(1 << 20) as usize);
+        for _ in 0..n_vms {
+            let vm = VmRef(r.u64()?);
+            let host = r.usize()?;
+            if host >= host_count {
+                return Err(bad());
+            }
+            let domain = DomainId(r.u64()?);
+            vms.insert(vm, VmSlot { host, domain });
+        }
+        let next_vmref = r.u64()?;
+        let next_host = r.usize()?;
+        let request_counter = r.u64()?;
+        let rng = SimRng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+        let fault_rng = SimRng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+        let n_newly = r.u64()?;
+        let mut newly_infected = Vec::with_capacity(n_newly.min(1 << 20) as usize);
+        for _ in 0..n_newly {
+            newly_infected.push(VmRef(r.u64()?));
+        }
+        let n_log = r.u64()?;
+        let mut infection_log = Vec::with_capacity(n_log.min(1 << 20) as usize);
+        for _ in 0..n_log {
+            let vm = VmRef(r.u64()?);
+            let victim_addr = if r.bool()? { Some(Ipv4Addr::from(r.u32()?)) } else { None };
+            let infected_by = Ipv4Addr::from(r.u32()?);
+            let port = if r.bool()? { Some(r.u16()?) } else { None };
+            let internal_origin = r.bool()?;
+            let at = SimTime::from_nanos(r.u64()?);
+            infection_log.push(InfectionRecord {
+                vm,
+                victim_addr,
+                infected_by,
+                port,
+                internal_origin,
+                at,
+            });
+        }
+        let n_captures = r.u64()?;
+        let mut captures = HashMap::with_capacity(n_captures.min(1 << 20) as usize);
+        for _ in 0..n_captures {
+            let hash = r.u64()?;
+            let payload = r.bytes()?.to_vec();
+            let port = r.u16()?;
+            let first_source = Ipv4Addr::from(r.u32()?);
+            let first_seen = SimTime::from_nanos(r.u64()?);
+            let hits = r.u64()?;
+            captures.insert(hash, CaptureRecord { payload, port, first_source, first_seen, hits });
+        }
+        let n_outputs = r.u64()?;
+        let mut outputs = Vec::with_capacity(n_outputs.min(1 << 20) as usize);
+        for _ in 0..n_outputs {
+            outputs.push(match r.u8()? {
+                0 => FarmOutput::SentExternal(decode_packet(r.bytes()?)?),
+                1 => FarmOutput::ForwardedCell(decode_packet(r.bytes()?)?),
+                2 => FarmOutput::DroppedInbound(decode_drop_reason(r.u8()?)?),
+                3 => FarmOutput::DroppedOutbound(decode_drop_reason(r.u8()?)?),
+                _ => return Err(bad()),
+            });
+        }
+        let n_counters = r.usize()?;
+        let mut pairs = Vec::with_capacity(n_counters.min(1 << 16));
+        for _ in 0..n_counters {
+            let name = r.str()?.to_string();
+            let value = r.u64()?;
+            pairs.push((name, value));
+        }
+        let counters = CounterSet::from_pairs(pairs);
+        let clone_latency_us = decode_histogram(&mut r)?;
+        let vmm_time = SimTime::from_nanos(r.u64()?);
+        let faults = if r.bool()? {
+            let clone_failure_prob = r.f64()?;
+            let cursor = r.u64()? as usize;
+            let n_events = r.u64()?;
+            let mut events = Vec::with_capacity(n_events.min(1 << 20) as usize);
+            for _ in 0..n_events {
+                let at = SimTime::from_nanos(r.u64()?);
+                let kind = decode_fault_kind(&mut r)?;
+                events.push(potemkin_sim::FaultEvent { at, kind });
+            }
+            if cursor > events.len() {
+                return Err(bad());
+            }
+            Some(FaultInjector::from_plan_at(FaultPlan { events, clone_failure_prob }, cursor))
+        } else {
+            None
+        };
+        let n_counts = r.u64()?;
+        let mut class_counts = Vec::with_capacity(n_counts.min(64) as usize);
+        for _ in 0..n_counts {
+            class_counts.push(r.u64()?);
+        }
+        let rebind_hist = decode_histogram(&mut r)?;
+        let delay_hist = decode_histogram(&mut r)?;
+        let fault_ledger =
+            FaultLedger::from_parts(&class_counts, rebind_hist, delay_hist).ok_or_else(bad)?;
+        let n_rebinds = r.u64()?;
+        let mut pending_rebinds = HashMap::with_capacity(n_rebinds.min(1 << 20) as usize);
+        for _ in 0..n_rebinds {
+            let addr = Ipv4Addr::from(r.u32()?);
+            let at = SimTime::from_nanos(r.u64()?);
+            pending_rebinds.insert(addr, at);
+        }
+        let clone_failure_prob = r.f64()?;
+        let tunnel_degraded_until = SimTime::from_nanos(r.u64()?);
+        let tunnel_loss = r.f64()?;
+        let tunnel_extra_latency = SimTime::from_nanos(r.u64()?);
+        let reclaim_blob = r.bytes()?.to_vec();
+        let next_merge = SimTime::from_nanos(r.u64()?);
+        let merge_total = MergeReport {
+            scanned_pages: r.u64()?,
+            merged_pages: r.u64()?,
+            frames_reclaimed: r.u64()?,
+        };
+        let n_pressure = r.u64()?;
+        let mut pressure_log = Vec::with_capacity(n_pressure.min(1 << 20) as usize);
+        for _ in 0..n_pressure {
+            pressure_log.push(PressureEvent {
+                used_frames: r.u64()?,
+                requested_frames: r.u64()?,
+                limit_frames: r.u64()?,
+            });
+        }
+        let sharing_series = decode_series(&mut r)?;
+        let resident_series = decode_series(&mut r)?;
+        let gateway_blob = r.bytes()?.to_vec();
+        r.finish()?;
+
+        // Everything parsed; commit. Host and gateway restores mutate in
+        // place, which is why whole-farm restore targets a scratch farm.
+        for (host, blob) in self.hosts.iter_mut().zip(&host_blobs) {
+            host.restore_state(blob)?;
+        }
+        self.gateway.restore_state(&gateway_blob)?;
+        let mut reclaim = self.config.reclaim_policy.instantiate();
+        reclaim.restore_state(&reclaim_blob)?;
+        self.reclaim = reclaim;
+        self.standby = standby;
+        self.vms = vms;
+        self.next_vmref = next_vmref;
+        self.next_host = next_host;
+        self.request_counter = request_counter;
+        self.rng = rng;
+        self.fault_rng = fault_rng;
+        self.newly_infected = newly_infected;
+        self.infection_log = infection_log;
+        self.captures = captures;
+        self.outputs = outputs;
+        self.counters = counters;
+        self.clone_latency_us = clone_latency_us;
+        self.last_clone_timing = None;
+        self.vmm_time = vmm_time;
+        self.faults = faults;
+        self.fault_ledger = fault_ledger;
+        self.pending_rebinds = pending_rebinds;
+        self.clone_failure_prob = clone_failure_prob;
+        self.tunnel_degraded_until = tunnel_degraded_until;
+        self.tunnel_loss = tunnel_loss;
+        self.tunnel_extra_latency = tunnel_extra_latency;
+        self.next_merge = next_merge;
+        self.merge_total = merge_total;
+        self.pressure_log = pressure_log;
+        self.sharing_series = sharing_series;
+        self.resident_series = resident_series;
+        Ok(())
+    }
+
+    /// Reseeds both RNG streams from the current state mixed with `salt`,
+    /// diverging this farm from the run it was restored from (the `fork`
+    /// operation's what-if branch). Deterministic: the same restored state
+    /// and salt always produce the same branch.
+    pub fn reseed(&mut self, salt: u64) {
+        let mix = |x: u64| {
+            let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = self.rng.state();
+        let f = self.fault_rng.state();
+        self.rng = SimRng::seed_from(s[0] ^ mix(salt));
+        self.fault_rng = SimRng::seed_from(f[0] ^ mix(salt ^ 0xFA17));
+    }
+}
+
+fn encode_drop_reason(reason: DropReason) -> u8 {
+    match reason {
+        DropReason::Containment => 0,
+        DropReason::RateLimited => 1,
+        DropReason::SourceQuota => 2,
+        DropReason::PortFiltered => 3,
+        DropReason::Backscatter => 4,
+        DropReason::Malformed => 5,
+        DropReason::SpoofedSource => 6,
+        DropReason::AdmissionControl => 7,
+        DropReason::GatewayStalled => 8,
+        DropReason::TunnelLoss => 9,
+        DropReason::Degraded => 10,
+    }
+}
+
+fn decode_drop_reason(tag: u8) -> Result<DropReason, SnapshotError> {
+    Ok(match tag {
+        0 => DropReason::Containment,
+        1 => DropReason::RateLimited,
+        2 => DropReason::SourceQuota,
+        3 => DropReason::PortFiltered,
+        4 => DropReason::Backscatter,
+        5 => DropReason::Malformed,
+        6 => DropReason::SpoofedSource,
+        7 => DropReason::AdmissionControl,
+        8 => DropReason::GatewayStalled,
+        9 => DropReason::TunnelLoss,
+        10 => DropReason::Degraded,
+        _ => return Err(SnapshotError::Decode { context: "core.farm.drop_reason" }),
+    })
+}
+
+fn encode_fault_kind(w: &mut potemkin_snapshot::SnapWriter, kind: FaultKind) {
+    match kind {
+        FaultKind::HostCrash { host } => {
+            w.u8(0);
+            w.usize(host);
+        }
+        FaultKind::HostRecover { host } => {
+            w.u8(1);
+            w.usize(host);
+        }
+        FaultKind::CloneFaultBurst { host, count } => {
+            w.u8(2);
+            w.usize(host);
+            w.u32(count);
+        }
+        FaultKind::TunnelDegrade { loss, extra_latency, duration } => {
+            w.u8(3);
+            w.f64(loss);
+            w.u64(extra_latency.as_nanos());
+            w.u64(duration.as_nanos());
+        }
+        FaultKind::GatewayStall { duration } => {
+            w.u8(4);
+            w.u64(duration.as_nanos());
+        }
+    }
+}
+
+fn decode_fault_kind(r: &mut SnapReader<'_>) -> Result<FaultKind, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => FaultKind::HostCrash { host: r.usize()? },
+        1 => FaultKind::HostRecover { host: r.usize()? },
+        2 => FaultKind::CloneFaultBurst { host: r.usize()?, count: r.u32()? },
+        3 => FaultKind::TunnelDegrade {
+            loss: r.f64()?,
+            extra_latency: SimTime::from_nanos(r.u64()?),
+            duration: SimTime::from_nanos(r.u64()?),
+        },
+        4 => FaultKind::GatewayStall { duration: SimTime::from_nanos(r.u64()?) },
+        _ => return Err(SnapshotError::Decode { context: "core.farm.fault_kind" }),
+    })
+}
+
+/// Encodes a [`LogHistogram`] (shared by the clone-latency and ledger
+/// histograms).
+fn encode_histogram(w: &mut potemkin_snapshot::SnapWriter, h: &LogHistogram) {
+    let (sub_buckets, count, sum, min, max, sparse) = h.snapshot_parts();
+    w.u32(sub_buckets);
+    w.u64(count);
+    w.u128(sum);
+    w.u64(min);
+    w.u64(max);
+    w.u64(sparse.len() as u64);
+    for (idx, c) in sparse {
+        w.u64(idx);
+        w.u64(c);
+    }
+}
+
+fn decode_histogram(r: &mut SnapReader<'_>) -> Result<LogHistogram, SnapshotError> {
+    let bad = || SnapshotError::Decode { context: "core.farm.histogram" };
+    let sub_buckets = r.u32()?;
+    let count = r.u64()?;
+    let sum = r.u128()?;
+    let min = r.u64()?;
+    let max = r.u64()?;
+    let n = r.u64()?;
+    let mut sparse = Vec::with_capacity(n.min(1 << 16) as usize);
+    for _ in 0..n {
+        sparse.push((r.u64()?, r.u64()?));
+    }
+    LogHistogram::from_parts(sub_buckets, count, sum, min, max, &sparse).ok_or_else(bad)
+}
+
+/// Encodes a [`TimeSeries`] (bin width plus raw bins).
+pub(crate) fn encode_series(w: &mut potemkin_snapshot::SnapWriter, series: &TimeSeries) {
+    let (bin, bins) = series.snapshot_parts();
+    w.u64(bin.as_nanos());
+    w.u64(bins.len() as u64);
+    for &v in bins {
+        w.f64(v);
+    }
+}
+
+pub(crate) fn decode_series(r: &mut SnapReader<'_>) -> Result<TimeSeries, SnapshotError> {
+    let bad = || SnapshotError::Decode { context: "core.farm.series" };
+    let bin = SimTime::from_nanos(r.u64()?);
+    let n = r.u64()?;
+    let mut bins = Vec::with_capacity(n.min(1 << 24) as usize);
+    for _ in 0..n {
+        bins.push(r.f64()?);
+    }
+    TimeSeries::from_parts(bin, bins).ok_or_else(bad)
+}
+
+pub(crate) fn decode_packet(wire: &[u8]) -> Result<Packet, SnapshotError> {
+    Packet::parse(wire).map_err(|_| SnapshotError::Decode { context: "core.farm.packet" })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2248,5 +2776,144 @@ mod tests {
         let (vms_b, counters_b) = run(true);
         assert_eq!(vms_a, vms_b);
         assert_eq!(format!("{counters_a:?}"), format!("{counters_b:?}"));
+    }
+
+    /// Builds the busiest farm the test config allows: worm spreading with
+    /// reflection, a fault plan mid-flight, merge passes, and a memory
+    /// budget, then drives it for `secs` seconds of traffic.
+    fn busy_checkpoint_config() -> FarmConfig {
+        let mut cfg = FarmConfig::small_test();
+        cfg.profile = GuestProfile::windows_server();
+        cfg.frames_per_server = 262_144;
+        cfg.worm = Some(WormSpec::slammer(space()));
+        cfg.merge_interval = Some(SimTime::from_secs(2));
+        cfg.memory_budget_frames = Some(200_000);
+        cfg
+    }
+
+    fn drive_busy(farm: &mut Honeyfarm, start_sec: u64, secs: u64) -> Vec<FarmOutput> {
+        let worm_vm = farm.infection_log.first().map(|rec| rec.vm);
+        let mut outputs = Vec::new();
+        for s in start_sec..start_sec + secs {
+            let t = SimTime::from_secs(s);
+            let octet = u8::try_from(s % 200 + 1).unwrap();
+            farm.inject_external(t, syn(ATTACKER, Ipv4Addr::new(10, 1, 0, octet), 445));
+            if s % 3 == 0 {
+                let udp = PacketBuilder::new(ATTACKER, Ipv4Addr::new(10, 1, 1, octet)).udp(
+                    40_000,
+                    1434,
+                    &[4u8; 376],
+                );
+                farm.inject_external(t, udp);
+            }
+            if let Some(vm) = worm_vm {
+                farm.worm_probe(t, vm, s);
+            }
+            farm.tick(t);
+            farm.take_new_infections();
+            outputs.extend(farm.take_outputs());
+        }
+        outputs
+    }
+
+    fn checkpoint_fault_plan() -> potemkin_sim::FaultPlan {
+        potemkin_sim::FaultPlan {
+            events: vec![
+                FaultEvent { at: SimTime::from_secs(3), kind: FaultKind::HostCrash { host: 0 } },
+                FaultEvent { at: SimTime::from_secs(5), kind: FaultKind::HostRecover { host: 0 } },
+                FaultEvent {
+                    at: SimTime::from_secs(7),
+                    kind: FaultKind::TunnelDegrade {
+                        loss: 0.5,
+                        extra_latency: SimTime::from_millis(10),
+                        duration: SimTime::from_secs(2),
+                    },
+                },
+            ],
+            clone_failure_prob: 0.05,
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_byte_identical() {
+        let mut farm = Honeyfarm::new(busy_checkpoint_config()).unwrap();
+        farm.install_fault_plan(checkpoint_fault_plan());
+        let vm0 = farm.materialize(SimTime::ZERO, HP1).unwrap();
+        farm.seed_infection(vm0).unwrap();
+        drive_busy(&mut farm, 0, 12);
+        // Leave undrained outputs in place so they round-trip too.
+        farm.inject_external(SimTime::from_secs(12), syn(ATTACKER, HP1, 445));
+
+        let encoded = farm.encode_state();
+        let mut restored = Honeyfarm::new(busy_checkpoint_config()).unwrap();
+        restored.restore_state(&encoded).unwrap();
+        assert_eq!(restored.encode_state(), encoded, "encode∘restore∘encode ≠ encode");
+        assert_eq!(restored.live_vms(), farm.live_vms());
+        assert_eq!(restored.infected_vms(), farm.infected_vms());
+        assert_eq!(format!("{:?}", restored.counters()), format!("{:?}", farm.counters()));
+    }
+
+    #[test]
+    fn restored_farm_behaves_identically_to_original() {
+        let mut farm = Honeyfarm::new(busy_checkpoint_config()).unwrap();
+        farm.install_fault_plan(checkpoint_fault_plan());
+        let vm0 = farm.materialize(SimTime::ZERO, HP1).unwrap();
+        farm.seed_infection(vm0).unwrap();
+        drive_busy(&mut farm, 0, 8);
+
+        let encoded = farm.encode_state();
+        let mut restored = Honeyfarm::new(busy_checkpoint_config()).unwrap();
+        restored.restore_state(&encoded).unwrap();
+
+        // Drive both copies through the same subsequent traffic (which
+        // crosses the tunnel-degradation window and more merge passes) and
+        // demand bit-identical state at the end.
+        let out_a = drive_busy(&mut farm, 8, 8);
+        let out_b = drive_busy(&mut restored, 8, 8);
+        assert_eq!(out_a.len(), out_b.len());
+        assert_eq!(farm.encode_state(), restored.encode_state());
+    }
+
+    #[test]
+    fn restore_rejects_truncated_and_garbage_payloads() {
+        let mut farm = Honeyfarm::new(busy_checkpoint_config()).unwrap();
+        drive_busy(&mut farm, 0, 4);
+        let encoded = farm.encode_state();
+
+        for cut in [0, 1, encoded.len() / 2, encoded.len() - 1] {
+            let mut scratch = Honeyfarm::new(busy_checkpoint_config()).unwrap();
+            assert!(
+                scratch.restore_state(&encoded[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        let mut scratch = Honeyfarm::new(busy_checkpoint_config()).unwrap();
+        assert!(scratch.restore_state(&[0xFFu8; 64]).is_err());
+
+        // A payload captured from a differently sized farm is rejected.
+        let mut big = busy_checkpoint_config();
+        big.servers = 4;
+        let mut scratch = Honeyfarm::new(big).unwrap();
+        assert!(matches!(scratch.restore_state(&encoded), Err(SnapshotError::Decode { .. })));
+    }
+
+    #[test]
+    fn reseed_diverges_deterministically() {
+        let mut farm = Honeyfarm::new(busy_checkpoint_config()).unwrap();
+        drive_busy(&mut farm, 0, 4);
+        let encoded = farm.encode_state();
+
+        let mut fork_a = Honeyfarm::new(busy_checkpoint_config()).unwrap();
+        fork_a.restore_state(&encoded).unwrap();
+        fork_a.reseed(7);
+        let mut fork_b = Honeyfarm::new(busy_checkpoint_config()).unwrap();
+        fork_b.restore_state(&encoded).unwrap();
+        fork_b.reseed(7);
+        assert_eq!(fork_a.encode_state(), fork_b.encode_state(), "same salt, same branch");
+
+        let mut fork_c = Honeyfarm::new(busy_checkpoint_config()).unwrap();
+        fork_c.restore_state(&encoded).unwrap();
+        fork_c.reseed(8);
+        assert_ne!(fork_a.encode_state(), fork_c.encode_state(), "different salt diverges");
     }
 }

@@ -12,6 +12,9 @@
 //!   in-farm worm outbreaks, with time-series instrumentation.
 //! * [`baseline`] — the low-interaction (scripted) responder baseline for
 //!   the fidelity comparison.
+//! * [`checkpoint`] — whole-farm checkpoint/restore: crash-consistent
+//!   snapshots of the sharded driver with integrity validation,
+//!   deterministic resume, and what-if forks.
 //! * [`report`] — aggregated farm statistics.
 //!
 //! [`GatewayAction`]: potemkin_gateway::GatewayAction
@@ -35,6 +38,7 @@
 //! ```
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod error;
 pub mod farm;
 pub mod parallel;
@@ -42,6 +46,11 @@ pub mod report;
 pub mod scenario;
 
 pub use baseline::{LowInteractionResponder, ResponderKind};
+pub use checkpoint::{
+    config_fingerprint, fork_telescope_checkpointed, read_snapshot, recover_snapshot,
+    resume_telescope_checkpointed, run_telescope_checkpointed, CheckpointOptions, CheckpointReport,
+    CheckpointedRun,
+};
 pub use error::{Error, FarmError};
 pub use farm::{FarmConfig, FarmConfigBuilder, Honeyfarm};
 pub use parallel::{

@@ -250,17 +250,17 @@ pub struct ShardedTelescopeResult {
     pub trace_lanes: Vec<(u32, String)>,
 }
 
-enum CellEvent {
+pub(crate) enum CellEvent {
     Packet(Box<Packet>),
     Probe { vm: VmRef, idx: u64 },
     Tick,
     Sample,
 }
 
-struct CellWorld {
+pub(crate) struct CellWorld {
     cells: usize,
     telescope: Ipv4Prefix,
-    farm: Honeyfarm,
+    pub(crate) farm: Honeyfarm,
     probe_gap: Option<SimTime>,
     tick_interval: SimTime,
     sample_interval: SimTime,
@@ -356,19 +356,34 @@ impl ShardWorld for CellWorld {
     }
 }
 
-/// Runs a sharded telescope replay on `workers` OS threads.
+/// Deterministic facts about the replayed radiation trace, computed at
+/// prepare time (the trace itself is regenerated from config + seed, so a
+/// resumed run recomputes identical values without storing the packets).
+pub(crate) struct TraceMeta {
+    pub(crate) packets: u64,
+    pub(crate) distinct_sources: u64,
+    pub(crate) distinct_destinations: u64,
+    pub(crate) mix: TrafficMix,
+}
+
+/// Shards plus trace metadata, ready for the window engine.
+pub(crate) struct PreparedRun {
+    pub(crate) shards: Vec<Shard<CellWorld>>,
+    pub(crate) meta: TraceMeta,
+}
+
+/// Builds the per-cell farms and shard queues for a sharded replay.
 ///
-/// `workers == 1` runs every cell on the calling thread (the serial
-/// reference); any larger count produces byte-identical merged reports.
-///
-/// # Errors
-///
-/// Returns [`FarmError::BadConfig`] for a zero cell count, seed infections
-/// without a worm, or a farm the cells cannot build.
-pub fn run_telescope_sharded(
+/// With `schedule == true` the queues are primed for a fresh run: initial
+/// `Sample`/`Tick` events, patient-zero infections, and the partitioned
+/// radiation trace. With `schedule == false` the queues stay empty and no
+/// farm state is touched beyond construction — the caller restores both
+/// from a checkpoint (the trace is still *generated*, deterministically,
+/// so its metadata fields can be reported).
+pub(crate) fn prepare_shards(
     config: &ShardedTelescopeConfig,
-    workers: usize,
-) -> Result<ShardedTelescopeResult, FarmError> {
+    schedule: bool,
+) -> Result<PreparedRun, FarmError> {
     if config.cells == 0 {
         return Err(FarmError::BadConfig { what: "cells must be >= 1" });
     }
@@ -380,10 +395,12 @@ pub fn run_telescope_sharded(
 
     let mut model = RadiationModel::new(base.radiation.clone(), base.seed);
     let trace = model.generate(base.duration);
-    let packets = trace.len() as u64;
-    let distinct_sources = trace.distinct_sources() as u64;
-    let distinct_destinations = trace.distinct_destinations() as u64;
-    let mix = trace.traffic_mix();
+    let meta = TraceMeta {
+        packets: trace.len() as u64,
+        distinct_sources: trace.distinct_sources() as u64,
+        distinct_destinations: trace.distinct_destinations() as u64,
+        mix: trace.traffic_mix(),
+    };
 
     let probe_gap = base.farm.worm.as_ref().map(potemkin_workload::worm::WormSpec::probe_gap);
     let mut shards = Vec::with_capacity(config.cells);
@@ -413,60 +430,73 @@ pub fn run_telescope_sharded(
             forwarded: 0,
         };
         let mut shard = Shard::new(world);
-        shard.queue.schedule(SimTime::ZERO, CellEvent::Sample);
-        shard.queue.schedule(base.tick_interval, CellEvent::Tick);
+        if schedule {
+            shard.queue.schedule(SimTime::ZERO, CellEvent::Sample);
+            shard.queue.schedule(base.tick_interval, CellEvent::Tick);
+        }
         shards.push(shard);
     }
 
-    // Patient zeroes: distinct telescope addresses, each materialized and
-    // seeded in the cell that owns it, scanning from time zero.
-    for i in 0..config.seed_infections {
-        let addr = telescope
-            .addr_at(i as u64)
-            .ok_or(FarmError::BadConfig { what: "more seed infections than addresses" })?;
-        let cell = cell_for(addr, config.cells);
-        let shard = &mut shards[cell];
-        let vm = shard.world.farm.materialize(SimTime::ZERO, addr).ok_or(FarmError::NoCapacity)?;
-        shard.world.farm.seed_infection(vm)?;
-        if let Some(gap) = probe_gap {
-            shard.queue.schedule(gap, CellEvent::Probe { vm, idx: 0 });
+    if schedule {
+        // Patient zeroes: distinct telescope addresses, each materialized
+        // and seeded in the cell that owns it, scanning from time zero.
+        for i in 0..config.seed_infections {
+            let addr = telescope
+                .addr_at(i as u64)
+                .ok_or(FarmError::BadConfig { what: "more seed infections than addresses" })?;
+            let cell = cell_for(addr, config.cells);
+            let shard = &mut shards[cell];
+            let vm =
+                shard.world.farm.materialize(SimTime::ZERO, addr).ok_or(FarmError::NoCapacity)?;
+            shard.world.farm.seed_infection(vm)?;
+            if let Some(gap) = probe_gap {
+                shard.queue.schedule(gap, CellEvent::Probe { vm, idx: 0 });
+            }
+        }
+
+        // Partition the trace: each packet goes to the cell owning its
+        // destination, in trace order (the queue's FIFO tie-break keeps
+        // same-timestamp arrivals in this order).
+        for event in trace.into_events() {
+            let cell = cell_for(event.packet.dst(), config.cells);
+            shards[cell].queue.schedule(event.at, CellEvent::Packet(Box::new(event.packet)));
         }
     }
 
-    // Partition the trace: each packet goes to the cell owning its
-    // destination, in trace order (the queue's FIFO tie-break keeps
-    // same-timestamp arrivals in this order).
-    for event in trace.into_events() {
-        let cell = cell_for(event.packet.dst(), config.cells);
-        shards[cell].queue.schedule(event.at, CellEvent::Packet(Box::new(event.packet)));
-    }
+    Ok(PreparedRun { shards, meta })
+}
 
-    let engine =
-        run_sharded(&mut shards, base.duration, &ShardConfig { window: config.window, workers });
-
+/// Merges finished shards and engine telemetry into the public result.
+pub(crate) fn assemble_result(
+    config: &ShardedTelescopeConfig,
+    shards: &mut [Shard<CellWorld>],
+    engine: ShardRunReport,
+    meta: &TraceMeta,
+) -> ShardedTelescopeResult {
+    let base = &config.base;
     let farms: Vec<&Honeyfarm> = shards.iter().map(|s| &s.world.farm).collect();
     let stats = FarmStats::collect_sharded(farms.iter().copied());
     let degradation = DegradationReport::collect_sharded(farms.iter().copied());
     let mut live_vm_series = TimeSeries::new(base.sample_interval);
     let mut cross_cell_packets = 0;
     let mut final_infected = 0;
-    for shard in &shards {
+    for shard in shards.iter() {
         live_vm_series.merge(&shard.world.live_vm_series);
         cross_cell_packets += shard.world.forwarded;
         final_infected += shard.world.farm.infected_vms();
     }
     let peak_live_vms = live_vm_series.peak();
     let (trace_events, trace_lanes) = match config.trace {
-        Some(trace_config) => collect_traces(config, trace_config, &mut shards, &engine),
+        Some(trace_config) => collect_traces(config, trace_config, shards, &engine),
         None => (Vec::new(), Vec::new()),
     };
-    Ok(ShardedTelescopeResult {
+    ShardedTelescopeResult {
         live_vm_series,
-        packets,
-        distinct_sources,
-        distinct_destinations,
+        packets: meta.packets,
+        distinct_sources: meta.distinct_sources,
+        distinct_destinations: meta.distinct_destinations,
         peak_live_vms,
-        mix,
+        mix: meta.mix.clone(),
         stats,
         degradation,
         cross_cell_packets,
@@ -474,7 +504,129 @@ pub fn run_telescope_sharded(
         engine,
         trace: trace_events,
         trace_lanes,
-    })
+    }
+}
+
+/// Runs a sharded telescope replay on `workers` OS threads.
+///
+/// `workers == 1` runs every cell on the calling thread (the serial
+/// reference); any larger count produces byte-identical merged reports.
+///
+/// # Errors
+///
+/// Returns [`FarmError::BadConfig`] for a zero cell count, seed infections
+/// without a worm, or a farm the cells cannot build.
+pub fn run_telescope_sharded(
+    config: &ShardedTelescopeConfig,
+    workers: usize,
+) -> Result<ShardedTelescopeResult, FarmError> {
+    let PreparedRun { mut shards, meta } = prepare_shards(config, true)?;
+    let engine = run_sharded(
+        &mut shards,
+        config.base.duration,
+        &ShardConfig { window: config.window, workers },
+    );
+    Ok(assemble_result(config, &mut shards, engine, &meta))
+}
+
+/// Encodes one cell's driver state (everything around the farm: the merged
+/// live-VM samples, fabric counters, and any packets staged for other
+/// cells). The farm itself is a separate snapshot section.
+pub(crate) fn encode_cell_aux(world: &CellWorld) -> Vec<u8> {
+    let mut w = potemkin_snapshot::SnapWriter::new();
+    crate::farm::encode_series(&mut w, &world.live_vm_series);
+    w.u64(world.forwarded);
+    w.u64(world.outbound.len() as u64);
+    for (dest, packets) in &world.outbound {
+        w.usize(*dest);
+        w.u64(packets.len() as u64);
+        for p in packets {
+            w.bytes(p.wire());
+        }
+    }
+    w.into_bytes()
+}
+
+/// Restores state captured by [`encode_cell_aux`] into a freshly prepared
+/// cell world.
+pub(crate) fn restore_cell_aux(
+    world: &mut CellWorld,
+    bytes: &[u8],
+) -> Result<(), potemkin_snapshot::SnapshotError> {
+    let mut r = potemkin_snapshot::SnapReader::new(bytes, "core.cell");
+    let live_vm_series = crate::farm::decode_series(&mut r)?;
+    let forwarded = r.u64()?;
+    let n_dests = r.u64()?;
+    let mut outbound = BTreeMap::new();
+    for _ in 0..n_dests {
+        let dest = r.usize()?;
+        let n = r.u64()?;
+        let mut packets = Vec::with_capacity(n.min(1 << 20) as usize);
+        for _ in 0..n {
+            packets.push(crate::farm::decode_packet(r.bytes()?)?);
+        }
+        outbound.insert(dest, packets);
+    }
+    r.finish()?;
+    world.live_vm_series = live_vm_series;
+    world.forwarded = forwarded;
+    world.outbound = outbound;
+    Ok(())
+}
+
+/// Encodes one cell's event queue: counters plus every pending entry with
+/// its original sequence number, so FIFO tie-breaking survives the restore
+/// boundary. Packets ride as wire bytes.
+pub(crate) fn encode_cell_queue(queue: &EventQueue<CellEvent>) -> Vec<u8> {
+    let mut w = potemkin_snapshot::SnapWriter::new();
+    let (next_seq, scheduled, entries) = queue.snapshot_parts();
+    w.u64(next_seq);
+    w.u64(scheduled);
+    w.u64(entries.len() as u64);
+    for (at, seq, event) in entries {
+        w.u64(at.as_nanos());
+        w.u64(seq);
+        match event {
+            CellEvent::Packet(p) => {
+                w.u8(0);
+                w.bytes(p.wire());
+            }
+            CellEvent::Probe { vm, idx } => {
+                w.u8(1);
+                w.u64(vm.0);
+                w.u64(*idx);
+            }
+            CellEvent::Tick => w.u8(2),
+            CellEvent::Sample => w.u8(3),
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a queue captured by [`encode_cell_queue`].
+pub(crate) fn decode_cell_queue(
+    bytes: &[u8],
+) -> Result<EventQueue<CellEvent>, potemkin_snapshot::SnapshotError> {
+    const CTX: &str = "core.cell.queue";
+    let mut r = potemkin_snapshot::SnapReader::new(bytes, CTX);
+    let next_seq = r.u64()?;
+    let scheduled = r.u64()?;
+    let n = r.u64()?;
+    let mut entries = Vec::with_capacity(n.min(1 << 20) as usize);
+    for _ in 0..n {
+        let at = SimTime::from_nanos(r.u64()?);
+        let seq = r.u64()?;
+        let event = match r.u8()? {
+            0 => CellEvent::Packet(Box::new(crate::farm::decode_packet(r.bytes()?)?)),
+            1 => CellEvent::Probe { vm: VmRef(r.u64()?), idx: r.u64()? },
+            2 => CellEvent::Tick,
+            3 => CellEvent::Sample,
+            _ => return Err(potemkin_snapshot::SnapshotError::Decode { context: CTX }),
+        };
+        entries.push((at, seq, event));
+    }
+    r.finish()?;
+    Ok(EventQueue::from_parts(next_seq, scheduled, entries))
 }
 
 /// Drains every cell farm's trace and synthesizes shard-worker window

@@ -169,6 +169,56 @@ impl DnsProxy {
     pub fn names_resolved(&self) -> usize {
         self.forward.len()
     }
+
+    /// Checkpoint support: serializes the name table and counters. The
+    /// sinkhole prefix is not included — restore goes into a proxy freshly
+    /// built from the same config, and the reverse map is rebuilt from the
+    /// forward one.
+    #[must_use]
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut w = potemkin_snapshot::SnapWriter::new();
+        let mut names: Vec<(&String, &Ipv4Addr)> = self.forward.iter().collect();
+        names.sort();
+        w.usize(names.len());
+        for (name, &addr) in names {
+            w.str(name);
+            w.u32(u32::from(addr));
+        }
+        w.u32(self.ttl);
+        w.u64(self.queries);
+        w.u64(self.nxdomain);
+        w.into_bytes()
+    }
+
+    /// Restores state encoded by [`DnsProxy::encode_state`] into this proxy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`potemkin_snapshot::SnapshotError::Decode`] on truncated or
+    /// malformed input; the proxy is left untouched in that case.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), potemkin_snapshot::SnapshotError> {
+        const CTX: &str = "gateway.dns";
+        let mut r = potemkin_snapshot::SnapReader::new(bytes, CTX);
+        let n = r.usize()?;
+        let mut forward = HashMap::with_capacity(n);
+        let mut reverse = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?.to_string();
+            let addr = Ipv4Addr::from(r.u32()?);
+            reverse.insert(addr, name.clone());
+            forward.insert(name, addr);
+        }
+        let ttl = r.u32()?;
+        let queries = r.u64()?;
+        let nxdomain = r.u64()?;
+        r.finish()?;
+        self.forward = forward;
+        self.reverse = reverse;
+        self.ttl = ttl;
+        self.queries = queries;
+        self.nxdomain = nxdomain;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

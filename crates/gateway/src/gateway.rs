@@ -14,6 +14,7 @@ use potemkin_net::addr::Ipv4Prefix;
 use potemkin_net::{Packet, PacketBuilder, PacketPayload};
 use potemkin_obs::{names as obs, TraceEvent, Tracer};
 use potemkin_sim::{SimTime, TokenBucket};
+use potemkin_snapshot::{SnapReader, SnapWriter};
 
 use crate::binding::{AddressBinder, BindGranularity, ExpiredBinding, VmRef};
 use crate::config::ConfigError;
@@ -576,6 +577,85 @@ impl Gateway {
     #[must_use]
     pub fn binder(&self) -> &AddressBinder {
         &self.binder
+    }
+
+    /// Checkpoint support: serializes the gateway's complete mutable state
+    /// (flow table, binder, DNS proxy, per-VM rate limiters, inbound rate
+    /// estimator, counters, stall deadline). The configuration and the
+    /// tracer are excluded — restore goes into a gateway freshly built from
+    /// the same [`GatewayConfig`], and tracing is digest-invisible.
+    #[must_use]
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.bytes(&self.flows.encode_state());
+        w.bytes(&self.binder.encode_state());
+        w.bytes(&self.dns.encode_state());
+        let mut rate: Vec<(&VmRef, &TokenBucket)> = self.rate.iter().collect();
+        rate.sort_by_key(|(vm, _)| **vm);
+        w.usize(rate.len());
+        for (vm, bucket) in rate {
+            let (rps, burst, tokens, last) = bucket.snapshot_parts();
+            w.u64(vm.0);
+            w.f64(rps);
+            w.f64(burst);
+            w.f64(tokens);
+            w.u64(last.as_nanos());
+        }
+        let (tau, est, last, events) = self.inbound_rate.snapshot_parts();
+        w.f64(tau);
+        w.f64(est);
+        w.opt_u64(last.map(SimTime::as_nanos));
+        w.u64(events);
+        w.usize(self.counters.len());
+        for (name, value) in self.counters.iter() {
+            w.str(name);
+            w.u64(value);
+        }
+        w.u64(self.stalled_until.as_nanos());
+        w.into_bytes()
+    }
+
+    /// Restores state encoded by [`Gateway::encode_state`] into this
+    /// gateway (configuration and tracer are kept).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`potemkin_snapshot::SnapshotError::Decode`] on truncated or
+    /// malformed input. Sub-components are restored in order, so a failure
+    /// part-way can leave earlier sections applied — callers restore into a
+    /// scratch gateway and discard it on error.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), potemkin_snapshot::SnapshotError> {
+        const CTX: &str = "gateway";
+        let mut r = SnapReader::new(bytes, CTX);
+        self.flows.restore_state(r.bytes()?)?;
+        self.binder.restore_state(r.bytes()?)?;
+        self.dns.restore_state(r.bytes()?)?;
+        let n_rate = r.usize()?;
+        let mut rate = HashMap::with_capacity(n_rate);
+        for _ in 0..n_rate {
+            let vm = VmRef(r.u64()?);
+            let rps = r.f64()?;
+            let burst = r.f64()?;
+            let tokens = r.f64()?;
+            let last = SimTime::from_nanos(r.u64()?);
+            rate.insert(vm, TokenBucket::from_parts(rps, burst, tokens, last));
+        }
+        let tau = r.f64()?;
+        let est = r.f64()?;
+        let last = r.opt_u64()?.map(SimTime::from_nanos);
+        let events = r.u64()?;
+        let n_counters = r.usize()?;
+        let mut pairs = Vec::with_capacity(n_counters);
+        for _ in 0..n_counters {
+            pairs.push((r.str()?.to_string(), r.u64()?));
+        }
+        let stalled_until = SimTime::from_nanos(r.u64()?);
+        r.finish()?;
+        self.rate = rate;
+        self.inbound_rate = RateEstimator::from_parts(tau, est, last, events);
+        self.counters = CounterSet::from_pairs(pairs);
+        self.stalled_until = stalled_until;
+        Ok(())
     }
 }
 
@@ -1157,5 +1237,97 @@ mod tests {
         assert_eq!(c.get("packets_out"), 1);
         assert_eq!(c.get("reflected"), 1);
         assert_eq!(c.get("escaped"), 0);
+    }
+
+    /// Drives a gateway through every state-bearing path: bindings, flows,
+    /// DNS resolution, outbound rate limiting, a stall window.
+    fn busy_gateway() -> Gateway {
+        let mut g = gw(PolicyConfig::reflect());
+        let t0 = SimTime::ZERO;
+        g.on_inbound(t0, syn(ATTACKER, HP1));
+        g.bind(t0, ATTACKER, HP1, VmRef(1));
+        g.on_inbound(t0, syn(ATTACKER, HP1));
+        g.on_inbound(SimTime::from_secs(1), syn(Ipv4Addr::new(7, 7, 7, 7), HP2));
+        g.bind(SimTime::from_secs(1), Ipv4Addr::new(7, 7, 7, 7), HP2, VmRef(2));
+        g.on_inbound(SimTime::from_secs(2), syn(Ipv4Addr::new(7, 7, 7, 7), HP2));
+        let probe = PacketBuilder::new(HP1, EXTERNAL).tcp_syn(1025, 445);
+        g.on_outbound(SimTime::from_secs(2), VmRef(1), probe);
+        let q = potemkin_net::dns::DnsMessage::query_a(3, "c2.evil.example").build().unwrap();
+        let dns = PacketBuilder::new(HP1, Ipv4Addr::new(8, 8, 8, 8)).udp(3333, 53, &q);
+        g.on_outbound(SimTime::from_secs(3), VmRef(1), dns);
+        g.stall_for(SimTime::from_secs(3), SimTime::from_secs(9));
+        g
+    }
+
+    #[test]
+    fn encode_restore_round_trips_bit_exactly() {
+        let original = busy_gateway();
+        let bytes = original.encode_state();
+        let mut restored = gw(PolicyConfig::reflect());
+        restored.restore_state(&bytes).unwrap();
+        assert_eq!(restored.encode_state(), bytes, "re-encode must be bit-identical");
+        assert_eq!(restored.live_bindings(), original.live_bindings());
+        assert_eq!(restored.live_flows(), original.live_flows());
+        assert_eq!(restored.dns().names_resolved(), 1);
+        assert!(restored.is_stalled(SimTime::from_secs(11)));
+        assert!(!restored.is_stalled(SimTime::from_secs(13)));
+    }
+
+    #[test]
+    fn restored_gateway_expires_bindings_like_the_original() {
+        let mut original = busy_gateway();
+        let mut restored = gw(PolicyConfig::reflect());
+        restored.restore_state(&original.encode_state()).unwrap();
+        // Idle expiry must fire at the same virtual instant with the same
+        // victims on both gateways (timer wheel state survived restore).
+        let far = SimTime::from_hours(2);
+        let a = original.expire(far);
+        let b = restored.expire(far);
+        assert!(!a.is_empty(), "bindings idle out by then");
+        assert_eq!(a, b);
+        assert_eq!(original.encode_state(), restored.encode_state());
+    }
+
+    #[test]
+    fn restore_rejects_truncated_and_garbage_payloads() {
+        let bytes = busy_gateway().encode_state();
+        for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            let mut g = gw(PolicyConfig::reflect());
+            assert!(g.restore_state(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        let mut with_garbage = bytes.clone();
+        with_garbage.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        let mut g = gw(PolicyConfig::reflect());
+        assert!(g.restore_state(&with_garbage).is_err(), "trailing garbage must fail");
+    }
+
+    #[test]
+    fn clock_reclaim_policy_state_round_trips() {
+        use crate::binding::BindKey;
+        use crate::reclaim::{ReclaimCandidate, ReclaimPolicyKind};
+        let cand = |epoch: u64, packets: u64| ReclaimCandidate {
+            key: BindKey { dst: Ipv4Addr::new(10, 0, 0, epoch as u8), src: None },
+            vm: VmRef(epoch),
+            bound_at: SimTime::from_secs(epoch),
+            last_active: SimTime::from_secs(epoch + 1),
+            packets,
+            epoch,
+        };
+        let mut clock = ReclaimPolicyKind::Clock.instantiate();
+        clock.pick(SimTime::from_secs(10), &[cand(0, 3), cand(1, 0), cand(2, 2)]);
+        let state = clock.snapshot_state();
+        let mut restored = ReclaimPolicyKind::Clock.instantiate();
+        restored.restore_state(&state).unwrap();
+        // Identical picks from here on: the hand position survived.
+        let script = [cand(0, 5), cand(2, 2), cand(3, 0)];
+        assert_eq!(
+            clock.pick(SimTime::from_secs(11), &script),
+            restored.pick(SimTime::from_secs(11), &script)
+        );
+        assert_eq!(clock.snapshot_state(), restored.snapshot_state());
+        // Stateless policies reject clock-shaped state.
+        let mut oldest = ReclaimPolicyKind::Oldest.instantiate();
+        assert!(oldest.restore_state(&state).is_err());
+        assert!(oldest.restore_state(&[]).is_ok());
     }
 }

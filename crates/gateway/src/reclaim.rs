@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 
 use potemkin_sim::SimTime;
+use potemkin_snapshot::{SnapReader, SnapWriter, SnapshotError};
 
 use crate::binding::{BindKey, VmRef};
 
@@ -58,6 +59,29 @@ pub trait ReclaimPolicy: Send {
     /// `candidates` is non-empty and sorted by ascending epoch. An
     /// out-of-range return is clamped by the caller.
     fn pick(&mut self, now: SimTime, candidates: &[ReclaimCandidate]) -> usize;
+
+    /// Checkpoint support: the policy's internal state, serialized.
+    /// Stateless policies return an empty buffer (the default).
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Checkpoint support: restores state captured by
+    /// [`ReclaimPolicy::snapshot_state`] on a freshly instantiated policy
+    /// of the same kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Decode`] when the bytes do not match the
+    /// policy's expected layout (e.g. a snapshot taken under a different
+    /// policy kind).
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Decode { context: "gateway.reclaim" })
+        }
+    }
 }
 
 /// Which reclaim policy the farm runs — the config-level, `Copy` handle
@@ -198,6 +222,32 @@ impl ReclaimPolicy for ClockSecondChance {
         let idx = start % n;
         self.hand_epoch = Some(candidates[idx].epoch);
         idx
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.opt_u64(self.hand_epoch);
+        w.usize(self.seen_packets.len());
+        for (&epoch, &packets) in &self.seen_packets {
+            w.u64(epoch);
+            w.u64(packets);
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapReader::new(bytes, "gateway.reclaim.clock");
+        let hand_epoch = r.opt_u64()?;
+        let n = r.usize()?;
+        let mut seen_packets = BTreeMap::new();
+        for _ in 0..n {
+            let epoch = r.u64()?;
+            seen_packets.insert(epoch, r.u64()?);
+        }
+        r.finish()?;
+        self.hand_epoch = hand_epoch;
+        self.seen_packets = seen_packets;
+        Ok(())
     }
 }
 

@@ -37,6 +37,11 @@ pub struct TunnelStats {
 pub struct TunnelEndpoint {
     telescopes: BTreeMap<u32, Telescope>,
     stats: BTreeMap<u32, TunnelStats>,
+    /// Decapsulation failures that could not be charged to a tunnel:
+    /// unparseable GRE, keyless frames, unknown keys. Separate from
+    /// [`TunnelStats::errors`] so a flood of garbage frames is visible even
+    /// when no telescope matches.
+    unattributed_errors: u64,
 }
 
 impl Default for TunnelEndpoint {
@@ -49,7 +54,11 @@ impl TunnelEndpoint {
     /// Creates an endpoint with no telescopes attached.
     #[must_use]
     pub fn new() -> Self {
-        TunnelEndpoint { telescopes: BTreeMap::new(), stats: BTreeMap::new() }
+        TunnelEndpoint {
+            telescopes: BTreeMap::new(),
+            stats: BTreeMap::new(),
+            unattributed_errors: 0,
+        }
     }
 
     /// Attaches a telescope. Returns the previous telescope on key collision.
@@ -79,13 +88,23 @@ impl TunnelEndpoint {
     /// unsupported), or a bad inner packet. Errors are counted per-tunnel
     /// when the key is readable.
     pub fn decapsulate(&mut self, frame: &[u8]) -> Result<(u32, Packet), NetError> {
-        let (gre_header, inner) = GreHeader::parse(frame)?;
-        let key = gre_header.key.ok_or(NetError::Unsupported {
-            layer: "gre",
-            what: "missing tunnel key",
-            value: 0,
-        })?;
+        let (gre_header, inner) = match GreHeader::parse(frame) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.unattributed_errors += 1;
+                return Err(e);
+            }
+        };
+        let Some(key) = gre_header.key else {
+            self.unattributed_errors += 1;
+            return Err(NetError::Unsupported {
+                layer: "gre",
+                what: "missing tunnel key",
+                value: 0,
+            });
+        };
         if !self.telescopes.contains_key(&key) {
+            self.unattributed_errors += 1;
             return Err(NetError::Unsupported {
                 layer: "gre",
                 what: "unknown tunnel key",
@@ -129,6 +148,63 @@ impl TunnelEndpoint {
     #[must_use]
     pub fn stats(&self, key: u32) -> TunnelStats {
         self.stats.get(&key).copied().unwrap_or_default()
+    }
+
+    /// Decapsulation failures not attributable to any tunnel (garbage GRE,
+    /// keyless frames, unknown keys).
+    #[must_use]
+    pub fn unattributed_errors(&self) -> u64 {
+        self.unattributed_errors
+    }
+
+    /// Total decapsulation failures: per-tunnel plus unattributed.
+    #[must_use]
+    pub fn total_errors(&self) -> u64 {
+        self.unattributed_errors + self.stats.values().map(|s| s.errors).sum::<u64>()
+    }
+
+    /// Checkpoint support: serializes the per-tunnel statistics and the
+    /// unattributed-error count. Attached telescopes are configuration and
+    /// are not included — restore goes into an endpoint with the same
+    /// telescopes attached.
+    #[must_use]
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut w = potemkin_snapshot::SnapWriter::new();
+        w.usize(self.stats.len());
+        for (&key, s) in &self.stats {
+            w.u32(key);
+            w.u64(s.packets_in);
+            w.u64(s.bytes_in);
+            w.u64(s.packets_out);
+            w.u64(s.errors);
+        }
+        w.u64(self.unattributed_errors);
+        w.into_bytes()
+    }
+
+    /// Restores statistics encoded by [`TunnelEndpoint::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`potemkin_snapshot::SnapshotError::Decode`] on truncated or
+    /// malformed input; the endpoint is left untouched in that case.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), potemkin_snapshot::SnapshotError> {
+        let mut r = potemkin_snapshot::SnapReader::new(bytes, "gateway.tunnel");
+        let n = r.usize()?;
+        let mut stats = BTreeMap::new();
+        for _ in 0..n {
+            let key = r.u32()?;
+            let packets_in = r.u64()?;
+            let bytes_in = r.u64()?;
+            let packets_out = r.u64()?;
+            let errors = r.u64()?;
+            stats.insert(key, TunnelStats { packets_in, bytes_in, packets_out, errors });
+        }
+        let unattributed_errors = r.u64()?;
+        r.finish()?;
+        self.stats = stats;
+        self.unattributed_errors = unattributed_errors;
+        Ok(())
     }
 
     /// Number of attached telescopes.
@@ -198,6 +274,45 @@ mod tests {
         let frame = GreHeader::encapsulate_ipv4(1, &[0xde, 0xad]);
         assert!(ep.decapsulate(&frame).is_err());
         assert_eq!(ep.stats(1).errors, 1);
+        assert_eq!(ep.unattributed_errors(), 0, "key was readable: charged to tunnel 1");
+        assert_eq!(ep.total_errors(), 1);
+    }
+
+    #[test]
+    fn unattributable_failures_counted_separately() {
+        let mut ep = endpoint();
+        // Garbage GRE (truncated header).
+        assert!(ep.decapsulate(&[0x20]).is_err());
+        // Keyless frame.
+        let keyless = GreHeader { protocol: gre::PROTO_IPV4, key: None }
+            .build(probe(Ipv4Addr::new(10, 1, 0, 5)).wire());
+        assert!(ep.decapsulate(&keyless).is_err());
+        // Unknown key.
+        let unknown = GreHeader::encapsulate_ipv4(99, probe(Ipv4Addr::new(10, 1, 0, 5)).wire());
+        assert!(ep.decapsulate(&unknown).is_err());
+        assert_eq!(ep.unattributed_errors(), 3);
+        assert_eq!(ep.stats(1).errors, 0);
+        assert_eq!(ep.total_errors(), 3);
+    }
+
+    #[test]
+    fn stats_state_round_trips() {
+        let mut ep = endpoint();
+        let inner = probe(Ipv4Addr::new(10, 1, 0, 5));
+        ep.decapsulate(&GreHeader::encapsulate_ipv4(1, inner.wire())).unwrap();
+        ep.encapsulate_reply(&probe(Ipv4Addr::new(10, 2, 3, 4))).unwrap();
+        assert!(ep.decapsulate(&[0x20]).is_err());
+        let bytes = ep.encode_state();
+        let mut restored = endpoint();
+        restored.restore_state(&bytes).unwrap();
+        assert_eq!(restored.encode_state(), bytes, "re-encode must be bit-identical");
+        assert_eq!(restored.stats(1), ep.stats(1));
+        assert_eq!(restored.stats(2), ep.stats(2));
+        assert_eq!(restored.unattributed_errors(), 1);
+        for cut in [0, 1, bytes.len() - 1] {
+            let mut r = endpoint();
+            assert!(r.restore_state(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
     }
 
     #[test]

@@ -74,6 +74,33 @@ impl CounterSet {
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
     }
+
+    /// Checkpoint support: rebuilds a set from `(name, value)` pairs read
+    /// back from a snapshot. Names are interned into a global table —
+    /// telemetry names form a small fixed vocabulary, so repeated restores
+    /// never grow memory beyond that vocabulary.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (String, u64)>) -> Self {
+        let mut set = CounterSet::new();
+        for (name, value) in pairs {
+            set.counters.insert(intern(name), value);
+        }
+        set
+    }
+}
+
+/// Interns a counter name, reusing a previously leaked copy when available.
+fn intern(name: String) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut guard = table.lock().expect("intern table poisoned");
+    if let Some(&existing) = guard.get(name.as_str()) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    guard.insert(leaked);
+    leaked
 }
 
 impl core::fmt::Display for CounterSet {

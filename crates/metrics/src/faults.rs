@@ -132,6 +132,26 @@ impl FaultLedger {
         &self.tunnel_delay_us
     }
 
+    /// Checkpoint support: `(per-class counts in `FaultClass::ALL` order,
+    /// re-bind histogram, tunnel-delay histogram)`.
+    #[must_use]
+    pub fn snapshot_parts(&self) -> (Vec<u64>, &LogHistogram, &LogHistogram) {
+        (self.counts.to_vec(), &self.rebind_latency_us, &self.tunnel_delay_us)
+    }
+
+    /// Checkpoint support: rebuilds a ledger from parts captured by
+    /// [`FaultLedger::snapshot_parts`]. Returns `None` when the class-count
+    /// vector does not match `FaultClass::ALL`.
+    #[must_use]
+    pub fn from_parts(
+        counts: &[u64],
+        rebind_latency_us: LogHistogram,
+        tunnel_delay_us: LogHistogram,
+    ) -> Option<Self> {
+        let counts: [u64; FaultClass::ALL.len()] = counts.try_into().ok()?;
+        Some(FaultLedger { counts, rebind_latency_us, tunnel_delay_us })
+    }
+
     /// Folds another ledger into this one (sweep aggregation).
     pub fn merge(&mut self, other: &FaultLedger) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {

@@ -149,6 +149,47 @@ impl LogHistogram {
         self.max
     }
 
+    /// Checkpoint support: `(sub_buckets, count, sum, min, max, sparse)`
+    /// where `sparse` lists only non-zero buckets as `(index, count)`.
+    #[must_use]
+    pub fn snapshot_parts(&self) -> (u32, u64, u128, u64, u64, Vec<(u64, u64)>) {
+        let sparse = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64, c))
+            .collect();
+        (self.sub_buckets, self.count, self.sum, self.min, self.max, sparse)
+    }
+
+    /// Checkpoint support: rebuilds a histogram from parts captured by
+    /// [`LogHistogram::snapshot_parts`]. Returns `None` when the parts are
+    /// structurally invalid (bad sub-bucket count or out-of-range index).
+    #[must_use]
+    pub fn from_parts(
+        sub_buckets: u32,
+        count: u64,
+        sum: u128,
+        min: u64,
+        max: u64,
+        sparse: &[(u64, u64)],
+    ) -> Option<Self> {
+        if sub_buckets == 0 || !sub_buckets.is_power_of_two() {
+            return None;
+        }
+        let mut h = LogHistogram::new(sub_buckets);
+        for &(idx, c) in sparse {
+            let slot = h.counts.get_mut(usize::try_from(idx).ok()?)?;
+            *slot = c;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Some(h)
+    }
+
     /// Merges another histogram (must have identical `sub_buckets`).
     ///
     /// # Panics

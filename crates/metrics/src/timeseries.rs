@@ -122,6 +122,22 @@ impl TimeSeries {
         }
     }
 
+    /// Checkpoint support: `(bin_width, bins)`.
+    #[must_use]
+    pub fn snapshot_parts(&self) -> (SimTime, &[f64]) {
+        (self.bin_width, &self.bins)
+    }
+
+    /// Checkpoint support: rebuilds a series from parts captured by
+    /// [`TimeSeries::snapshot_parts`]. Returns `None` for a zero bin width.
+    #[must_use]
+    pub fn from_parts(bin_width: SimTime, bins: Vec<f64>) -> Option<Self> {
+        if bin_width.is_zero() {
+            return None;
+        }
+        Some(TimeSeries { bin_width, bins })
+    }
+
     /// Adds `other` into `self` bin-by-bin, growing as needed. Used to fold
     /// per-shard series (e.g. live VMs per cell) into a farm-wide series.
     ///

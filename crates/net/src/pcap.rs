@@ -48,17 +48,27 @@ pub fn write_pcap<W: std::io::Write>(w: &mut W, records: &[PcapRecord]) -> std::
 }
 
 fn read_u16(buf: &[u8], at: usize) -> Result<u16, NetError> {
-    buf.get(at..at + 2).map(|b| u16::from_le_bytes([b[0], b[1]])).ok_or(NetError::Truncated {
+    let end = at.checked_add(2).ok_or(NetError::Truncated {
         layer: "pcap",
-        need: at + 2,
+        need: usize::MAX,
+        have: buf.len(),
+    })?;
+    buf.get(at..end).map(|b| u16::from_le_bytes([b[0], b[1]])).ok_or(NetError::Truncated {
+        layer: "pcap",
+        need: end,
         have: buf.len(),
     })
 }
 
 fn read_u32(buf: &[u8], at: usize) -> Result<u32, NetError> {
-    buf.get(at..at + 4)
+    let end = at.checked_add(4).ok_or(NetError::Truncated {
+        layer: "pcap",
+        need: usize::MAX,
+        have: buf.len(),
+    })?;
+    buf.get(at..end)
         .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-        .ok_or(NetError::Truncated { layer: "pcap", need: at + 4, have: buf.len() })
+        .ok_or(NetError::Truncated { layer: "pcap", need: end, have: buf.len() })
 }
 
 /// Parses a pcap byte buffer written by [`write_pcap`] (LINKTYPE_RAW,
@@ -91,19 +101,109 @@ pub fn parse_pcap(buf: &[u8]) -> Result<Vec<PcapRecord>, NetError> {
     let mut records = Vec::new();
     let mut at = 24;
     while at < buf.len() {
-        let ts_sec = read_u32(buf, at)?;
-        let ts_usec = read_u32(buf, at + 4)?;
-        let incl_len = read_u32(buf, at + 8)? as usize;
-        at += 16;
-        let data = buf.get(at..at + incl_len).ok_or(NetError::Truncated {
-            layer: "pcap",
-            need: at + incl_len,
-            have: buf.len(),
-        })?;
-        records.push(PcapRecord { ts_sec, ts_usec, packet: Packet::parse(data)? });
-        at += incl_len;
+        let (record, next) = parse_record(buf, at)?;
+        records.push(record);
+        at = next;
     }
     Ok(records)
+}
+
+/// Parses the record starting at `at`, returning it and the offset of the
+/// next record. All offset arithmetic is overflow-checked: a record header
+/// claiming an absurd `incl_len` produces [`NetError::Truncated`], never a
+/// wrap-around read.
+fn parse_record(buf: &[u8], at: usize) -> Result<(PcapRecord, usize), NetError> {
+    let ts_sec = read_u32(buf, at)?;
+    let ts_usec = read_u32(buf, at + 4)?;
+    let incl_len = read_u32(buf, at + 8)? as usize;
+    let data_at = at + 16; // `read_u32(buf, at + 8)` proved at + 12 is in-bounds.
+    let end =
+        data_at.checked_add(incl_len).filter(|&e| e <= buf.len()).ok_or(NetError::Truncated {
+            layer: "pcap",
+            need: data_at.saturating_add(incl_len),
+            have: buf.len(),
+        })?;
+    let packet = Packet::parse(&buf[data_at..end])?;
+    Ok((PcapRecord { ts_sec, ts_usec, packet }, end))
+}
+
+/// What [`parse_pcap_lossy`] had to drop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PcapLoss {
+    /// Records whose framing was intact but whose packet bytes failed to
+    /// parse (skipped, parsing continued at the next record).
+    pub bad_packets: u64,
+    /// Whether the buffer ended mid-record (everything before the torn
+    /// record was still recovered).
+    pub truncated_tail: bool,
+}
+
+impl PcapLoss {
+    /// Whether anything at all was dropped.
+    #[must_use]
+    pub fn is_lossless(&self) -> bool {
+        self.bad_packets == 0 && !self.truncated_tail
+    }
+}
+
+/// Best-effort variant of [`parse_pcap`] for damaged captures: recovers
+/// every parseable record instead of failing on the first bad one. Records
+/// with intact framing but unparseable packet bytes are skipped; a torn
+/// final record stops parsing without discarding earlier records.
+///
+/// # Errors
+///
+/// Returns [`NetError`] only when the *global header* is bad (wrong magic,
+/// version, or link type) — a file that was never our pcap dialect is an
+/// error, not a loss.
+pub fn parse_pcap_lossy(buf: &[u8]) -> Result<(Vec<PcapRecord>, PcapLoss), NetError> {
+    if read_u32(buf, 0)? != MAGIC {
+        return Err(NetError::Unsupported {
+            layer: "pcap",
+            what: "magic (need LE microsecond pcap)",
+            value: read_u32(buf, 0)?,
+        });
+    }
+    let (major, minor) = (read_u16(buf, 4)?, read_u16(buf, 6)?);
+    if (major, minor) != (2, 4) {
+        return Err(NetError::Unsupported {
+            layer: "pcap",
+            what: "version",
+            value: u32::from(major) << 16 | u32::from(minor),
+        });
+    }
+    let linktype = read_u32(buf, 20)?;
+    if linktype != LINKTYPE_RAW {
+        return Err(NetError::Unsupported { layer: "pcap", what: "link type", value: linktype });
+    }
+    let mut records = Vec::new();
+    let mut loss = PcapLoss::default();
+    let mut at = 24;
+    while at < buf.len() {
+        // Framing first: a torn record header or torn payload ends the file.
+        let Ok(incl_len) = read_u32(buf, at + 8).map(|l| l as usize) else {
+            loss.truncated_tail = true;
+            break;
+        };
+        let data_at = at + 16;
+        let Some(end) = data_at.checked_add(incl_len).filter(|&e| e <= buf.len()) else {
+            loss.truncated_tail = true;
+            break;
+        };
+        match parse_record(buf, at) {
+            Ok((record, next)) => {
+                records.push(record);
+                at = next;
+            }
+            Err(_) => {
+                // Framing was intact, so only the packet bytes were bad:
+                // skip this record and resume at the next frame boundary.
+                loss.bad_packets += 1;
+                at = end;
+            }
+        }
+    }
+    Ok((records, loss))
 }
 
 #[cfg(test)]
@@ -174,5 +274,77 @@ mod tests {
         ));
         // Truncated record.
         assert!(parse_pcap(&buf[..buf.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_an_error_not_a_panic() {
+        let recs = records();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &recs).unwrap();
+        // Cuts at the header edge and at record edges are complete files;
+        // every other prefix must fail cleanly (no panic, no wrap-around).
+        let mut boundaries = vec![24];
+        for r in &recs {
+            boundaries.push(boundaries.last().unwrap() + 16 + r.packet.wire().len());
+        }
+        for cut in 0..buf.len() {
+            let result = parse_pcap(&buf[..cut]);
+            if boundaries.contains(&cut) {
+                assert_eq!(
+                    result.unwrap().len(),
+                    boundaries.iter().filter(|&&b| b <= cut).count() - 1
+                );
+            } else {
+                assert!(result.is_err(), "cut at {cut} parsed");
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_incl_len_is_truncation_not_overflow() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &records()[..1]).unwrap();
+        // Claim a record length that would overflow `data_at + incl_len`.
+        buf[24 + 8..24 + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(parse_pcap(&buf).unwrap_err(), NetError::Truncated { .. }));
+    }
+
+    #[test]
+    fn lossy_parse_recovers_around_bad_packets() {
+        let recs = records();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &recs).unwrap();
+        // Clean file: lossless.
+        let (all, loss) = parse_pcap_lossy(&buf).unwrap();
+        assert_eq!(all, recs);
+        assert!(loss.is_lossless());
+        // Corrupt the middle record's packet bytes (keep its framing).
+        let first_len = recs[0].packet.wire().len();
+        let second_data = 24 + 16 + first_len + 16;
+        let mut damaged = buf.clone();
+        damaged[second_data] = 0xFF; // bad IP version nibble
+        assert!(parse_pcap(&damaged).is_err(), "strict parse fails");
+        let (recovered, loss) = parse_pcap_lossy(&damaged).unwrap();
+        assert_eq!(recovered.len(), 2, "first and third records recovered");
+        assert_eq!(recovered[0], recs[0]);
+        assert_eq!(recovered[1], recs[2]);
+        assert_eq!(loss.bad_packets, 1);
+        assert!(!loss.truncated_tail);
+    }
+
+    #[test]
+    fn lossy_parse_keeps_records_before_a_torn_tail() {
+        let recs = records();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &recs).unwrap();
+        let (recovered, loss) = parse_pcap_lossy(&buf[..buf.len() - 3]).unwrap();
+        assert_eq!(recovered.len(), 2, "complete records survive");
+        assert!(loss.truncated_tail);
+        assert_eq!(loss.bad_packets, 0);
+        assert!(!loss.is_lossless());
+        // A bad global header is still a hard error.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(parse_pcap_lossy(&bad).is_err());
     }
 }

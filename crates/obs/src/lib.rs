@@ -91,4 +91,10 @@ pub mod names {
     /// Memory control plane: a clone allocation exceeded the host budget
     /// (instant; value = requested frames).
     pub const MEM_PRESSURE: &str = "mem.pressure";
+    /// Checkpointing: one whole-farm snapshot written at a window barrier
+    /// (span; paired `snap.bytes` counter carries the encoded size).
+    pub const SNAP_SAVE: &str = "snap.save";
+    /// Checkpointing: a run restored from a snapshot before resuming
+    /// (span; paired `snap.bytes` counter carries the decoded size).
+    pub const SNAP_RESTORE: &str = "snap.restore";
 }

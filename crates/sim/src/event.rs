@@ -119,6 +119,27 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Checkpoint support: the queue's counters and every pending entry as
+    /// `(at, seq, event)`, sorted by `(at, seq)` so the serialized form is
+    /// canonical regardless of heap layout.
+    #[must_use]
+    pub fn snapshot_parts(&self) -> (u64, u64, Vec<(SimTime, u64, &E)>) {
+        let mut entries: Vec<(SimTime, u64, &E)> =
+            self.heap.iter().map(|e| (e.at, e.seq, &e.event)).collect();
+        entries.sort_by_key(|&(at, seq, _)| (at, seq));
+        (self.next_seq, self.scheduled, entries)
+    }
+
+    /// Checkpoint support: rebuilds a queue from counters and entries
+    /// captured by [`EventQueue::snapshot_parts`]. Original sequence numbers
+    /// are preserved, so FIFO tie-breaking across the restore boundary is
+    /// identical to the uninterrupted run.
+    #[must_use]
+    pub fn from_parts(next_seq: u64, scheduled: u64, entries: Vec<(SimTime, u64, E)>) -> Self {
+        let heap = entries.into_iter().map(|(at, seq, event)| Entry { at, seq, event }).collect();
+        EventQueue { heap, next_seq, scheduled }
+    }
 }
 
 #[cfg(test)]

@@ -327,6 +327,27 @@ impl FaultInjector {
     pub fn remaining(&self) -> usize {
         self.events.len() - self.cursor
     }
+
+    /// Checkpoint support: how many events have already been delivered.
+    #[must_use]
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Checkpoint support: rebuilds an injector mid-plan. Events before
+    /// `cursor` are treated as already delivered; the restored injector hands
+    /// out exactly the suffix the original would have.
+    #[must_use]
+    pub fn from_plan_at(plan: FaultPlan, cursor: usize) -> Self {
+        let cursor = cursor.min(plan.events.len());
+        FaultInjector { events: plan.events, cursor, clone_failure_prob: plan.clone_failure_prob }
+    }
+
+    /// Checkpoint support: the full plan backing this injector.
+    #[must_use]
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan { events: self.events.clone(), clone_failure_prob: self.clone_failure_prob }
+    }
 }
 
 #[cfg(test)]

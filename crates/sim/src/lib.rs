@@ -58,7 +58,10 @@ pub use engine::{run_until, RunStats, World};
 pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig};
 pub use rng::SimRng;
-pub use shard::{run_sharded, BatchStat, Shard, ShardConfig, ShardRunReport, ShardWorld};
+pub use shard::{
+    run_sharded, run_sharded_resumable, BarrierControl, BatchStat, Shard, ShardConfig,
+    ShardProgress, ShardRunReport, ShardWorld,
+};
 pub use stats::{OnlineStats, WelfordVariance};
 pub use time::SimTime;
 pub use timer_wheel::{TimerHandle, TimerWheel};

@@ -48,6 +48,20 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// Captures the full generator state for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`SimRng::state`]. The
+    /// restored generator continues the exact sequence the original would
+    /// have produced.
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
+
     /// Derives an independent child generator from this one.
     ///
     /// Useful for giving each simulated component its own stream so that

@@ -106,6 +106,34 @@ pub struct ShardRunReport {
     pub windows: u64,
 }
 
+/// Engine progress at a window barrier: everything [`run_sharded`]
+/// accumulates outside the shards themselves. Captured into checkpoints so a
+/// resumed run's final [`ShardRunReport`] matches the uninterrupted one.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardProgress {
+    /// Index of the next window to execute.
+    pub next_window: u64,
+    /// Virtual time at which the next window starts.
+    pub window_start: SimTime,
+    /// Per-shard aggregated statistics so far.
+    pub per_shard: Vec<RunStats>,
+    /// Cross-shard messages delivered so far.
+    pub remote_messages: u64,
+    /// Windows executed so far.
+    pub windows: u64,
+}
+
+/// What a barrier hook tells the engine to do after a window completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierControl {
+    /// Keep running.
+    Continue,
+    /// Abandon the run at this barrier (models a process kill for
+    /// checkpoint/restore experiments). The partial report is returned with
+    /// `interrupted` in [`run_sharded_resumable`]'s result set to `true`.
+    Stop,
+}
+
 /// Runs `shards` to `horizon` in conservative time windows, `workers` at a
 /// time. See the module docs for the determinism argument.
 ///
@@ -162,18 +190,56 @@ where
     W: ShardWorld + Send,
     W::Event: Send,
 {
+    let (report, _) =
+        run_sharded_resumable(shards, horizon, config, None, |_, _| BarrierControl::Continue);
+    report
+}
+
+/// [`run_sharded`] with two checkpoint/restore extension points:
+///
+/// * `resume` — progress captured at a prior barrier; the run continues from
+///   that window with the supplied (restored) shard states, and the final
+///   report aggregates the pre-kill statistics so it is identical to an
+///   uninterrupted run's.
+/// * `barrier_hook` — called after every completed window with the progress
+///   that a checkpoint taken *now* must record (the hook may serialize the
+///   shards; they are quiescent and the cross-shard fabric is drained at a
+///   barrier). Returning [`BarrierControl::Stop`] abandons the run, modelling
+///   a crash; the second element of the result is `true` in that case.
+///
+/// # Panics
+///
+/// Panics if `config.window` is zero.
+pub fn run_sharded_resumable<W, F>(
+    shards: &mut [Shard<W>],
+    horizon: SimTime,
+    config: &ShardConfig,
+    resume: Option<ShardProgress>,
+    mut barrier_hook: F,
+) -> (ShardRunReport, bool)
+where
+    W: ShardWorld + Send,
+    W::Event: Send,
+    F: FnMut(&ShardProgress, &mut [Shard<W>]) -> BarrierControl,
+{
     assert!(!config.window.is_zero(), "barrier window must be non-zero");
     let n = shards.len();
     let workers = config.workers.clamp(1, n.max(1));
+    let resume = resume.unwrap_or_default();
     let mut report = ShardRunReport {
         total: RunStats::default(),
-        per_shard: vec![RunStats::default(); n],
+        per_shard: if resume.per_shard.len() == n {
+            resume.per_shard
+        } else {
+            vec![RunStats::default(); n]
+        },
         batches: Vec::new(),
-        remote_messages: 0,
-        windows: 0,
+        remote_messages: resume.remote_messages,
+        windows: resume.windows,
     };
-    let mut window_start = SimTime::ZERO;
-    let mut window_index = 0u64;
+    let mut window_start = resume.window_start;
+    let mut window_index = resume.next_window;
+    let mut interrupted = false;
     while window_start < horizon {
         let window_end = (window_start + config.window).min(horizon);
         // (shard, stats, elapsed ns, outbound) for every shard this window.
@@ -208,6 +274,17 @@ where
         report.windows += 1;
         window_index += 1;
         window_start = window_end;
+        let progress = ShardProgress {
+            next_window: window_index,
+            window_start,
+            per_shard: report.per_shard.clone(),
+            remote_messages: report.remote_messages,
+            windows: report.windows,
+        };
+        if barrier_hook(&progress, shards) == BarrierControl::Stop {
+            interrupted = true;
+            break;
+        }
         // Quiescence: nothing queued anywhere and no message in flight means
         // every remaining window would be a no-op.
         if window_events == 0 && deliveries == 0 && shards.iter().all(|s| s.queue.is_empty()) {
@@ -219,7 +296,7 @@ where
         report.total.last_event_time = report.total.last_event_time.max(s.last_event_time);
         report.total.hit_horizon |= s.hit_horizon;
     }
-    report
+    (report, interrupted)
 }
 
 type WindowResult<R> = (usize, RunStats, u64, Vec<(usize, R)>);

@@ -20,6 +20,22 @@ const LEVELS: usize = 4;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TimerHandle(u64);
 
+impl TimerHandle {
+    /// Checkpoint support: the raw timer id, stable across save/restore.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Checkpoint support: rebuilds a handle from a raw id captured by
+    /// [`TimerHandle::raw`]. Only meaningful against the wheel that issued
+    /// (or restored) that id.
+    #[must_use]
+    pub fn from_raw(id: u64) -> Self {
+        TimerHandle(id)
+    }
+}
+
 #[derive(Clone, Debug)]
 struct TimerEntry<T> {
     id: u64,
@@ -187,6 +203,49 @@ impl<T> TimerWheel<T> {
         }
         fired.sort_by_key(|e| (e.deadline_ticks, e.id));
         fired.into_iter().map(|e| e.payload).collect()
+    }
+
+    /// Checkpoint support: the wheel's clock state and every *live* entry as
+    /// `(id, deadline_ticks, payload)`, sorted by id. Cancelled-but-not-yet-
+    /// swept entries are omitted — they can never fire, so dropping them at
+    /// the snapshot boundary is behaviour-preserving.
+    ///
+    /// Returns `(tick, now_ticks, next_id, entries)`.
+    #[must_use]
+    pub fn snapshot_parts(&self) -> (SimTime, u64, u64, Vec<(u64, u64, &T)>) {
+        let mut entries: Vec<(u64, u64, &T)> = self
+            .wheels
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|e| self.live.contains(&e.id))
+            .map(|e| (e.id, e.deadline_ticks, &e.payload))
+            .collect();
+        entries.sort_by_key(|&(id, _, _)| id);
+        (self.tick, self.now_ticks, self.next_id, entries)
+    }
+
+    /// Checkpoint support: rebuilds a wheel from parts captured by
+    /// [`TimerWheel::snapshot_parts`]. Ids are preserved, so handles held by
+    /// restored callers stay valid, and firing order — which sorts by
+    /// `(deadline_ticks, id)` — is identical to the uninterrupted run
+    /// regardless of re-insertion order.
+    #[must_use]
+    pub fn from_parts(
+        tick: SimTime,
+        now_ticks: u64,
+        next_id: u64,
+        entries: Vec<(u64, u64, T)>,
+    ) -> Self {
+        let mut wheel = TimerWheel::new(tick);
+        wheel.now_ticks = now_ticks;
+        wheel.next_id = next_id;
+        for (id, deadline_ticks, payload) in entries {
+            let (level, slot) = wheel.place(deadline_ticks);
+            wheel.wheels[level][slot].push(TimerEntry { id, deadline_ticks, payload });
+            wheel.live.insert(id);
+        }
+        wheel
     }
 }
 

@@ -1,0 +1,306 @@
+//! A minimal little-endian byte codec with typed truncation errors.
+//!
+//! Every section payload in a snapshot is produced by a [`SnapWriter`] and
+//! consumed by a [`SnapReader`]. The codec is deliberately dumb: fixed-width
+//! little-endian integers, `f64` via its IEEE-754 bit pattern (so NaN
+//! payloads and signed zeros round-trip exactly — a requirement for
+//! byte-identical resume), and length-prefixed byte strings. There is no
+//! varint cleverness because snapshot size is dominated by frame tables and
+//! event queues, not integer headers.
+
+use crate::error::SnapshotError;
+
+/// Accumulates an encoded byte stream.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Starts an empty stream.
+    #[must_use]
+    pub fn new() -> Self {
+        SnapWriter { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u128.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an f64 via its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a usize as u64.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends an `Option<u64>` as a presence byte plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+/// Decodes a byte stream produced by [`SnapWriter`].
+///
+/// Every accessor returns [`SnapshotError::Decode`] on truncation or
+/// out-of-domain values — corrupt input degrades into a typed error, never a
+/// panic.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Wraps `buf`; `context` names what is being decoded in errors.
+    #[must_use]
+    pub fn new(buf: &'a [u8], context: &'static str) -> Self {
+        SnapReader { buf, pos: 0, context }
+    }
+
+    fn err(&self) -> SnapshotError {
+        SnapshotError::Decode { context: self.context }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.err())?;
+        if end > self.buf.len() {
+            return Err(self.err());
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the stream was consumed exactly.
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(self.err())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; any byte other than 0/1 is a decode error.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(self.err()),
+        }
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("slice of length 8")))
+    }
+
+    /// Reads a little-endian u128.
+    pub fn u128(&mut self) -> Result<u128, SnapshotError> {
+        let b = self.take(16)?;
+        Ok(u128::from_le_bytes(b.try_into().expect("slice of length 16")))
+    }
+
+    /// Reads a little-endian i64.
+    pub fn i64(&mut self) -> Result<i64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("slice of length 8")))
+    }
+
+    /// Reads an f64 from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a u64 and converts to usize, failing on overflow.
+    pub fn usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?).map_err(|_| self.err())
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let len = self.usize()?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, SnapshotError> {
+        core::str::from_utf8(self.bytes()?).map_err(|_| self.err())
+    }
+
+    /// Reads an `Option<u64>` written by [`SnapWriter::opt_u64`].
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.bool(true);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.u128(u128::MAX / 3);
+        w.i64(-42);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.usize(12345);
+        w.bytes(b"payload");
+        w.str("héllo");
+        w.opt_u64(None);
+        w.opt_u64(Some(9));
+        let bytes = w.into_bytes();
+
+        let mut r = SnapReader::new(&bytes, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.bytes().unwrap(), b"payload");
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(9));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed_not_panic() {
+        let mut w = SnapWriter::new();
+        w.u64(1);
+        w.bytes(b"abcdef");
+        let bytes = w.into_bytes();
+        // Chop the stream at every prefix length: all errors, no panics.
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut], "trunc");
+            let ok = r.u64().and_then(|_| r.bytes().map(<[u8]>::len));
+            assert!(ok.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn bogus_bool_rejected() {
+        let mut r = SnapReader::new(&[2], "bool");
+        assert!(r.bool().is_err());
+    }
+
+    #[test]
+    fn unconsumed_tail_rejected() {
+        let mut w = SnapWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes, "tail");
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+}

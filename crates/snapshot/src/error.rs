@@ -1,0 +1,118 @@
+//! Typed snapshot failures.
+
+use core::fmt;
+
+/// Everything that can go wrong saving, loading, or validating a snapshot.
+///
+/// The restore path must never silently produce a wrong farm: every integrity
+/// failure maps to a distinct variant so callers (and experiment E14) can
+/// assert *which* defence fired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic {
+        /// The first bytes actually found.
+        found: [u8; 8],
+    },
+    /// The snapshot was written by an incompatible format version.
+    VersionMismatch {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The file ends before the declared data does — a crash mid-write that
+    /// bypassed the atomic-rename path, or an external truncation.
+    TornWrite {
+        /// How many bytes were present.
+        len: usize,
+        /// How many bytes the headers promised.
+        needed: usize,
+    },
+    /// A section's payload does not match its recorded CRC-32.
+    SectionCorrupt {
+        /// Name of the failing section.
+        section: String,
+        /// CRC recorded in the file.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// The whole-file digest in the trailer does not match the body.
+    DigestMismatch {
+        /// Digest recorded in the trailer.
+        stored: u64,
+        /// Digest computed over the body.
+        computed: u64,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// Name of the missing section.
+        section: String,
+    },
+    /// Section payload decoded to fewer/more bytes than expected or to an
+    /// out-of-domain value — structurally corrupt despite a matching CRC
+    /// (e.g. a bug or a deliberate forgery with a recomputed CRC).
+    Decode {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// The snapshot was taken under a different configuration fingerprint
+    /// than the one supplied at restore; resuming would silently diverge.
+    ConfigMismatch {
+        /// Fingerprint recorded in the snapshot.
+        stored: u64,
+        /// Fingerprint of the configuration offered at restore.
+        offered: u64,
+    },
+    /// Underlying I/O failure (open/read/write/rename/fsync).
+    Io {
+        /// Operation that failed.
+        op: &'static str,
+        /// Kind of failure, as reported by the OS.
+        kind: std::io::ErrorKind,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a snapshot: bad magic {found:02x?}")
+            }
+            SnapshotError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found} incompatible with supported {expected}")
+            }
+            SnapshotError::TornWrite { len, needed } => {
+                write!(f, "torn write: file has {len} bytes but headers promise {needed}")
+            }
+            SnapshotError::SectionCorrupt { section, stored, computed } => write!(
+                f,
+                "section '{section}' corrupt: stored crc {stored:#010x}, computed {computed:#010x}"
+            ),
+            SnapshotError::DigestMismatch { stored, computed } => write!(
+                f,
+                "whole-file digest mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::MissingSection { section } => {
+                write!(f, "required section '{section}' missing from snapshot")
+            }
+            SnapshotError::Decode { context } => {
+                write!(f, "malformed section payload while decoding {context}")
+            }
+            SnapshotError::ConfigMismatch { stored, offered } => write!(
+                f,
+                "config fingerprint mismatch: snapshot {stored:#018x}, offered {offered:#018x}"
+            ),
+            SnapshotError::Io { op, kind } => write!(f, "snapshot i/o failure during {op}: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io { op: "io", kind: e.kind() }
+    }
+}

@@ -32,6 +32,18 @@ impl BaseDisk {
         self.blocks.len() as u64
     }
 
+    /// Checkpoint support: the raw block contents.
+    #[must_use]
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Checkpoint support: rebuilds a base disk from raw block contents.
+    #[must_use]
+    pub fn from_blocks(blocks: Vec<u64>) -> Self {
+        BaseDisk { blocks: Arc::new(blocks) }
+    }
+
     /// Reads a block.
     pub fn read(&self, block: u64) -> Result<u64, VmmError> {
         self.blocks
@@ -122,6 +134,21 @@ impl CowDisk {
     #[must_use]
     pub fn total_writes(&self) -> u64 {
         self.writes
+    }
+
+    /// Checkpoint support: `(overlay sorted by block, reads, writes)`.
+    #[must_use]
+    pub fn snapshot_parts(&self) -> (Vec<(u64, u64)>, u64, u64) {
+        let mut overlay: Vec<(u64, u64)> = self.overlay.iter().map(|(&b, &c)| (b, c)).collect();
+        overlay.sort_unstable();
+        (overlay, self.reads, self.writes)
+    }
+
+    /// Checkpoint support: rebuilds a CoW view from parts captured by
+    /// [`CowDisk::snapshot_parts`] over the given base.
+    #[must_use]
+    pub fn from_parts(base: BaseDisk, overlay: &[(u64, u64)], reads: u64, writes: u64) -> Self {
+        CowDisk { base, overlay: overlay.iter().copied().collect(), reads, writes }
     }
 }
 

@@ -96,6 +96,38 @@ impl Domain {
         }
     }
 
+    /// Checkpoint support: reassembles a domain with every field restored
+    /// verbatim (unlike [`Domain::new`], which starts the lifecycle fresh).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_snapshot_parts(
+        id: DomainId,
+        image: ImageId,
+        state: DomainState,
+        provision: ProvisionKind,
+        space: AddressSpace,
+        disk: CowDisk,
+        bound_addr: Option<Ipv4Addr>,
+        cow_faults: u64,
+        reads: u64,
+        writes: u64,
+        infected: bool,
+    ) -> Self {
+        Domain {
+            id,
+            image,
+            state,
+            provision,
+            space,
+            disk,
+            bound_addr,
+            cow_faults,
+            reads,
+            writes,
+            infected,
+        }
+    }
+
     /// The domain identifier.
     #[must_use]
     pub fn id(&self) -> DomainId {

@@ -16,6 +16,12 @@ use crate::error::VmmError;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FrameId(pub u64);
 
+/// One live frame in a checkpoint: `(index, refcount, content)`.
+pub type LiveFrameEntry = (u64, u32, u64);
+
+/// Frame-table checkpoint parts: `(total, allocs, frees, free-list, live)`.
+pub type FrameTableParts<'a> = (u64, u64, u64, &'a [u64], Vec<LiveFrameEntry>);
+
 impl fmt::Debug for FrameId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "mfn{}", self.0)
@@ -207,6 +213,55 @@ impl FrameTable {
             self.free.push(frame.0);
             self.frees += 1;
         }
+    }
+
+    /// Checkpoint support: `(total, allocs, frees, free-list, live)` where
+    /// `free-list` preserves LIFO order (allocation order after restore must
+    /// match the uninterrupted run) and `live` is `(index, refcount,
+    /// content)` for every live frame, in index order.
+    #[must_use]
+    pub fn snapshot_parts(&self) -> FrameTableParts<'_> {
+        let live = self
+            .frames
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (i as u64, s.refcount, s.content)))
+            .collect();
+        (self.total, self.allocs, self.frees, &self.free, live)
+    }
+
+    /// Checkpoint support: rebuilds a table from parts captured by
+    /// [`FrameTable::snapshot_parts`] plus the dense table length. Returns
+    /// `None` when an index is out of range.
+    #[must_use]
+    pub fn from_parts(
+        total: u64,
+        allocs: u64,
+        frees: u64,
+        free: Vec<u64>,
+        table_len: u64,
+        live: &[(u64, u32, u64)],
+    ) -> Option<Self> {
+        let table_len = usize::try_from(table_len).ok()?;
+        if table_len as u64 > total {
+            return None;
+        }
+        let mut frames: Vec<Option<FrameState>> = vec![None; table_len];
+        for &(idx, refcount, content) in live {
+            let slot = frames.get_mut(usize::try_from(idx).ok()?)?;
+            *slot = Some(FrameState { refcount, content });
+        }
+        if free.iter().any(|&f| f as usize >= table_len) {
+            return None;
+        }
+        Some(FrameTable { frames, free, total, allocs, frees })
+    }
+
+    /// Checkpoint support: the dense table length (touched-frame high-water
+    /// mark), needed alongside [`FrameTable::snapshot_parts`] to restore.
+    #[must_use]
+    pub fn table_len(&self) -> u64 {
+        self.frames.len() as u64
     }
 
     /// Copy-on-write: allocates a fresh frame with the same content as

@@ -801,6 +801,287 @@ impl Host {
     }
 }
 
+/// Whole-host checkpoint support: serializes every piece of mutable VMM
+/// state (frame table, reference images, domains, lifecycle counters) into
+/// a flat byte payload, and restores it into a host carrying the same
+/// *configuration* (cost model, domain cap, overhead pages — which are not
+/// serialized; they come from the scenario at reconstruction time).
+impl Host {
+    /// Encodes the host's mutable state for a checkpoint section.
+    #[must_use]
+    pub fn encode_state(&self) -> Vec<u8> {
+        use potemkin_snapshot::SnapWriter;
+        let mut w = SnapWriter::new();
+        // Frame table.
+        let (total, allocs, frees, free, live) = self.frames.snapshot_parts();
+        w.u64(total);
+        w.u64(allocs);
+        w.u64(frees);
+        w.u64(self.frames.table_len());
+        w.u64(free.len() as u64);
+        for &f in free {
+            w.u64(f);
+        }
+        w.u64(live.len() as u64);
+        for (idx, refcount, content) in live {
+            w.u64(idx);
+            w.u32(refcount);
+            w.u64(content);
+        }
+        // Id allocators and lifecycle counters.
+        w.u64(self.next_image);
+        w.u64(self.next_domain);
+        w.u64(self.flash_clones);
+        w.u64(self.full_copies);
+        w.u64(self.cold_boots);
+        w.u64(self.destroys);
+        w.u64(self.rollbacks);
+        w.bool(self.alive);
+        w.u32(self.pending_clone_faults);
+        w.u64(self.crashes);
+        w.u64(self.domains_lost);
+        // Reference images (BTreeMap: already in id order).
+        w.u64(self.images.len() as u64);
+        for img in self.images.values() {
+            w.u64(img.id().0);
+            w.str(img.name());
+            w.u64(img.frames().len() as u64);
+            for &f in img.frames() {
+                w.u64(f.0);
+            }
+            w.u64(img.disk().blocks().len() as u64);
+            for &b in img.disk().blocks() {
+                w.u64(b);
+            }
+            let p = img.profile();
+            w.u64(p.memory_pages);
+            w.u64(p.disk_blocks);
+            w.u64(p.request_touch_pages);
+            w.u64(p.infection_touch_pages);
+            w.f64(p.infected_dirty_rate);
+            w.u64(p.infection_disk_blocks);
+            w.u64(p.services.len() as u64);
+            for s in &p.services {
+                w.u16(s.port);
+                w.u8(match s.proto {
+                    crate::guest::ServiceProto::Tcp => 0,
+                    crate::guest::ServiceProto::Udp => 1,
+                });
+                w.u8(s.exploit_depth);
+            }
+        }
+        // Domains (BTreeMap: id order).
+        w.u64(self.domains.len() as u64);
+        for dom in self.domains.values() {
+            w.u64(dom.id().0);
+            w.u64(dom.image().0);
+            w.u8(match dom.state() {
+                crate::domain::DomainState::Paused => 0,
+                crate::domain::DomainState::Running => 1,
+                crate::domain::DomainState::Destroyed => 2,
+            });
+            w.u8(match dom.provision() {
+                ProvisionKind::FlashClone => 0,
+                ProvisionKind::FullCopy => 1,
+                ProvisionKind::ColdBoot => 2,
+            });
+            match dom.bound_addr() {
+                Some(a) => {
+                    w.bool(true);
+                    w.u32(u32::from(a));
+                }
+                None => w.bool(false),
+            }
+            w.u64(dom.cow_faults());
+            let (reads, writes) = dom.mem_ops();
+            w.u64(reads);
+            w.u64(writes);
+            w.bool(dom.is_infected());
+            w.u64(dom.space().size());
+            for (_, pte) in dom.space().iter() {
+                w.u64(pte.frame.0);
+                w.bool(pte.writable);
+            }
+            let (overlay, dreads, dwrites) = dom.disk().snapshot_parts();
+            w.u64(overlay.len() as u64);
+            for (block, content) in overlay {
+                w.u64(block);
+                w.u64(content);
+            }
+            w.u64(dreads);
+            w.u64(dwrites);
+        }
+        w.into_bytes()
+    }
+
+    /// Restores mutable state encoded by [`Host::encode_state`] into this
+    /// host, replacing whatever it held. Configuration (cost model, limits)
+    /// is kept from `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`potemkin_snapshot::SnapshotError::Decode`] when the payload
+    /// is truncated or structurally inconsistent.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), potemkin_snapshot::SnapshotError> {
+        use potemkin_snapshot::{SnapReader, SnapshotError};
+        const CTX: &str = "vmm.host";
+        let bad = || SnapshotError::Decode { context: CTX };
+        let mut r = SnapReader::new(bytes, CTX);
+        // Frame table.
+        let total = r.u64()?;
+        let allocs = r.u64()?;
+        let frees = r.u64()?;
+        let table_len = r.u64()?;
+        let free_len = r.u64()?;
+        let mut free = Vec::with_capacity(free_len.min(1 << 20) as usize);
+        for _ in 0..free_len {
+            free.push(r.u64()?);
+        }
+        let live_len = r.u64()?;
+        let mut live = Vec::with_capacity(live_len.min(1 << 20) as usize);
+        for _ in 0..live_len {
+            let idx = r.u64()?;
+            let refcount = r.u32()?;
+            let content = r.u64()?;
+            live.push((idx, refcount, content));
+        }
+        let frames =
+            FrameTable::from_parts(total, allocs, frees, free, table_len, &live).ok_or_else(bad)?;
+        let next_image = r.u64()?;
+        let next_domain = r.u64()?;
+        let flash_clones = r.u64()?;
+        let full_copies = r.u64()?;
+        let cold_boots = r.u64()?;
+        let destroys = r.u64()?;
+        let rollbacks = r.u64()?;
+        let alive = r.bool()?;
+        let pending_clone_faults = r.u32()?;
+        let crashes = r.u64()?;
+        let domains_lost = r.u64()?;
+        // Reference images.
+        let image_count = r.u64()?;
+        let mut images = BTreeMap::new();
+        for _ in 0..image_count {
+            let id = ImageId(r.u64()?);
+            let name = r.str()?.to_owned();
+            let frame_count = r.u64()?;
+            let mut img_frames = Vec::with_capacity(frame_count.min(1 << 20) as usize);
+            for _ in 0..frame_count {
+                img_frames.push(crate::frame::FrameId(r.u64()?));
+            }
+            let block_count = r.u64()?;
+            let mut blocks = Vec::with_capacity(block_count.min(1 << 20) as usize);
+            for _ in 0..block_count {
+                blocks.push(r.u64()?);
+            }
+            let memory_pages = r.u64()?;
+            let disk_blocks = r.u64()?;
+            let request_touch_pages = r.u64()?;
+            let infection_touch_pages = r.u64()?;
+            let infected_dirty_rate = r.f64()?;
+            let infection_disk_blocks = r.u64()?;
+            let service_count = r.u64()?;
+            let mut services = Vec::with_capacity(service_count.min(1 << 16) as usize);
+            for _ in 0..service_count {
+                let port = r.u16()?;
+                let proto = match r.u8()? {
+                    0 => crate::guest::ServiceProto::Tcp,
+                    1 => crate::guest::ServiceProto::Udp,
+                    _ => return Err(bad()),
+                };
+                let exploit_depth = r.u8()?;
+                services.push(crate::guest::Service { port, proto, exploit_depth });
+            }
+            let profile = GuestProfile {
+                memory_pages,
+                disk_blocks,
+                request_touch_pages,
+                infection_touch_pages,
+                infected_dirty_rate,
+                infection_disk_blocks,
+                services,
+            };
+            let disk = BaseDisk::from_blocks(blocks);
+            images.insert(id, ReferenceImage::new(id, name, img_frames, disk, profile));
+        }
+        // Domains.
+        let domain_count = r.u64()?;
+        let mut domains = BTreeMap::new();
+        for _ in 0..domain_count {
+            let id = DomainId(r.u64()?);
+            let image = ImageId(r.u64()?);
+            let state = match r.u8()? {
+                0 => crate::domain::DomainState::Paused,
+                1 => crate::domain::DomainState::Running,
+                2 => crate::domain::DomainState::Destroyed,
+                _ => return Err(bad()),
+            };
+            let provision = match r.u8()? {
+                0 => ProvisionKind::FlashClone,
+                1 => ProvisionKind::FullCopy,
+                2 => ProvisionKind::ColdBoot,
+                _ => return Err(bad()),
+            };
+            let bound_addr =
+                if r.bool()? { Some(std::net::Ipv4Addr::from(r.u32()?)) } else { None };
+            let cow_faults = r.u64()?;
+            let mem_reads = r.u64()?;
+            let mem_writes = r.u64()?;
+            let infected = r.bool()?;
+            let space_size = r.u64()?;
+            let mut entries = Vec::with_capacity(space_size.min(1 << 20) as usize);
+            for _ in 0..space_size {
+                let frame = crate::frame::FrameId(r.u64()?);
+                let writable = r.bool()?;
+                entries.push(Pte { frame, writable });
+            }
+            let overlay_len = r.u64()?;
+            let mut overlay = Vec::with_capacity(overlay_len.min(1 << 20) as usize);
+            for _ in 0..overlay_len {
+                let block = r.u64()?;
+                let content = r.u64()?;
+                overlay.push((block, content));
+            }
+            let disk_reads = r.u64()?;
+            let disk_writes = r.u64()?;
+            // A domain's base disk always aliases its image's disk (every
+            // provisioning path clones it), so restore from the image.
+            let base = images.get(&image).ok_or_else(bad)?.disk().clone();
+            let disk = CowDisk::from_parts(base, &overlay, disk_reads, disk_writes);
+            let dom = Domain::from_snapshot_parts(
+                id,
+                image,
+                state,
+                provision,
+                AddressSpace::from_entries(entries),
+                disk,
+                bound_addr,
+                cow_faults,
+                mem_reads,
+                mem_writes,
+                infected,
+            );
+            domains.insert(id, dom);
+        }
+        r.finish()?;
+        self.frames = frames;
+        self.images = images;
+        self.domains = domains;
+        self.next_image = next_image;
+        self.next_domain = next_domain;
+        self.flash_clones = flash_clones;
+        self.full_copies = full_copies;
+        self.cold_boots = cold_boots;
+        self.destroys = destroys;
+        self.rollbacks = rollbacks;
+        self.alive = alive;
+        self.pending_clone_faults = pending_clone_faults;
+        self.crashes = crashes;
+        self.domains_lost = domains_lost;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -809,6 +1090,53 @@ mod tests {
         let mut host = Host::new(100_000).with_overhead_pages(16);
         let image = host.create_reference_image("test", GuestProfile::small()).unwrap();
         (host, image)
+    }
+
+    #[test]
+    fn encode_restore_round_trips_bit_exactly() {
+        let (mut host, image) = small_host();
+        let (vm1, _) = host.flash_clone(image).unwrap();
+        let (vm2, _) = host.flash_clone(image).unwrap();
+        host.write_page(vm1, 3, 0xBEEF).unwrap();
+        host.write_page(vm1, 4, 0xF00D).unwrap();
+        host.domain_mut(vm1).unwrap().mark_infected();
+        host.domain_mut(vm1).unwrap().bind_addr(std::net::Ipv4Addr::new(10, 0, 0, 7));
+        host.domain_mut(vm1).unwrap().disk_mut().write(2, 999).unwrap();
+        host.snapshot_domain(vm1, "forensic").unwrap();
+        host.destroy(vm2).unwrap();
+        host.fail_next_clones(2);
+
+        let bytes = host.encode_state();
+        let mut restored = Host::new(100_000).with_overhead_pages(16);
+        restored.restore_state(&bytes).unwrap();
+        assert_eq!(restored.encode_state(), bytes, "re-encode must be bit-identical");
+
+        // Behavioral equivalence: the next operations land identically
+        // (both carry the pending injected clone faults, same id allocator,
+        // same frame free-list order).
+        for _ in 0..2 {
+            assert!(matches!(host.flash_clone(image), Err(VmmError::InjectedFault { .. })));
+            assert!(matches!(restored.flash_clone(image), Err(VmmError::InjectedFault { .. })));
+        }
+        let (a, _) = host.flash_clone(image).unwrap();
+        let (b, _) = restored.flash_clone(image).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(host.encode_state(), restored.encode_state());
+    }
+
+    #[test]
+    fn restore_rejects_truncated_and_garbage_payloads() {
+        let (mut host, image) = small_host();
+        host.flash_clone(image).unwrap();
+        let bytes = host.encode_state();
+        for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            let mut h = Host::new(100_000).with_overhead_pages(16);
+            assert!(h.restore_state(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        let mut h = Host::new(100_000).with_overhead_pages(16);
+        let mut tail = bytes.clone();
+        tail.extend_from_slice(&[0u8; 4]);
+        assert!(h.restore_state(&tail).is_err(), "trailing garbage must fail");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub use potemkin_core as core_api;
 pub use potemkin_core::baseline;
+pub use potemkin_core::checkpoint;
 pub use potemkin_core::farm;
 pub use potemkin_core::parallel;
 pub use potemkin_core::report;
@@ -42,5 +43,6 @@ pub use potemkin_metrics as metrics;
 pub use potemkin_net as net;
 pub use potemkin_obs as obs;
 pub use potemkin_sim as sim;
+pub use potemkin_snapshot as snapshot;
 pub use potemkin_vmm as vmm;
 pub use potemkin_workload as workload;

@@ -8,6 +8,12 @@
 //!                   [--duration SECS] [--scan-rate R]
 //! potemkin demand   [--duration SECS] [--lifetimes S1,S2,...] [--seed N]
 //! potemkin clone    [--image small|windows|linux]
+//! potemkin snapshot [--out FILE] [--duration SECS] [--cells N] [--workers N]
+//!                   [--seed N] [--every-windows N] [--kill-after-windows N]
+//! potemkin restore  [--from FILE] [--duration SECS] [--cells N] [--workers N]
+//!                   [--seed N] [--every-windows N]
+//! potemkin fork     [--from FILE] [--salt N] [--duration SECS] [--cells N]
+//!                   [--workers N] [--seed N]
 //! ```
 //!
 //! Each subcommand exercises the public library API end to end; the
@@ -16,9 +22,14 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use potemkin::checkpoint::{
+    fork_telescope_checkpointed, recover_snapshot, resume_telescope_checkpointed,
+    run_telescope_checkpointed, CheckpointOptions, CheckpointedRun,
+};
 use potemkin::farm::{FarmConfig, Honeyfarm};
 use potemkin::gateway::policy::PolicyConfig;
 use potemkin::metrics::{ConcurrencyAnalyzer, Table};
+use potemkin::parallel::ShardedTelescopeConfig;
 use potemkin::scenario::{run_outbreak, run_telescope, OutbreakConfig, TelescopeConfig};
 use potemkin::sim::SimTime;
 use potemkin::vmm::guest::GuestProfile;
@@ -50,7 +61,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: potemkin <replay|outbreak|demand|clone> [--flag value ...]\n\
+    "usage: potemkin <replay|outbreak|demand|clone|snapshot|restore|fork> [--flag value ...]\n\
      see `src/main.rs` header for per-command flags"
         .to_string()
 }
@@ -283,6 +294,109 @@ fn cmd_clone(args: &Args) -> Result<(), Error> {
     Ok(())
 }
 
+/// The checkpoint commands all replay the same sharded telescope scenario;
+/// the deterministic fields (cells, window, seed, duration) must match
+/// between `snapshot` and a later `restore`/`fork` — the snapshot's config
+/// fingerprint enforces that.
+fn checkpoint_scenario(args: &Args) -> Result<ShardedTelescopeConfig, Error> {
+    let mut farm = FarmConfig::small_test();
+    farm.servers = args.num("servers", 2)? as usize;
+    farm.frames_per_server = 262_144;
+    farm.max_domains_per_server = 4_096;
+    farm.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(30));
+    farm.worm = Some(WormSpec::code_red("10.1.8.0/22".parse().expect("static prefix")));
+    let base = TelescopeConfig::builder(farm, RadiationConfig::default())
+        .seed(args.num("seed", 2005)?)
+        .duration(args.secs("duration", 30)?)
+        .sample_interval(SimTime::from_secs(1))
+        .tick_interval(SimTime::from_secs(1))
+        .build()?;
+    Ok(ShardedTelescopeConfig::builder(base)
+        .cells(args.num("cells", 4)? as usize)
+        .window(SimTime::from_millis(args.num("window-ms", 500)?))
+        .seed_infections(1)
+        .build()?)
+}
+
+fn checkpoint_options(args: &Args, path: String) -> Result<CheckpointOptions, Error> {
+    let mut options = CheckpointOptions::new(path);
+    options.every_windows = args.num("every-windows", 4)?;
+    if let Some(kill) = args.flags.get("kill-after-windows") {
+        let n = kill
+            .parse::<u64>()
+            .map_err(|_| Error::Cli(format!("--kill-after-windows: bad number {kill:?}")))?;
+        options.stop_after_windows = Some(n);
+    }
+    Ok(options)
+}
+
+fn print_checkpointed_run(run: &CheckpointedRun) {
+    let r = &run.result;
+    let c = &run.checkpoints;
+    let mut t = Table::new(&["metric", "value"]).with_title("checkpointed sharded replay");
+    t.row_owned(vec!["packets".into(), r.packets.to_string()]);
+    t.row_owned(vec!["cross-cell packets".into(), r.cross_cell_packets.to_string()]);
+    t.row_owned(vec!["final infected".into(), r.final_infected.to_string()]);
+    t.row_owned(vec!["peak live VMs".into(), format!("{:.0}", r.peak_live_vms)]);
+    t.row_owned(vec!["windows executed".into(), r.engine.windows.to_string()]);
+    t.row_owned(vec!["checkpoints written".into(), c.written.to_string()]);
+    t.row_owned(vec!["checkpoints skipped".into(), c.skipped.to_string()]);
+    t.row_owned(vec!["last snapshot bytes".into(), c.last_snapshot_bytes.to_string()]);
+    t.row_owned(vec!["last digest".into(), format!("{:#018x}", c.last_digest)]);
+    t.row_owned(vec!["interrupted".into(), c.interrupted.to_string()]);
+    println!("{t}");
+}
+
+fn cmd_snapshot(args: &Args) -> Result<(), Error> {
+    let config = checkpoint_scenario(args)?;
+    let workers = args.num("workers", 2)? as usize;
+    let options = checkpoint_options(args, args.str("out", "potemkin.snap"))?;
+    let run = run_telescope_checkpointed(&config, workers, &options)?;
+    if run.checkpoints.interrupted {
+        println!(
+            "run killed at window barrier {} (checkpoint on disk: {})",
+            run.result.engine.windows,
+            options.path.display()
+        );
+    }
+    print_checkpointed_run(&run);
+    Ok(())
+}
+
+fn cmd_restore(args: &Args) -> Result<(), Error> {
+    let config = checkpoint_scenario(args)?;
+    let workers = args.num("workers", 2)? as usize;
+    let path = args.str("from", "potemkin.snap");
+    let (snapshot, fell_back) =
+        recover_snapshot(std::path::Path::new(&path)).map_err(potemkin::Error::from)?;
+    if fell_back {
+        println!("{path}: failed validation, fell back to {path}.prev");
+    }
+    let options = checkpoint_options(args, path)?;
+    let run = resume_telescope_checkpointed(&config, workers, &snapshot, &options)?;
+    print_checkpointed_run(&run);
+    Ok(())
+}
+
+fn cmd_fork(args: &Args) -> Result<(), Error> {
+    let config = checkpoint_scenario(args)?;
+    let workers = args.num("workers", 2)? as usize;
+    let salt = args.num("salt", 1)?;
+    let path = args.str("from", "potemkin.snap");
+    let (snapshot, fell_back) =
+        recover_snapshot(std::path::Path::new(&path)).map_err(potemkin::Error::from)?;
+    if fell_back {
+        println!("{path}: failed validation, fell back to {path}.prev");
+    }
+    // The fork writes its own checkpoint chain so it can't clobber the
+    // branch point it came from.
+    let options = checkpoint_options(args, format!("{path}.fork{salt}"))?;
+    let run = fork_telescope_checkpointed(&config, workers, &snapshot, salt, &options)?;
+    println!("forked from {path} with salt {salt} (what-if branch)");
+    print_checkpointed_run(&run);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -296,6 +410,9 @@ fn main() -> ExitCode {
         "outbreak" => cmd_outbreak(&args),
         "demand" => cmd_demand(&args),
         "clone" => cmd_clone(&args),
+        "snapshot" => cmd_snapshot(&args),
+        "restore" => cmd_restore(&args),
+        "fork" => cmd_fork(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -10,7 +10,9 @@
 //!
 //! Output is plain aligned text; EXPERIMENTS.md quotes it directly.
 
-use potemkin_bench::experiments::{e1, e10, e11, e12, e13, e14, e2, e3, e4, e5, e6, e7, e8, e9};
+use potemkin_bench::experiments::{
+    e1, e10, e11, e12, e13, e14, e15, e2, e3, e4, e5, e6, e7, e8, e9,
+};
 use potemkin_sim::SimTime;
 
 struct Opts {
@@ -65,7 +67,7 @@ fn parse_args() -> Opts {
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--fast] [--csv] [--out-dir DIR] \
-                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14]\n\
+                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15]\n\
                      --out-dir DIR   write BENCH_replay.json, BENCH_obs.json, \
                      BENCH_memory.json, BENCH_snapshot.json and trace.json into DIR\n\
                      (per-file aliases: --bench-out, --obs-out, --trace-out, \
@@ -170,10 +172,6 @@ fn main() {
             r.packets, r.events, r.cross_cell_packets, r.deterministic
         );
         emit(&opts, &e11::table(&r));
-        if let Some(path) = opts.artifact(&opts.bench_out, "BENCH_replay.json") {
-            std::fs::write(&path, e11::bench_json(&r)).expect("write bench json");
-            println!("wrote {path}");
-        }
     }
     if wants(&opts, "e12") {
         let duration = if opts.fast { SimTime::from_secs(5) } else { SimTime::from_secs(20) };
@@ -231,6 +229,20 @@ fn main() {
         emit(&opts, &e14::integrity_table(&r));
         if let Some(path) = opts.artifact(&opts.snapshot_out, "BENCH_snapshot.json") {
             std::fs::write(&path, e14::bench_json(&r)).expect("write snapshot bench json");
+            println!("wrote {path}");
+        }
+    }
+    if wants(&opts, "e15") {
+        let duration = if opts.fast { SimTime::from_secs(10) } else { SimTime::from_secs(60) };
+        let workers: &[usize] = if opts.fast { &[1, 2] } else { &[1, 2, 4, 8] };
+        let r = e15::run(duration, 8, workers);
+        println!(
+            "hot path: {} packets; per-worker gain {:.2}x; deterministic: baseline {}, tuned {}",
+            r.packets, r.per_worker_gain, r.baseline.deterministic, r.tuned.deterministic
+        );
+        emit(&opts, &e15::table(&r));
+        if let Some(path) = opts.artifact(&opts.bench_out, "BENCH_replay.json") {
+            std::fs::write(&path, e15::bench_json(&r)).expect("write bench json");
             println!("wrote {path}");
         }
     }

@@ -1,0 +1,304 @@
+//! E15 — hot-path throughput: load-aware sharding, adaptive windows, and
+//! the allocation-free packet path.
+//!
+//! E11 established that the sharded engine scales without fidelity cost.
+//! E15 measures what the hot-path optimisations buy on exactly that
+//! scenario: the same dense /16 replay with an in-farm worm is swept at
+//! each worker count under two profiles —
+//!
+//! * **baseline** — every tuning knob off: static round-robin worker
+//!   assignment, a fixed barrier window, per-packet flow-table and
+//!   counter updates.
+//! * **tuned** — greedy-LPT load rebalancing at each barrier, a
+//!   throughput-oriented adaptive window controller (widening toward an
+//!   8× ceiling while cross-cell pressure allows), and barrier-batched
+//!   gateway bookkeeping over the recycling buffer pool.
+//!
+//! Within a profile every worker count must produce a byte-identical
+//! deterministic report (the engine claim E11 proves holds under tuning
+//! too). Across profiles the digests legitimately differ — the window
+//! sequence is a result-affecting parameter, like `window` itself.
+//! `BENCH_replay.json` (owned by this experiment) separates the
+//! machine-independent digests from the wall-clock-dependent throughput
+//! numbers; CI's perf-smoke job re-derives the digests and fails hard on
+//! any mismatch while applying only a generous tolerance to throughput.
+
+use std::time::Instant;
+
+use potemkin_core::parallel::{run_telescope_sharded, ShardedTelescopeConfig};
+use potemkin_metrics::Table;
+use potemkin_sim::{AdaptiveWindow, EngineTuning, SimTime};
+
+use super::e11;
+
+/// One worker-count measurement under one profile.
+#[derive(Clone, Debug)]
+pub struct HotPathPoint {
+    /// Worker threads the engine ran on.
+    pub workers: usize,
+    /// Wall-clock seconds for the replay.
+    pub wall_secs: f64,
+    /// Simulation events dispatched per wall-clock second.
+    pub events_per_sec: f64,
+    /// Throughput normalised by worker count.
+    pub events_per_sec_per_worker: f64,
+    /// Throughput relative to the profile's one-worker run.
+    pub speedup: f64,
+    /// FNV-1a digest of the merged deterministic report.
+    pub digest: u64,
+}
+
+/// One profile's sweep.
+#[derive(Clone, Debug)]
+pub struct HotPathProfile {
+    /// `"baseline"` or `"tuned"`.
+    pub name: &'static str,
+    /// One point per worker count, in input order.
+    pub points: Vec<HotPathPoint>,
+    /// Simulation events per run (identical across worker counts).
+    pub events: u64,
+    /// Whether every worker count produced a byte-identical report.
+    pub deterministic: bool,
+}
+
+/// Result of the two-profile sweep.
+#[derive(Clone, Debug)]
+pub struct HotPathResult {
+    /// Tuning off.
+    pub baseline: HotPathProfile,
+    /// Rebalancing + adaptive windows + batched gateway bookkeeping.
+    pub tuned: HotPathProfile,
+    /// Packets in the replayed trace (same scenario for both profiles).
+    pub packets: u64,
+    /// Address-space cells.
+    pub cells: usize,
+    /// Starting barrier window width.
+    pub window: SimTime,
+    /// Replay horizon.
+    pub duration: SimTime,
+    /// Tuned ÷ baseline per-worker throughput on the identical replay at
+    /// the highest common worker count — the headline hot-path gain.
+    /// Measured from wall-clock, not events/sec: wider windows mean the
+    /// tuned profile dispatches fewer barrier events for the same
+    /// scenario, so event rates are only comparable within a profile.
+    pub per_worker_gain: f64,
+}
+
+/// The tuned profile's configuration: the E11 scenario with every
+/// hot-path knob on. The adaptive controller is throughput-oriented —
+/// it only widens (toward an 8× ceiling), trading cross-cell delivery
+/// latency for fewer barriers, which is the right trade for bulk replay.
+#[must_use]
+pub fn tuned_config(duration: SimTime, cells: usize) -> ShardedTelescopeConfig {
+    let mut config = e11::config(duration, cells);
+    config.base.farm.gateway.batched_flow_updates = true;
+    config.tuning = EngineTuning {
+        rebalance: true,
+        adaptive: Some(AdaptiveWindow {
+            min: config.window,
+            max: config.window * 8,
+            narrow_above: u64::MAX,
+            widen_below: u64::MAX,
+        }),
+    };
+    config
+}
+
+fn sweep(
+    name: &'static str,
+    config: &ShardedTelescopeConfig,
+    worker_counts: &[usize],
+) -> (HotPathProfile, u64) {
+    let mut points: Vec<HotPathPoint> = Vec::with_capacity(worker_counts.len());
+    let mut events = 0;
+    let mut packets = 0;
+    for &workers in worker_counts {
+        let start = Instant::now();
+        let result = run_telescope_sharded(config, workers).expect("replay runs");
+        let wall_secs = start.elapsed().as_secs_f64();
+        events = result.engine.total.events_processed;
+        packets = result.packets;
+        let digest = e11::fnv1a(
+            format!(
+                "{}|{}|{}|{}",
+                result.degradation.canonical_string(),
+                result.stats.counters.get("packets_in"),
+                result.final_infected,
+                result.engine.remote_messages,
+            )
+            .as_bytes(),
+        );
+        let events_per_sec = if wall_secs > 0.0 { events as f64 / wall_secs } else { 0.0 };
+        let speedup = points
+            .first()
+            .map_or(1.0, |base: &HotPathPoint| events_per_sec / base.events_per_sec.max(1e-9));
+        points.push(HotPathPoint {
+            workers,
+            wall_secs,
+            events_per_sec,
+            events_per_sec_per_worker: events_per_sec / workers.max(1) as f64,
+            speedup,
+            digest,
+        });
+    }
+    let deterministic = points.windows(2).all(|w| w[0].digest == w[1].digest);
+    (HotPathProfile { name, points, events, deterministic }, packets)
+}
+
+/// Runs both profiles over the same worker counts.
+///
+/// # Panics
+///
+/// Panics if the fixed configuration fails to build (a bug).
+#[must_use]
+pub fn run(duration: SimTime, cells: usize, worker_counts: &[usize]) -> HotPathResult {
+    let baseline_config = e11::config(duration, cells);
+    let tuned_cfg = tuned_config(duration, cells);
+    let (baseline, packets) = sweep("baseline", &baseline_config, worker_counts);
+    let (tuned, _) = sweep("tuned", &tuned_cfg, worker_counts);
+    let per_worker_gain = match (baseline.points.last(), tuned.points.last()) {
+        // Same scenario, same worker count: per-worker gain reduces to
+        // the wall-clock ratio (worker counts cancel).
+        (Some(b), Some(t)) if t.wall_secs > 0.0 && b.workers == t.workers => {
+            b.wall_secs / t.wall_secs
+        }
+        _ => 0.0,
+    };
+    HotPathResult {
+        baseline,
+        tuned,
+        packets,
+        cells,
+        window: baseline_config.window,
+        duration,
+        per_worker_gain,
+    }
+}
+
+/// Renders both sweeps into one table.
+#[must_use]
+pub fn table(result: &HotPathResult) -> Table {
+    let mut t = Table::new(&[
+        "profile",
+        "workers",
+        "wall (s)",
+        "events/sec",
+        "per worker",
+        "speedup",
+        "digest",
+    ])
+    .with_title("E15: hot-path tuning — throughput per worker at fixed determinism");
+    for profile in [&result.baseline, &result.tuned] {
+        for p in &profile.points {
+            t.row_owned(vec![
+                profile.name.to_string(),
+                p.workers.to_string(),
+                format!("{:.3}", p.wall_secs),
+                format!("{:.0}", p.events_per_sec),
+                format!("{:.0}", p.events_per_sec_per_worker),
+                format!("{:.2}x", p.speedup),
+                format!("{:016x}", p.digest),
+            ]);
+        }
+    }
+    t
+}
+
+/// Renders `BENCH_replay.json`: per-profile machine-independent digests
+/// at the top, wall-clock-dependent numbers under each profile's
+/// `"measured"` array.
+#[must_use]
+pub fn bench_json(result: &HotPathResult) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"replay\",\n");
+    s.push_str("  \"experiment\": \"e15\",\n");
+    s.push_str(&format!("  \"cells\": {},\n", result.cells));
+    s.push_str(&format!("  \"window_ns\": {},\n", result.window.as_nanos()));
+    s.push_str(&format!("  \"duration_secs\": {},\n", result.duration.as_secs()));
+    s.push_str(&format!("  \"packets\": {},\n", result.packets));
+    s.push_str(&format!("  \"per_worker_gain\": {:.3},\n", result.per_worker_gain));
+    s.push_str("  \"profiles\": [\n");
+    for (i, profile) in [&result.baseline, &result.tuned].into_iter().enumerate() {
+        s.push_str(&format!("    {{\"name\": \"{}\",\n", profile.name));
+        s.push_str(&format!("     \"events\": {},\n", profile.events));
+        s.push_str(&format!(
+            "     \"digest\": \"{:016x}\",\n",
+            profile.points.first().map_or(0, |p| p.digest)
+        ));
+        s.push_str(&format!("     \"deterministic\": {},\n", profile.deterministic));
+        s.push_str("     \"measured\": [\n");
+        for (j, p) in profile.points.iter().enumerate() {
+            let sep = if j + 1 == profile.points.len() { "" } else { "," };
+            s.push_str(&format!(
+                "       {{\"workers\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \
+                 \"events_per_sec_per_worker\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                p.workers,
+                p.wall_secs,
+                p.events_per_sec,
+                p.events_per_sec_per_worker,
+                p.speedup,
+                sep
+            ));
+        }
+        let sep = if i == 1 { "" } else { "," };
+        s.push_str(&format!("     ]}}{sep}\n"));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_profiles_are_deterministic_across_worker_counts() {
+        let r = run(SimTime::from_secs(3), 4, &[1, 2]);
+        assert!(r.packets > 50);
+        assert!(r.baseline.events > 0 && r.tuned.events > 0);
+        assert!(r.baseline.deterministic, "baseline diverged across worker counts");
+        assert!(r.tuned.deterministic, "tuned profile diverged across worker counts");
+        let rendered = table(&r).to_string();
+        assert!(rendered.contains("per worker"));
+    }
+
+    #[test]
+    fn tuned_profile_changes_results_deterministically() {
+        // Adaptive windows are a legitimate result-affecting knob: two
+        // runs of the tuned profile agree with each other even though
+        // they need not agree with baseline.
+        let a = run(SimTime::from_secs(2), 2, &[1]);
+        let b = run(SimTime::from_secs(2), 2, &[1]);
+        assert_eq!(a.tuned.points[0].digest, b.tuned.points[0].digest);
+        assert_eq!(a.baseline.points[0].digest, b.baseline.points[0].digest);
+    }
+
+    #[test]
+    fn tuned_per_worker_throughput_beats_baseline_on_multicore_hosts() {
+        // Wall-clock comparisons need real cores and optimised code; in
+        // debug or on constrained runners only determinism is checkable.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        if cores < 4 || cfg!(debug_assertions) {
+            return;
+        }
+        let r = run(SimTime::from_secs(20), 8, &[1, 4]);
+        assert!(r.baseline.deterministic && r.tuned.deterministic);
+        assert!(
+            r.per_worker_gain >= 1.2,
+            "tuned hot path must beat baseline per worker, got {:.2}x",
+            r.per_worker_gain
+        );
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let r = run(SimTime::from_secs(2), 2, &[1]);
+        let json = bench_json(&r);
+        assert!(json.contains("\"experiment\": \"e15\""));
+        assert!(json.contains("\"name\": \"baseline\""));
+        assert!(json.contains("\"name\": \"tuned\""));
+        assert!(json.contains("\"per_worker_gain\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

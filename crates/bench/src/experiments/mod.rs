@@ -16,6 +16,7 @@
 //! | [`e12`] | (extension) | observability: clone-stage breakdown from trace events + recorder overhead |
 //! | [`e13`] | (extension) | memory control plane: content-hash frame sharing + reclaim-policy determinism |
 //! | [`e14`] | (extension) | checkpoint/restore: crash-consistent snapshots, integrity verification, deterministic resume |
+//! | [`e15`] | (extension) | hot-path tuning: load-aware sharding, adaptive windows, allocation-free packet path |
 
 pub mod e1;
 pub mod e10;
@@ -23,6 +24,7 @@ pub mod e11;
 pub mod e12;
 pub mod e13;
 pub mod e14;
+pub mod e15;
 pub mod e2;
 pub mod e3;
 pub mod e4;

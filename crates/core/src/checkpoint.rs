@@ -144,6 +144,7 @@ fn encode_progress(progress: &ShardProgress) -> Vec<u8> {
     }
     w.u64(progress.remote_messages);
     w.u64(progress.windows);
+    w.u64(progress.window_width.as_nanos());
     w.into_bytes()
 }
 
@@ -162,8 +163,16 @@ fn decode_progress(bytes: &[u8]) -> Result<ShardProgress, SnapshotError> {
     }
     let remote_messages = r.u64()?;
     let windows = r.u64()?;
+    let window_width = SimTime::from_nanos(r.u64()?);
     r.finish()?;
-    Ok(ShardProgress { next_window, window_start, per_shard, remote_messages, windows })
+    Ok(ShardProgress {
+        next_window,
+        window_start,
+        per_shard,
+        remote_messages,
+        windows,
+        window_width,
+    })
 }
 
 /// Assembles the whole-farm snapshot at a window barrier.
@@ -183,7 +192,10 @@ fn encode_snapshot(
     for (cell, shard) in shards.iter().enumerate() {
         file.push(&format!("cell{cell}.farm"), shard.world.farm.encode_state());
         file.push(&format!("cell{cell}.world"), encode_cell_aux(&shard.world));
-        file.push(&format!("cell{cell}.queue"), encode_cell_queue(&shard.queue));
+        file.push(
+            &format!("cell{cell}.queue"),
+            encode_cell_queue(&shard.queue, &shard.world.packets),
+        );
     }
     file
 }
@@ -214,7 +226,10 @@ fn restore_snapshot(
     for (cell, shard) in shards.iter_mut().enumerate() {
         shard.world.farm.restore_state(file.section(&format!("cell{cell}.farm"))?)?;
         restore_cell_aux(&mut shard.world, file.section(&format!("cell{cell}.world"))?)?;
-        shard.queue = decode_cell_queue(file.section(&format!("cell{cell}.queue"))?)?;
+        shard.queue = decode_cell_queue(
+            file.section(&format!("cell{cell}.queue"))?,
+            &mut shard.world.packets,
+        )?;
     }
     Ok(progress)
 }
@@ -386,7 +401,7 @@ pub fn run_telescope_checkpointed(
     let (engine, interrupted) = run_sharded_resumable(
         &mut shards,
         config.base.duration,
-        &ShardConfig { window: config.window, workers },
+        &ShardConfig { window: config.window, workers, tuning: config.tuning },
         None,
         |progress, shards| sink.on_barrier(progress, shards),
     );
@@ -423,7 +438,7 @@ pub fn resume_telescope_checkpointed(
     let (engine, interrupted) = run_sharded_resumable(
         &mut shards,
         config.base.duration,
-        &ShardConfig { window: config.window, workers },
+        &ShardConfig { window: config.window, workers, tuning: config.tuning },
         Some(progress),
         |progress, shards| sink.on_barrier(progress, shards),
     );
@@ -457,7 +472,7 @@ pub fn fork_telescope_checkpointed(
     let (engine, interrupted) = run_sharded_resumable(
         &mut shards,
         config.base.duration,
-        &ShardConfig { window: config.window, workers },
+        &ShardConfig { window: config.window, workers, tuning: config.tuning },
         Some(progress),
         |progress, shards| sink.on_barrier(progress, shards),
     );

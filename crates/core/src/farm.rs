@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use potemkin_gateway::binding::VmRef;
 use potemkin_gateway::gateway::{Gateway, GatewayAction, GatewayConfig};
@@ -19,7 +20,7 @@ use potemkin_gateway::ConfigError;
 use potemkin_metrics::{CounterSet, FaultClass, FaultLedger, LogHistogram, TimeSeries};
 use potemkin_net::icmp::IcmpMessage;
 use potemkin_net::tcp::TcpFlags;
-use potemkin_net::{Packet, PacketBuilder, PacketPayload};
+use potemkin_net::{BufferPool, Packet, PacketBuilder, PacketPayload, PoolStats};
 use potemkin_obs::{names as obs, TraceConfig, TraceEvent, Tracer};
 use potemkin_sim::{FaultInjector, FaultKind, FaultPlan, SimRng, SimTime};
 use potemkin_snapshot::{SnapReader, SnapshotError};
@@ -388,8 +389,15 @@ pub enum FarmOutput {
     SentExternal(Packet),
     /// A reflected packet whose destination address is owned by another
     /// cell of a sharded farm (see [`crate::parallel`]): the internal
-    /// fabric must tunnel it to the owning cell's gateway.
-    ForwardedCell(Packet),
+    /// fabric must tunnel it to the owning cell's gateway. The owning
+    /// cell index is resolved once at emission so the fabric never
+    /// re-derives it per packet.
+    ForwardedCell {
+        /// The reflected packet.
+        packet: Packet,
+        /// Index of the cell that owns `packet.dst()`.
+        cell: usize,
+    },
     /// An inbound packet was dropped with a reason.
     DroppedInbound(DropReason),
     /// An outbound (guest-emitted) packet was dropped with a reason.
@@ -404,7 +412,7 @@ struct VmSlot {
 
 /// The honeyfarm: gateway + server pool + guest behaviour.
 pub struct Honeyfarm {
-    config: FarmConfig,
+    config: Arc<FarmConfig>,
     gateway: Gateway,
     hosts: Vec<Host>,
     /// Per host: one image per profile (index 0 = the default profile).
@@ -468,6 +476,11 @@ pub struct Honeyfarm {
     sharing_series: TimeSeries,
     /// Farm-wide resident frames sampled at each merge pass.
     resident_series: TimeSeries,
+    /// Wire-buffer pool for farm-built packets (guest dialogue emissions,
+    /// degraded SYN/ACKs, worm probes). Transient perf state: recycled
+    /// slots make the steady-state emission path allocation-free; never
+    /// serialized, so restores simply start with a cold pool.
+    pool: BufferPool,
 }
 
 impl Honeyfarm {
@@ -479,6 +492,22 @@ impl Honeyfarm {
     /// Returns [`FarmError::BadConfig`] for zero servers and
     /// [`FarmError::Vmm`] when an image does not fit in a server's memory.
     pub fn new(config: FarmConfig) -> Result<Self, FarmError> {
+        let seed = config.seed;
+        Self::with_shared_config(Arc::new(config), seed)
+    }
+
+    /// Builds a farm over a *shared* config, seeding its RNGs from `seed`
+    /// rather than `config.seed`.
+    ///
+    /// Sharded runs ([`crate::parallel`]) construct one cell farm per
+    /// telescope slice from the same base configuration; sharing one
+    /// [`Arc`] avoids cloning the (service-table- and hitlist-carrying)
+    /// config per cell while still giving each cell its own derived seed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Honeyfarm::new`].
+    pub fn with_shared_config(config: Arc<FarmConfig>, seed: u64) -> Result<Self, FarmError> {
         if config.servers == 0 {
             return Err(FarmError::BadConfig { what: "servers must be > 0" });
         }
@@ -514,8 +543,8 @@ impl Honeyfarm {
             standby.push(pool);
         }
         let gateway = Gateway::new(config.gateway.clone());
-        let rng = SimRng::seed_from(config.seed);
-        let fault_rng = SimRng::seed_from(config.seed ^ 0xFA17);
+        let rng = SimRng::seed_from(seed);
+        let fault_rng = SimRng::seed_from(seed ^ 0xFA17);
         let reclaim = config.reclaim_policy.instantiate();
         let budget = config.memory_budget_frames.map(MemoryBudget::new);
         // Sample series at merge cadence; one-second bins when merging is
@@ -558,6 +587,7 @@ impl Honeyfarm {
             pressure_log: Vec::new(),
             sharing_series: TimeSeries::new(bin),
             resident_series: TimeSeries::new(bin),
+            pool: BufferPool::new(),
         })
     }
 
@@ -654,9 +684,9 @@ impl Honeyfarm {
     /// One probe from an infected VM's scan loop. Returns `false` when the
     /// VM is gone or not infected (the scenario stops scheduling).
     pub fn worm_probe(&mut self, now: SimTime, vm: VmRef, probe_idx: u64) -> bool {
-        let Some(worm) = self.config.worm.clone() else {
+        if self.config.worm.is_none() {
             return false;
-        };
+        }
         let Some(slot) = self.vms.get(&vm) else {
             return false;
         };
@@ -669,6 +699,9 @@ impl Honeyfarm {
         let Some(src) = dom.bound_addr() else {
             return false;
         };
+        // Borrow the spec in place: cloning it per probe would copy the
+        // whole hitlist for list-scanning worms.
+        let worm = self.config.worm.as_ref().expect("checked above");
         let Some(dst) = worm.pick_target(&mut self.rng, src, probe_idx) else {
             return false;
         };
@@ -677,7 +710,7 @@ impl Honeyfarm {
         }
         let src_port = 1024 + (probe_idx % 60_000) as u16;
         let instance = probe_idx.wrapping_mul(0x9E37_79B9).wrapping_add(vm.0);
-        let probe = worm.probe_instance(src, src_port, dst, instance);
+        let probe = worm.probe_instance_pooled(src, src_port, dst, instance, &self.pool);
         self.counters.incr("worm_probes");
         self.emit_from_vm(now, vm, probe)
     }
@@ -933,9 +966,9 @@ impl Honeyfarm {
                     // — locally, unless a sharded run assigned this farm a
                     // cell and another cell owns the destination, in which
                     // case the internal fabric must carry it there.
-                    if self.cell.is_some_and(|slot| slot.routes_away(packet.dst())) {
+                    if let Some(cell) = self.cell.and_then(|slot| slot.route(packet.dst())) {
                         self.counters.incr("forwarded_cross_cell");
-                        self.outputs.push(FarmOutput::ForwardedCell(packet));
+                        self.outputs.push(FarmOutput::ForwardedCell { packet, cell });
                     } else {
                         queue.push(self.gateway.on_inbound(now, packet));
                     }
@@ -955,7 +988,7 @@ impl Honeyfarm {
         if let PacketPayload::Tcp { header, .. } = packet.payload() {
             if header.flags.syn && !header.flags.ack {
                 self.counters.incr("degraded_synacks");
-                let reply = PacketBuilder::new(addr, packet.src()).tcp_segment(
+                let reply = PacketBuilder::new(addr, packet.src()).pooled(&self.pool).tcp_segment(
                     header.dst_port,
                     header.src_port,
                     TcpFlags::SYN_ACK,
@@ -1171,7 +1204,7 @@ impl Honeyfarm {
         // heterogeneous OS profiles across the address space). The domain
         // or its image can disappear under a concurrent host crash; drop
         // the delivery rather than panic.
-        let profile = {
+        let (listens_tcp, listens_udp) = {
             let Ok(dom) = self.hosts[host_idx].domain(domain) else {
                 self.counters.incr("delivery_races");
                 return vec![];
@@ -1181,7 +1214,19 @@ impl Honeyfarm {
                 self.counters.incr("delivery_races");
                 return vec![];
             };
-            img.profile().clone()
+            // Only the port-listen verdicts are needed downstream; looking
+            // them up here (while the image borrow is live) avoids cloning
+            // the whole service-table-carrying profile per delivery.
+            let profile = img.profile();
+            match packet.payload() {
+                PacketPayload::Tcp { header, .. } => {
+                    (profile.listens_on_tcp(header.dst_port), false)
+                }
+                PacketPayload::Udp { header, .. } => {
+                    (false, profile.listens_on_udp(header.dst_port))
+                }
+                _ => (false, false),
+            }
         };
         let marker = self.config.worm.as_ref().map(|w| w.payload_marker);
         let req_idx = self.request_counter;
@@ -1191,32 +1236,36 @@ impl Honeyfarm {
         match packet.payload() {
             PacketPayload::Icmp(msg) => {
                 if let Some(reply) = msg.reply_to() {
-                    emissions.push(PacketBuilder::new(me, remote).icmp(reply));
+                    emissions.push(PacketBuilder::new(me, remote).pooled(&self.pool).icmp(reply));
                 }
             }
             PacketPayload::Tcp { header, payload } => {
                 let flags = header.flags;
-                let listening = profile.listens_on_tcp(header.dst_port);
+                let listening = listens_tcp;
                 if flags.syn && !flags.ack {
                     if listening {
                         self.touch(now, host_idx, domain, req_idx);
-                        emissions.push(PacketBuilder::new(me, remote).tcp_segment(
-                            header.dst_port,
-                            header.src_port,
-                            TcpFlags::SYN_ACK,
-                            self.rng.next_u32(),
-                            header.seq.wrapping_add(1),
-                            &[],
-                        ));
+                        emissions.push(
+                            PacketBuilder::new(me, remote).pooled(&self.pool).tcp_segment(
+                                header.dst_port,
+                                header.src_port,
+                                TcpFlags::SYN_ACK,
+                                self.rng.next_u32(),
+                                header.seq.wrapping_add(1),
+                                &[],
+                            ),
+                        );
                     } else {
-                        emissions.push(PacketBuilder::new(me, remote).tcp_segment(
-                            header.dst_port,
-                            header.src_port,
-                            TcpFlags::RST,
-                            0,
-                            header.seq.wrapping_add(1),
-                            &[],
-                        ));
+                        emissions.push(
+                            PacketBuilder::new(me, remote).pooled(&self.pool).tcp_segment(
+                                header.dst_port,
+                                header.src_port,
+                                TcpFlags::RST,
+                                0,
+                                header.seq.wrapping_add(1),
+                                &[],
+                            ),
+                        );
                     }
                 } else if flags.syn && flags.ack {
                     // Our connection attempt was accepted. An infected guest
@@ -1224,16 +1273,18 @@ impl Honeyfarm {
                     let infected =
                         self.hosts[host_idx].domain(domain).is_ok_and(|d| d.is_infected());
                     if infected {
-                        if let Some(worm) = self.config.worm.clone() {
+                        if let Some(worm) = self.config.worm.as_ref() {
                             let instance = self.rng.next_u64();
-                            emissions.push(PacketBuilder::new(me, remote).tcp_segment(
-                                header.dst_port,
-                                header.src_port,
-                                TcpFlags::PSH_ACK,
-                                header.ack,
-                                header.seq.wrapping_add(1),
-                                &worm.payload_instance(instance),
-                            ));
+                            emissions.push(
+                                PacketBuilder::new(me, remote).pooled(&self.pool).tcp_segment(
+                                    header.dst_port,
+                                    header.src_port,
+                                    TcpFlags::PSH_ACK,
+                                    header.ack,
+                                    header.seq.wrapping_add(1),
+                                    &worm.payload_instance(instance),
+                                ),
+                            );
                         }
                     }
                 } else if !payload.is_empty() {
@@ -1249,39 +1300,45 @@ impl Honeyfarm {
                             remote,
                             Some(header.dst_port),
                         );
-                        emissions.push(PacketBuilder::new(me, remote).tcp_segment(
-                            header.dst_port,
-                            header.src_port,
-                            TcpFlags::ACK,
-                            header.ack,
-                            header.seq.wrapping_add(payload.len() as u32),
-                            &[],
-                        ));
+                        emissions.push(
+                            PacketBuilder::new(me, remote).pooled(&self.pool).tcp_segment(
+                                header.dst_port,
+                                header.src_port,
+                                TcpFlags::ACK,
+                                header.ack,
+                                header.seq.wrapping_add(payload.len() as u32),
+                                &[],
+                            ),
+                        );
                     } else if listening {
                         self.touch(now, host_idx, domain, req_idx);
-                        emissions.push(PacketBuilder::new(me, remote).tcp_segment(
-                            header.dst_port,
-                            header.src_port,
-                            TcpFlags::PSH_ACK,
-                            header.ack,
-                            header.seq.wrapping_add(payload.len() as u32),
-                            b"220 service ready",
-                        ));
+                        emissions.push(
+                            PacketBuilder::new(me, remote).pooled(&self.pool).tcp_segment(
+                                header.dst_port,
+                                header.src_port,
+                                TcpFlags::PSH_ACK,
+                                header.ack,
+                                header.seq.wrapping_add(payload.len() as u32),
+                                b"220 service ready",
+                            ),
+                        );
                     } else {
-                        emissions.push(PacketBuilder::new(me, remote).tcp_segment(
-                            header.dst_port,
-                            header.src_port,
-                            TcpFlags::RST,
-                            0,
-                            header.seq,
-                            &[],
-                        ));
+                        emissions.push(
+                            PacketBuilder::new(me, remote).pooled(&self.pool).tcp_segment(
+                                header.dst_port,
+                                header.src_port,
+                                TcpFlags::RST,
+                                0,
+                                header.seq,
+                                &[],
+                            ),
+                        );
                     }
                 }
                 // Bare ACK/FIN segments need no response in this model.
             }
             PacketPayload::Udp { header, payload } => {
-                let listening = profile.listens_on_udp(header.dst_port);
+                let listening = listens_udp;
                 let carries_exploit =
                     marker.is_some_and(|m| Self::contains(payload, m)) && listening;
                 if header.src_port == potemkin_net::dns::DNS_PORT {
@@ -1305,7 +1362,7 @@ impl Honeyfarm {
                     // Closed UDP port: ICMP port unreachable, as a real
                     // stack would.
                     let original: Vec<u8> = packet.wire().iter().take(28).copied().collect();
-                    emissions.push(PacketBuilder::new(me, remote).icmp(
+                    emissions.push(PacketBuilder::new(me, remote).pooled(&self.pool).icmp(
                         IcmpMessage::DestUnreachable {
                             code: IcmpMessage::CODE_PORT_UNREACHABLE,
                             original,
@@ -1455,9 +1512,35 @@ impl Honeyfarm {
         }
     }
 
+    /// Recycling statistics of the farm's wire-buffer pool. In steady
+    /// state `reused` grows while `allocated` stays flat — the invariant
+    /// the allocation-free-path tests assert.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Drains recorded farm outputs.
     pub fn take_outputs(&mut self) -> Vec<FarmOutput> {
         std::mem::take(&mut self.outputs)
+    }
+
+    /// Drains recorded farm outputs in place, retaining the buffer's
+    /// capacity. The steady-state alternative to [`Honeyfarm::take_outputs`]:
+    /// a driver that drains after every event otherwise reallocates the
+    /// outputs vector each time it refills.
+    pub fn drain_outputs(&mut self) -> std::vec::Drain<'_, FarmOutput> {
+        self.outputs.drain(..)
+    }
+
+    /// Ends a simulation window: folds the gateway's hot-path counters
+    /// into its counter set and applies deferred flow-table refreshes.
+    ///
+    /// Drivers that batch bookkeeping at window barriers (see
+    /// [`crate::parallel`]) call this once per window instead of paying
+    /// map updates per packet.
+    pub fn end_window(&mut self) {
+        self.gateway.end_window();
     }
 
     /// Live (bound) VM count. Standby-pool domains are not included.
@@ -1694,9 +1777,10 @@ impl Honeyfarm {
                     w.u8(0);
                     w.bytes(p.wire());
                 }
-                FarmOutput::ForwardedCell(p) => {
+                FarmOutput::ForwardedCell { packet, cell } => {
                     w.u8(1);
-                    w.bytes(p.wire());
+                    w.bytes(packet.wire());
+                    w.u64(*cell as u64);
                 }
                 FarmOutput::DroppedInbound(reason) => {
                     w.u8(2);
@@ -1857,7 +1941,11 @@ impl Honeyfarm {
         for _ in 0..n_outputs {
             outputs.push(match r.u8()? {
                 0 => FarmOutput::SentExternal(decode_packet(r.bytes()?)?),
-                1 => FarmOutput::ForwardedCell(decode_packet(r.bytes()?)?),
+                1 => {
+                    let packet = decode_packet(r.bytes()?)?;
+                    let cell = r.u64()? as usize;
+                    FarmOutput::ForwardedCell { packet, cell }
+                }
                 2 => FarmOutput::DroppedInbound(decode_drop_reason(r.u8()?)?),
                 3 => FarmOutput::DroppedOutbound(decode_drop_reason(r.u8()?)?),
                 _ => return Err(bad()),
@@ -2769,7 +2857,7 @@ mod tests {
                 farm.tick(t);
             }
             let mut c = farm.counters().clone();
-            c.merge(farm.gateway().counters());
+            c.merge(&farm.gateway().counters_snapshot());
             (farm.live_vms(), c)
         };
         let (vms_a, counters_a) = run(false);

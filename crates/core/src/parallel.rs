@@ -29,8 +29,8 @@ use potemkin_metrics::TimeSeries;
 use potemkin_net::addr::Ipv4Prefix;
 use potemkin_net::Packet;
 use potemkin_sim::{
-    run_sharded, EventQueue, FaultPlan, FaultPlanConfig, Shard, ShardConfig, ShardRunReport,
-    ShardWorld, SimTime, World,
+    run_sharded, EngineTuning, EventQueue, FaultPlan, FaultPlanConfig, Shard, ShardConfig,
+    ShardRunReport, ShardWorld, SimTime, Slab, World,
 };
 use potemkin_workload::radiation::RadiationModel;
 use potemkin_workload::trace::TrafficMix;
@@ -86,7 +86,20 @@ impl CellSlot {
     /// i.e. a packet the internal fabric must carry away.
     #[must_use]
     pub fn routes_away(&self, dst: Ipv4Addr) -> bool {
-        self.telescope.contains(dst) && cell_for(dst, self.count) != self.index
+        self.route(dst).is_some()
+    }
+
+    /// The index of the *other* cell owning `dst`, or `None` when `dst`
+    /// is outside the telescope or owned by this cell. Resolving the
+    /// owner once at emission spares the fabric a second `cell_for` hash
+    /// per forwarded packet.
+    #[must_use]
+    pub fn route(&self, dst: Ipv4Addr) -> Option<usize> {
+        if !self.telescope.contains(dst) {
+            return None;
+        }
+        let owner = cell_for(dst, self.count);
+        (owner != self.index).then_some(owner)
     }
 }
 
@@ -120,6 +133,12 @@ pub struct ShardedTelescopeConfig {
     /// compiled out of the hot path. Tracing never changes any
     /// deterministic result field.
     pub trace: Option<potemkin_obs::TraceConfig>,
+    /// Engine performance tuning: load-aware worker rebalancing and
+    /// adaptive window sizing. The default is everything off (static
+    /// round-robin assignment, fixed `window`). Every knob is
+    /// digest-invariant or deterministic-per-configuration — see
+    /// [`EngineTuning`].
+    pub tuning: EngineTuning,
 }
 
 impl ShardedTelescopeConfig {
@@ -135,6 +154,7 @@ impl ShardedTelescopeConfig {
                 faults: None,
                 seed_infections: 0,
                 trace: None,
+                tuning: EngineTuning::default(),
             },
         }
     }
@@ -183,6 +203,13 @@ impl ShardedTelescopeConfigBuilder {
         self
     }
 
+    /// Sets the engine performance tuning (rebalancing, adaptive windows).
+    #[must_use]
+    pub fn tuning(mut self, tuning: EngineTuning) -> Self {
+        self.inner.tuning = tuning;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -204,6 +231,15 @@ impl ShardedTelescopeConfigBuilder {
                 "seed_infections",
                 "seeding infections needs base.farm.worm",
             ));
+        }
+        if let Some(adaptive) = c.tuning.adaptive {
+            if adaptive.min == SimTime::ZERO || adaptive.min > adaptive.max {
+                return Err(ConfigError::new(
+                    "ShardedTelescopeConfig",
+                    "tuning.adaptive",
+                    "adaptive window needs 0 < min <= max",
+                ));
+            }
         }
         Ok(c)
     }
@@ -251,8 +287,15 @@ pub struct ShardedTelescopeResult {
 }
 
 pub(crate) enum CellEvent {
-    Packet(Box<Packet>),
-    Probe { vm: VmRef, idx: u64 },
+    /// An inbound packet, stored out-of-line in [`CellWorld::packets`];
+    /// the payload is the slab key. Storing packets in a slab keeps the
+    /// event enum `Copy`-sized and recycles packet slots in steady state
+    /// instead of boxing each one.
+    Packet(usize),
+    Probe {
+        vm: VmRef,
+        idx: u64,
+    },
     Tick,
     Sample,
 }
@@ -261,15 +304,20 @@ pub(crate) struct CellWorld {
     cells: usize,
     telescope: Ipv4Prefix,
     pub(crate) farm: Honeyfarm,
+    /// Arena for pending [`CellEvent::Packet`] payloads. Slots are
+    /// recycled through an intrusive freelist, so the steady-state packet
+    /// path allocates nothing per event.
+    pub(crate) packets: Slab<Packet>,
     probe_gap: Option<SimTime>,
     tick_interval: SimTime,
     sample_interval: SimTime,
     duration: SimTime,
     live_vm_series: TimeSeries,
-    /// Cross-cell packets staged for the current window, batched per
-    /// destination cell. `BTreeMap` keeps the per-window destination order
-    /// canonical.
-    outbound: BTreeMap<usize, Vec<Packet>>,
+    /// Cross-cell packets staged for the current window, indexed by
+    /// destination cell. Direct indexing replaces the former per-packet
+    /// `BTreeMap` entry lookups; iteration by index keeps the per-window
+    /// destination order canonical.
+    outbound: Vec<Vec<Packet>>,
     forwarded: u64,
 }
 
@@ -278,17 +326,21 @@ impl CellWorld {
     /// cell owns for barrier delivery. `SentExternal` covers permissive
     /// policies (e.g. allow-all) emitting telescope-destined packets;
     /// `ForwardedCell` is the reflect path surfacing non-local
-    /// reflections.
+    /// reflections (its owning cell was resolved at emission).
     fn route_outputs(&mut self) {
-        for out in self.farm.take_outputs() {
-            let packet = match out {
-                FarmOutput::ForwardedCell(p) => p,
-                FarmOutput::SentExternal(p) if self.telescope.contains(p.dst()) => p,
+        let cells = self.cells;
+        let telescope = self.telescope;
+        for out in self.farm.drain_outputs() {
+            let (packet, dest) = match out {
+                FarmOutput::ForwardedCell { packet, cell } => (packet, cell),
+                FarmOutput::SentExternal(p) if telescope.contains(p.dst()) => {
+                    let dest = cell_for(p.dst(), cells);
+                    (p, dest)
+                }
                 _ => continue,
             };
-            let dest = cell_for(packet.dst(), self.cells);
             self.forwarded += 1;
-            self.outbound.entry(dest).or_default().push(packet);
+            self.outbound[dest].push(packet);
         }
     }
 
@@ -308,8 +360,9 @@ impl World for CellWorld {
 
     fn handle(&mut self, now: SimTime, event: CellEvent, q: &mut EventQueue<CellEvent>) {
         match event {
-            CellEvent::Packet(p) => {
-                self.farm.inject_external(now, *p);
+            CellEvent::Packet(key) => {
+                let packet = self.packets.remove(key).expect("scheduled packet key is live");
+                self.farm.inject_external(now, packet);
                 self.schedule_new_infections(now, q);
             }
             CellEvent::Probe { vm, idx } => {
@@ -341,7 +394,17 @@ impl ShardWorld for CellWorld {
     type Remote = Vec<Packet>;
 
     fn take_outbound(&mut self) -> Vec<(usize, Vec<Packet>)> {
-        std::mem::take(&mut self.outbound).into_iter().collect()
+        // The engine calls this exactly once per shard per window — it is
+        // the barrier hook, so window-batched farm bookkeeping (hot
+        // counters, deferred flow-table refreshes) flushes here.
+        self.farm.end_window();
+        let mut staged = Vec::new();
+        for (dest, packets) in self.outbound.iter_mut().enumerate() {
+            if !packets.is_empty() {
+                staged.push((dest, std::mem::take(packets)));
+            }
+        }
+        staged
     }
 
     fn accept_remote(
@@ -351,7 +414,8 @@ impl ShardWorld for CellWorld {
         queue: &mut EventQueue<CellEvent>,
     ) {
         for packet in batch {
-            queue.schedule(at, CellEvent::Packet(Box::new(packet)));
+            let key = self.packets.insert(packet);
+            queue.schedule(at, CellEvent::Packet(key));
         }
     }
 }
@@ -403,11 +467,16 @@ pub(crate) fn prepare_shards(
     };
 
     let probe_gap = base.farm.worm.as_ref().map(potemkin_workload::worm::WormSpec::probe_gap);
+    // One shared config for every cell: the farm template (service tables,
+    // hitlists, profiles) is cloned once into the `Arc`, not per cell;
+    // per-cell variation is only the derived RNG seed.
+    let farm_template = std::sync::Arc::new(base.farm.clone());
     let mut shards = Vec::with_capacity(config.cells);
     for cell in 0..config.cells {
-        let mut farm_config = base.farm.clone();
-        farm_config.seed = derive_cell_seed(base.farm.seed, cell);
-        let mut farm = Honeyfarm::new(farm_config)?;
+        let mut farm = Honeyfarm::with_shared_config(
+            std::sync::Arc::clone(&farm_template),
+            derive_cell_seed(base.farm.seed, cell),
+        )?;
         farm.assign_cell(CellSlot { telescope, index: cell, count: config.cells });
         if let Some(template) = &config.faults {
             let mut plan_config = *template;
@@ -421,12 +490,13 @@ pub(crate) fn prepare_shards(
             cells: config.cells,
             telescope,
             farm,
+            packets: Slab::new(),
             probe_gap,
             tick_interval: base.tick_interval,
             sample_interval: base.sample_interval,
             duration: base.duration,
             live_vm_series: TimeSeries::new(base.sample_interval),
-            outbound: BTreeMap::new(),
+            outbound: vec![Vec::new(); config.cells],
             forwarded: 0,
         };
         let mut shard = Shard::new(world);
@@ -459,7 +529,9 @@ pub(crate) fn prepare_shards(
         // same-timestamp arrivals in this order).
         for event in trace.into_events() {
             let cell = cell_for(event.packet.dst(), config.cells);
-            shards[cell].queue.schedule(event.at, CellEvent::Packet(Box::new(event.packet)));
+            let shard = &mut shards[cell];
+            let key = shard.world.packets.insert(event.packet);
+            shard.queue.schedule(event.at, CellEvent::Packet(key));
         }
     }
 
@@ -524,7 +596,7 @@ pub fn run_telescope_sharded(
     let engine = run_sharded(
         &mut shards,
         config.base.duration,
-        &ShardConfig { window: config.window, workers },
+        &ShardConfig { window: config.window, workers, tuning: config.tuning },
     );
     Ok(assemble_result(config, &mut shards, engine, &meta))
 }
@@ -536,9 +608,14 @@ pub(crate) fn encode_cell_aux(world: &CellWorld) -> Vec<u8> {
     let mut w = potemkin_snapshot::SnapWriter::new();
     crate::farm::encode_series(&mut w, &world.live_vm_series);
     w.u64(world.forwarded);
-    w.u64(world.outbound.len() as u64);
-    for (dest, packets) in &world.outbound {
-        w.usize(*dest);
+    // Same wire shape as the former map-based staging: only non-empty
+    // destinations, in ascending order.
+    w.u64(world.outbound.iter().filter(|p| !p.is_empty()).count() as u64);
+    for (dest, packets) in world.outbound.iter().enumerate() {
+        if packets.is_empty() {
+            continue;
+        }
+        w.usize(dest);
         w.u64(packets.len() as u64);
         for p in packets {
             w.bytes(p.wire());
@@ -557,15 +634,18 @@ pub(crate) fn restore_cell_aux(
     let live_vm_series = crate::farm::decode_series(&mut r)?;
     let forwarded = r.u64()?;
     let n_dests = r.u64()?;
-    let mut outbound = BTreeMap::new();
+    let mut outbound = vec![Vec::new(); world.cells];
     for _ in 0..n_dests {
         let dest = r.usize()?;
+        if dest >= outbound.len() {
+            return Err(potemkin_snapshot::SnapshotError::Decode { context: "core.cell" });
+        }
         let n = r.u64()?;
         let mut packets = Vec::with_capacity(n.min(1 << 20) as usize);
         for _ in 0..n {
             packets.push(crate::farm::decode_packet(r.bytes()?)?);
         }
-        outbound.insert(dest, packets);
+        outbound[dest] = packets;
     }
     r.finish()?;
     world.live_vm_series = live_vm_series;
@@ -576,8 +656,10 @@ pub(crate) fn restore_cell_aux(
 
 /// Encodes one cell's event queue: counters plus every pending entry with
 /// its original sequence number, so FIFO tie-breaking survives the restore
-/// boundary. Packets ride as wire bytes.
-pub(crate) fn encode_cell_queue(queue: &EventQueue<CellEvent>) -> Vec<u8> {
+/// boundary. Packet events resolve their slab key against `packets` and
+/// ride as wire bytes — slab keys themselves are transient and never
+/// serialized, so restores may re-slot packets freely.
+pub(crate) fn encode_cell_queue(queue: &EventQueue<CellEvent>, packets: &Slab<Packet>) -> Vec<u8> {
     let mut w = potemkin_snapshot::SnapWriter::new();
     let (next_seq, scheduled, entries) = queue.snapshot_parts();
     w.u64(next_seq);
@@ -587,7 +669,8 @@ pub(crate) fn encode_cell_queue(queue: &EventQueue<CellEvent>) -> Vec<u8> {
         w.u64(at.as_nanos());
         w.u64(seq);
         match event {
-            CellEvent::Packet(p) => {
+            CellEvent::Packet(key) => {
+                let p = packets.get(*key).expect("queued packet key is live");
                 w.u8(0);
                 w.bytes(p.wire());
             }
@@ -603,9 +686,12 @@ pub(crate) fn encode_cell_queue(queue: &EventQueue<CellEvent>) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decodes a queue captured by [`encode_cell_queue`].
+/// Decodes a queue captured by [`encode_cell_queue`], re-slotting packet
+/// payloads into `packets` (keys need not match the originals; only wire
+/// content and queue order are canonical).
 pub(crate) fn decode_cell_queue(
     bytes: &[u8],
+    packets: &mut Slab<Packet>,
 ) -> Result<EventQueue<CellEvent>, potemkin_snapshot::SnapshotError> {
     const CTX: &str = "core.cell.queue";
     let mut r = potemkin_snapshot::SnapReader::new(bytes, CTX);
@@ -617,7 +703,7 @@ pub(crate) fn decode_cell_queue(
         let at = SimTime::from_nanos(r.u64()?);
         let seq = r.u64()?;
         let event = match r.u8()? {
-            0 => CellEvent::Packet(Box::new(crate::farm::decode_packet(r.bytes()?)?)),
+            0 => CellEvent::Packet(packets.insert(crate::farm::decode_packet(r.bytes()?)?)),
             1 => CellEvent::Probe { vm: VmRef(r.u64()?), idx: r.u64()? },
             2 => CellEvent::Tick,
             3 => CellEvent::Sample,
@@ -702,6 +788,7 @@ mod tests {
             faults: None,
             seed_infections: 0,
             trace: None,
+            tuning: EngineTuning::default(),
         }
     }
 
@@ -731,6 +818,65 @@ mod tests {
             let parallel = run_telescope_sharded(&config, workers).unwrap();
             assert_eq!(digest(&serial), digest(&parallel), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn rebalancing_is_digest_invariant() {
+        // Load-aware worker assignment only picks which OS thread runs a
+        // cell — the static reference digest must survive untouched.
+        let config = sharded_config(4);
+        let reference = run_telescope_sharded(&config, 1).unwrap();
+        let mut tuned = config;
+        tuned.tuning = EngineTuning { rebalance: true, adaptive: None };
+        for workers in [1, 2, 4] {
+            let run = run_telescope_sharded(&tuned, workers).unwrap();
+            assert_eq!(digest(&reference), digest(&run), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn adaptive_windows_are_deterministic_across_workers() {
+        // Adaptive sizing changes the window sequence (a legitimate
+        // result-affecting knob, like `window` itself), but the sequence
+        // is a pure function of prior-window telemetry — so any worker
+        // count must replay it identically.
+        let mut config = sharded_config(4);
+        config.tuning = EngineTuning::tuned(SimTime::from_millis(125), SimTime::from_millis(1000));
+        let serial = run_telescope_sharded(&config, 1).unwrap();
+        assert!(serial.packets > 50);
+        for workers in [2, 4] {
+            let parallel = run_telescope_sharded(&config, workers).unwrap();
+            assert_eq!(digest(&serial), digest(&parallel), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn steady_state_recycles_packet_buffers() {
+        let config = sharded_config(2);
+        let PreparedRun { mut shards, .. } = prepare_shards(&config, true).unwrap();
+        run_sharded(
+            &mut shards,
+            config.base.duration,
+            &ShardConfig { window: config.window, workers: 1, tuning: config.tuning },
+        );
+        let mut acquires = 0;
+        let mut reused = 0;
+        for shard in &shards {
+            let farm = shard.world.farm.pool_stats();
+            let gw = shard.world.farm.gateway().pool_stats();
+            acquires += farm.acquires + gw.acquires;
+            reused += farm.reused + gw.reused;
+            // The pool accounting identity: every acquire was either a
+            // fresh allocation or a recycled slot.
+            assert_eq!(farm.acquires, farm.allocated + farm.reused);
+            assert_eq!(gw.acquires, gw.allocated + gw.reused);
+            // Packet-event slots recycle through the slab freelist too.
+            let (inserted, slab_reused) = shard.world.packets.reuse_stats();
+            assert!(inserted > 0, "trace packets ride the slab");
+            let _ = slab_reused;
+        }
+        assert!(acquires > 0, "pooled builders must be on the hot path");
+        assert!(reused > 0, "steady state must recycle, not allocate");
     }
 
     #[test]

@@ -36,7 +36,7 @@ impl FarmStats {
     #[must_use]
     pub fn collect(farm: &Honeyfarm) -> FarmStats {
         let mut counters = farm.counters().clone();
-        counters.merge(farm.gateway().counters());
+        counters.merge(&farm.gateway().counters_snapshot());
         let h = farm.clone_latency_us();
         FarmStats {
             live_vms: farm.live_vms(),
@@ -70,7 +70,7 @@ impl FarmStats {
             infected_vms += farm.infected_vms();
             memory.extend(farm.hosts().iter().map(|h| h.memory_report()));
             counters.merge(farm.counters());
-            counters.merge(farm.gateway().counters());
+            counters.merge(&farm.gateway().counters_snapshot());
             clone_latency.merge(farm.clone_latency_us());
             vmm_time += farm.vmm_time();
             sharing.absorb(farm.sharing_report());
@@ -177,7 +177,7 @@ impl DegradationReport {
     #[must_use]
     pub fn collect(farm: &Honeyfarm) -> DegradationReport {
         let mut c = farm.counters().clone();
-        c.merge(farm.gateway().counters());
+        c.merge(&farm.gateway().counters_snapshot());
         Self::from_parts(&c, farm.fault_ledger(), farm.pending_rebinds() as u64)
     }
 
@@ -194,7 +194,7 @@ impl DegradationReport {
         let mut pending = 0u64;
         for farm in farms {
             c.merge(farm.counters());
-            c.merge(farm.gateway().counters());
+            c.merge(&farm.gateway().counters_snapshot());
             ledger.merge(farm.fault_ledger());
             pending += farm.pending_rebinds() as u64;
         }

@@ -11,7 +11,7 @@ use std::net::Ipv4Addr;
 
 use potemkin_metrics::{CounterSet, RateEstimator};
 use potemkin_net::addr::Ipv4Prefix;
-use potemkin_net::{Packet, PacketBuilder, PacketPayload};
+use potemkin_net::{BufferPool, Packet, PacketBuilder, PacketPayload, PoolStats};
 use potemkin_obs::{names as obs, TraceEvent, Tracer};
 use potemkin_sim::{SimTime, TokenBucket};
 use potemkin_snapshot::{SnapReader, SnapWriter};
@@ -37,6 +37,11 @@ pub struct GatewayConfig {
     pub granularity: BindGranularity,
     /// The reserved prefix DNS answers come from.
     pub sinkhole: Ipv4Prefix,
+    /// Defer flow-table timer/LRU refreshes and hot-path counter folds to
+    /// window barriers ([`Gateway::end_window`]) instead of paying them per
+    /// packet. Flow eviction outcomes are unchanged; only when the
+    /// bookkeeping happens moves.
+    pub batched_flow_updates: bool,
 }
 
 impl Default for GatewayConfig {
@@ -45,6 +50,7 @@ impl Default for GatewayConfig {
             policy: PolicyConfig::default(),
             granularity: BindGranularity::PerDestination,
             sinkhole: "172.20.0.0/16".parse().expect("static prefix"),
+            batched_flow_updates: false,
         }
     }
 }
@@ -92,6 +98,13 @@ impl GatewayConfigBuilder {
     #[must_use]
     pub fn sinkhole(mut self, sinkhole: Ipv4Prefix) -> Self {
         self.inner.sinkhole = sinkhole;
+        self
+    }
+
+    /// Defers per-packet flow-table refreshes to window barriers.
+    #[must_use]
+    pub fn batched_flow_updates(mut self, batched: bool) -> Self {
+        self.inner.batched_flow_updates = batched;
         self
     }
 
@@ -165,6 +178,38 @@ fn action_trace_name(action: &GatewayAction) -> &'static str {
     }
 }
 
+/// Per-packet counters kept as plain integers on the hot path and folded
+/// into the [`CounterSet`] at flush points (expire, window barriers,
+/// snapshots). Saves the per-packet ordered-map walks for the counters every
+/// packet touches; outcome counters (drops, reflections, …) stay inline —
+/// each packet hits at most one of those.
+#[derive(Clone, Copy, Debug, Default)]
+struct HotStats {
+    packets_in: u64,
+    bytes_in: u64,
+    delivered: u64,
+    packets_out: u64,
+    bytes_out: u64,
+}
+
+impl HotStats {
+    fn fold_into(self, counters: &mut CounterSet) {
+        // Only touch names with activity: a never-seen counter must stay
+        // absent, exactly as with inline increments.
+        for (name, value) in [
+            ("packets_in", self.packets_in),
+            ("bytes_in", self.bytes_in),
+            ("delivered", self.delivered),
+            ("packets_out", self.packets_out),
+            ("bytes_out", self.bytes_out),
+        ] {
+            if value > 0 {
+                counters.add(name, value);
+            }
+        }
+    }
+}
+
 /// The gateway router.
 ///
 /// # Examples
@@ -198,6 +243,12 @@ pub struct Gateway {
     rate: HashMap<VmRef, TokenBucket>,
     inbound_rate: RateEstimator,
     counters: CounterSet,
+    hot: HotStats,
+    /// Wire-buffer pool for gateway-built packets (ICMP echo replies,
+    /// proxied-port rewrites). Recycled slots make the steady-state reply
+    /// path allocation-free; the pool is transient perf state and is
+    /// never serialized.
+    pool: BufferPool,
     /// Fault injection: until this instant, no new bindings are admitted
     /// (existing bindings keep forwarding).
     stalled_until: SimTime,
@@ -216,10 +267,13 @@ impl Gateway {
             policy.binding_max_lifetime,
             policy.per_source_vm_limit,
         );
-        let flows = match policy.max_flows {
+        let mut flows = match policy.max_flows {
             Some(max) => FlowTable::new(policy.flow_idle_timeout).with_max_flows(max),
             None => FlowTable::new(policy.flow_idle_timeout),
         };
+        if config.batched_flow_updates {
+            flows = flows.with_batched_updates();
+        }
         let dns = DnsProxy::new(config.sinkhole);
         Gateway {
             config,
@@ -229,9 +283,17 @@ impl Gateway {
             rate: HashMap::new(),
             inbound_rate: RateEstimator::new(SimTime::from_secs(5)),
             counters: CounterSet::new(),
+            hot: HotStats::default(),
+            pool: BufferPool::new(),
             stalled_until: SimTime::ZERO,
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Recycling statistics of the gateway's wire-buffer pool.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Installs an observability tracer (pass [`Tracer::disabled`] to turn
@@ -291,14 +353,14 @@ impl Gateway {
 
     /// The inbound classify → policy pipeline (tracing-free inner body).
     fn classify_inbound(&mut self, now: SimTime, packet: Packet) -> GatewayAction {
-        self.counters.incr("packets_in");
-        self.counters.add("bytes_in", packet.len() as u64);
+        self.hot.packets_in += 1;
+        self.hot.bytes_in += packet.len() as u64;
         self.inbound_rate.record(now);
         self.flows.observe(now, packet.flow_key(), packet.len(), FlowDirection::InboundInitiated);
 
         let (src, dst) = (packet.src(), packet.dst());
         if let Some(vm) = self.binder.lookup_active(now, src, dst) {
-            self.counters.incr("delivered");
+            self.hot.delivered += 1;
             return GatewayAction::Deliver { vm, packet };
         }
 
@@ -322,7 +384,7 @@ impl Gateway {
             if let PacketPayload::Icmp(msg) = packet.payload() {
                 if let Some(reply) = msg.reply_to() {
                     self.counters.incr("gateway_pings_answered");
-                    let reply_packet = PacketBuilder::new(dst, src).icmp(reply);
+                    let reply_packet = PacketBuilder::new(dst, src).pooled(&self.pool).icmp(reply);
                     return GatewayAction::GatewayReply(reply_packet);
                 }
             }
@@ -372,8 +434,8 @@ impl Gateway {
 
     /// The outbound containment pipeline (tracing-free inner body).
     fn contain_outbound(&mut self, now: SimTime, vm: VmRef, packet: Packet) -> GatewayAction {
-        self.counters.incr("packets_out");
-        self.counters.add("bytes_out", packet.len() as u64);
+        self.hot.packets_out += 1;
+        self.hot.bytes_out += packet.len() as u64;
         let (src, dst) = (packet.src(), packet.dst());
 
         // Anti-spoofing: the packet's source must be an address bound to
@@ -450,7 +512,7 @@ impl Gateway {
         if let Some(port) = packet.flow_key().transport.dst_port() {
             if let Some(&proxy_addr) = self.config.policy.proxied_ports.get(&port) {
                 self.counters.incr("proxied_service");
-                return match packet.rewrite_addresses(src, proxy_addr) {
+                return match packet.rewrite_addresses_pooled(src, proxy_addr, &self.pool) {
                     Ok(rewritten) => GatewayAction::Reflect { addr: proxy_addr, packet: rewritten },
                     Err(_) => GatewayAction::Drop { reason: DropReason::Malformed },
                 };
@@ -526,6 +588,7 @@ impl Gateway {
     /// Advances time: expires idle flows and bindings. The controller must
     /// destroy the VMs of returned bindings.
     pub fn expire(&mut self, now: SimTime) -> Vec<ExpiredBinding> {
+        self.flush_hot();
         let evicted_flows = self.flows.expire(now);
         self.counters.add("flows_expired", evicted_flows.len() as u64);
         let expired = self.binder.expire(now);
@@ -537,10 +600,37 @@ impl Gateway {
         expired
     }
 
-    /// The gateway's telemetry counters.
+    /// Folds accumulated hot-path tallies into the counter set.
+    fn flush_hot(&mut self) {
+        std::mem::take(&mut self.hot).fold_into(&mut self.counters);
+    }
+
+    /// Window-barrier hook: folds hot-path counters and applies the flow
+    /// table's deferred refreshes. The sharded engine calls this when a
+    /// cell's window closes; the serial driver calls it each tick. Cheap
+    /// when nothing is pending.
+    pub fn end_window(&mut self) {
+        self.flush_hot();
+        self.flows.flush_window();
+    }
+
+    /// The gateway's telemetry counters as of the last flush point
+    /// (expire/window barrier). Hot-path tallies accumulated since then are
+    /// not yet folded in — use [`Gateway::counters_snapshot`] for an
+    /// up-to-the-packet view.
     #[must_use]
     pub fn counters(&self) -> &CounterSet {
         &self.counters
+    }
+
+    /// An up-to-the-packet copy of the counters: the flushed set plus any
+    /// hot-path tallies still in flight. Report collection uses this so
+    /// mid-window reads never observe stale totals.
+    #[must_use]
+    pub fn counters_snapshot(&self) -> CounterSet {
+        let mut merged = self.counters.clone();
+        self.hot.fold_into(&mut merged);
+        merged
     }
 
     /// The smoothed inbound packet rate (packets/second of virtual time).
@@ -606,8 +696,12 @@ impl Gateway {
         w.f64(est);
         w.opt_u64(last.map(SimTime::as_nanos));
         w.u64(events);
-        w.usize(self.counters.len());
-        for (name, value) in self.counters.iter() {
+        // Serialize with in-flight hot tallies folded in: the wire image is
+        // the flushed view, so snapshots need no flush-before-encode
+        // discipline and round-trip exactly.
+        let counters = self.counters_snapshot();
+        w.usize(counters.len());
+        for (name, value) in counters.iter() {
             w.str(name);
             w.u64(value);
         }
@@ -654,6 +748,8 @@ impl Gateway {
         self.rate = rate;
         self.inbound_rate = RateEstimator::from_parts(tau, est, last, events);
         self.counters = CounterSet::from_pairs(pairs);
+        // The wire image carried hot tallies already folded in.
+        self.hot = HotStats::default();
         self.stalled_until = stalled_until;
         Ok(())
     }
@@ -1230,6 +1326,8 @@ mod tests {
         g.on_inbound(t, syn(ATTACKER, HP1));
         let probe = PacketBuilder::new(HP1, EXTERNAL).tcp_syn(1025, 445);
         g.on_outbound(t, VmRef(1), probe);
+        // Hot-path tallies fold in at the window barrier.
+        g.end_window();
         let c = g.counters();
         assert_eq!(c.get("packets_in"), 2);
         assert_eq!(c.get("clone_requests"), 1);

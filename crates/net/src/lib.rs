@@ -38,6 +38,7 @@ pub mod tcp;
 pub mod udp;
 
 pub use addr::{Ipv4Prefix, MacAddr};
+pub use bytes::{BufferPool, BytesMut, PoolStats};
 pub use error::NetError;
 pub use flow::{FlowKey, Transport};
 pub use packet::{Packet, PacketBuilder, PacketPayload};

@@ -7,7 +7,7 @@
 //! packet shapes the honeyfarm deals in: scan SYNs, handshake segments, UDP
 //! datagrams (worm probes, DNS), and ICMP echoes.
 
-use bytes::Bytes;
+use bytes::{BufferPool, Bytes, BytesMut};
 use std::net::Ipv4Addr;
 
 use crate::error::NetError;
@@ -190,9 +190,32 @@ impl Packet {
     ///
     /// Transport checksums are recomputed since they cover the pseudo-header.
     pub fn rewrite_addresses(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Result<Packet, NetError> {
+        self.rewrite_with(src, dst, None)
+    }
+
+    /// [`Packet::rewrite_addresses`] with the wire buffer drawn from `pool` —
+    /// the gateway's allocation-free reflection path.
+    pub fn rewrite_addresses_pooled(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        pool: &BufferPool,
+    ) -> Result<Packet, NetError> {
+        self.rewrite_with(src, dst, Some(pool))
+    }
+
+    fn rewrite_with(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        pool: Option<&BufferPool>,
+    ) -> Result<Packet, NetError> {
         let mut b = PacketBuilder::new(src, dst).ttl(self.ipv4.ttl).ident(self.ipv4.ident);
         if self.ipv4.dont_fragment {
             b = b.dont_fragment();
+        }
+        if let Some(pool) = pool {
+            b = b.pooled(pool);
         }
         match &self.payload {
             PacketPayload::Tcp { header, payload } => Ok(b.tcp_raw(header.clone(), payload)),
@@ -225,13 +248,58 @@ pub struct PacketBuilder {
     ttl: u8,
     ident: u16,
     dont_fragment: bool,
+    pool: Option<BufferPool>,
+}
+
+/// Wire buffer under construction: freshly allocated or drawn from a pool.
+enum WireBuf {
+    Plain(Vec<u8>),
+    Pooled(BytesMut),
+}
+
+impl WireBuf {
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        match self {
+            WireBuf::Plain(v) => v,
+            WireBuf::Pooled(m) => m.as_vec_mut(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            WireBuf::Plain(v) => v.len(),
+            WireBuf::Pooled(m) => m.len(),
+        }
+    }
+
+    fn freeze(self) -> Bytes {
+        match self {
+            WireBuf::Plain(v) => Bytes::from(v),
+            WireBuf::Pooled(m) => m.freeze(),
+        }
+    }
 }
 
 impl PacketBuilder {
     /// Starts a builder for a packet from `src` to `dst`.
     #[must_use]
     pub fn new(src: Ipv4Addr, dst: Ipv4Addr) -> Self {
-        PacketBuilder { src, dst, ttl: 64, ident: 0, dont_fragment: false }
+        PacketBuilder { src, dst, ttl: 64, ident: 0, dont_fragment: false, pool: None }
+    }
+
+    /// Draws the wire buffer from `pool` instead of allocating, so the built
+    /// packet's storage recycles when its last clone drops.
+    #[must_use]
+    pub fn pooled(mut self, pool: &BufferPool) -> Self {
+        self.pool = Some(pool.clone());
+        self
+    }
+
+    fn wire_buf(&self, capacity: usize) -> WireBuf {
+        match &self.pool {
+            Some(pool) => WireBuf::Pooled(pool.acquire()),
+            None => WireBuf::Plain(Vec::with_capacity(capacity)),
+        }
     }
 
     /// Sets the TTL (default 64).
@@ -272,12 +340,12 @@ impl PacketBuilder {
     /// application payload as a zero-copy suffix slice of the wire bytes.
     fn finish(
         mut ipv4: Ipv4Header,
-        wire: Vec<u8>,
+        wire: WireBuf,
         payload_len: usize,
         make: impl FnOnce(Bytes) -> PacketPayload,
     ) -> Packet {
         ipv4.total_len = wire.len() as u16;
-        let wire = Bytes::from(wire);
+        let wire = wire.freeze();
         let payload = make(wire.slice(wire.len() - payload_len..));
         Packet { ipv4, payload, wire }
     }
@@ -290,11 +358,11 @@ impl PacketBuilder {
     pub fn tcp_raw(self, header: TcpHeader, payload: &[u8]) -> Packet {
         let transport_len = crate::tcp::MIN_HEADER_LEN + header.options.len() + payload.len();
         let ipv4 = self.ipv4_header(IpProtocol::Tcp);
-        let mut wire = Vec::with_capacity(crate::ipv4::MIN_HEADER_LEN + transport_len);
-        ipv4.build_prefix(transport_len, &mut wire)
+        let mut wire = self.wire_buf(crate::ipv4::MIN_HEADER_LEN + transport_len);
+        ipv4.build_prefix(transport_len, wire.vec_mut())
             .expect("builder-constructed packets never exceed IP limits");
         header
-            .build_into(self.src, self.dst, payload, &mut wire)
+            .build_into(self.src, self.dst, payload, wire.vec_mut())
             .expect("builder-validated TCP header");
         Self::finish(ipv4, wire, payload.len(), |payload| PacketPayload::Tcp { header, payload })
     }
@@ -327,10 +395,10 @@ impl PacketBuilder {
     pub fn udp(self, src_port: u16, dst_port: u16, payload: &[u8]) -> Packet {
         let transport_len = crate::udp::HEADER_LEN + payload.len();
         let ipv4 = self.ipv4_header(IpProtocol::Udp);
-        let mut wire = Vec::with_capacity(crate::ipv4::MIN_HEADER_LEN + transport_len);
-        ipv4.build_prefix(transport_len, &mut wire)
+        let mut wire = self.wire_buf(crate::ipv4::MIN_HEADER_LEN + transport_len);
+        ipv4.build_prefix(transport_len, wire.vec_mut())
             .expect("builder-constructed packets never exceed IP limits");
-        UdpHeader::build_into(src_port, dst_port, self.src, self.dst, payload, &mut wire)
+        UdpHeader::build_into(src_port, dst_port, self.src, self.dst, payload, wire.vec_mut())
             .expect("builder-validated UDP datagram");
         let header = UdpHeader { src_port, dst_port, length: transport_len as u16 };
         Self::finish(ipv4, wire, payload.len(), |payload| PacketPayload::Udp { header, payload })
@@ -341,10 +409,12 @@ impl PacketBuilder {
     pub fn icmp(self, msg: IcmpMessage) -> Packet {
         let transport = msg.build();
         let mut ipv4 = self.ipv4_header(IpProtocol::Icmp);
-        let wire =
-            ipv4.build(&transport).expect("builder-constructed packets never exceed IP limits");
+        let mut wire = self.wire_buf(crate::ipv4::MIN_HEADER_LEN + transport.len());
+        ipv4.build_prefix(transport.len(), wire.vec_mut())
+            .expect("builder-constructed packets never exceed IP limits");
+        wire.vec_mut().extend_from_slice(&transport);
         ipv4.total_len = wire.len() as u16;
-        Packet { ipv4, payload: PacketPayload::Icmp(msg), wire: Bytes::from(wire) }
+        Packet { ipv4, payload: PacketPayload::Icmp(msg), wire: wire.freeze() }
     }
 
     /// Builds an ICMP echo request.
@@ -360,9 +430,9 @@ impl PacketBuilder {
     /// Returns [`NetError::InvalidField`] if the payload exceeds IP limits.
     pub fn raw(self, protocol: IpProtocol, payload: &[u8]) -> Result<Packet, NetError> {
         let ipv4 = self.ipv4_header(protocol);
-        let mut wire = Vec::with_capacity(crate::ipv4::MIN_HEADER_LEN + payload.len());
-        ipv4.build_prefix(payload.len(), &mut wire)?;
-        wire.extend_from_slice(payload);
+        let mut wire = self.wire_buf(crate::ipv4::MIN_HEADER_LEN + payload.len());
+        ipv4.build_prefix(payload.len(), wire.vec_mut())?;
+        wire.vec_mut().extend_from_slice(payload);
         Ok(Self::finish(ipv4, wire, payload.len(), |payload| PacketPayload::Raw {
             protocol,
             payload,
@@ -522,6 +592,40 @@ mod tests {
         let q = p.clone();
         assert_eq!(p.wire().as_ptr(), q.wire().as_ptr(), "clone must not deep-copy the wire");
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn pooled_builder_recycles_wire_buffers() {
+        let pool = BufferPool::with_config(256, 16);
+        for i in 0..50u16 {
+            let p = PacketBuilder::new(ATTACKER, HONEYPOT).pooled(&pool).ident(i).tcp_segment(
+                5000,
+                445,
+                TcpFlags::PSH_ACK,
+                7,
+                9,
+                b"probe-body",
+            );
+            assert_eq!(p.ipv4().ident, i);
+            assert_eq!(p.app_payload(), b"probe-body");
+            assert_payload_in_wire(&p);
+            let reflected = p.rewrite_addresses_pooled(HONEYPOT, ATTACKER, &pool).unwrap();
+            assert_eq!(Packet::parse(reflected.wire()).unwrap(), reflected);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.acquires, 100, "one builder + one rewrite per round");
+        assert_eq!(stats.allocated, 2, "steady state holds one buffer per live packet");
+        assert_eq!(stats.acquires, stats.allocated + stats.reused);
+    }
+
+    #[test]
+    fn pooled_and_plain_packets_are_byte_identical() {
+        let pool = BufferPool::new();
+        let plain = PacketBuilder::new(ATTACKER, HONEYPOT).udp(1434, 1434, b"slammer");
+        let pooled =
+            PacketBuilder::new(ATTACKER, HONEYPOT).pooled(&pool).udp(1434, 1434, b"slammer");
+        assert_eq!(plain, pooled);
+        assert_eq!(plain.wire(), pooled.wire());
     }
 
     #[test]

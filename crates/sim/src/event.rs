@@ -56,6 +56,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     scheduled: u64,
+    depth_high: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -68,13 +69,18 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled: 0, depth_high: 0 }
     }
 
     /// Creates an empty queue with pre-allocated capacity.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0, scheduled: 0 }
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            scheduled: 0,
+            depth_high: 0,
+        }
     }
 
     /// Schedules `event` for delivery at absolute time `at`.
@@ -83,6 +89,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.scheduled += 1;
         self.heap.push(Entry { at, seq, event });
+        self.depth_high = self.depth_high.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, with its timestamp.
@@ -115,6 +122,20 @@ impl<E> EventQueue<E> {
         self.scheduled
     }
 
+    /// Peak depth reached since the watermark was last taken. Deterministic:
+    /// depends only on the schedule/pop sequence, never on wall clock.
+    #[must_use]
+    pub fn depth_high_watermark(&self) -> usize {
+        self.depth_high
+    }
+
+    /// Returns the peak depth since the last call and re-arms the watermark
+    /// at the current depth, giving per-window telemetry for the sharded
+    /// engine's adaptive controller.
+    pub fn take_depth_high_watermark(&mut self) -> usize {
+        std::mem::replace(&mut self.depth_high, self.heap.len())
+    }
+
     /// Discards all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
@@ -137,8 +158,10 @@ impl<E> EventQueue<E> {
     /// identical to the uninterrupted run.
     #[must_use]
     pub fn from_parts(next_seq: u64, scheduled: u64, entries: Vec<(SimTime, u64, E)>) -> Self {
-        let heap = entries.into_iter().map(|(at, seq, event)| Entry { at, seq, event }).collect();
-        EventQueue { heap, next_seq, scheduled }
+        let heap: BinaryHeap<Entry<E>> =
+            entries.into_iter().map(|(at, seq, event)| Entry { at, seq, event }).collect();
+        let depth_high = heap.len();
+        EventQueue { heap, next_seq, scheduled, depth_high }
     }
 }
 
@@ -196,6 +219,22 @@ mod tests {
         }
         let order: Vec<u64> = core::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn depth_watermark_tracks_peak_and_rearms() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.depth_high_watermark(), 5, "peak was before the pops");
+        assert_eq!(q.take_depth_high_watermark(), 5);
+        // Re-armed at the current depth (3); a push raises it again.
+        assert_eq!(q.depth_high_watermark(), 3);
+        q.schedule(SimTime::from_millis(9), 9);
+        assert_eq!(q.depth_high_watermark(), 4);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! assert_eq!(stats.events_processed, 10);
 //! ```
 
+pub mod arena;
 pub mod dist;
 pub mod engine;
 pub mod event;
@@ -53,14 +54,15 @@ pub mod time;
 pub mod timer_wheel;
 pub mod token_bucket;
 
+pub use arena::Slab;
 pub use dist::{Alias, Exponential, LogNormal, Pareto, Poisson, Zipf};
 pub use engine::{run_until, RunStats, World};
 pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig};
 pub use rng::SimRng;
 pub use shard::{
-    run_sharded, run_sharded_resumable, BarrierControl, BatchStat, Shard, ShardConfig,
-    ShardProgress, ShardRunReport, ShardWorld,
+    run_sharded, run_sharded_resumable, AdaptiveWindow, BarrierControl, BatchStat, EngineTuning,
+    Shard, ShardConfig, ShardProgress, ShardRunReport, ShardWorld,
 };
 pub use stats::{OnlineStats, WelfordVariance};
 pub use time::SimTime;

@@ -21,6 +21,29 @@
 //! window at or below the minimum cross-shard latency of the modelled
 //! system (for the honeyfarm: the telescope→farm tunnel delay) makes this
 //! exact rather than approximate.
+//!
+//! # Scheduling optimizations (digest-invariant and otherwise)
+//!
+//! [`EngineTuning`] adds two optional throughput levers:
+//!
+//! * **Load-aware rebalancing** ([`EngineTuning::rebalance`]): instead of the
+//!   static contiguous partition, shards are re-packed onto workers at every
+//!   barrier by greedy longest-processing-time over a decaying estimate of
+//!   each shard's *event count* in recent windows. The estimate is virtual
+//!   telemetry (never wall clock), so the assignment is a pure function of
+//!   simulation state and is recomputed identically on every run. Assignment
+//!   only decides which OS thread executes a shard — results are
+//!   byte-identical with rebalancing on or off, at any worker count.
+//! * **Adaptive window sizing** ([`EngineTuning::adaptive`]): the barrier
+//!   width widens while cross-shard traffic is light (fewer barriers, less
+//!   synchronization) and narrows back toward [`AdaptiveWindow::min`] when it
+//!   is heavy. The controller is a pure function of the *previous* window's
+//!   deterministic message count, so every run — serial or parallel — walks
+//!   the same window sequence and stays byte-identical across worker counts.
+//!   Unlike rebalancing, the chosen window sequence *does* shape message
+//!   delivery times, exactly as a different fixed `window` would; the
+//!   [`AdaptiveWindow::max`] bound must therefore respect the same
+//!   minimum-cross-shard-latency rule as a fixed window.
 
 use crate::engine::{run_until, RunStats, World};
 use crate::event::EventQueue;
@@ -64,20 +87,86 @@ impl<W: World> Shard<W> {
     }
 }
 
+/// Bounds and thresholds for the adaptive window controller.
+///
+/// The next window's width is decided from the cross-shard message count of
+/// the window that just completed — a deterministic quantity — so the width
+/// sequence is identical for every worker count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveWindow {
+    /// Narrowest width the controller may pick.
+    pub min: SimTime,
+    /// Widest width the controller may pick. For an exact (rather than
+    /// approximate) replay this must not exceed the modelled system's
+    /// minimum cross-shard latency, the same rule a fixed window obeys.
+    pub max: SimTime,
+    /// Cross-shard message count above which the next window halves.
+    pub narrow_above: u64,
+    /// Cross-shard message count at or below which the next window doubles.
+    pub widen_below: u64,
+}
+
+impl AdaptiveWindow {
+    /// Controller bounded to `[floor, ceiling]` with default thresholds.
+    #[must_use]
+    pub fn bounded(floor: SimTime, ceiling: SimTime) -> AdaptiveWindow {
+        AdaptiveWindow { min: floor, max: ceiling, narrow_above: 64, widen_below: 8 }
+    }
+
+    /// Pure controller step: the width for the next window given the width
+    /// and cross-shard message count of the one that just completed.
+    #[must_use]
+    pub fn next_width(&self, current: SimTime, remote_msgs: u64) -> SimTime {
+        let clamped = current.max(self.min).min(self.max);
+        if remote_msgs > self.narrow_above {
+            (clamped / 2).max(self.min)
+        } else if remote_msgs <= self.widen_below {
+            (clamped * 2).min(self.max)
+        } else {
+            clamped
+        }
+    }
+}
+
+/// Scheduler tuning for the sharded engine. The default is the legacy
+/// behavior: static contiguous partition, fixed window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineTuning {
+    /// Re-pack shards onto workers at each barrier by greedy LPT over a
+    /// decaying per-shard event-count estimate. Digest-invariant.
+    pub rebalance: bool,
+    /// Adaptive window widths; `None` keeps the fixed configured window.
+    pub adaptive: Option<AdaptiveWindow>,
+}
+
+impl EngineTuning {
+    /// Everything on: rebalancing plus adaptive windows bounded to
+    /// `[floor, ceiling]`.
+    #[must_use]
+    pub fn tuned(floor: SimTime, ceiling: SimTime) -> EngineTuning {
+        EngineTuning { rebalance: true, adaptive: Some(AdaptiveWindow::bounded(floor, ceiling)) }
+    }
+}
+
 /// Parallelism and barrier configuration for [`run_sharded`].
 #[derive(Clone, Copy, Debug)]
 pub struct ShardConfig {
-    /// Barrier window width. Results depend on this value (it bounds when
-    /// cross-shard messages land) but never on `workers`.
+    /// Barrier window width (the starting width when adaptive sizing is on).
+    /// Results depend on the window sequence (it bounds when cross-shard
+    /// messages land) but never on `workers`.
     pub window: SimTime,
     /// Worker threads. `1` runs every shard inline on the calling thread;
     /// values above the shard count are clamped.
     pub workers: usize,
+    /// Scheduler tuning; [`EngineTuning::default`] is the legacy fixed
+    /// window with a static partition.
+    pub tuning: EngineTuning,
 }
 
-/// Wall-clock cost of one `(window, shard)` execution, for dispatch-latency
-/// profiling. Virtual-time fields are deterministic; `elapsed_nanos` is
-/// wall-clock and is not.
+/// Telemetry for one `(window, shard)` execution. Virtual-time fields
+/// (`events`, `queue_depth_high`, `remote_msgs`) are deterministic;
+/// `elapsed_nanos` is wall-clock and is not — which is why the rebalancer
+/// packs on event counts, not on it.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchStat {
     /// Window index.
@@ -88,6 +177,10 @@ pub struct BatchStat {
     pub events: u64,
     /// Wall-clock nanoseconds spent dispatching the batch.
     pub elapsed_nanos: u64,
+    /// High-watermark of the shard's event-queue depth during the window.
+    pub queue_depth_high: u64,
+    /// Cross-shard messages this shard emitted during the window.
+    pub remote_msgs: u64,
 }
 
 /// Outcome of a sharded run.
@@ -97,8 +190,7 @@ pub struct ShardRunReport {
     pub total: RunStats,
     /// Per-shard aggregated statistics, indexed like the input slice.
     pub per_shard: Vec<RunStats>,
-    /// Per-`(window, shard)` wall-clock batch costs, in `(window, shard)`
-    /// order.
+    /// Per-`(window, shard)` batch telemetry, in `(window, shard)` order.
     pub batches: Vec<BatchStat>,
     /// Cross-shard messages delivered across all barriers.
     pub remote_messages: u64,
@@ -115,6 +207,11 @@ pub struct ShardProgress {
     pub next_window: u64,
     /// Virtual time at which the next window starts.
     pub window_start: SimTime,
+    /// Width of the next window. [`SimTime::ZERO`] means "derive from the
+    /// config" (fresh start); under adaptive sizing the controller state is
+    /// exactly this width, so carrying it across a checkpoint keeps the
+    /// resumed window sequence identical to the uninterrupted run's.
+    pub window_width: SimTime,
     /// Per-shard aggregated statistics so far.
     pub per_shard: Vec<RunStats>,
     /// Cross-shard messages delivered so far.
@@ -143,7 +240,7 @@ pub enum BarrierControl {
 /// the outcome is identical for any worker count:
 ///
 /// ```
-/// use potemkin_sim::shard::{run_sharded, Shard, ShardConfig, ShardWorld};
+/// use potemkin_sim::shard::{run_sharded, EngineTuning, Shard, ShardConfig, ShardWorld};
 /// use potemkin_sim::{EventQueue, SimTime, World};
 ///
 /// struct Ring { id: usize, n: usize, seen: u64, out: Vec<(usize, u64)> }
@@ -171,7 +268,11 @@ pub enum BarrierControl {
 ///         .map(|id| Shard::new(Ring { id, n: 4, seen: 0, out: vec![] }))
 ///         .collect();
 ///     shards[0].queue.schedule(SimTime::ZERO, 8);
-///     let config = ShardConfig { window: SimTime::from_secs(1), workers };
+///     let config = ShardConfig {
+///         window: SimTime::from_secs(1),
+///         workers,
+///         tuning: EngineTuning { rebalance: true, adaptive: None },
+///     };
 ///     run_sharded(&mut shards, SimTime::from_secs(20), &config);
 ///     shards.iter().map(|s| s.world.seen).collect::<Vec<_>>()
 /// };
@@ -209,7 +310,8 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `config.window` is zero.
+/// Panics if `config.window` is zero, or if adaptive bounds are zero or
+/// inverted.
 pub fn run_sharded_resumable<W, F>(
     shards: &mut [Shard<W>],
     horizon: SimTime,
@@ -223,6 +325,10 @@ where
     F: FnMut(&ShardProgress, &mut [Shard<W>]) -> BarrierControl,
 {
     assert!(!config.window.is_zero(), "barrier window must be non-zero");
+    if let Some(a) = config.tuning.adaptive {
+        assert!(!a.min.is_zero(), "adaptive window floor must be non-zero");
+        assert!(a.min <= a.max, "adaptive window floor must not exceed the ceiling");
+    }
     let n = shards.len();
     let workers = config.workers.clamp(1, n.max(1));
     let resume = resume.unwrap_or_default();
@@ -237,19 +343,36 @@ where
         remote_messages: resume.remote_messages,
         windows: resume.windows,
     };
+    let initial_width = match config.tuning.adaptive {
+        Some(a) => config.window.max(a.min).min(a.max),
+        None => config.window,
+    };
+    let mut width = if resume.window_width.is_zero() { initial_width } else { resume.window_width };
     let mut window_start = resume.window_start;
     let mut window_index = resume.next_window;
     let mut interrupted = false;
+    // Decaying per-shard load estimate feeding the LPT rebalancer. Purely
+    // virtual (event counts), so it evolves identically on every run; it is
+    // deliberately *not* checkpointed — a resume re-warms it, which can pick
+    // different worker assignments but never different results.
+    let mut costs: Vec<u64> = vec![1; n];
     while window_start < horizon {
-        let window_end = (window_start + config.window).min(horizon);
-        // (shard, stats, elapsed ns, outbound) for every shard this window.
-        let mut results = execute_window(shards, window_end, workers);
-        results.sort_by_key(|r| r.0);
+        let window_end = (window_start + width).min(horizon);
+        let assignment = if config.tuning.rebalance && workers > 1 {
+            lpt_assignment(&costs, workers)
+        } else {
+            static_assignment(n, workers)
+        };
+        let mut results = execute_window(shards, window_end, &assignment);
+        results.sort_by_key(|r| r.shard);
 
         let mut window_events = 0u64;
         let mut deliveries = 0u64;
-        for (idx, stats, elapsed_nanos, outbound) in results {
+        for result in results {
+            let WindowResult { shard: idx, stats, elapsed_nanos, queue_depth_high, outbound } =
+                result;
             window_events += stats.events_processed;
+            costs[idx] = costs[idx] / 2 + stats.events_processed;
             let agg = &mut report.per_shard[idx];
             agg.events_processed += stats.events_processed;
             agg.last_event_time = agg.last_event_time.max(stats.last_event_time);
@@ -259,6 +382,8 @@ where
                 shard: idx,
                 events: stats.events_processed,
                 elapsed_nanos,
+                queue_depth_high,
+                remote_msgs: outbound.len() as u64,
             });
             // `results` is sorted by source shard and each `outbound` is in
             // emission order, so this loop delivers in the canonical
@@ -274,9 +399,13 @@ where
         report.windows += 1;
         window_index += 1;
         window_start = window_end;
+        if let Some(a) = config.tuning.adaptive {
+            width = a.next_width(width, deliveries);
+        }
         let progress = ShardProgress {
             next_window: window_index,
             window_start,
+            window_width: width,
             per_shard: report.per_shard.clone(),
             remote_messages: report.remote_messages,
             windows: report.windows,
@@ -299,39 +428,82 @@ where
     (report, interrupted)
 }
 
-type WindowResult<R> = (usize, RunStats, u64, Vec<(usize, R)>);
+/// The legacy partition: contiguous index chunks, one per worker.
+fn static_assignment(n: usize, workers: usize) -> Vec<Vec<usize>> {
+    let chunk = n.div_ceil(workers.max(1));
+    (0..workers)
+        .map(|w| ((w * chunk).min(n)..((w + 1) * chunk).min(n)).collect::<Vec<usize>>())
+        .filter(|bucket| !bucket.is_empty())
+        .collect()
+}
 
-/// Runs every shard for one window, returning per-shard results in
-/// arbitrary order. `workers == 1` stays on the calling thread.
-fn execute_window<W>(
-    shards: &mut [Shard<W>],
+/// Greedy longest-processing-time packing: shards in decreasing cost order,
+/// each onto the currently least-loaded worker. All ties break on the lower
+/// index, so the packing is a deterministic function of `costs`.
+fn lpt_assignment(costs: &[u64], workers: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    let mut load = vec![0u64; workers];
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for i in order {
+        let w = (0..workers).min_by_key(|&w| (load[w], w)).expect("at least one worker");
+        load[w] += costs[i].max(1);
+        buckets[w].push(i);
+    }
+    buckets.retain(|bucket| !bucket.is_empty());
+    buckets
+}
+
+struct WindowResult<R> {
+    shard: usize,
+    stats: RunStats,
+    elapsed_nanos: u64,
+    queue_depth_high: u64,
+    outbound: Vec<(usize, R)>,
+}
+
+/// Runs every shard for one window under the given worker assignment,
+/// returning per-shard results in arbitrary order. A single bucket stays on
+/// the calling thread.
+fn execute_window<'a, W>(
+    shards: &'a mut [Shard<W>],
     window_end: SimTime,
-    workers: usize,
+    assignment: &[Vec<usize>],
 ) -> Vec<WindowResult<W::Remote>>
 where
     W: ShardWorld + Send,
     W::Event: Send,
 {
-    let n = shards.len();
     let run_one = |idx: usize, shard: &mut Shard<W>| {
         let start = std::time::Instant::now();
         let stats = run_until(&mut shard.world, &mut shard.queue, window_end);
         let elapsed_nanos = start.elapsed().as_nanos() as u64;
+        let queue_depth_high = shard.queue.take_depth_high_watermark() as u64;
         let outbound = shard.world.take_outbound();
-        (idx, stats, elapsed_nanos, outbound)
+        WindowResult { shard: idx, stats, elapsed_nanos, queue_depth_high, outbound }
     };
-    if workers <= 1 {
-        return shards.iter_mut().enumerate().map(|(i, s)| run_one(i, s)).collect();
+    // Hand each worker exclusive ownership of its assigned shards.
+    let mut slots: Vec<Option<&'a mut Shard<W>>> = shards.iter_mut().map(Some).collect();
+    let mut buckets: Vec<Vec<(usize, &'a mut Shard<W>)>> = assignment
+        .iter()
+        .map(|idxs| {
+            idxs.iter()
+                .map(|&i| (i, slots[i].take().expect("shard assigned to two workers")))
+                .collect()
+        })
+        .collect();
+    debug_assert!(slots.iter().all(Option::is_none), "every shard must be assigned");
+    if buckets.len() <= 1 {
+        return buckets.pop().unwrap_or_default().into_iter().map(|(i, s)| run_one(i, s)).collect();
     }
-    let chunk_size = n.div_ceil(workers);
     crossbeam::thread::scope(|scope| {
         let (tx, rx) = crossbeam::channel::unbounded();
-        for (ci, chunk) in shards.chunks_mut(chunk_size).enumerate() {
+        for bucket in buckets {
             let tx = tx.clone();
             let run_one = &run_one;
             scope.spawn(move |_| {
-                for (j, shard) in chunk.iter_mut().enumerate() {
-                    if tx.send(run_one(ci * chunk_size + j, shard)).is_err() {
+                for (idx, shard) in bucket {
+                    if tx.send(run_one(idx, shard)).is_err() {
                         panic!("merge receiver disconnected");
                     }
                 }
@@ -384,13 +556,20 @@ mod tests {
             .collect()
     }
 
-    fn run_with(workers: usize) -> (Vec<Vec<(SimTime, u32)>>, ShardRunReport) {
+    fn run_tuned(
+        workers: usize,
+        tuning: EngineTuning,
+    ) -> (Vec<Vec<(SimTime, u32)>>, ShardRunReport) {
         let mut shards = build(4);
         shards[0].queue.schedule(SimTime::from_millis(1), 25);
         shards[2].queue.schedule(SimTime::from_millis(1), 14);
-        let config = ShardConfig { window: SimTime::from_millis(200), workers };
+        let config = ShardConfig { window: SimTime::from_millis(200), workers, tuning };
         let report = run_sharded(&mut shards, SimTime::from_secs(30), &config);
         (shards.into_iter().map(|s| s.world.log).collect(), report)
+    }
+
+    fn run_with(workers: usize) -> (Vec<Vec<(SimTime, u32)>>, ShardRunReport) {
+        run_tuned(workers, EngineTuning::default())
     }
 
     #[test]
@@ -407,10 +586,105 @@ mod tests {
     }
 
     #[test]
+    fn rebalancing_is_digest_invariant() {
+        let (baseline_logs, baseline) = run_with(1);
+        let tuning = EngineTuning { rebalance: true, adaptive: None };
+        for workers in [1, 2, 3, 4] {
+            let (logs, report) = run_tuned(workers, tuning);
+            assert_eq!(logs, baseline_logs, "rebalancing changed results at {workers} workers");
+            assert_eq!(report.remote_messages, baseline.remote_messages);
+            assert_eq!(report.windows, baseline.windows);
+        }
+    }
+
+    #[test]
+    fn adaptive_windows_are_deterministic_across_worker_counts() {
+        // Long local phases (big tokens burn down in 50 ms local steps) with
+        // rare cross-shard hops at the end — the workload adaptive windows
+        // are built for.
+        let run = |workers: usize, tuning: EngineTuning| {
+            let mut shards = build(4);
+            shards[0].queue.schedule(SimTime::from_millis(1), 205);
+            shards[2].queue.schedule(SimTime::from_millis(1), 144);
+            let config = ShardConfig { window: SimTime::from_millis(100), workers, tuning };
+            let report = run_sharded(&mut shards, SimTime::from_secs(60), &config);
+            (shards.into_iter().map(|s| s.world.log).collect::<Vec<_>>(), report)
+        };
+        let tuning = EngineTuning {
+            rebalance: true,
+            adaptive: Some(AdaptiveWindow {
+                min: SimTime::from_millis(100),
+                max: SimTime::from_millis(1600),
+                narrow_above: 4,
+                widen_below: 1,
+            }),
+        };
+        let (serial_logs, serial_report) = run(1, tuning);
+        for workers in [2, 4] {
+            let (logs, report) = run(workers, tuning);
+            assert_eq!(logs, serial_logs, "adaptive windows diverged at {workers} workers");
+            assert_eq!(report.windows, serial_report.windows);
+            assert_eq!(report.remote_messages, serial_report.remote_messages);
+        }
+        // The controller must actually adapt: with widening enabled the run
+        // takes fewer barriers than the fixed-window baseline.
+        let (_, fixed) = run(1, EngineTuning::default());
+        assert!(
+            serial_report.windows < fixed.windows,
+            "adaptive run used {} windows, fixed used {}",
+            serial_report.windows,
+            fixed.windows
+        );
+    }
+
+    #[test]
+    fn adaptive_controller_is_bounded_and_pure() {
+        let a = AdaptiveWindow {
+            min: SimTime::from_millis(100),
+            max: SimTime::from_millis(800),
+            narrow_above: 10,
+            widen_below: 2,
+        };
+        // Quiet traffic widens up to the ceiling and no further.
+        let mut w = SimTime::from_millis(100);
+        for _ in 0..8 {
+            w = a.next_width(w, 0);
+        }
+        assert_eq!(w, SimTime::from_millis(800));
+        // Hot traffic narrows down to the floor and no further.
+        for _ in 0..8 {
+            w = a.next_width(w, 1_000);
+        }
+        assert_eq!(w, SimTime::from_millis(100));
+        // In-band traffic holds steady.
+        assert_eq!(a.next_width(SimTime::from_millis(400), 5), SimTime::from_millis(400));
+    }
+
+    #[test]
+    fn lpt_assignment_is_deterministic_and_balanced() {
+        let costs = vec![100, 1, 1, 50, 60, 1, 1, 1];
+        let a = lpt_assignment(&costs, 3);
+        let b = lpt_assignment(&costs, 3);
+        assert_eq!(a, b, "packing must be a pure function of costs");
+        let mut seen: Vec<usize> = a.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..costs.len()).collect::<Vec<_>>(), "every shard assigned once");
+        // The heaviest shard sits alone until the others catch up: its
+        // bucket's total cost stays below the sum of the rest.
+        let loads: Vec<u64> =
+            a.iter().map(|bucket| bucket.iter().map(|&i| costs[i]).sum()).collect();
+        assert_eq!(loads.iter().max(), Some(&100), "LPT must isolate the hot shard");
+    }
+
+    #[test]
     fn quiescence_stops_early() {
         let mut shards = build(2);
         shards[0].queue.schedule(SimTime::ZERO, 3);
-        let config = ShardConfig { window: SimTime::from_secs(1), workers: 2 };
+        let config = ShardConfig {
+            window: SimTime::from_secs(1),
+            workers: 2,
+            tuning: EngineTuning::default(),
+        };
         let report = run_sharded(&mut shards, SimTime::from_secs(1_000_000), &config);
         assert!(report.windows < 10, "must quiesce, ran {} windows", report.windows);
         assert_eq!(report.total.events_processed, 4, "3 → 2 → 1 → 0 hops");
@@ -420,7 +694,11 @@ mod tests {
     fn barrier_delays_cross_shard_delivery_to_window_end() {
         let mut shards = build(2);
         shards[0].queue.schedule(SimTime::from_millis(10), 1);
-        let config = ShardConfig { window: SimTime::from_secs(1), workers: 1 };
+        let config = ShardConfig {
+            window: SimTime::from_secs(1),
+            workers: 1,
+            tuning: EngineTuning::default(),
+        };
         run_sharded(&mut shards, SimTime::from_secs(5), &config);
         // Shard 1 receives the hop at the barrier, not at emission time.
         assert_eq!(shards[1].world.log, vec![(SimTime::from_secs(1), 0)]);
@@ -439,13 +717,31 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
+        // Emitted cross-shard messages add up to the delivered total, and a
+        // batch that processed events must have seen a non-empty queue.
+        let remote_sum: u64 = report.batches.iter().map(|b| b.remote_msgs).sum();
+        assert_eq!(remote_sum, report.remote_messages);
+        for b in &report.batches {
+            assert!(
+                b.events == 0 || b.queue_depth_high > 0,
+                "window {} shard {} processed {} events with a zero depth watermark",
+                b.window,
+                b.shard,
+                b.events
+            );
+        }
+        assert!(
+            report.batches.iter().any(|b| b.queue_depth_high > 0),
+            "telemetry must observe queue depth"
+        );
     }
 
     #[test]
     #[should_panic(expected = "window must be non-zero")]
     fn zero_window_panics() {
         let mut shards = build(1);
-        let config = ShardConfig { window: SimTime::ZERO, workers: 1 };
+        let config =
+            ShardConfig { window: SimTime::ZERO, workers: 1, tuning: EngineTuning::default() };
         run_sharded(&mut shards, SimTime::from_secs(1), &config);
     }
 }

@@ -10,7 +10,7 @@
 use std::net::Ipv4Addr;
 
 use potemkin_net::addr::Ipv4Prefix;
-use potemkin_net::{Packet, PacketBuilder};
+use potemkin_net::{BufferPool, Packet, PacketBuilder};
 use potemkin_sim::{SimRng, SimTime};
 
 use crate::dialogue::ExploitScript;
@@ -208,6 +208,30 @@ impl WormSpec {
         match self.transport {
             ProbeTransport::Tcp => PacketBuilder::new(src, dst).tcp_syn(src_port, self.port),
             ProbeTransport::Udp => PacketBuilder::new(src, dst).udp(
+                src_port,
+                self.port,
+                &self.payload_instance(instance_seed),
+            ),
+        }
+    }
+
+    /// [`WormSpec::probe_instance`] with the wire buffer drawn from `pool`
+    /// — the farm's allocation-free scanning path. Wire content is
+    /// identical to the unpooled builder.
+    #[must_use]
+    pub fn probe_instance_pooled(
+        &self,
+        src: Ipv4Addr,
+        src_port: u16,
+        dst: Ipv4Addr,
+        instance_seed: u64,
+        pool: &BufferPool,
+    ) -> Packet {
+        match self.transport {
+            ProbeTransport::Tcp => {
+                PacketBuilder::new(src, dst).pooled(pool).tcp_syn(src_port, self.port)
+            }
+            ProbeTransport::Udp => PacketBuilder::new(src, dst).pooled(pool).udp(
                 src_port,
                 self.port,
                 &self.payload_instance(instance_seed),

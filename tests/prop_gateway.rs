@@ -120,6 +120,6 @@ proptest! {
         // First contact is always a clone request (no filters configured).
         let is_clone_request = matches!(action, GatewayAction::CloneAndDeliver { .. });
         prop_assert!(is_clone_request);
-        prop_assert_eq!(g.counters().get("packets_in"), 1);
+        prop_assert_eq!(g.counters_snapshot().get("packets_in"), 1);
     }
 }

@@ -19,7 +19,7 @@ use potemkin::farm::FarmConfig;
 use potemkin::gateway::policy::PolicyConfig;
 use potemkin::parallel::{run_telescope_sharded, ShardedTelescopeConfig};
 use potemkin::scenario::TelescopeConfig;
-use potemkin::sim::{FaultPlanConfig, SimTime};
+use potemkin::sim::{EngineTuning, FaultPlanConfig, SimTime};
 use potemkin::workload::radiation::RadiationConfig;
 use potemkin::workload::worm::WormSpec;
 
@@ -34,6 +34,12 @@ struct SampledRun {
     crash_rate: f64,
     clone_prob: f64,
     with_worm: bool,
+    /// Load-aware worker rebalancing (digest-invariant by design).
+    rebalance: bool,
+    /// Adaptive window sizing (deterministic per configuration).
+    adaptive: bool,
+    /// Barrier-batched gateway flow/counter updates.
+    batched_flow: bool,
 }
 
 fn arb_run() -> impl Strategy<Value = SampledRun> {
@@ -45,10 +51,33 @@ fn arb_run() -> impl Strategy<Value = SampledRun> {
         prop_oneof![Just(0.0), 120.0..600.0f64],
         prop_oneof![Just(0.0), 0.01..0.3f64],
         any::<bool>(),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
     )
-        .prop_map(|(seed, cells, workers, window_ms, crash_rate, clone_prob, with_worm)| {
-            SampledRun { seed, cells, workers, window_ms, crash_rate, clone_prob, with_worm }
-        })
+        .prop_map(
+            |(
+                seed,
+                cells,
+                workers,
+                window_ms,
+                crash_rate,
+                clone_prob,
+                with_worm,
+                (rebalance, adaptive, batched_flow),
+            )| {
+                SampledRun {
+                    seed,
+                    cells,
+                    workers,
+                    window_ms,
+                    crash_rate,
+                    clone_prob,
+                    with_worm,
+                    rebalance,
+                    adaptive,
+                    batched_flow,
+                }
+            },
+        )
 }
 
 fn config_for(s: SampledRun) -> ShardedTelescopeConfig {
@@ -57,12 +86,16 @@ fn config_for(s: SampledRun) -> ShardedTelescopeConfig {
     farm.frames_per_server = 262_144;
     farm.seed = s.seed;
     farm.degradation_ladder = true;
+    farm.gateway.batched_flow_updates = s.batched_flow;
     let mut seed_infections = 0;
     if s.with_worm {
         // A small worm space keeps the saturated VM population (and the
         // debug-mode event count) bounded per sampled case.
         farm.worm = Some(WormSpec::code_red("10.1.8.0/22".parse().unwrap()));
         seed_infections = 1;
+        // Patient zero must place even when the sampled fault plan injects
+        // clone failures: standby binds are pre-cloned fault-free.
+        farm.standby_per_host = 1;
     }
     let duration = SimTime::from_secs(DURATION_SECS);
     let faults = (s.crash_rate > 0.0 || s.clone_prob > 0.0).then(|| FaultPlanConfig {
@@ -79,10 +112,20 @@ fn config_for(s: SampledRun) -> ShardedTelescopeConfig {
         .tick_interval(SimTime::from_secs(1))
         .build()
         .expect("valid telescope config");
+    let tuning = EngineTuning {
+        rebalance: s.rebalance,
+        adaptive: s.adaptive.then(|| {
+            potemkin::sim::AdaptiveWindow::bounded(
+                SimTime::from_millis(s.window_ms / 2),
+                SimTime::from_millis(s.window_ms * 2),
+            )
+        }),
+    };
     let mut builder = ShardedTelescopeConfig::builder(base)
         .cells(s.cells)
         .window(SimTime::from_millis(s.window_ms))
-        .seed_infections(seed_infections);
+        .seed_infections(seed_infections)
+        .tuning(tuning);
     if let Some(faults) = faults {
         builder = builder.faults(faults);
     }

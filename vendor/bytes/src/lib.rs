@@ -1,24 +1,51 @@
 //! Offline stand-in for the `bytes` crate.
 //!
-//! Provides the subset of the `Bytes` API this workspace uses: an immutable,
-//! cheaply cloneable byte buffer backed by an `Arc<[u8]>`, plus zero-copy
-//! sub-slicing. Cloning or slicing shares the allocation, matching the real
-//! crate's semantics for the operations we rely on (construction from
-//! slices/vectors, deref to `[u8]`, equality, hashing, `slice`).
+//! Provides the subset of the `Bytes`/`BytesMut` API this workspace uses: an
+//! immutable, cheaply cloneable byte buffer with zero-copy sub-slicing, a
+//! mutable builder buffer that freezes into `Bytes` without copying, and a
+//! [`BufferPool`] that recycles both the byte storage and the reference-count
+//! allocation so a warmed-up packet path performs no heap allocation per
+//! buffer. Cloning or slicing shares the allocation, matching the real
+//! crate's semantics for the operations we rely on.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::mem;
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Shared empty backing so empty buffers never allocate.
+fn empty_arc() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(&[][..])).clone()
+}
+
+/// Backing storage for [`Bytes`]: either a plain shared slice or a pooled
+/// slot whose byte storage (and, when uncontended, its refcount allocation)
+/// returns to the owning [`BufferPool`] when the last view drops.
+#[derive(Clone)]
+enum Data {
+    Slice(Arc<[u8]>),
+    Pooled(Arc<PooledSlot>),
+}
+
+impl Data {
+    fn as_full_slice(&self) -> &[u8] {
+        match self {
+            Data::Slice(data) => data,
+            Data::Pooled(slot) => &slot.buf,
+        }
+    }
+}
 
 /// An immutable, reference-counted byte buffer view.
 ///
 /// The view covers `data[offset..offset + len]`; [`Bytes::slice`] narrows the
 /// view without copying the underlying allocation.
-#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Data,
     offset: usize,
     len: usize,
 }
@@ -27,14 +54,14 @@ impl Bytes {
     /// Creates an empty buffer.
     #[must_use]
     pub fn new() -> Bytes {
-        Bytes { data: Arc::from(&[][..]), offset: 0, len: 0 }
+        Bytes { data: Data::Slice(empty_arc()), offset: 0, len: 0 }
     }
 
     /// Copies a slice into a new buffer.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
         let len = data.len();
-        Bytes { data: Arc::from(data), offset: 0, len }
+        Bytes { data: Data::Slice(Arc::from(data)), offset: 0, len }
     }
 
     /// Creates a buffer from a static slice.
@@ -81,11 +108,36 @@ impl Bytes {
         };
         assert!(start <= end, "slice start {start} > end {end}");
         assert!(end <= self.len, "slice end {end} out of bounds (len {})", self.len);
-        Bytes { data: Arc::clone(&self.data), offset: self.offset + start, len: end - start }
+        Bytes { data: self.data.clone(), offset: self.offset + start, len: end - start }
     }
 
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.offset..self.offset + self.len]
+        &self.data.as_full_slice()[self.offset..self.offset + self.len]
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        if matches!(self.data, Data::Pooled(_)) {
+            let data = mem::replace(&mut self.data, Data::Slice(empty_arc()));
+            if let Data::Pooled(slot) = data {
+                // Fast path: we hold the only view, so the whole slot — byte
+                // storage and refcount allocation — can go back to the pool
+                // intact. Otherwise the Arc drops normally and the last owner
+                // recycles just the byte storage via `PooledSlot::drop`.
+                if Arc::strong_count(&slot) == 1 {
+                    if let Some(pool) = slot.pool.upgrade() {
+                        pool.recycle_slot(slot);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Bytes {
+        Bytes { data: self.data.clone(), offset: self.offset, len: self.len }
     }
 }
 
@@ -118,7 +170,7 @@ impl Borrow<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let len = v.len();
-        Bytes { data: Arc::from(v.into_boxed_slice()), offset: 0, len }
+        Bytes { data: Data::Slice(Arc::from(v.into_boxed_slice())), offset: 0, len }
     }
 }
 
@@ -192,6 +244,261 @@ impl FromIterator<u8> for Bytes {
     }
 }
 
+/// A pooled slot: owned byte storage plus a back-pointer to the pool it
+/// should return to. While a [`BytesMut`] holds the slot its `Arc` is
+/// uniquely owned; after [`BytesMut::freeze`] the slot is shared read-only
+/// among `Bytes` views.
+struct PooledSlot {
+    buf: Vec<u8>,
+    pool: Weak<PoolInner>,
+}
+
+impl Drop for PooledSlot {
+    fn drop(&mut self) {
+        // Fallback recycling when the refcount allocation itself could not be
+        // reused (concurrent final drops, or the slot escaped the fast path):
+        // at least the byte storage survives.
+        if self.buf.capacity() > 0 {
+            if let Some(pool) = self.pool.upgrade() {
+                pool.recycle_vec(mem::take(&mut self.buf));
+            }
+        }
+    }
+}
+
+/// Cumulative counters for a [`BufferPool`].
+///
+/// Invariant: `acquires == allocated + reused`; a warmed-up pool serves every
+/// acquire from a freelist, so `allocated` plateaus at the high-watermark of
+/// in-flight buffers while `reused` keeps growing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total `acquire` calls.
+    pub acquires: u64,
+    /// Acquires that had to allocate fresh byte storage.
+    pub allocated: u64,
+    /// Acquires served from a freelist (no byte-storage allocation).
+    pub reused: u64,
+    /// Buffers returned to the pool by dropped views.
+    pub recycled: u64,
+    /// Buffers discarded because the pool was at its idle cap.
+    pub released: u64,
+}
+
+struct PoolInner {
+    /// Idle slots whose refcount allocation is intact — the zero-allocation
+    /// reuse path.
+    slots: Mutex<Vec<Arc<PooledSlot>>>,
+    /// Idle raw byte storage recovered on the fallback path.
+    bufs: Mutex<Vec<Vec<u8>>>,
+    default_capacity: usize,
+    max_idle: usize,
+    acquires: AtomicU64,
+    allocated: AtomicU64,
+    reused: AtomicU64,
+    recycled: AtomicU64,
+    released: AtomicU64,
+}
+
+impl PoolInner {
+    fn recycle_slot(&self, slot: Arc<PooledSlot>) {
+        let mut slots = self.slots.lock().expect("pool slot freelist poisoned");
+        if slots.len() < self.max_idle {
+            slots.push(slot);
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            drop(slots);
+            self.released.fetch_add(1, Ordering::Relaxed);
+            // Dropping `slot` here runs `PooledSlot::drop`, which would
+            // re-enter `recycle_vec`; neuter the buffer first so the storage
+            // is actually freed.
+            if let Some(slot) = Arc::into_inner(slot) {
+                let mut slot = slot;
+                slot.buf = Vec::new();
+            }
+        }
+    }
+
+    fn recycle_vec(&self, buf: Vec<u8>) {
+        let mut bufs = self.bufs.lock().expect("pool buf freelist poisoned");
+        if bufs.len() < self.max_idle {
+            bufs.push(buf);
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.released.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A freelist of reusable byte buffers shared by reference-counted handles.
+///
+/// `acquire` hands out a [`BytesMut`]; freezing it produces [`Bytes`] views,
+/// and when the last view drops the storage returns here. The pool is
+/// thread-safe; handles may be dropped on any thread.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// Default byte capacity reserved for freshly allocated buffers — sized
+    /// for a full Ethernet-MTU packet.
+    pub const DEFAULT_CAPACITY: usize = 1600;
+    /// Default cap on idle buffers retained per freelist.
+    pub const DEFAULT_MAX_IDLE: usize = 4096;
+
+    /// Creates a pool with default capacity and idle cap.
+    #[must_use]
+    pub fn new() -> BufferPool {
+        BufferPool::with_config(Self::DEFAULT_CAPACITY, Self::DEFAULT_MAX_IDLE)
+    }
+
+    /// Creates a pool whose fresh buffers reserve `default_capacity` bytes
+    /// and whose freelists retain at most `max_idle` idle buffers each.
+    #[must_use]
+    pub fn with_config(default_capacity: usize, max_idle: usize) -> BufferPool {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                slots: Mutex::new(Vec::new()),
+                bufs: Mutex::new(Vec::new()),
+                default_capacity,
+                max_idle,
+                acquires: AtomicU64::new(0),
+                allocated: AtomicU64::new(0),
+                reused: AtomicU64::new(0),
+                recycled: AtomicU64::new(0),
+                released: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Takes an empty buffer from the pool, reusing storage when available.
+    #[must_use]
+    pub fn acquire(&self) -> BytesMut {
+        let inner = &self.inner;
+        inner.acquires.fetch_add(1, Ordering::Relaxed);
+        if let Some(mut slot) = inner.slots.lock().expect("pool slot freelist poisoned").pop() {
+            inner.reused.fetch_add(1, Ordering::Relaxed);
+            Arc::get_mut(&mut slot).expect("idle pooled slot is uniquely owned").buf.clear();
+            return BytesMut { slot };
+        }
+        if let Some(mut buf) = inner.bufs.lock().expect("pool buf freelist poisoned").pop() {
+            inner.reused.fetch_add(1, Ordering::Relaxed);
+            buf.clear();
+            return BytesMut { slot: Arc::new(PooledSlot { buf, pool: Arc::downgrade(inner) }) };
+        }
+        inner.allocated.fetch_add(1, Ordering::Relaxed);
+        BytesMut {
+            slot: Arc::new(PooledSlot {
+                buf: Vec::with_capacity(inner.default_capacity),
+                pool: Arc::downgrade(inner),
+            }),
+        }
+    }
+
+    /// Snapshot of the pool counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            acquires: self.inner.acquires.load(Ordering::Relaxed),
+            allocated: self.inner.allocated.load(Ordering::Relaxed),
+            reused: self.inner.reused.load(Ordering::Relaxed),
+            recycled: self.inner.recycled.load(Ordering::Relaxed),
+            released: self.inner.released.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of idle buffers currently held across both freelists.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.inner.slots.lock().expect("pool slot freelist poisoned").len()
+            + self.inner.bufs.lock().expect("pool buf freelist poisoned").len()
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> BufferPool {
+        BufferPool::new()
+    }
+}
+
+impl fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferPool").field("stats", &self.stats()).finish()
+    }
+}
+
+/// A uniquely owned, mutable byte buffer that freezes into [`Bytes`] without
+/// copying. Obtained from [`BufferPool::acquire`] (pooled) or
+/// [`BytesMut::with_capacity`] (unpooled).
+pub struct BytesMut {
+    slot: Arc<PooledSlot>,
+}
+
+impl BytesMut {
+    /// Creates an unpooled mutable buffer; its storage is freed normally.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            slot: Arc::new(PooledSlot { buf: Vec::with_capacity(capacity), pool: Weak::new() }),
+        }
+    }
+
+    /// Exclusive access to the underlying `Vec<u8>` for in-place building.
+    pub fn as_vec_mut(&mut self) -> &mut Vec<u8> {
+        &mut Arc::get_mut(&mut self.slot).expect("BytesMut slot is uniquely owned").buf
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.as_vec_mut().extend_from_slice(data);
+    }
+
+    /// Appends one byte.
+    pub fn push(&mut self, byte: u8) {
+        self.as_vec_mut().push(byte);
+    }
+
+    /// Clears the contents, retaining capacity.
+    pub fn clear(&mut self) {
+        self.as_vec_mut().clear();
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slot.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slot.buf.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] view without copying. The
+    /// storage returns to its pool when the last view drops.
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        let len = self.slot.buf.len();
+        Bytes { data: Data::Pooled(self.slot), offset: 0, len }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.slot.buf
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BytesMut").field("len", &self.len()).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,7 +530,8 @@ mod tests {
         let inner = mid.slice(1..3);
         assert_eq!(&inner[..], b"de");
         // The views share one allocation: 1 owner + 2 slices.
-        assert_eq!(Arc::strong_count(&a.data), 3);
+        let Data::Slice(arc) = &a.data else { panic!("copy_from_slice backs with a slice") };
+        assert_eq!(Arc::strong_count(arc), 3);
     }
 
     #[test]
@@ -243,5 +551,102 @@ mod tests {
     fn slice_out_of_bounds_panics() {
         let a = Bytes::copy_from_slice(b"xy");
         let _ = a.slice(..3);
+    }
+
+    #[test]
+    fn bytes_mut_builds_and_freezes() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"head");
+        m.push(b'-');
+        m.as_vec_mut().extend_from_slice(b"tail");
+        assert_eq!(&m[..], b"head-tail");
+        let b = m.freeze();
+        assert_eq!(&b[..], b"head-tail");
+        assert_eq!(&b.slice(5..)[..], b"tail");
+    }
+
+    #[test]
+    fn pool_round_trip_reuses_storage() {
+        let pool = BufferPool::with_config(64, 8);
+        let mut m = pool.acquire();
+        m.extend_from_slice(b"packet-one");
+        let frozen = m.freeze();
+        assert_eq!(&frozen[..], b"packet-one");
+        drop(frozen);
+        assert_eq!(pool.idle(), 1);
+
+        // The second acquire reuses the first buffer's storage.
+        let mut m2 = pool.acquire();
+        assert!(m2.is_empty());
+        m2.extend_from_slice(b"two");
+        assert_eq!(&m2.freeze()[..], b"two");
+
+        let stats = pool.stats();
+        assert_eq!(stats.acquires, 2);
+        assert_eq!(stats.allocated, 1);
+        assert_eq!(stats.reused, 1);
+        assert_eq!(stats.acquires, stats.allocated + stats.reused);
+        assert_eq!(stats.recycled, 2);
+    }
+
+    #[test]
+    fn pool_steady_state_stops_allocating() {
+        let pool = BufferPool::with_config(32, 8);
+        for i in 0..100u8 {
+            let mut m = pool.acquire();
+            m.extend_from_slice(&[i; 16]);
+            let b = m.freeze();
+            let view = b.slice(4..8);
+            assert_eq!(&view[..], &[i; 4][..]);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.acquires, 100);
+        assert_eq!(stats.allocated, 1, "steady state must reuse one buffer");
+        assert_eq!(stats.reused, 99);
+    }
+
+    #[test]
+    fn shared_views_recycle_on_last_drop() {
+        let pool = BufferPool::with_config(32, 8);
+        let mut m = pool.acquire();
+        m.extend_from_slice(b"shared-wire");
+        let whole = m.freeze();
+        let part = whole.slice(7..);
+        drop(whole);
+        // A view is still alive, so nothing is idle yet.
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(&part[..], b"wire");
+        drop(part);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn pool_idle_cap_releases_excess() {
+        let pool = BufferPool::with_config(16, 2);
+        let all: Vec<Bytes> = (0..4)
+            .map(|_| {
+                let mut m = pool.acquire();
+                m.push(1);
+                m.freeze()
+            })
+            .collect();
+        drop(all);
+        assert_eq!(pool.idle(), 2);
+        let stats = pool.stats();
+        assert_eq!(stats.recycled, 2);
+        assert_eq!(stats.released, 2);
+    }
+
+    #[test]
+    fn unpooled_bytes_mut_outlives_missing_pool() {
+        let frozen = {
+            let pool = BufferPool::with_config(16, 4);
+            let mut m = pool.acquire();
+            m.extend_from_slice(b"escapee");
+            m.freeze()
+        };
+        // The pool is gone; dropping the view must not panic.
+        assert_eq!(&frozen[..], b"escapee");
+        drop(frozen);
     }
 }

@@ -60,7 +60,7 @@ fn bench_other_paths(c: &mut Criterion) {
         use potemkin_gateway::tunnel::{Telescope, TunnelEndpoint};
         use potemkin_net::gre::GreHeader;
         let mut ep = TunnelEndpoint::new();
-        ep.attach(Telescope { key: 1, prefix: "10.1.0.0/16".parse().unwrap() });
+        ep.attach(Telescope { key: 1, prefix: "10.1.0.0/16".parse().unwrap() }).unwrap();
         let inner = PacketBuilder::new(Ipv4Addr::new(6, 6, 6, 6), Ipv4Addr::new(10, 1, 0, 5))
             .tcp_syn(1, 445);
         let frame = GreHeader::encapsulate_ipv4(1, inner.wire());

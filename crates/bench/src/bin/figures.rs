@@ -11,7 +11,7 @@
 //! Output is plain aligned text; EXPERIMENTS.md quotes it directly.
 
 use potemkin_bench::experiments::{
-    e1, e10, e11, e12, e13, e14, e15, e2, e3, e4, e5, e6, e7, e8, e9,
+    e1, e10, e11, e12, e13, e14, e15, e16, e2, e3, e4, e5, e6, e7, e8, e9,
 };
 use potemkin_sim::SimTime;
 
@@ -21,15 +21,16 @@ struct Opts {
     csv: bool,
     /// Directory receiving every emitted artifact (`BENCH_replay.json`,
     /// `BENCH_obs.json`, `BENCH_memory.json`, `BENCH_snapshot.json`,
-    /// `trace.json`). The legacy per-file flags below override the
-    /// directory-derived path for their artifact and remain accepted as
-    /// aliases.
+    /// `BENCH_federation.json`, `trace.json`). The legacy per-file flags
+    /// below override the directory-derived path for their artifact and
+    /// remain accepted as aliases.
     out_dir: Option<String>,
     bench_out: Option<String>,
     obs_out: Option<String>,
     trace_out: Option<String>,
     memory_out: Option<String>,
     snapshot_out: Option<String>,
+    federation_out: Option<String>,
 }
 
 impl Opts {
@@ -51,6 +52,7 @@ fn parse_args() -> Opts {
         trace_out: None,
         memory_out: None,
         snapshot_out: None,
+        federation_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,14 +66,16 @@ fn parse_args() -> Opts {
             "--trace-out" => opts.trace_out = args.next(),
             "--memory-out" => opts.memory_out = args.next(),
             "--snapshot-out" => opts.snapshot_out = args.next(),
+            "--federation-out" => opts.federation_out = args.next(),
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--fast] [--csv] [--out-dir DIR] \
-                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15]\n\
+                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16]\n\
                      --out-dir DIR   write BENCH_replay.json, BENCH_obs.json, \
-                     BENCH_memory.json, BENCH_snapshot.json and trace.json into DIR\n\
+                     BENCH_memory.json, BENCH_snapshot.json, BENCH_federation.json \
+                     and trace.json into DIR\n\
                      (per-file aliases: --bench-out, --obs-out, --trace-out, \
-                     --memory-out, --snapshot-out)"
+                     --memory-out, --snapshot-out, --federation-out)"
                 );
                 std::process::exit(0);
             }
@@ -243,6 +247,32 @@ fn main() {
         emit(&opts, &e15::table(&r));
         if let Some(path) = opts.artifact(&opts.bench_out, "BENCH_replay.json") {
             std::fs::write(&path, e15::bench_json(&r)).expect("write bench json");
+            println!("wrote {path}");
+        }
+    }
+    if wants(&opts, "e16") {
+        // Fast: a /16 across up to 4 farms for CI smoke. Full: a /11 —
+        // ~2.1M monitored addresses — federated across up to 16 farms.
+        let duration = if opts.fast { SimTime::from_secs(4) } else { SimTime::from_secs(6) };
+        let telescope: potemkin_net::addr::Ipv4Prefix =
+            if opts.fast { "10.1.0.0/16" } else { "10.0.0.0/11" }.parse().expect("static prefix");
+        let cells = if opts.fast { 8 } else { 16 };
+        let farm_counts: &[usize] = if opts.fast { &[1, 2, 4] } else { &[1, 2, 4, 8, 16] };
+        let workers: &[usize] = &[1, 2];
+        let r = e16::run(duration, telescope, cells, farm_counts, workers);
+        println!(
+            "federation: {} addresses across up to {} farms, {} packets, {} cross-cell; \
+             deterministic: {}, shed invariant: {}",
+            r.monitored_addresses,
+            farm_counts.last().unwrap_or(&1),
+            r.packets,
+            r.cross_cell_packets,
+            r.deterministic,
+            r.shed_invariant
+        );
+        emit(&opts, &e16::table(&r));
+        if let Some(path) = opts.artifact(&opts.federation_out, "BENCH_federation.json") {
+            std::fs::write(&path, e16::bench_json(&r)).expect("write federation bench json");
             println!("wrote {path}");
         }
     }

@@ -17,6 +17,7 @@
 //! | [`e13`] | (extension) | memory control plane: content-hash frame sharing + reclaim-policy determinism |
 //! | [`e14`] | (extension) | checkpoint/restore: crash-consistent snapshots, integrity verification, deterministic resume |
 //! | [`e15`] | (extension) | hot-path tuning: load-aware sharding, adaptive windows, allocation-free packet path |
+//! | [`e16`] | (extension) | federated multi-farm telescope: BGP-style prefix routing, cross-farm worm reflection, byte-identical reports across topologies |
 
 pub mod e1;
 pub mod e10;
@@ -25,6 +26,7 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 pub mod e15;
+pub mod e16;
 pub mod e2;
 pub mod e3;
 pub mod e4;

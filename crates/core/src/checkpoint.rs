@@ -126,8 +126,13 @@ pub struct CheckpointedRun {
 #[must_use]
 pub fn config_fingerprint(config: &ShardedTelescopeConfig) -> u64 {
     let canonical = format!(
-        "{:?}|{}|{:?}|{:?}|{}",
-        config.base, config.cells, config.window, config.faults, config.seed_infections
+        "{:?}|{}|{:?}|{:?}|{:?}|{}",
+        config.base,
+        config.cells,
+        config.cell_map,
+        config.window,
+        config.faults,
+        config.seed_infections
     );
     fnv1a64(canonical.as_bytes())
 }

@@ -1,0 +1,894 @@
+//! Federated multi-farm telescope replay.
+//!
+//! One [`ShardedTelescope`](crate::parallel) covers a single telescope
+//! range on one simulated cluster. This driver grows to internet scale by
+//! running N member farm clusters behind the
+//! [`potemkin_federation`] routing tier: the monitored prefix is carved
+//! into contiguous cell slices ([`CellMap::Sliced`]), farms are
+//! power-of-two groupings of consecutive cells, each farm advertises its
+//! aggregate prefix into a BGP-style longest-prefix route table, and
+//! cross-farm traffic rides GRE uplinks through the tier — decapsulated,
+//! routed, re-encapsulated — exactly like the paper's telescope-to-farm
+//! backhaul, one level up.
+//!
+//! # Cross-farm reflection and the determinism argument
+//!
+//! The existing cell fabric already carries a reflected worm probe from
+//! the cell that emitted it to the cell owning its destination
+//! ([`FarmOutput::ForwardedCell`](crate::farm::FarmOutput)). Federation
+//! lifts that fabric one level: when emitter and owner live in different
+//! farms, the batch is GRE-encapsulated on the emitter farm's uplink,
+//! transits the routing tier, and is decapsulated by the owning farm's
+//! ingress — instantiating worm victims in another farm. Merged reports
+//! stay **byte-identical across topology layouts** (1 farm ≡ 2 ≡ 16 for
+//! the same total range, cells, and seed) because every layout-dependent
+//! step is content-, order-, and time-preserving:
+//!
+//! * **Ownership is layout-invariant.** The cell partition is fixed by
+//!   `(telescope, cells)` alone; farms are groupings of cells, so
+//!   regrouping never moves an address between cells and never changes a
+//!   cell's event order.
+//! * **Transport is exact.** GRE encapsulation round-trips packet bytes
+//!   exactly, batches preserve emission order 1:1, and tunneled batches
+//!   are delivered at the same conservative window barrier, in the same
+//!   canonical `(window, source cell)` order, as local fabric batches.
+//! * **Admission is per-cell.** Global load-shedding consults the
+//!   *destination cell's* farm pressure state — a pure function of
+//!   simulation state — and applies to local and tunneled deliveries
+//!   alike, so the same packets are shed in every layout.
+//!
+//! What *does* change with the layout is transport telemetry: how many
+//! deliveries crossed a farm boundary, per-uplink byte counts. Those are
+//! reported in [`FederationReport`] and excluded from determinism digests
+//! by convention, like wall-clock engine telemetry.
+
+use std::sync::{Arc, Mutex};
+
+use potemkin_federation::{AdmissionConfig, FederationLayout, FederationRouter};
+use potemkin_gateway::tunnel::{Telescope, TunnelEndpoint};
+use potemkin_net::addr::Ipv4Prefix;
+use potemkin_net::Packet;
+use potemkin_sim::{
+    run_sharded, EngineTuning, EventQueue, FaultPlanConfig, Shard, ShardConfig, ShardWorld,
+    SimTime, World,
+};
+
+use crate::error::FarmError;
+use crate::parallel::{
+    assemble_result, encode_cell_aux, prepare_shards, restore_cell_aux, CellEvent, CellMap,
+    CellWorld, HasCellWorld, PreparedRun, ShardedTelescopeConfig, ShardedTelescopeResult,
+};
+use crate::scenario::TelescopeConfig;
+
+/// Configuration of a federated telescope replay.
+///
+/// Construct via [`FederatedTelescopeConfig::builder`]; the struct is
+/// `#[non_exhaustive]`, so new knobs may be added without breaking
+/// downstream crates.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct FederatedTelescopeConfig {
+    /// The scenario. `base.radiation.telescope` is the *total* federated
+    /// range, split across farms.
+    pub base: TelescopeConfig,
+    /// Member farm clusters (power of two). Changes transport topology,
+    /// never merged results.
+    pub farms: usize,
+    /// Global address-space cells across the whole federation (power of
+    /// two, `>= farms`). Fixed per run and layout-invariant: results
+    /// depend on it, the farm grouping and worker count do not change
+    /// them.
+    pub cells: usize,
+    /// Conservative barrier window width (shared by the cell fabric and
+    /// the federation tier: one barrier spans both).
+    pub window: SimTime,
+    /// Per-cell fault plans, generated from this template with a per-cell
+    /// derived seed (None = fault-free).
+    pub faults: Option<FaultPlanConfig>,
+    /// Patient-zero infections to seed (requires `base.farm.worm`).
+    pub seed_infections: usize,
+    /// Observability: adds one federation lane per cell (`fed.tunnel`,
+    /// `fed.shed` instants) on top of the sharded lanes. Digest-invisible
+    /// by construction.
+    pub trace: Option<potemkin_obs::TraceConfig>,
+    /// Engine performance tuning (see
+    /// [`EngineTuning`]).
+    pub tuning: EngineTuning,
+    /// Global admission/load-shedding policy, keyed off the member farms'
+    /// memory-pressure plumbing.
+    pub admission: AdmissionConfig,
+}
+
+impl FederatedTelescopeConfig {
+    /// A validating builder: one farm, one cell, a 500 ms window, no
+    /// faults, no seed infections, tracing off, admission disabled.
+    #[must_use]
+    pub fn builder(base: TelescopeConfig) -> FederatedTelescopeConfigBuilder {
+        FederatedTelescopeConfigBuilder {
+            inner: FederatedTelescopeConfig {
+                base,
+                farms: 1,
+                cells: 1,
+                window: SimTime::from_millis(500),
+                faults: None,
+                seed_infections: 0,
+                trace: None,
+                tuning: EngineTuning::default(),
+                admission: AdmissionConfig::disabled(),
+            },
+        }
+    }
+
+    /// The validated geometry of this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`potemkin_gateway::ConfigError`] when `farms`/`cells`
+    /// cannot slice the telescope (see [`FederationLayout::new`]).
+    pub fn layout(&self) -> Result<FederationLayout, potemkin_gateway::ConfigError> {
+        FederationLayout::new(self.base.radiation.telescope, self.farms, self.cells)
+    }
+
+    /// The underlying sharded configuration: the same scenario over the
+    /// global sliced cell partition. A federated run with one farm *is*
+    /// this sharded run — that identity is what `tests/prop_federation.rs`
+    /// checks.
+    fn sharded(&self) -> ShardedTelescopeConfig {
+        let mut builder = ShardedTelescopeConfig::builder(self.base.clone())
+            .cells(self.cells)
+            .cell_map(CellMap::Sliced)
+            .window(self.window)
+            .seed_infections(self.seed_infections)
+            .tuning(self.tuning);
+        if let Some(faults) = self.faults {
+            builder = builder.faults(faults);
+        }
+        if let Some(trace) = self.trace {
+            builder = builder.trace(trace);
+        }
+        match builder.build() {
+            Ok(config) => config,
+            // Invalid combinations are caught again by `prepare_shards`;
+            // fall back to an unvalidated assembly so the error surfaces
+            // as a typed `FarmError` from the run, not a panic here.
+            Err(_) => {
+                let mut config = ShardedTelescopeConfig::builder(self.base.clone())
+                    .build()
+                    .expect("minimal config is valid");
+                config.cells = self.cells;
+                config.cell_map = CellMap::Sliced;
+                config.window = self.window;
+                config.faults = self.faults;
+                config.seed_infections = self.seed_infections;
+                config.trace = self.trace;
+                config.tuning = self.tuning;
+                config
+            }
+        }
+    }
+}
+
+/// Typed builder for [`FederatedTelescopeConfig`]; see
+/// [`FederatedTelescopeConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct FederatedTelescopeConfigBuilder {
+    inner: FederatedTelescopeConfig,
+}
+
+impl FederatedTelescopeConfigBuilder {
+    /// Sets the member-farm count (power of two).
+    #[must_use]
+    pub fn farms(mut self, farms: usize) -> Self {
+        self.inner.farms = farms;
+        self
+    }
+
+    /// Sets the global cell count (power of two, `>= farms`).
+    #[must_use]
+    pub fn cells(mut self, cells: usize) -> Self {
+        self.inner.cells = cells;
+        self
+    }
+
+    /// Sets the conservative barrier window width.
+    #[must_use]
+    pub fn window(mut self, window: SimTime) -> Self {
+        self.inner.window = window;
+        self
+    }
+
+    /// Installs a per-cell fault-plan template.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlanConfig) -> Self {
+        self.inner.faults = Some(faults);
+        self
+    }
+
+    /// Sets the patient-zero count (requires the base farm's worm).
+    #[must_use]
+    pub fn seed_infections(mut self, n: usize) -> Self {
+        self.inner.seed_infections = n;
+        self
+    }
+
+    /// Enables per-cell tracing (federation lanes included).
+    #[must_use]
+    pub fn trace(mut self, trace: potemkin_obs::TraceConfig) -> Self {
+        self.inner.trace = Some(trace);
+        self
+    }
+
+    /// Sets the engine performance tuning.
+    #[must_use]
+    pub fn tuning(mut self, tuning: EngineTuning) -> Self {
+        self.inner.tuning = tuning;
+        self
+    }
+
+    /// Sets the global admission/load-shedding policy.
+    #[must_use]
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.inner.admission = admission;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`potemkin_gateway::ConfigError`] for an invalid layout
+    /// (farms/cells/telescope geometry) or any error the underlying
+    /// sharded builder reports (zero window, seeds without a worm, bad
+    /// adaptive bounds).
+    pub fn build(self) -> Result<FederatedTelescopeConfig, potemkin_gateway::ConfigError> {
+        let c = self.inner;
+        c.layout()?;
+        // Reuse the sharded validation for the shared knobs.
+        let mut probe = ShardedTelescopeConfig::builder(c.base.clone())
+            .cells(c.cells)
+            .cell_map(CellMap::Sliced)
+            .window(c.window)
+            .seed_infections(c.seed_infections)
+            .tuning(c.tuning);
+        if let Some(faults) = c.faults {
+            probe = probe.faults(faults);
+        }
+        probe.build()?;
+        Ok(c)
+    }
+}
+
+/// Per-farm link accounting, merged across the farm's cells and the
+/// routing tier. All transport telemetry: layout-dependent by nature and
+/// excluded from determinism digests.
+#[derive(Clone, Debug)]
+pub struct FarmLinkReport {
+    /// The member farm index.
+    pub farm: usize,
+    /// The aggregate prefix this farm advertises.
+    pub prefix: Ipv4Prefix,
+    /// Cells this farm runs.
+    pub cells: usize,
+    /// Packets the routing tier decapsulated from this farm's uplink.
+    pub uplink_packets: u64,
+    /// Inner bytes decapsulated from this farm's uplink.
+    pub uplink_bytes: u64,
+    /// Packets the tier forwarded down to this farm.
+    pub downlink_packets: u64,
+    /// Packets shed into this farm's cells by admission control.
+    pub shed_packets: u64,
+    /// This farm's uplink frames dropped for lack of a route.
+    pub route_drops: u64,
+}
+
+/// The federation tier's merged report.
+#[derive(Clone, Debug)]
+pub struct FederationReport {
+    /// Member farm clusters.
+    pub farms: usize,
+    /// Global cells across the federation.
+    pub cells: usize,
+    /// Total monitored addresses across all farm advertisements.
+    pub monitored_addresses: u64,
+    /// Routes installed at the tier (one per farm).
+    pub advertised_routes: usize,
+    /// Fabric packets that crossed a *farm* boundary over GRE. Transport
+    /// telemetry: grows with the farm count for the same scenario (0 for
+    /// one farm) and is excluded from determinism digests, unlike
+    /// `cross_cell_packets`, which is layout-invariant.
+    pub cross_farm_packets: u64,
+    /// Fabric deliveries shed by admission control. Layout-invariant:
+    /// shedding is decided per destination cell.
+    pub shed_packets: u64,
+    /// Uplink frames dropped for lack of a route (0 in a well-formed
+    /// layout: every farm advertises its slice).
+    pub route_drops: u64,
+    /// Downlink frames a farm ingress failed to decapsulate (0 in a
+    /// well-formed layout).
+    pub decap_errors: u64,
+    /// Per-farm link accounting.
+    pub per_farm: Vec<FarmLinkReport>,
+}
+
+/// Result of a federated replay: the same merged deterministic report a
+/// sharded run produces, plus the federation tier's transport telemetry.
+#[derive(Clone, Debug)]
+pub struct FederatedTelescopeResult {
+    /// Merged across every cell of every farm — byte-identical across
+    /// farm groupings and worker counts.
+    pub merged: ShardedTelescopeResult,
+    /// The routing tier's view (layout-dependent transport telemetry).
+    pub federation: FederationReport,
+}
+
+/// A federated telescope: N member farms behind the routing tier.
+#[derive(Clone, Debug)]
+pub struct FederatedTelescope {
+    config: FederatedTelescopeConfig,
+}
+
+impl FederatedTelescope {
+    /// Wraps a validated configuration.
+    #[must_use]
+    pub fn new(config: FederatedTelescopeConfig) -> Self {
+        FederatedTelescope { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &FederatedTelescopeConfig {
+        &self.config
+    }
+
+    /// Runs the federated replay on `workers` OS threads; see
+    /// [`run_telescope_federated`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run_telescope_federated`].
+    pub fn run(&self, workers: usize) -> Result<FederatedTelescopeResult, FarmError> {
+        run_telescope_federated(&self.config, workers)
+    }
+}
+
+/// One barrier delivery on the federated fabric.
+///
+/// `Local` batches stay inside a farm and carry packets directly, exactly
+/// like the sharded fabric. `Tunneled` batches crossed a farm boundary:
+/// each packet was GRE-encapsulated on the source farm's uplink, transited
+/// the routing tier, and arrives as a downlink frame keyed by the owning
+/// farm — the destination cell decapsulates at the barrier. Frame order is
+/// emission order, so delivery order matches the local case 1:1.
+pub(crate) enum FedBatch {
+    Local(Vec<Packet>),
+    Tunneled(Vec<Vec<u8>>),
+}
+
+/// Per-cell federation counters (merged per farm at assembly).
+#[derive(Clone, Copy, Default)]
+struct FedCellStats {
+    tunneled_in_packets: u64,
+    shed_packets: u64,
+    decap_errors: u64,
+}
+
+/// A cell of a member farm: the plain [`CellWorld`] plus the federation
+/// hop for batches that cross a farm boundary.
+pub(crate) struct FedCellWorld {
+    inner: CellWorld,
+    farm_id: usize,
+    layout: FederationLayout,
+    /// The shared routing tier. Locked only while staging a cross-farm
+    /// batch; every counter behind the lock is additive, so worker-thread
+    /// lock order cannot affect any reported total.
+    router: Arc<Mutex<FederationRouter>>,
+    /// This farm's downlink terminator (key = farm id, prefix = the
+    /// farm's advertised aggregate).
+    ingress: TunnelEndpoint,
+    admission: AdmissionConfig,
+    stats: FedCellStats,
+    tracer: Option<potemkin_obs::Tracer>,
+}
+
+impl HasCellWorld for FedCellWorld {
+    fn cell(&self) -> &CellWorld {
+        &self.inner
+    }
+    fn cell_mut(&mut self) -> &mut CellWorld {
+        &mut self.inner
+    }
+}
+
+impl World for FedCellWorld {
+    type Event = CellEvent;
+
+    fn handle(&mut self, now: SimTime, event: CellEvent, q: &mut EventQueue<CellEvent>) {
+        self.inner.handle(now, event, q);
+    }
+}
+
+impl ShardWorld for FedCellWorld {
+    type Remote = FedBatch;
+
+    fn take_outbound(&mut self) -> Vec<(usize, FedBatch)> {
+        self.inner
+            .take_outbound()
+            .into_iter()
+            .map(|(dest_cell, packets)| {
+                if self.layout.farm_of_cell(dest_cell) == self.farm_id {
+                    (dest_cell, FedBatch::Local(packets))
+                } else {
+                    // The uplink hop: encapsulate with this farm's key,
+                    // transit the tier (decap → longest-prefix route →
+                    // re-encap with the owner's key). A packet the table
+                    // cannot route is a counted drop at the tier — never
+                    // delivered, never a panic. Frame order preserves
+                    // packet order.
+                    let mut router = self.router.lock().expect("router lock");
+                    let frames = packets
+                        .iter()
+                        .filter_map(|p| {
+                            router.forward(self.farm_id as u32, p).map(|(_, frame)| frame)
+                        })
+                        .collect();
+                    (dest_cell, FedBatch::Tunneled(frames))
+                }
+            })
+            .collect()
+    }
+
+    fn accept_remote(&mut self, at: SimTime, batch: FedBatch, queue: &mut EventQueue<CellEvent>) {
+        let packets: Vec<Packet> = match batch {
+            FedBatch::Local(packets) => packets,
+            FedBatch::Tunneled(frames) => {
+                let decapsulated: Vec<Packet> = frames
+                    .iter()
+                    .filter_map(|frame| match self.ingress.decapsulate(frame) {
+                        Ok((_key, packet)) => Some(packet),
+                        Err(_) => {
+                            self.stats.decap_errors += 1;
+                            None
+                        }
+                    })
+                    .collect();
+                self.stats.tunneled_in_packets += decapsulated.len() as u64;
+                if let Some(tracer) = &mut self.tracer {
+                    tracer.instant(at, potemkin_obs::names::FED_TUNNEL, decapsulated.len() as u64);
+                }
+                decapsulated
+            }
+        };
+        // Global admission: shed once this cell's farm is under memory
+        // pressure. The decision reads only destination-cell state and
+        // applies to local and tunneled deliveries alike, so it is a pure
+        // function of simulation state — identical in every farm grouping.
+        if let Some(threshold) = self.admission.shed_after_pressure_events {
+            if self.inner.farm.pressure_events().len() as u64 >= threshold {
+                self.stats.shed_packets += packets.len() as u64;
+                if let Some(tracer) = &mut self.tracer {
+                    tracer.instant(at, potemkin_obs::names::FED_SHED, packets.len() as u64);
+                }
+                return;
+            }
+        }
+        self.inner.accept_remote(at, packets, queue);
+    }
+}
+
+/// Runs a federated telescope replay on `workers` OS threads.
+///
+/// `workers == 1` runs every cell of every farm on the calling thread (the
+/// serial reference); any worker count — and any power-of-two farm count
+/// over the same total range, cells, and seed — produces a byte-identical
+/// merged report (see the module docs for the argument, and
+/// `tests/prop_federation.rs` for the property).
+///
+/// # Errors
+///
+/// Returns [`FarmError::BadConfig`] for an invalid layout (farm/cell
+/// geometry), seed infections without a worm, or a farm the cells cannot
+/// build.
+pub fn run_telescope_federated(
+    config: &FederatedTelescopeConfig,
+    workers: usize,
+) -> Result<FederatedTelescopeResult, FarmError> {
+    let layout =
+        config.layout().map_err(|_| FarmError::BadConfig { what: "invalid federation layout" })?;
+    let sharded = config.sharded();
+    let PreparedRun { shards, meta } = prepare_shards(&sharded, true)?;
+    let router = Arc::new(Mutex::new(
+        layout.router().map_err(|_| FarmError::BadConfig { what: "farm prefixes overlap" })?,
+    ));
+
+    let mut fed_shards: Vec<Shard<FedCellWorld>> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(cell, shard)| {
+            let farm_id = layout.farm_of_cell(cell);
+            let mut ingress = TunnelEndpoint::new();
+            ingress
+                .attach(Telescope { key: farm_id as u32, prefix: layout.farm_prefix(farm_id) })
+                .expect("one telescope cannot overlap itself");
+            let tracer = config.trace.map(|trace_config| {
+                potemkin_obs::Tracer::new((config.cells * 3 + cell) as u32, trace_config)
+            });
+            Shard {
+                world: FedCellWorld {
+                    inner: shard.world,
+                    farm_id,
+                    layout,
+                    router: Arc::clone(&router),
+                    ingress,
+                    admission: config.admission,
+                    stats: FedCellStats::default(),
+                    tracer,
+                },
+                queue: shard.queue,
+            }
+        })
+        .collect();
+
+    let engine = run_sharded(
+        &mut fed_shards,
+        config.base.duration,
+        &ShardConfig { window: config.window, workers, tuning: config.tuning },
+    );
+
+    let mut merged = assemble_result(&sharded, &mut fed_shards, engine, &meta);
+    if config.trace.is_some() {
+        for (cell, shard) in fed_shards.iter_mut().enumerate() {
+            if let Some(tracer) = &mut shard.world.tracer {
+                merged.trace.extend(tracer.drain());
+            }
+            merged
+                .trace_lanes
+                .push(((config.cells * 3 + cell) as u32, format!("cell {cell} federation")));
+        }
+        merged.trace.sort_by_key(|e| (e.at, e.lane, e.seq));
+    }
+
+    let router = router.lock().expect("router lock");
+    let federation = assemble_federation(&layout, &router, &fed_shards);
+    Ok(FederatedTelescopeResult { merged, federation })
+}
+
+/// Merges the routing tier's counters with the per-cell federation stats.
+fn assemble_federation(
+    layout: &FederationLayout,
+    router: &FederationRouter,
+    shards: &[Shard<FedCellWorld>],
+) -> FederationReport {
+    let mut per_farm = Vec::with_capacity(layout.farms());
+    let mut cross_farm_packets = 0;
+    let mut shed_packets = 0;
+    let mut decap_errors = 0;
+    for farm in 0..layout.farms() {
+        let uplink = router.uplink_stats(farm as u32);
+        let link = router.link_stats(farm as u32);
+        let mut farm_shed = 0;
+        let mut farm_tunneled_in = 0;
+        for shard in shards.iter().filter(|s| s.world.farm_id == farm) {
+            farm_shed += shard.world.stats.shed_packets;
+            farm_tunneled_in += shard.world.stats.tunneled_in_packets;
+            decap_errors += shard.world.stats.decap_errors;
+        }
+        cross_farm_packets += farm_tunneled_in;
+        shed_packets += farm_shed;
+        per_farm.push(FarmLinkReport {
+            farm,
+            prefix: layout.farm_prefix(farm),
+            cells: layout.cells_per_farm(),
+            uplink_packets: uplink.packets_in,
+            uplink_bytes: uplink.bytes_in,
+            downlink_packets: link.downlink_packets,
+            shed_packets: farm_shed,
+            route_drops: link.route_drops,
+        });
+    }
+    FederationReport {
+        farms: layout.farms(),
+        cells: layout.cells(),
+        monitored_addresses: router.monitored_addresses(),
+        advertised_routes: router.advertised_routes(),
+        cross_farm_packets,
+        shed_packets,
+        route_drops: router.route_drops(),
+        decap_errors,
+        per_farm,
+    }
+}
+
+/// Encodes one federated cell's driver state for a snapshot section: the
+/// wrapped cell's aux state (live-VM samples, fabric counters, staged
+/// packets), the federation counters, and the ingress tunnel statistics.
+/// The farm itself and the event queue use the same sections a sharded
+/// checkpoint writes; the routing tier adds one `federation.router`
+/// section ([`FederationRouter::encode_state`]).
+// Exercised by the snapshot round-trip test until the checkpoint driver
+// grows a federated front-end; kept out of the public API because the
+// section layout is an internal format.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn encode_fed_aux(world: &FedCellWorld) -> Vec<u8> {
+    let mut w = potemkin_snapshot::SnapWriter::new();
+    w.bytes(&encode_cell_aux(&world.inner));
+    w.u64(world.stats.tunneled_in_packets);
+    w.u64(world.stats.shed_packets);
+    w.u64(world.stats.decap_errors);
+    w.bytes(&world.ingress.encode_state());
+    w.into_bytes()
+}
+
+/// Restores state captured by [`encode_fed_aux`] into a freshly prepared
+/// federated cell world.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn restore_fed_aux(
+    world: &mut FedCellWorld,
+    bytes: &[u8],
+) -> Result<(), potemkin_snapshot::SnapshotError> {
+    let mut r = potemkin_snapshot::SnapReader::new(bytes, "core.fed.cell");
+    let inner_bytes = r.bytes()?.to_vec();
+    let tunneled_in_packets = r.u64()?;
+    let shed_packets = r.u64()?;
+    let decap_errors = r.u64()?;
+    let ingress_bytes = r.bytes()?.to_vec();
+    r.finish()?;
+    restore_cell_aux(&mut world.inner, &inner_bytes)?;
+    world.ingress.restore_state(&ingress_bytes)?;
+    world.stats = FedCellStats { tunneled_in_packets, shed_packets, decap_errors };
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farm::FarmConfig;
+    use potemkin_gateway::policy::PolicyConfig;
+    use potemkin_workload::radiation::RadiationConfig;
+    use potemkin_workload::worm::WormSpec;
+
+    fn federated_config(farms: usize, cells: usize) -> FederatedTelescopeConfig {
+        let mut farm = FarmConfig::small_test();
+        farm.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10));
+        farm.frames_per_server = 262_144;
+        // The worm targets the whole monitored /16, so reflected probes
+        // cross cell boundaries at any cells >= 2 and farm boundaries at
+        // any farms >= 2.
+        farm.worm = Some(WormSpec::code_red("10.1.0.0/16".parse().unwrap()));
+        let base = TelescopeConfig {
+            farm,
+            radiation: RadiationConfig::default(),
+            seed: 2005,
+            duration: SimTime::from_secs(5),
+            sample_interval: SimTime::from_secs(1),
+            tick_interval: SimTime::from_secs(1),
+        };
+        FederatedTelescopeConfig::builder(base)
+            .farms(farms)
+            .cells(cells)
+            .window(SimTime::from_millis(500))
+            .seed_infections(2)
+            .build()
+            .unwrap()
+    }
+
+    /// The deterministic face of a federated result: everything in the
+    /// sharded digest plus the layout-invariant shed counter. Transport
+    /// telemetry (cross-farm counts, uplink bytes) is excluded by
+    /// convention.
+    fn digest(r: &FederatedTelescopeResult) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{:?}|{}|{}",
+            r.merged.degradation.canonical_string(),
+            r.merged.stats.counters.get("packets_in"),
+            r.merged.packets,
+            r.merged.cross_cell_packets,
+            r.merged.final_infected,
+            r.merged.live_vm_series.iter().collect::<Vec<_>>(),
+            r.merged.engine.remote_messages,
+            r.federation.shed_packets,
+        )
+    }
+
+    #[test]
+    fn merged_reports_are_identical_across_farm_groupings() {
+        let reference = run_telescope_federated(&federated_config(1, 8), 1).unwrap();
+        assert!(reference.merged.packets > 50);
+        assert!(reference.merged.cross_cell_packets > 0, "worm must cross cells");
+        assert_eq!(reference.federation.cross_farm_packets, 0, "one farm: nothing tunnels");
+        for farms in [2, 4, 8] {
+            for workers in [1, 4] {
+                let run = run_telescope_federated(&federated_config(farms, 8), workers).unwrap();
+                assert_eq!(
+                    digest(&reference),
+                    digest(&run),
+                    "farms={farms} workers={workers} diverged"
+                );
+                assert_eq!(run.federation.farms, farms);
+                assert_eq!(run.federation.route_drops, 0);
+                assert_eq!(run.federation.decap_errors, 0);
+            }
+        }
+        // The worm space spans every farm prefix: reflection must
+        // actually cross the tier.
+        let split = run_telescope_federated(&federated_config(4, 8), 2).unwrap();
+        assert!(split.federation.cross_farm_packets > 0, "worm must cross farms via GRE");
+        assert!(
+            split.federation.per_farm.iter().any(|f| f.uplink_packets > 0),
+            "uplinks must carry traffic"
+        );
+        assert_eq!(split.merged.degradation.escaped, 0, "containment holds across the tier");
+    }
+
+    #[test]
+    fn admission_sheds_identically_across_layouts() {
+        let tighten = |mut config: FederatedTelescopeConfig| {
+            // A tiny per-host frame budget forces pressure events early;
+            // shedding starts after the first one.
+            config.base.farm.memory_budget_frames = Some(24_000);
+            config.admission = AdmissionConfig::shed_after(1);
+            config
+        };
+        let one = run_telescope_federated(&tighten(federated_config(1, 8)), 1).unwrap();
+        assert!(one.federation.shed_packets > 0, "budget must trigger shedding");
+        for farms in [2, 8] {
+            let many = run_telescope_federated(&tighten(federated_config(farms, 8)), 4).unwrap();
+            assert_eq!(digest(&one), digest(&many), "farms={farms}");
+            assert_eq!(many.federation.shed_packets, one.federation.shed_packets);
+        }
+    }
+
+    #[test]
+    fn federation_tracing_is_digest_invisible() {
+        let plain = run_telescope_federated(&federated_config(4, 8), 2).unwrap();
+        let mut traced_config = federated_config(4, 8);
+        traced_config.trace = Some(potemkin_obs::TraceConfig::unbounded());
+        let traced = run_telescope_federated(&traced_config, 2).unwrap();
+        assert_eq!(digest(&plain), digest(&traced), "tracing must be observer-effect-free");
+        assert!(!traced.merged.trace.is_empty(), "federation lanes must record");
+        let fed_lane_base = (traced_config.cells * 3) as u32;
+        assert!(
+            traced.merged.trace_lanes.iter().any(|(lane, _)| *lane >= fed_lane_base),
+            "federation lanes must be registered"
+        );
+        assert!(
+            traced.merged.trace.iter().any(|e| e.name() == potemkin_obs::names::FED_TUNNEL),
+            "cross-farm deliveries must trace"
+        );
+    }
+
+    #[test]
+    fn federated_snapshot_sections_round_trip() {
+        use potemkin_snapshot::SnapshotFile;
+        // Run a federated replay to completion, capture its federation
+        // sections, and restore them into a freshly prepared topology.
+        let config = federated_config(4, 8);
+        let layout = config.layout().unwrap();
+        let sharded = config.sharded();
+        let PreparedRun { shards, meta } = prepare_shards(&sharded, true).unwrap();
+        let router = Arc::new(Mutex::new(layout.router().unwrap()));
+        let mut fed: Vec<Shard<FedCellWorld>> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(cell, s)| {
+                let farm_id = layout.farm_of_cell(cell);
+                let mut ingress = TunnelEndpoint::new();
+                ingress
+                    .attach(Telescope { key: farm_id as u32, prefix: layout.farm_prefix(farm_id) })
+                    .unwrap();
+                Shard {
+                    world: FedCellWorld {
+                        inner: s.world,
+                        farm_id,
+                        layout,
+                        router: Arc::clone(&router),
+                        ingress,
+                        admission: config.admission,
+                        stats: FedCellStats::default(),
+                        tracer: None,
+                    },
+                    queue: s.queue,
+                }
+            })
+            .collect();
+        let _ = meta;
+        run_sharded(
+            &mut fed,
+            config.base.duration,
+            &ShardConfig { window: config.window, workers: 2, tuning: config.tuning },
+        );
+
+        // Write the federated checkpoint sections.
+        let mut file = SnapshotFile::new(0xfed);
+        file.push("federation.router", router.lock().unwrap().encode_state());
+        for (cell, shard) in fed.iter().enumerate() {
+            file.push(&format!("fed{cell}.aux"), encode_fed_aux(&shard.world));
+        }
+        let encoded = file.encode();
+        let decoded = SnapshotFile::decode(&encoded).unwrap();
+
+        // Restore into a freshly prepared identical topology.
+        let PreparedRun { shards: fresh, .. } = prepare_shards(&sharded, false).unwrap();
+        let fresh_router = Arc::new(Mutex::new(layout.router().unwrap()));
+        let mut restored: Vec<Shard<FedCellWorld>> = fresh
+            .into_iter()
+            .enumerate()
+            .map(|(cell, s)| {
+                let farm_id = layout.farm_of_cell(cell);
+                let mut ingress = TunnelEndpoint::new();
+                ingress
+                    .attach(Telescope { key: farm_id as u32, prefix: layout.farm_prefix(farm_id) })
+                    .unwrap();
+                Shard {
+                    world: FedCellWorld {
+                        inner: s.world,
+                        farm_id,
+                        layout,
+                        router: Arc::clone(&fresh_router),
+                        ingress,
+                        admission: config.admission,
+                        stats: FedCellStats::default(),
+                        tracer: None,
+                    },
+                    queue: s.queue,
+                }
+            })
+            .collect();
+        fresh_router
+            .lock()
+            .unwrap()
+            .restore_state(decoded.section("federation.router").unwrap())
+            .unwrap();
+        for (cell, shard) in restored.iter_mut().enumerate() {
+            restore_fed_aux(&mut shard.world, decoded.section(&format!("fed{cell}.aux")).unwrap())
+                .unwrap();
+        }
+
+        // Re-encoding every restored section must be bit-identical.
+        assert_eq!(
+            fresh_router.lock().unwrap().encode_state(),
+            router.lock().unwrap().encode_state()
+        );
+        for (cell, shard) in restored.iter().enumerate() {
+            assert_eq!(
+                encode_fed_aux(&shard.world),
+                decoded.section(&format!("fed{cell}.aux")).unwrap(),
+                "cell {cell} aux must round-trip"
+            );
+        }
+        // Truncated sections are rejected, not misdecoded.
+        let aux = decoded.section("fed0.aux").unwrap();
+        let mut scratch = restored.pop().unwrap();
+        assert!(restore_fed_aux(&mut scratch.world, &aux[..aux.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn invalid_layouts_are_rejected() {
+        let base = federated_config(1, 8).base;
+        assert!(FederatedTelescopeConfig::builder(base.clone()).farms(3).cells(8).build().is_err());
+        assert!(FederatedTelescopeConfig::builder(base.clone()).farms(8).cells(4).build().is_err());
+        assert!(FederatedTelescopeConfig::builder(base.clone())
+            .farms(2)
+            .cells(4)
+            .window(SimTime::ZERO)
+            .build()
+            .is_err());
+        assert!(FederatedTelescopeConfig::builder(base).farms(2).cells(4).build().is_ok());
+        // Mutated-after-build invalidity surfaces as a typed run error.
+        let mut config = federated_config(2, 4);
+        config.farms = 3;
+        assert!(matches!(run_telescope_federated(&config, 1), Err(FarmError::BadConfig { .. })));
+    }
+
+    #[test]
+    fn federated_telescope_wrapper_runs() {
+        let telescope = FederatedTelescope::new(federated_config(2, 4));
+        assert_eq!(telescope.config().farms, 2);
+        let result = telescope.run(2).unwrap();
+        assert_eq!(result.federation.farms, 2);
+        assert_eq!(result.federation.advertised_routes, 2);
+        assert_eq!(
+            result.federation.monitored_addresses,
+            telescope.config().base.radiation.telescope.len()
+        );
+    }
+}

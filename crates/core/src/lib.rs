@@ -15,6 +15,10 @@
 //! * [`checkpoint`] — whole-farm checkpoint/restore: crash-consistent
 //!   snapshots of the sharded driver with integrity validation,
 //!   deterministic resume, and what-if forks.
+//! * [`federation`] — the federated multi-farm telescope: N member farm
+//!   clusters behind the `potemkin-federation` routing tier, with
+//!   cross-farm worm reflection over GRE and byte-identical merged
+//!   reports across topology layouts.
 //! * [`report`] — aggregated farm statistics.
 //!
 //! [`GatewayAction`]: potemkin_gateway::GatewayAction
@@ -41,6 +45,7 @@ pub mod baseline;
 pub mod checkpoint;
 pub mod error;
 pub mod farm;
+pub mod federation;
 pub mod parallel;
 pub mod report;
 pub mod scenario;
@@ -53,8 +58,12 @@ pub use checkpoint::{
 };
 pub use error::{Error, FarmError};
 pub use farm::{FarmConfig, FarmConfigBuilder, Honeyfarm};
+pub use federation::{
+    run_telescope_federated, FarmLinkReport, FederatedTelescope, FederatedTelescopeConfig,
+    FederatedTelescopeConfigBuilder, FederatedTelescopeResult, FederationReport,
+};
 pub use parallel::{
-    cell_for, derive_cell_seed, run_telescope_sharded, CellSlot, ShardedTelescopeConfig,
+    cell_for, derive_cell_seed, run_telescope_sharded, CellMap, CellSlot, ShardedTelescopeConfig,
     ShardedTelescopeConfigBuilder, ShardedTelescopeResult,
 };
 pub use potemkin_gateway::ConfigError;

@@ -70,6 +70,57 @@ pub fn derive_cell_seed(base: u64, cell: usize) -> u64 {
     splitmix64(base ^ splitmix64(cell as u64 + 1))
 }
 
+/// How telescope addresses map onto cells.
+///
+/// Both maps are pure functions of `(telescope, cells, addr)`, so either
+/// choice is deterministic at any worker count; they differ in *shape*:
+///
+/// * [`Hashed`](CellMap::Hashed) scatters /24s across cells for load
+///   balance — the default, and the historical behavior.
+/// * [`Sliced`](CellMap::Sliced) gives cell `i` the `i`-th contiguous
+///   sub-prefix of the telescope ([`Ipv4Prefix::subprefix`]). Contiguous
+///   ownership is what a federation needs: any power-of-two *grouping* of
+///   cells owns one clean aggregate prefix it can advertise into a route
+///   table, and regrouping (1 farm vs. 16) never moves an address between
+///   cells — the partition, and therefore every per-cell event order, is
+///   layout-invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CellMap {
+    /// Stable hash of the address's /24, reduced modulo the cell count.
+    #[default]
+    Hashed,
+    /// Contiguous equal sub-prefixes; requires a power-of-two cell count
+    /// no larger than the telescope.
+    Sliced,
+}
+
+impl CellMap {
+    /// The cell owning `addr` under this map. `addr` must be a telescope
+    /// address for `Sliced` (callers check membership first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero, or for `Sliced` when `addr` is outside
+    /// `telescope` or `cells` does not evenly split it — all rejected at
+    /// config validation.
+    #[must_use]
+    pub fn owner(self, telescope: Ipv4Prefix, addr: Ipv4Addr, cells: usize) -> usize {
+        match self {
+            CellMap::Hashed => cell_for(addr, cells),
+            CellMap::Sliced => {
+                assert!(cells > 0, "cells must be >= 1");
+                let index = telescope.index_of(addr).expect("sliced map needs a telescope address");
+                let slice_len = telescope.len() / cells as u64;
+                assert!(
+                    slice_len > 0 && telescope.len().is_multiple_of(cells as u64),
+                    "sliced map needs cells to split the telescope evenly"
+                );
+                (index / slice_len) as usize
+            }
+        }
+    }
+}
+
 /// One cell's slice of a sharded telescope: which addresses it owns.
 #[derive(Clone, Copy, Debug)]
 pub struct CellSlot {
@@ -79,6 +130,8 @@ pub struct CellSlot {
     pub index: usize,
     /// Total number of cells.
     pub count: usize,
+    /// How addresses map to cells.
+    pub map: CellMap,
 }
 
 impl CellSlot {
@@ -98,7 +151,7 @@ impl CellSlot {
         if !self.telescope.contains(dst) {
             return None;
         }
-        let owner = cell_for(dst, self.count);
+        let owner = self.map.owner(self.telescope, dst, self.count);
         (owner != self.index).then_some(owner)
     }
 }
@@ -118,6 +171,11 @@ pub struct ShardedTelescopeConfig {
     /// Number of address-space cells. Fixed per run: results depend on it,
     /// the worker count does not change them.
     pub cells: usize,
+    /// How telescope addresses map onto cells (results depend on it, like
+    /// `cells`). The default [`CellMap::Hashed`] preserves the historical
+    /// scattered-/24 partition; [`CellMap::Sliced`] assigns contiguous
+    /// sub-prefixes, the shape federated layouts advertise.
+    pub cell_map: CellMap,
     /// Conservative barrier window width.
     pub window: SimTime,
     /// Per-cell fault plans, generated from this template with a per-cell
@@ -150,6 +208,7 @@ impl ShardedTelescopeConfig {
             inner: ShardedTelescopeConfig {
                 base,
                 cells: 1,
+                cell_map: CellMap::Hashed,
                 window: SimTime::from_millis(500),
                 faults: None,
                 seed_infections: 0,
@@ -172,6 +231,13 @@ impl ShardedTelescopeConfigBuilder {
     #[must_use]
     pub fn cells(mut self, cells: usize) -> Self {
         self.inner.cells = cells;
+        self
+    }
+
+    /// Sets the address→cell map (default: [`CellMap::Hashed`]).
+    #[must_use]
+    pub fn cell_map(mut self, map: CellMap) -> Self {
+        self.inner.cell_map = map;
         self
     }
 
@@ -224,6 +290,15 @@ impl ShardedTelescopeConfigBuilder {
         }
         if c.window == SimTime::ZERO {
             return Err(ConfigError::new("ShardedTelescopeConfig", "window", "must be > 0"));
+        }
+        if c.cell_map == CellMap::Sliced
+            && (!c.cells.is_power_of_two() || c.cells as u64 > c.base.radiation.telescope.len())
+        {
+            return Err(ConfigError::new(
+                "ShardedTelescopeConfig",
+                "cell_map",
+                "sliced map needs a power-of-two cell count <= telescope size",
+            ));
         }
         if c.seed_infections > 0 && c.base.farm.worm.is_none() {
             return Err(ConfigError::new(
@@ -302,6 +377,7 @@ pub(crate) enum CellEvent {
 
 pub(crate) struct CellWorld {
     cells: usize,
+    map: CellMap,
     telescope: Ipv4Prefix,
     pub(crate) farm: Honeyfarm,
     /// Arena for pending [`CellEvent::Packet`] payloads. Slots are
@@ -329,12 +405,13 @@ impl CellWorld {
     /// reflections (its owning cell was resolved at emission).
     fn route_outputs(&mut self) {
         let cells = self.cells;
+        let map = self.map;
         let telescope = self.telescope;
         for out in self.farm.drain_outputs() {
             let (packet, dest) = match out {
                 FarmOutput::ForwardedCell { packet, cell } => (packet, cell),
                 FarmOutput::SentExternal(p) if telescope.contains(p.dst()) => {
-                    let dest = cell_for(p.dst(), cells);
+                    let dest = map.owner(telescope, p.dst(), cells);
                     (p, dest)
                 }
                 _ => continue,
@@ -456,6 +533,13 @@ pub(crate) fn prepare_shards(
     }
     let base = &config.base;
     let telescope = base.radiation.telescope;
+    if config.cell_map == CellMap::Sliced
+        && (!config.cells.is_power_of_two() || config.cells as u64 > telescope.len())
+    {
+        return Err(FarmError::BadConfig {
+            what: "sliced cell map needs a power-of-two cell count <= telescope size",
+        });
+    }
 
     let mut model = RadiationModel::new(base.radiation.clone(), base.seed);
     let trace = model.generate(base.duration);
@@ -477,7 +561,12 @@ pub(crate) fn prepare_shards(
             std::sync::Arc::clone(&farm_template),
             derive_cell_seed(base.farm.seed, cell),
         )?;
-        farm.assign_cell(CellSlot { telescope, index: cell, count: config.cells });
+        farm.assign_cell(CellSlot {
+            telescope,
+            index: cell,
+            count: config.cells,
+            map: config.cell_map,
+        });
         if let Some(template) = &config.faults {
             let mut plan_config = *template;
             plan_config.seed = derive_cell_seed(template.seed, cell);
@@ -488,6 +577,7 @@ pub(crate) fn prepare_shards(
         }
         let world = CellWorld {
             cells: config.cells,
+            map: config.cell_map,
             telescope,
             farm,
             packets: Slab::new(),
@@ -514,7 +604,7 @@ pub(crate) fn prepare_shards(
             let addr = telescope
                 .addr_at(i as u64)
                 .ok_or(FarmError::BadConfig { what: "more seed infections than addresses" })?;
-            let cell = cell_for(addr, config.cells);
+            let cell = config.cell_map.owner(telescope, addr, config.cells);
             let shard = &mut shards[cell];
             let vm =
                 shard.world.farm.materialize(SimTime::ZERO, addr).ok_or(FarmError::NoCapacity)?;
@@ -528,7 +618,7 @@ pub(crate) fn prepare_shards(
         // destination, in trace order (the queue's FIFO tie-break keeps
         // same-timestamp arrivals in this order).
         for event in trace.into_events() {
-            let cell = cell_for(event.packet.dst(), config.cells);
+            let cell = config.cell_map.owner(telescope, event.packet.dst(), config.cells);
             let shard = &mut shards[cell];
             let key = shard.world.packets.insert(event.packet);
             shard.queue.schedule(event.at, CellEvent::Packet(key));
@@ -538,24 +628,41 @@ pub(crate) fn prepare_shards(
     Ok(PreparedRun { shards, meta })
 }
 
+/// A world the sharded assembly/trace machinery can treat as a cell — the
+/// plain [`CellWorld`], or a wrapper (the federation driver) delegating to
+/// one.
+pub(crate) trait HasCellWorld {
+    fn cell(&self) -> &CellWorld;
+    fn cell_mut(&mut self) -> &mut CellWorld;
+}
+
+impl HasCellWorld for CellWorld {
+    fn cell(&self) -> &CellWorld {
+        self
+    }
+    fn cell_mut(&mut self) -> &mut CellWorld {
+        self
+    }
+}
+
 /// Merges finished shards and engine telemetry into the public result.
-pub(crate) fn assemble_result(
+pub(crate) fn assemble_result<W: World + HasCellWorld>(
     config: &ShardedTelescopeConfig,
-    shards: &mut [Shard<CellWorld>],
+    shards: &mut [Shard<W>],
     engine: ShardRunReport,
     meta: &TraceMeta,
 ) -> ShardedTelescopeResult {
     let base = &config.base;
-    let farms: Vec<&Honeyfarm> = shards.iter().map(|s| &s.world.farm).collect();
+    let farms: Vec<&Honeyfarm> = shards.iter().map(|s| &s.world.cell().farm).collect();
     let stats = FarmStats::collect_sharded(farms.iter().copied());
     let degradation = DegradationReport::collect_sharded(farms.iter().copied());
     let mut live_vm_series = TimeSeries::new(base.sample_interval);
     let mut cross_cell_packets = 0;
     let mut final_infected = 0;
     for shard in shards.iter() {
-        live_vm_series.merge(&shard.world.live_vm_series);
-        cross_cell_packets += shard.world.forwarded;
-        final_infected += shard.world.farm.infected_vms();
+        live_vm_series.merge(&shard.world.cell().live_vm_series);
+        cross_cell_packets += shard.world.cell().forwarded;
+        final_infected += shard.world.cell().farm.infected_vms();
     }
     let peak_live_vms = live_vm_series.peak();
     let (trace_events, trace_lanes) = match config.trace {
@@ -721,17 +828,17 @@ pub(crate) fn decode_cell_queue(
 /// its barrier interval with a `shard.events` counter sample, carrying the
 /// batch's measured wall nanoseconds only when wall-clock stamping was
 /// requested.
-fn collect_traces(
+pub(crate) fn collect_traces<W: World + HasCellWorld>(
     config: &ShardedTelescopeConfig,
     trace_config: potemkin_obs::TraceConfig,
-    shards: &mut [Shard<CellWorld>],
+    shards: &mut [Shard<W>],
     engine: &ShardRunReport,
 ) -> (Vec<potemkin_obs::TraceEvent>, Vec<(u32, String)>) {
     use potemkin_obs::{names, TraceEvent, Tracer};
     let mut events: Vec<TraceEvent> = Vec::new();
     let mut lanes = Vec::new();
     for (cell, shard) in shards.iter_mut().enumerate() {
-        events.extend(shard.world.farm.take_trace());
+        events.extend(shard.world.cell_mut().farm.take_trace());
         lanes.push(((cell * 2) as u32, format!("cell {cell} farm")));
         lanes.push(((cell * 2 + 1) as u32, format!("cell {cell} gateway")));
     }
@@ -784,6 +891,7 @@ mod tests {
                 tick_interval: SimTime::from_secs(1),
             },
             cells,
+            cell_map: CellMap::Hashed,
             window: SimTime::from_millis(500),
             faults: None,
             seed_infections: 0,
@@ -975,6 +1083,46 @@ mod tests {
             seen[cell] += 1;
         }
         assert!(seen.iter().all(|&n| n > 0), "all cells own subnets: {seen:?}");
+    }
+
+    #[test]
+    fn sliced_map_owns_contiguous_slices_and_stays_deterministic() {
+        let telescope: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        // Ownership: cell i owns exactly the i-th /18.
+        for cell in 0..4usize {
+            let slice = telescope.subprefix(cell as u64, 4).unwrap();
+            assert_eq!(CellMap::Sliced.owner(telescope, slice.network(), 4), cell);
+            assert_eq!(
+                CellMap::Sliced.owner(telescope, slice.addr_at(slice.len() - 1).unwrap(), 4),
+                cell
+            );
+        }
+        // A sliced run is byte-identical across worker counts, worm and all.
+        let mut config = sharded_config(4);
+        config.cell_map = CellMap::Sliced;
+        config.base.farm.worm = Some(WormSpec::code_red("10.1.8.0/22".parse().unwrap()));
+        config.base.duration = SimTime::from_secs(6);
+        config.seed_infections = 2;
+        let serial = run_telescope_sharded(&config, 1).unwrap();
+        assert!(serial.packets > 50);
+        assert!(serial.cross_cell_packets > 0, "worm probes must cross slice boundaries");
+        let parallel = run_telescope_sharded(&config, 4).unwrap();
+        assert_eq!(digest(&serial), digest(&parallel));
+    }
+
+    #[test]
+    fn sliced_map_rejects_uneven_partitions() {
+        let mut config = sharded_config(3);
+        config.cell_map = CellMap::Sliced;
+        assert!(run_telescope_sharded(&config, 1).is_err(), "3 cells cannot slice a prefix");
+        let built = ShardedTelescopeConfig::builder(config.base.clone())
+            .cells(3)
+            .cell_map(CellMap::Sliced)
+            .build();
+        assert!(built.is_err());
+        let ok =
+            ShardedTelescopeConfig::builder(config.base).cells(4).cell_map(CellMap::Sliced).build();
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Typed gateway-layer errors.
+//!
+//! Configuration validation uses [`ConfigError`](crate::ConfigError); this
+//! module covers *operational* failures — invariants a correctly-built
+//! gateway can still violate at attach/route time, like advertising two
+//! telescopes whose prefixes overlap.
+
+use core::fmt;
+
+use crate::tunnel::Telescope;
+
+/// An operational gateway error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GatewayError {
+    /// Two attached telescopes would advertise overlapping prefixes,
+    /// making prefix-based routing (which telescope owns an address?)
+    /// ambiguous.
+    OverlappingPrefix {
+        /// The telescope already attached.
+        existing: Telescope,
+        /// The telescope whose attachment was rejected.
+        rejected: Telescope,
+    },
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::OverlappingPrefix { existing, rejected } => write!(
+                f,
+                "telescope key {} prefix {} overlaps attached telescope key {} prefix {}",
+                rejected.key, rejected.prefix, existing.key, existing.prefix
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}

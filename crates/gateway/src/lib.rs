@@ -24,6 +24,7 @@
 pub mod binding;
 pub mod config;
 pub mod dnsgw;
+pub mod error;
 pub mod flowtable;
 pub mod gateway;
 pub mod policy;
@@ -33,6 +34,7 @@ pub mod tunnel;
 pub use binding::{AddressBinder, BindGranularity, VmRef};
 pub use config::ConfigError;
 pub use dnsgw::{DnsProxy, SinkholeError};
+pub use error::GatewayError;
 pub use flowtable::{FlowDirection, FlowTable};
 pub use gateway::{Gateway, GatewayAction, GatewayConfig, GatewayConfigBuilder};
 pub use policy::{ContainmentMode, DropReason, PolicyConfig, PolicyConfigBuilder};

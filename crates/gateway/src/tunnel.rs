@@ -11,6 +11,8 @@ use potemkin_net::addr::Ipv4Prefix;
 use potemkin_net::gre::{self, GreHeader};
 use potemkin_net::{NetError, Packet};
 
+use crate::error::GatewayError;
+
 /// A telescope feeding the farm: a prefix and its tunnel key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Telescope {
@@ -61,9 +63,27 @@ impl TunnelEndpoint {
         }
     }
 
-    /// Attaches a telescope. Returns the previous telescope on key collision.
-    pub fn attach(&mut self, telescope: Telescope) -> Option<Telescope> {
-        self.telescopes.insert(telescope.key, telescope)
+    /// Attaches a telescope. Returns the previous telescope on key
+    /// collision (re-attaching a key replaces its advertisement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GatewayError::OverlappingPrefix`] when the new prefix
+    /// overlaps a telescope attached under a *different* key: two owners
+    /// for one address would make longest-prefix routing ambiguous. The
+    /// endpoint is left unchanged in that case.
+    pub fn attach(&mut self, telescope: Telescope) -> Result<Option<Telescope>, GatewayError> {
+        if let Some(existing) = self
+            .telescopes
+            .values()
+            .find(|t| t.key != telescope.key && t.prefix.overlaps(telescope.prefix))
+        {
+            return Err(GatewayError::OverlappingPrefix {
+                existing: *existing,
+                rejected: telescope,
+            });
+        }
+        Ok(self.telescopes.insert(telescope.key, telescope))
     }
 
     /// The telescope owning `addr`, if any.
@@ -228,8 +248,8 @@ mod tests {
 
     fn endpoint() -> TunnelEndpoint {
         let mut ep = TunnelEndpoint::new();
-        ep.attach(Telescope { key: 1, prefix: "10.1.0.0/16".parse().unwrap() });
-        ep.attach(Telescope { key: 2, prefix: "10.2.0.0/16".parse().unwrap() });
+        ep.attach(Telescope { key: 1, prefix: "10.1.0.0/16".parse().unwrap() }).unwrap();
+        ep.attach(Telescope { key: 2, prefix: "10.2.0.0/16".parse().unwrap() }).unwrap();
         ep
     }
 
@@ -330,6 +350,39 @@ mod tests {
     fn reply_to_unowned_address_egresses_natively() {
         let mut ep = endpoint();
         assert!(ep.encapsulate_reply(&probe(Ipv4Addr::new(8, 8, 8, 8))).is_none());
+    }
+
+    #[test]
+    fn overlapping_prefix_rejected() {
+        let mut ep = endpoint();
+        // A sub-prefix of telescope 1 under a new key: ambiguous ownership.
+        let narrower = Telescope { key: 3, prefix: "10.1.5.0/24".parse().unwrap() };
+        let err = ep.attach(narrower).unwrap_err();
+        match err {
+            GatewayError::OverlappingPrefix { existing, rejected } => {
+                assert_eq!(existing.key, 1);
+                assert_eq!(rejected, narrower);
+            }
+        }
+        // A super-prefix covering both attached telescopes fails too.
+        assert!(ep.attach(Telescope { key: 4, prefix: "10.0.0.0/8".parse().unwrap() }).is_err());
+        // The failed attaches left the endpoint untouched.
+        assert_eq!(ep.len(), 2);
+        assert_eq!(ep.telescope_for(Ipv4Addr::new(10, 1, 5, 9)).unwrap().key, 1);
+    }
+
+    #[test]
+    fn reattaching_same_key_replaces_without_overlap_error() {
+        let mut ep = endpoint();
+        // Same key, overlapping (here: identical-base, narrower) prefix —
+        // a re-advertisement, not an ambiguity.
+        let shrunk = Telescope { key: 1, prefix: "10.1.0.0/17".parse().unwrap() };
+        let previous = ep.attach(shrunk).unwrap().unwrap();
+        assert_eq!(previous.prefix, "10.1.0.0/16".parse().unwrap());
+        assert_eq!(ep.len(), 2);
+        assert_eq!(ep.monitored_addresses(), 32_768 + 65_536);
+        // But the replacement must not overlap *other* keys.
+        assert!(ep.attach(Telescope { key: 1, prefix: "10.2.128.0/17".parse().unwrap() }).is_err());
     }
 
     #[test]

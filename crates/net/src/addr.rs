@@ -210,6 +210,37 @@ impl Ipv4Prefix {
     pub fn covers(self, other: Ipv4Prefix) -> bool {
         self.bits <= other.bits && (other.base & self.mask()) == self.base
     }
+
+    /// Whether the two prefixes share any address: one covers the other.
+    #[must_use]
+    pub fn overlaps(self, other: Ipv4Prefix) -> bool {
+        self.covers(other) || other.covers(self)
+    }
+
+    /// The `index`-th of `parts` equal contiguous sub-prefixes, e.g.
+    /// `10.0.0.0/16` split four ways yields `/18`s. Federated telescopes
+    /// use this to carve one monitored range into per-farm advertisements
+    /// that aggregate back exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `parts` is a power of two no larger than the
+    /// prefix (a CIDR prefix only splits evenly at powers of two), or when
+    /// `index >= parts`.
+    pub fn subprefix(self, index: u64, parts: u64) -> Result<Ipv4Prefix, NetError> {
+        if parts == 0 || !parts.is_power_of_two() || parts > self.len() {
+            return Err(NetError::InvalidField {
+                layer: "prefix",
+                what: "parts must be a power of two <= prefix size",
+            });
+        }
+        if index >= parts {
+            return Err(NetError::InvalidField { layer: "prefix", what: "index >= parts" });
+        }
+        let extra = parts.trailing_zeros() as u8;
+        let slice_len = self.len() / parts;
+        Ok(Ipv4Prefix { base: self.base + (index * slice_len) as u32, bits: self.bits + extra })
+    }
 }
 
 impl fmt::Display for Ipv4Prefix {
@@ -349,6 +380,48 @@ mod tests {
         assert!(!p24.covers(p16));
         assert!(!p16.covers(other));
         assert!(p16.covers(p16));
+    }
+
+    #[test]
+    fn prefix_overlaps() {
+        let p16: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        let p24: Ipv4Prefix = "10.1.5.0/24".parse().unwrap();
+        let other: Ipv4Prefix = "10.2.0.0/16".parse().unwrap();
+        assert!(p16.overlaps(p24));
+        assert!(p24.overlaps(p16));
+        assert!(!p16.overlaps(other));
+    }
+
+    #[test]
+    fn subprefix_splits_evenly_and_aggregates_back() {
+        let p: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+        let quarters: Vec<Ipv4Prefix> = (0..4).map(|i| p.subprefix(i, 4).unwrap()).collect();
+        assert_eq!(quarters[0].to_string(), "10.0.0.0/18");
+        assert_eq!(quarters[1].to_string(), "10.0.64.0/18");
+        assert_eq!(quarters[3].to_string(), "10.0.192.0/18");
+        // Slices tile the parent: every address belongs to exactly one.
+        assert_eq!(quarters.iter().map(|q| q.len()).sum::<u64>(), p.len());
+        for (i, q) in quarters.iter().enumerate() {
+            assert!(p.covers(*q));
+            for (j, other) in quarters.iter().enumerate() {
+                assert_eq!(i == j, q.overlaps(*other));
+            }
+        }
+        // parts == 1 is the identity split.
+        assert_eq!(p.subprefix(0, 1).unwrap(), p);
+    }
+
+    #[test]
+    fn subprefix_rejects_bad_splits() {
+        let p: Ipv4Prefix = "10.0.0.0/30".parse().unwrap();
+        assert!(p.subprefix(0, 3).is_err(), "non-power-of-two");
+        assert!(p.subprefix(0, 0).is_err());
+        assert!(p.subprefix(4, 4).is_err(), "index out of range");
+        assert!(p.subprefix(0, 8).is_err(), "more parts than addresses");
+        // A /32 only splits into itself.
+        let host: Ipv4Prefix = "1.2.3.4/32".parse().unwrap();
+        assert_eq!(host.subprefix(0, 1).unwrap(), host);
+        assert!(host.subprefix(0, 2).is_err());
     }
 
     #[test]

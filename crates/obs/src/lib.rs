@@ -97,4 +97,10 @@ pub mod names {
     /// Checkpointing: a run restored from a snapshot before resuming
     /// (span; paired `snap.bytes` counter carries the decoded size).
     pub const SNAP_RESTORE: &str = "snap.restore";
+    /// Federation: a batch of packets delivered into a cell over a GRE
+    /// farm uplink (instant; value = packets in the batch).
+    pub const FED_TUNNEL: &str = "fed.tunnel";
+    /// Federation: fabric deliveries shed into a cell by global admission
+    /// control (instant; value = packets shed).
+    pub const FED_SHED: &str = "fed.shed";
 }

@@ -14,6 +14,8 @@
 //! * [`gateway`] — the gateway router: late binding + containment policy.
 //! * [`workload`] — telescope radiation, worm models, exploit dialogues.
 //! * [`farm`] — the controller composing all of the above.
+//! * [`fed`] — the federation routing tier (BGP-style prefix routes, GRE
+//!   transit); [`federation`] — the federated multi-farm driver.
 //!
 //! # Examples
 //!
@@ -34,10 +36,12 @@ pub use potemkin_core as core_api;
 pub use potemkin_core::baseline;
 pub use potemkin_core::checkpoint;
 pub use potemkin_core::farm;
+pub use potemkin_core::federation;
 pub use potemkin_core::parallel;
 pub use potemkin_core::report;
 pub use potemkin_core::scenario;
 pub use potemkin_core::{ConfigError, Error};
+pub use potemkin_federation as fed;
 pub use potemkin_gateway as gateway;
 pub use potemkin_metrics as metrics;
 pub use potemkin_net as net;

@@ -14,6 +14,9 @@
 //!                   [--seed N] [--every-windows N]
 //! potemkin fork     [--from FILE] [--salt N] [--duration SECS] [--cells N]
 //!                   [--workers N] [--seed N]
+//! potemkin federate [--farms N] [--cells N] [--workers N] [--duration SECS]
+//!                   [--seed N] [--window-ms MS] [--shed-after EVENTS]
+//!                   [--verify true]
 //! ```
 //!
 //! Each subcommand exercises the public library API end to end; the
@@ -27,6 +30,8 @@ use potemkin::checkpoint::{
     run_telescope_checkpointed, CheckpointOptions, CheckpointedRun,
 };
 use potemkin::farm::{FarmConfig, Honeyfarm};
+use potemkin::fed::AdmissionConfig;
+use potemkin::federation::{run_telescope_federated, FederatedTelescopeConfig};
 use potemkin::gateway::policy::PolicyConfig;
 use potemkin::metrics::{ConcurrencyAnalyzer, Table};
 use potemkin::parallel::ShardedTelescopeConfig;
@@ -61,7 +66,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: potemkin <replay|outbreak|demand|clone|snapshot|restore|fork> [--flag value ...]\n\
+    "usage: potemkin <replay|outbreak|demand|clone|snapshot|restore|fork|federate> \
+     [--flag value ...]\n\
      see `src/main.rs` header for per-command flags"
         .to_string()
 }
@@ -397,6 +403,96 @@ fn cmd_fork(args: &Args) -> Result<(), Error> {
     Ok(())
 }
 
+/// Runs the same telescope replay as a federation of N member farms
+/// behind the BGP-style routing tier; with `--verify true` it re-runs the
+/// scenario as a single farm and checks the merged reports agree.
+fn cmd_federate(args: &Args) -> Result<(), Error> {
+    let farms = args.num("farms", 4)? as usize;
+    let cells = args.num("cells", 8)? as usize;
+    let workers = args.num("workers", 2)? as usize;
+
+    let mut farm = FarmConfig::small_test();
+    farm.frames_per_server = 262_144;
+    farm.max_domains_per_server = 4_096;
+    farm.gateway.policy = PolicyConfig::reflect().with_idle_timeout(SimTime::from_secs(10));
+    // The worm targets the whole monitored range, so reflected probes
+    // cross farm boundaries and exercise the GRE transit path.
+    farm.worm = Some(WormSpec::code_red(RadiationConfig::default().telescope));
+    let base = TelescopeConfig::builder(farm, RadiationConfig::default())
+        .seed(args.num("seed", 2005)?)
+        .duration(args.secs("duration", 10)?)
+        .sample_interval(SimTime::from_secs(1))
+        .tick_interval(SimTime::from_secs(1))
+        .build()?;
+    let mut builder = FederatedTelescopeConfig::builder(base)
+        .farms(farms)
+        .cells(cells)
+        .window(SimTime::from_millis(args.num("window-ms", 500)?))
+        .seed_infections(2);
+    if let Some(events) = args.flags.get("shed-after") {
+        let n = events
+            .parse::<u64>()
+            .map_err(|_| Error::Cli(format!("--shed-after: bad number {events:?}")))?;
+        builder = builder.admission(AdmissionConfig::shed_after(n));
+    }
+    let config = builder.build()?;
+    let result = run_telescope_federated(&config, workers)?;
+
+    let merged = &result.merged;
+    let fed = &result.federation;
+    let mut t = Table::new(&["metric", "value"]).with_title("federated telescope replay");
+    t.row_owned(vec!["farms".into(), fed.farms.to_string()]);
+    t.row_owned(vec!["cells".into(), fed.cells.to_string()]);
+    t.row_owned(vec!["monitored addresses".into(), fed.monitored_addresses.to_string()]);
+    t.row_owned(vec!["advertised routes".into(), fed.advertised_routes.to_string()]);
+    t.row_owned(vec!["packets".into(), merged.packets.to_string()]);
+    t.row_owned(vec!["cross-cell packets".into(), merged.cross_cell_packets.to_string()]);
+    t.row_owned(vec!["cross-farm packets".into(), fed.cross_farm_packets.to_string()]);
+    t.row_owned(vec!["shed packets".into(), fed.shed_packets.to_string()]);
+    t.row_owned(vec!["route drops".into(), fed.route_drops.to_string()]);
+    t.row_owned(vec!["final infected".into(), merged.final_infected.to_string()]);
+    t.row_owned(vec!["peak live VMs".into(), format!("{:.0}", merged.peak_live_vms)]);
+    t.row_owned(vec!["escapes".into(), merged.degradation.escaped.to_string()]);
+    println!("{t}");
+
+    let mut links = Table::new(&["farm", "prefix", "uplink pkts", "downlink pkts", "shed"])
+        .with_title("per-farm links");
+    for link in &fed.per_farm {
+        links.row_owned(vec![
+            link.farm.to_string(),
+            link.prefix.to_string(),
+            link.uplink_packets.to_string(),
+            link.downlink_packets.to_string(),
+            link.shed_packets.to_string(),
+        ]);
+    }
+    println!("{links}");
+
+    if args.str("verify", "false") == "true" {
+        let mut reference = config.clone();
+        reference.farms = 1;
+        let single = run_telescope_federated(&reference, 1)?;
+        let fingerprint = |r: &potemkin::federation::FederatedTelescopeResult| {
+            format!(
+                "{}|{}|{}|{}|{}",
+                r.merged.degradation.canonical_string(),
+                r.merged.stats.counters.get("packets_in"),
+                r.merged.final_infected,
+                r.merged.engine.remote_messages,
+                r.federation.shed_packets,
+            )
+        };
+        if fingerprint(&single) == fingerprint(&result) {
+            println!("verify: single-farm reference matches ({farms} farms ≡ 1 farm)");
+        } else {
+            return Err(Error::Cli(format!(
+                "verify FAILED: {farms}-farm report diverged from the single-farm reference"
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -413,6 +509,7 @@ fn main() -> ExitCode {
         "snapshot" => cmd_snapshot(&args),
         "restore" => cmd_restore(&args),
         "fork" => cmd_fork(&args),
+        "federate" => cmd_federate(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -17,7 +17,7 @@ const ATTACKER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 9);
 fn gre_tunnel_to_honeypot_and_back() {
     // Telescope side: encapsulate a probe exactly as a remote router would.
     let mut tunnel = TunnelEndpoint::new();
-    tunnel.attach(Telescope { key: 7, prefix: "10.1.0.0/16".parse().unwrap() });
+    tunnel.attach(Telescope { key: 7, prefix: "10.1.0.0/16".parse().unwrap() }).unwrap();
     let inner = PacketBuilder::new(ATTACKER, Ipv4Addr::new(10, 1, 9, 9)).tcp_syn(50_000, 445);
     let frame = GreHeader::encapsulate_ipv4(7, inner.wire());
 

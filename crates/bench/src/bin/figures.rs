@@ -11,7 +11,7 @@
 //! Output is plain aligned text; EXPERIMENTS.md quotes it directly.
 
 use potemkin_bench::experiments::{
-    e1, e10, e11, e12, e13, e14, e15, e16, e2, e3, e4, e5, e6, e7, e8, e9,
+    e1, e10, e11, e12, e13, e14, e15, e16, e17, e2, e3, e4, e5, e6, e7, e8, e9,
 };
 use potemkin_sim::SimTime;
 
@@ -31,6 +31,7 @@ struct Opts {
     memory_out: Option<String>,
     snapshot_out: Option<String>,
     federation_out: Option<String>,
+    services_out: Option<String>,
 }
 
 impl Opts {
@@ -53,6 +54,7 @@ fn parse_args() -> Opts {
         memory_out: None,
         snapshot_out: None,
         federation_out: None,
+        services_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,15 +69,16 @@ fn parse_args() -> Opts {
             "--memory-out" => opts.memory_out = args.next(),
             "--snapshot-out" => opts.snapshot_out = args.next(),
             "--federation-out" => opts.federation_out = args.next(),
+            "--services-out" => opts.services_out = args.next(),
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--fast] [--csv] [--out-dir DIR] \
-                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16]\n\
+                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17]\n\
                      --out-dir DIR   write BENCH_replay.json, BENCH_obs.json, \
-                     BENCH_memory.json, BENCH_snapshot.json, BENCH_federation.json \
-                     and trace.json into DIR\n\
+                     BENCH_memory.json, BENCH_snapshot.json, BENCH_federation.json, \
+                     BENCH_services.json and trace.json into DIR\n\
                      (per-file aliases: --bench-out, --obs-out, --trace-out, \
-                     --memory-out, --snapshot-out, --federation-out)"
+                     --memory-out, --snapshot-out, --federation-out, --services-out)"
                 );
                 std::process::exit(0);
             }
@@ -273,6 +276,24 @@ fn main() {
         emit(&opts, &e16::table(&r));
         if let Some(path) = opts.artifact(&opts.federation_out, "BENCH_federation.json") {
             std::fs::write(&path, e16::bench_json(&r)).expect("write federation bench json");
+            println!("wrote {path}");
+        }
+    }
+    if wants(&opts, "e17") {
+        let duration = if opts.fast { SimTime::from_secs(12) } else { SimTime::from_secs(30) };
+        let cells = if opts.fast { 2 } else { 4 };
+        let attackers = if opts.fast { 2 } else { 4 };
+        let workers: &[usize] = if opts.fast { &[1, 2] } else { &[1, 2, 4] };
+        let r = e17::run(duration, cells, attackers, workers);
+        println!(
+            "services: {} attackers over 4 scenarios, {} drives completed, {} payloads \
+             captured, {} sessions; deterministic: {}",
+            r.attackers, r.drive_completed, r.payloads_captured, r.sessions_opened, r.deterministic
+        );
+        emit(&opts, &e17::table(&r));
+        emit(&opts, &e17::sweep_table(&r));
+        if let Some(path) = opts.artifact(&opts.services_out, "BENCH_services.json") {
+            std::fs::write(&path, e17::bench_json(&r)).expect("write services bench json");
             println!("wrote {path}");
         }
     }

@@ -1,0 +1,379 @@
+//! E17 — interaction services: scripted depth vs scenario-driven capture
+//! (extension).
+//!
+//! The paper's fidelity argument (§ "A case for fidelity", reproduced in
+//! E7) is that scripted low-interaction responders stall multi-round
+//! exploits before the payload arrives. E17 extends it to the new
+//! interaction plane: the same four attack drives (worm dropper over
+//! SMTP, botnet C2 check-in, credential stuffing, multi-stage HTTP
+//! dropper) are replayed twice —
+//!
+//! 1. against the seed's **fixed banner** (`220 service ready`, the
+//!    scripted baseline): every drive stalls at its first real
+//!    expectation, and no marked payload is ever reached;
+//! 2. against the **scenario engine** (`potemkin-services`): the
+//!    declarative state machines sustain every round and capture the
+//!    marked payload.
+//!
+//! The second half runs the full sharded interaction replay
+//! ([`potemkin_core::services`]) — scripted attacker fleets against cell
+//! farms with the pack installed, plus ambient radiation — at several
+//! worker counts, and checks the merged fidelity report is
+//! byte-identical (the window-barrier determinism argument extended to
+//! conversation state).
+//!
+//! `BENCH_services.json` (owned by this experiment) separates the
+//! machine-independent digest and capture counts from wall-clock
+//! throughput; CI's services-smoke job re-derives the digest and fails
+//! hard on a mismatch or a zero capture count.
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use potemkin_core::services::{run_interaction, InteractionConfig, InteractionResult};
+use potemkin_metrics::Table;
+use potemkin_services::pack::builtin;
+use potemkin_services::{render, ScenarioMetrics, ServiceEngine, ServicesConfig};
+use potemkin_sim::SimTime;
+
+use super::e11;
+
+/// The scripted baseline's only line (the seed farm's fixed banner).
+const FIXED_BANNER: &[u8] = b"220 service ready";
+
+/// One scenario's capture outcome under both responders.
+#[derive(Clone, Debug)]
+pub struct ScenarioFidelity {
+    /// Scenario name.
+    pub scenario: String,
+    /// Rounds in the attack drive.
+    pub drive_steps: usize,
+    /// Drive index of the request carrying the marked payload.
+    pub marker_step: usize,
+    /// Rounds the fixed banner sustained before the drive stalled.
+    pub scripted_rounds: usize,
+    /// Whether the fixed banner kept the attacker talking long enough to
+    /// receive the marked payload.
+    pub scripted_captured: bool,
+    /// Rounds the scenario engine sustained.
+    pub scenario_rounds: usize,
+    /// Whether the scenario engine captured the marked payload.
+    pub scenario_captured: bool,
+}
+
+/// One (worker count) end-to-end measurement.
+#[derive(Clone, Debug)]
+pub struct InteractionPoint {
+    /// Worker threads the engine ran on.
+    pub workers: usize,
+    /// Wall-clock seconds for the replay.
+    pub wall_secs: f64,
+    /// Simulation events dispatched per wall-clock second.
+    pub events_per_sec: f64,
+    /// FNV-1a digest of the merged deterministic report.
+    pub digest: u64,
+}
+
+/// Result of the interaction-services experiment.
+#[derive(Clone, Debug)]
+pub struct ServicesResult {
+    /// Per-scenario scripted-vs-scenario capture comparison.
+    pub fidelity: Vec<ScenarioFidelity>,
+    /// End-to-end sweep, one point per worker count.
+    pub points: Vec<InteractionPoint>,
+    /// Merged per-scenario fidelity metrics from the reference run.
+    pub scenarios: Vec<ScenarioMetrics>,
+    /// Scripted attacker actors launched per run.
+    pub attackers: u64,
+    /// Actors that completed their full drive.
+    pub drive_completed: u64,
+    /// Marked payloads captured farm-wide in the reference run.
+    pub payloads_captured: u64,
+    /// Interaction sessions opened farm-wide in the reference run.
+    pub sessions_opened: u64,
+    /// Whether every worker count produced a byte-identical report.
+    pub deterministic: bool,
+    /// Replay horizon.
+    pub duration: SimTime,
+    /// Address-space cells.
+    pub cells: usize,
+    /// Barrier window width.
+    pub window: SimTime,
+}
+
+/// The benchmark scenario: the built-in four-scenario pack, a small
+/// attacker fleet per scenario, light ambient radiation.
+///
+/// # Panics
+///
+/// Panics if the fixed configuration fails to validate (a bug).
+#[must_use]
+pub fn config(duration: SimTime, cells: usize, attackers: usize) -> InteractionConfig {
+    InteractionConfig::builder(ServicesConfig::new(builtin()))
+        .duration(duration)
+        .cells(cells)
+        .attackers_per_scenario(attackers)
+        .seed(2005)
+        .build()
+        .expect("fixed interaction config is valid")
+}
+
+fn digest_of(result: &InteractionResult) -> u64 {
+    e11::fnv1a(
+        format!(
+            "{}|{}|{}",
+            result.merged.degradation.canonical_string(),
+            result.merged.stats.counters.get("packets_in"),
+            result.canonical_summary(),
+        )
+        .as_bytes(),
+    )
+}
+
+/// Replays one scenario's drive against a responder, returning the
+/// rounds sustained (steps whose expectation the response met) and
+/// whether the marked payload was captured.
+fn replay_drive(
+    scenario_idx: usize,
+    pack_config: &ServicesConfig,
+    scripted: bool,
+) -> (usize, bool) {
+    let scenario = &pack_config.pack.scenarios()[scenario_idx];
+    let host = Ipv4Addr::new(10, 4, 0, 1);
+    let attacker = Ipv4Addr::new(198, 51, 100, 200);
+    let port = scenario.ports[0];
+    let mut engine = ServiceEngine::new(pack_config);
+    let mut captured = false;
+    let mut rounds = 0;
+    for (i, step) in scenario.drive.iter().enumerate() {
+        let now = SimTime::from_millis(10 * (i as u64 + 1));
+        let request = render(&step.send, host, attacker, i as u64);
+        let response = if scripted {
+            FIXED_BANNER.to_vec()
+        } else {
+            match engine.on_request(now, attacker, host, port, &request) {
+                Some(outcome) => {
+                    captured |= outcome.capture.is_some();
+                    outcome.response
+                }
+                None => Vec::new(),
+            }
+        };
+        if let Some(expect) = &step.expect {
+            if !expect.matches(&response) {
+                break; // the attacker gives up at the first wrong answer
+            }
+        }
+        rounds = i + 1;
+    }
+    (rounds, captured)
+}
+
+/// The drive index of the request carrying the scenario's capture
+/// marker (the payload a responder must sustain the conversation to
+/// receive).
+fn marker_step(scenario_idx: usize, pack_config: &ServicesConfig) -> usize {
+    let scenario = &pack_config.pack.scenarios()[scenario_idx];
+    scenario
+        .drive
+        .iter()
+        .position(|step| step.send.contains(&scenario.capture_marker))
+        .unwrap_or(scenario.drive.len().saturating_sub(1))
+}
+
+/// Runs the experiment: the per-scenario capture comparison, then the
+/// end-to-end sharded sweep at each worker count.
+///
+/// # Panics
+///
+/// Panics if the fixed configuration fails to build or a replay fails to
+/// run (a bug).
+#[must_use]
+pub fn run(duration: SimTime, cells: usize, attackers: usize, workers: &[usize]) -> ServicesResult {
+    let cfg = config(duration, cells, attackers);
+    let pack_config = &cfg.services;
+
+    let mut fidelity = Vec::new();
+    for (idx, scenario) in pack_config.pack.scenarios().iter().enumerate() {
+        let marker = marker_step(idx, pack_config);
+        let (scripted_rounds, scripted_captured_direct) = replay_drive(idx, pack_config, true);
+        let (scenario_rounds, scenario_captured) = replay_drive(idx, pack_config, false);
+        // A scripted responder "captures" only if the drive survives past
+        // the marker-carrying request — stalling earlier means the
+        // payload never arrives.
+        let scripted_captured = scripted_captured_direct || scripted_rounds > marker;
+        fidelity.push(ScenarioFidelity {
+            scenario: scenario.name.clone(),
+            drive_steps: scenario.drive.len(),
+            marker_step: marker,
+            scripted_rounds,
+            scripted_captured,
+            scenario_rounds,
+            scenario_captured,
+        });
+    }
+
+    let mut points = Vec::with_capacity(workers.len());
+    let mut reference: Option<InteractionResult> = None;
+    for &w in workers {
+        let start = Instant::now();
+        let result = run_interaction(&cfg, w).expect("interaction replay runs");
+        let wall_secs = start.elapsed().as_secs_f64();
+        eprintln!("    [e17] workers={w}: {wall_secs:.1}s");
+        let events = result.merged.engine.total.events_processed;
+        points.push(InteractionPoint {
+            workers: w,
+            wall_secs,
+            events_per_sec: if wall_secs > 0.0 { events as f64 / wall_secs } else { 0.0 },
+            digest: digest_of(&result),
+        });
+        if reference.is_none() {
+            reference = Some(result);
+        }
+    }
+    let deterministic = points.windows(2).all(|p| p[0].digest == p[1].digest);
+    let reference = reference.expect("at least one worker count");
+
+    ServicesResult {
+        fidelity,
+        points,
+        scenarios: reference.scenarios.clone(),
+        attackers: reference.attackers,
+        drive_completed: reference.drive_completed,
+        payloads_captured: reference.merged.stats.counters.get("svc_payloads_captured"),
+        sessions_opened: reference.merged.stats.counters.get("svc_sessions_opened"),
+        deterministic,
+        duration,
+        cells,
+        window: cfg.window,
+    }
+}
+
+/// Renders the capture comparison and the end-to-end sweep as one table.
+#[must_use]
+pub fn table(result: &ServicesResult) -> Table {
+    let mut t = Table::new(&[
+        "scenario",
+        "drive steps",
+        "scripted rounds",
+        "scripted capture",
+        "scenario rounds",
+        "scenario capture",
+    ])
+    .with_title("E17: interaction services — scripted banner vs scenario engine");
+    for f in &result.fidelity {
+        t.row_owned(vec![
+            f.scenario.clone(),
+            f.drive_steps.to_string(),
+            f.scripted_rounds.to_string(),
+            if f.scripted_captured { "yes" } else { "no" }.to_string(),
+            f.scenario_rounds.to_string(),
+            if f.scenario_captured { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the end-to-end worker sweep.
+#[must_use]
+pub fn sweep_table(result: &ServicesResult) -> Table {
+    let mut t = Table::new(&["workers", "wall (s)", "events/sec", "digest"])
+        .with_title("E17: sharded interaction replay — byte-identical at any worker count");
+    for p in &result.points {
+        t.row_owned(vec![
+            p.workers.to_string(),
+            format!("{:.3}", p.wall_secs),
+            format!("{:.0}", p.events_per_sec),
+            format!("{:016x}", p.digest),
+        ]);
+    }
+    t
+}
+
+/// Renders `BENCH_services.json`: the machine-independent digest and
+/// capture counts at the top, wall-clock-dependent numbers under
+/// `"measured"`.
+#[must_use]
+pub fn bench_json(result: &ServicesResult) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"services\",\n");
+    s.push_str("  \"experiment\": \"e17\",\n");
+    s.push_str(&format!("  \"cells\": {},\n", result.cells));
+    s.push_str(&format!("  \"window_ns\": {},\n", result.window.as_nanos()));
+    s.push_str(&format!("  \"duration_secs\": {},\n", result.duration.as_secs()));
+    s.push_str(&format!("  \"attackers\": {},\n", result.attackers));
+    s.push_str(&format!("  \"drive_completed\": {},\n", result.drive_completed));
+    s.push_str(&format!("  \"payloads_captured\": {},\n", result.payloads_captured));
+    s.push_str(&format!("  \"sessions_opened\": {},\n", result.sessions_opened));
+    s.push_str(&format!(
+        "  \"digest\": \"{:016x}\",\n",
+        result.points.first().map_or(0, |p| p.digest)
+    ));
+    s.push_str(&format!("  \"deterministic\": {},\n", result.deterministic));
+    s.push_str("  \"fidelity\": [\n");
+    for (i, f) in result.fidelity.iter().enumerate() {
+        let sep = if i + 1 == result.fidelity.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"drive_steps\": {}, \"scripted_rounds\": {}, \
+             \"scripted_captured\": {}, \"scenario_rounds\": {}, \"scenario_captured\": {}}}{}\n",
+            f.scenario,
+            f.drive_steps,
+            f.scripted_rounds,
+            f.scripted_captured,
+            f.scenario_rounds,
+            f.scenario_captured,
+            sep
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"measured\": [\n");
+    for (i, p) in result.points.iter().enumerate() {
+        let sep = if i + 1 == result.points.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \
+             \"digest\": \"{:016x}\"}}{}\n",
+            p.workers, p.wall_secs, p.events_per_sec, p.digest, sep
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_engine_beats_scripted_banner() {
+        let r = run(SimTime::from_secs(10), 2, 2, &[1, 2]);
+        assert_eq!(r.fidelity.len(), 4);
+        for f in &r.fidelity {
+            assert!(f.scenario_captured, "scenario engine must capture {}", f.scenario);
+            assert!(!f.scripted_captured, "fixed banner must not capture {}", f.scenario);
+            assert_eq!(f.scenario_rounds, f.drive_steps, "{} must sustain every round", f.scenario);
+            assert!(
+                f.scripted_rounds < f.scenario_rounds,
+                "{} must stall earlier against the banner",
+                f.scenario
+            );
+        }
+        assert!(r.deterministic, "digests diverged across worker counts");
+        assert!(r.payloads_captured > 0);
+        assert!(r.sessions_opened > 0);
+        assert_eq!(r.drive_completed, r.attackers);
+        let rendered = table(&r).to_string();
+        assert!(rendered.contains("scripted rounds"));
+        assert!(sweep_table(&r).to_string().contains("digest"));
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let r = run(SimTime::from_secs(8), 2, 1, &[1]);
+        let json = bench_json(&r);
+        assert!(json.contains("\"experiment\": \"e17\""));
+        assert!(json.contains("\"deterministic\": true"));
+        assert!(json.contains("\"scenario\": \"worm-dropper\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`e14`] | (extension) | checkpoint/restore: crash-consistent snapshots, integrity verification, deterministic resume |
 //! | [`e15`] | (extension) | hot-path tuning: load-aware sharding, adaptive windows, allocation-free packet path |
 //! | [`e16`] | (extension) | federated multi-farm telescope: BGP-style prefix routing, cross-farm worm reflection, byte-identical reports across topologies |
+//! | [`e17`] | (extension) | interaction services: scripted-banner vs scenario-engine capture rates, deterministic sharded attacker replay |
 
 pub mod e1;
 pub mod e10;
@@ -27,6 +28,7 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod e2;
 pub mod e3;
 pub mod e4;

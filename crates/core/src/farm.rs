@@ -22,6 +22,7 @@ use potemkin_net::icmp::IcmpMessage;
 use potemkin_net::tcp::TcpFlags;
 use potemkin_net::{BufferPool, Packet, PacketBuilder, PacketPayload, PoolStats};
 use potemkin_obs::{names as obs, TraceConfig, TraceEvent, Tracer};
+use potemkin_services::{ServiceEngine, ServicesConfig};
 use potemkin_sim::{FaultInjector, FaultKind, FaultPlan, SimRng, SimTime};
 use potemkin_snapshot::{SnapReader, SnapshotError};
 use potemkin_vmm::cost::CostModel;
@@ -114,6 +115,12 @@ pub struct FarmConfig {
     ///
     /// [`Host::scan_and_merge`]: potemkin_vmm::host::Host::scan_and_merge
     pub merge_interval: Option<SimTime>,
+    /// The adaptive interaction plane (None = the seed's fixed
+    /// `220 service ready` banner on every listening port). When set,
+    /// inbound data on listening ports is classified and answered by the
+    /// scenario engine ([`potemkin_services`]), and captured scenario
+    /// payloads flow into the farm's capture table.
+    pub services: Option<ServicesConfig>,
 }
 
 impl FarmConfig {
@@ -140,6 +147,7 @@ impl FarmConfig {
             reclaim_policy: ReclaimPolicyKind::Oldest,
             memory_budget_frames: None,
             merge_interval: None,
+            services: None,
         }
     }
 
@@ -166,6 +174,7 @@ impl FarmConfig {
             reclaim_policy: ReclaimPolicyKind::Oldest,
             memory_budget_frames: None,
             merge_interval: None,
+            services: None,
         }
     }
 
@@ -309,6 +318,14 @@ impl FarmConfigBuilder {
     #[must_use]
     pub fn merge_interval(mut self, interval: SimTime) -> Self {
         self.inner.merge_interval = Some(interval);
+        self
+    }
+
+    /// Installs the adaptive interaction plane (scenario-driven service
+    /// responses instead of the fixed banner).
+    #[must_use]
+    pub fn services(mut self, services: ServicesConfig) -> Self {
+        self.inner.services = Some(services);
         self
     }
 
@@ -481,6 +498,10 @@ pub struct Honeyfarm {
     /// slots make the steady-state emission path allocation-free; never
     /// serialized, so restores simply start with a cold pool.
     pool: BufferPool,
+    /// The interaction-service engine (None without `config.services`).
+    /// Conversation state lives here, not in checkpoints: services runs
+    /// are not snapshot/restored (see DESIGN.md §15).
+    services: Option<ServiceEngine>,
 }
 
 impl Honeyfarm {
@@ -551,6 +572,7 @@ impl Honeyfarm {
         // off (the series stay empty then anyway).
         let bin = config.merge_interval.unwrap_or(SimTime::from_secs(1));
         let next_merge = config.merge_interval.unwrap_or(SimTime::ZERO);
+        let config_services = config.services.as_ref().map(ServiceEngine::new);
         Ok(Honeyfarm {
             config,
             gateway,
@@ -588,6 +610,7 @@ impl Honeyfarm {
             sharing_series: TimeSeries::new(bin),
             resident_series: TimeSeries::new(bin),
             pool: BufferPool::new(),
+            services: config_services,
         })
     }
 
@@ -1312,6 +1335,8 @@ impl Honeyfarm {
                         );
                     } else if listening {
                         self.touch(now, host_idx, domain, req_idx);
+                        let banner =
+                            self.service_response(now, remote, me, header.dst_port, payload);
                         emissions.push(
                             PacketBuilder::new(me, remote).pooled(&self.pool).tcp_segment(
                                 header.dst_port,
@@ -1319,7 +1344,7 @@ impl Honeyfarm {
                                 TcpFlags::PSH_ACK,
                                 header.ack,
                                 header.seq.wrapping_add(payload.len() as u32),
-                                b"220 service ready",
+                                &banner,
                             ),
                         );
                     } else {
@@ -1379,6 +1404,70 @@ impl Honeyfarm {
 
     fn contains(haystack: &[u8], needle: &[u8]) -> bool {
         !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+    }
+
+    /// The service-side reply for inbound data on a listening port.
+    ///
+    /// Without an interaction plane this is the seed's fixed
+    /// `220 service ready` banner — runs with `services: None` keep every
+    /// byte of their reports unchanged. With one, the scenario engine
+    /// classifies the request, steps the claimed scenario's state machine,
+    /// and answers in character; fresh sessions pass gateway admission
+    /// first, and captured scenario payloads land in the farm's capture
+    /// table exactly like exploit-marker payloads.
+    fn service_response(
+        &mut self,
+        now: SimTime,
+        remote: Ipv4Addr,
+        me: Ipv4Addr,
+        port: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        const FIXED_BANNER: &[u8] = b"220 service ready";
+        // Disjoint field borrows: the engine converses, the gateway
+        // admits, the counters count.
+        let outcome = match self.services.as_mut() {
+            None => None,
+            Some(engine) => {
+                let fresh = !engine.has_session(remote, port, payload);
+                let admitted = !fresh || self.gateway.admit_service_session(engine.open_sessions());
+                if admitted {
+                    engine.on_request(now, remote, me, port, payload)
+                } else {
+                    None
+                }
+            }
+        };
+        let Some(outcome) = outcome else {
+            return FIXED_BANNER.to_vec();
+        };
+        self.tracer.instant(now, obs::SVC_DETECT, outcome.scenario as u64);
+        if outcome.opened {
+            self.counters.incr("svc_sessions_opened");
+            let open = self.services.as_ref().map_or(0, |e| e.open_sessions() as u64);
+            self.tracer.instant(now, obs::SVC_SESSION, open);
+        }
+        if outcome.stalled {
+            self.counters.incr("svc_stalls");
+        }
+        if let Some(captured) = outcome.capture {
+            self.counters.incr("svc_payloads_captured");
+            self.tracer.instant(now, obs::SVC_CAPTURE, captured.len() as u64);
+            self.capture_payload(now, &captured, port, remote);
+        }
+        outcome.response
+    }
+
+    /// The interaction-service engine, when one is configured.
+    #[must_use]
+    pub fn service_engine(&self) -> Option<&ServiceEngine> {
+        self.services.as_ref()
+    }
+
+    /// Mutable access to the interaction-service engine (end-of-run
+    /// finalization, record export).
+    pub fn service_engine_mut(&mut self) -> Option<&mut ServiceEngine> {
+        self.services.as_mut()
     }
 
     fn touch(&mut self, _now: SimTime, host: usize, domain: DomainId, req_idx: u64) {

@@ -19,6 +19,10 @@
 //!   clusters behind the `potemkin-federation` routing tier, with
 //!   cross-farm worm reflection over GRE and byte-identical merged
 //!   reports across topology layouts.
+//! * [`services`] — the interaction-fidelity plane: scenario packs from
+//!   `potemkin-services` installed in every cell farm, driven by a fleet
+//!   of closed-loop scripted attackers, with per-scenario capture
+//!   metrics merged deterministically across cells.
 //! * [`report`] — aggregated farm statistics.
 //!
 //! [`GatewayAction`]: potemkin_gateway::GatewayAction
@@ -49,6 +53,7 @@ pub mod federation;
 pub mod parallel;
 pub mod report;
 pub mod scenario;
+pub mod services;
 
 pub use baseline::{LowInteractionResponder, ResponderKind};
 pub use checkpoint::{
@@ -70,4 +75,7 @@ pub use potemkin_gateway::ConfigError;
 pub use report::{DegradationReport, FarmStats};
 pub use scenario::{
     OutbreakConfig, OutbreakConfigBuilder, TelescopeConfig, TelescopeConfigBuilder,
+};
+pub use services::{
+    run_interaction, InteractionConfig, InteractionConfigBuilder, InteractionResult,
 };

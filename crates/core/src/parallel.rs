@@ -395,6 +395,14 @@ pub(crate) struct CellWorld {
     /// destination order canonical.
     outbound: Vec<Vec<Packet>>,
     forwarded: u64,
+    /// When set, farm replies to *external* (non-telescope) destinations
+    /// are collected in `external_replies` instead of being dropped at
+    /// the tunnel boundary. Wrapper worlds (the interaction driver's
+    /// closed-loop attacker actors) drain them after each `handle` to
+    /// feed the attacker side of a conversation. Off in plain telescope
+    /// replays, preserving the seed's drop-at-boundary behaviour.
+    pub(crate) capture_external: bool,
+    pub(crate) external_replies: Vec<Packet>,
 }
 
 impl CellWorld {
@@ -413,6 +421,10 @@ impl CellWorld {
                 FarmOutput::SentExternal(p) if telescope.contains(p.dst()) => {
                     let dest = map.owner(telescope, p.dst(), cells);
                     (p, dest)
+                }
+                FarmOutput::SentExternal(p) if self.capture_external => {
+                    self.external_replies.push(p);
+                    continue;
                 }
                 _ => continue,
             };
@@ -588,6 +600,8 @@ pub(crate) fn prepare_shards(
             live_vm_series: TimeSeries::new(base.sample_interval),
             outbound: vec![Vec::new(); config.cells],
             forwarded: 0,
+            capture_external: false,
+            external_replies: Vec::new(),
         };
         let mut shard = Shard::new(world);
         if schedule {

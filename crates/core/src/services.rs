@@ -1,0 +1,708 @@
+//! Interaction-services replay: scenario-driven attackers against the
+//! sharded farm.
+//!
+//! The telescope replay ([`crate::parallel`]) measures *scale*: ambient
+//! radiation earns VMs and fixed banners. This driver measures
+//! *interaction fidelity*: a pack of declarative scenarios
+//! ([`potemkin_services`]) is installed in every cell farm, and a fleet
+//! of closed-loop attacker actors replays each scenario's drive script
+//! against the farm — SYN, wait for the handshake, send the first
+//! request, check each response against the step's expectation, send the
+//! next — until the conversation completes, stalls, or aborts. The
+//! per-scenario fidelity metrics (sessions opened, rounds sustained,
+//! payloads captured, stall points) come back merged across cells,
+//! alongside the full session transcripts.
+//!
+//! # Determinism
+//!
+//! The attacker side lives entirely *inside* the owning cell: an actor's
+//! SYN is scheduled into the cell that owns its target address at
+//! prepare time, the farm's replies to that external attacker are
+//! captured at the tunnel boundary of the same cell
+//! ([`CellWorld::capture_external`]), and every follow-up request is
+//! scheduled back into the same cell's queue at `now + reply_delay`.
+//! Nothing an actor does crosses a cell boundary, so the conservative
+//! window barrier never reorders a conversation and the merged report is
+//! byte-identical at any worker count (`tests/prop_services.rs` holds
+//! this at 1/2/4 workers). The service engines themselves are pure
+//! functions of each cell's request stream (`BTreeMap` tables, ordered
+//! rules, deterministic eviction — see [`potemkin_services::engine`]).
+//!
+//! Engine conversation state is *not* checkpointed; interaction runs are
+//! short-horizon experiments, not resumable campaigns (DESIGN.md §15).
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use potemkin_gateway::ConfigError;
+use potemkin_net::addr::Ipv4Prefix;
+use potemkin_net::tcp::TcpFlags;
+use potemkin_net::{Packet, PacketBuilder};
+use potemkin_services::{merge_metrics, render, Scenario, ScenarioMetrics, ServicesConfig};
+use potemkin_services::{SessionRecord, SessionStore};
+use potemkin_sim::{run_sharded, EventQueue, Shard, ShardConfig, ShardWorld, SimTime, World};
+use potemkin_vmm::guest::{GuestProfile, Service, ServiceProto};
+use potemkin_workload::radiation::RadiationConfig;
+
+use crate::error::FarmError;
+use crate::parallel::{
+    assemble_result, prepare_shards, CellEvent, CellWorld, HasCellWorld, PreparedRun,
+    ShardedTelescopeConfig, ShardedTelescopeResult,
+};
+use crate::scenario::TelescopeConfig;
+
+/// Attacker source block (TEST-NET-2 and up; outside any telescope).
+const ATTACKER_BASE: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+
+/// Configuration for a scenario-driven interaction replay.
+///
+/// Construct via [`InteractionConfig::builder`]; the struct is
+/// `#[non_exhaustive]` so new knobs may be added without breaking
+/// downstream crates.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct InteractionConfig {
+    /// The scenario pack plus engine budgets, cloned into every cell
+    /// farm.
+    pub services: ServicesConfig,
+    /// The monitored prefix attackers aim at.
+    pub telescope: Ipv4Prefix,
+    /// Replay horizon.
+    pub duration: SimTime,
+    /// Address-space cells (results depend on it; worker count does not).
+    pub cells: usize,
+    /// Conservative barrier window width.
+    pub window: SimTime,
+    /// Base RNG seed (farm + radiation).
+    pub seed: u64,
+    /// Closed-loop attacker actors per scenario in the pack.
+    pub attackers_per_scenario: usize,
+    /// Think time between receiving a response and sending the next
+    /// drive step.
+    pub reply_delay: SimTime,
+    /// Gap between consecutive actors' opening SYNs (staggered starts
+    /// spread VM cloning).
+    pub start_stagger: SimTime,
+    /// Ambient radiation rate (sources/second at the diurnal peak);
+    /// background scanners share the farm with the scripted attackers.
+    pub background_rate: f64,
+    /// VMM servers per cell farm.
+    pub servers: usize,
+    /// Gateway cap on concurrently open interaction sessions per cell
+    /// (`None` = unlimited).
+    pub session_cap: Option<usize>,
+    /// Observability: per-cell farm tracing (svc.* lanes included).
+    pub trace: Option<potemkin_obs::TraceConfig>,
+}
+
+impl InteractionConfig {
+    /// A validating builder over `services`: a /20 telescope, 30 s
+    /// horizon, 4 cells, 250 ms window, 4 attackers per scenario, 40 ms
+    /// think time, light background radiation.
+    #[must_use]
+    pub fn builder(services: ServicesConfig) -> InteractionConfigBuilder {
+        InteractionConfigBuilder {
+            inner: InteractionConfig {
+                services,
+                telescope: "10.4.0.0/20".parse().expect("static prefix"),
+                duration: SimTime::from_secs(30),
+                cells: 4,
+                window: SimTime::from_millis(250),
+                seed: 2005,
+                attackers_per_scenario: 4,
+                reply_delay: SimTime::from_millis(40),
+                start_stagger: SimTime::from_millis(200),
+                background_rate: 0.5,
+                servers: 2,
+                session_cap: None,
+                trace: None,
+            },
+        }
+    }
+
+    /// Runs the replay on `workers` threads; see [`run_interaction`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run_interaction`].
+    pub fn run(&self, workers: usize) -> Result<InteractionResult, FarmError> {
+        run_interaction(self, workers)
+    }
+}
+
+/// Typed builder for [`InteractionConfig`]; see
+/// [`InteractionConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct InteractionConfigBuilder {
+    inner: InteractionConfig,
+}
+
+impl InteractionConfigBuilder {
+    /// Sets the monitored prefix.
+    #[must_use]
+    pub fn telescope(mut self, telescope: Ipv4Prefix) -> Self {
+        self.inner.telescope = telescope;
+        self
+    }
+
+    /// Sets the replay horizon.
+    #[must_use]
+    pub fn duration(mut self, duration: SimTime) -> Self {
+        self.inner.duration = duration;
+        self
+    }
+
+    /// Sets the cell count.
+    #[must_use]
+    pub fn cells(mut self, cells: usize) -> Self {
+        self.inner.cells = cells;
+        self
+    }
+
+    /// Sets the barrier window width.
+    #[must_use]
+    pub fn window(mut self, window: SimTime) -> Self {
+        self.inner.window = window;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Sets the attacker count per scenario.
+    #[must_use]
+    pub fn attackers_per_scenario(mut self, attackers: usize) -> Self {
+        self.inner.attackers_per_scenario = attackers;
+        self
+    }
+
+    /// Sets the attacker think time.
+    #[must_use]
+    pub fn reply_delay(mut self, delay: SimTime) -> Self {
+        self.inner.reply_delay = delay;
+        self
+    }
+
+    /// Sets the gap between consecutive actors' opening SYNs.
+    #[must_use]
+    pub fn start_stagger(mut self, stagger: SimTime) -> Self {
+        self.inner.start_stagger = stagger;
+        self
+    }
+
+    /// Sets the ambient radiation rate (0.0 = scripted attackers only).
+    #[must_use]
+    pub fn background_rate(mut self, rate: f64) -> Self {
+        self.inner.background_rate = rate;
+        self
+    }
+
+    /// Sets the VMM server count per cell farm.
+    #[must_use]
+    pub fn servers(mut self, servers: usize) -> Self {
+        self.inner.servers = servers;
+        self
+    }
+
+    /// Sets the gateway cap on open interaction sessions per cell.
+    #[must_use]
+    pub fn session_cap(mut self, cap: Option<usize>) -> Self {
+        self.inner.session_cap = cap;
+        self
+    }
+
+    /// Enables per-cell farm tracing (svc.* lanes included).
+    #[must_use]
+    pub fn trace(mut self, trace: potemkin_obs::TraceConfig) -> Self {
+        self.inner.trace = Some(trace);
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an empty pack, a scenario without a
+    /// target port or drive script, a zero horizon/window/cell count, or
+    /// more actors than telescope addresses.
+    pub fn build(self) -> Result<InteractionConfig, ConfigError> {
+        let c = self.inner;
+        let bad = |field, reason| Err(ConfigError::new("InteractionConfig", field, reason));
+        if c.services.pack.scenarios().is_empty() {
+            return bad("services.pack", "needs at least one scenario");
+        }
+        for scenario in c.services.pack.scenarios() {
+            if scenario.ports.is_empty() {
+                return bad("services.pack", "every scenario needs a target port to drive");
+            }
+            if scenario.drive.is_empty() {
+                return bad("services.pack", "every scenario needs a drive script");
+            }
+        }
+        if c.duration == SimTime::ZERO {
+            return bad("duration", "must be > 0");
+        }
+        if c.window == SimTime::ZERO {
+            return bad("window", "must be > 0");
+        }
+        if c.cells == 0 {
+            return bad("cells", "must be >= 1");
+        }
+        if c.attackers_per_scenario == 0 {
+            return bad("attackers_per_scenario", "must be >= 1");
+        }
+        let actors = c.services.pack.scenarios().len() * c.attackers_per_scenario;
+        if actors as u64 > c.telescope.len() {
+            return bad("attackers_per_scenario", "more actors than telescope addresses");
+        }
+        if c.servers == 0 {
+            return bad("servers", "must be >= 1");
+        }
+        Ok(c)
+    }
+}
+
+/// Result of an interaction replay.
+#[derive(Clone, Debug)]
+pub struct InteractionResult {
+    /// The merged sharded report (stats, degradation, engine telemetry,
+    /// traces). `svc_*` counters live in `merged.stats.counters`.
+    pub merged: ShardedTelescopeResult,
+    /// Per-scenario fidelity metrics, merged across cells in pack order.
+    pub scenarios: Vec<ScenarioMetrics>,
+    /// Finalized session transcripts, in (cell, finalize) order.
+    pub records: Vec<SessionRecord>,
+    /// Scripted attacker actors launched.
+    pub attackers: u64,
+    /// Drive requests the actors sent.
+    pub drive_requests: u64,
+    /// Actors that completed their full drive script.
+    pub drive_completed: u64,
+    /// Actors that stopped on an unexpected response or RST.
+    pub drive_aborted: u64,
+    /// Requests no scenario claimed (fell back to the fixed banner).
+    pub svc_unclaimed: u64,
+}
+
+impl InteractionResult {
+    /// Canonical digest input: per-scenario fidelity lines plus the
+    /// deterministic drive counters. Everything wall-clock-dependent is
+    /// excluded, so the string is byte-identical at any worker count.
+    #[must_use]
+    pub fn canonical_summary(&self) -> String {
+        let mut s = String::new();
+        for m in &self.scenarios {
+            s.push_str(&m.canonical_line());
+            s.push(';');
+        }
+        s.push_str(&format!(
+            "attackers={} sent={} completed={} aborted={} unclaimed={}",
+            self.attackers,
+            self.drive_requests,
+            self.drive_completed,
+            self.drive_aborted,
+            self.svc_unclaimed
+        ));
+        s
+    }
+
+    /// Exports every session record into `store` (e.g. a
+    /// [`potemkin_services::JsonlStore`]), in result order.
+    pub fn export_sessions<S: SessionStore>(&self, store: &mut S) {
+        for record in &self.records {
+            store.record(record);
+        }
+    }
+}
+
+/// One scripted attacker: a closed-loop replay of its scenario's drive
+/// script against a fixed telescope address.
+struct AttackerActor {
+    scenario: usize,
+    target: Ipv4Addr,
+    port: u16,
+    src_port: u16,
+    /// Next drive step to send (0 until the handshake completes).
+    next_step: usize,
+    finished: bool,
+    aborted: bool,
+}
+
+/// A cell of the interaction replay: the plain [`CellWorld`] plus the
+/// attacker actors whose targets this cell owns.
+struct SvcCellWorld {
+    inner: CellWorld,
+    /// Shared, immutable scenario pack (drive scripts + expectations).
+    pack: Arc<Vec<Scenario>>,
+    /// Actors keyed by source address; replies are routed back by
+    /// `packet.dst()`.
+    actors: BTreeMap<Ipv4Addr, AttackerActor>,
+    reply_delay: SimTime,
+    requests_sent: u64,
+    completed: u64,
+    aborted: u64,
+}
+
+impl SvcCellWorld {
+    /// Consumes the farm replies captured at the tunnel boundary this
+    /// handle: each reply advances its actor's conversation, scheduling
+    /// the next drive request into this cell's own queue. Everything
+    /// stays intra-cell, so the barrier never reorders a conversation.
+    fn drain_replies(&mut self, now: SimTime, q: &mut EventQueue<CellEvent>) {
+        if self.inner.external_replies.is_empty() {
+            return;
+        }
+        let replies = std::mem::take(&mut self.inner.external_replies);
+        for reply in replies {
+            let attacker = reply.dst();
+            let Some(actor) = self.actors.get_mut(&attacker) else { continue };
+            if actor.finished || actor.aborted {
+                continue;
+            }
+            let Some(flags) = reply.tcp_flags() else { continue };
+            if flags.rst {
+                actor.aborted = true;
+                self.aborted += 1;
+                continue;
+            }
+            let payload = reply.app_payload();
+            let (seq, ack) = match reply.payload() {
+                potemkin_net::PacketPayload::Tcp { header, .. } if flags.syn && flags.ack => {
+                    // Handshake accepted; only meaningful before step 0.
+                    if actor.next_step > 0 {
+                        continue;
+                    }
+                    (header.ack, header.seq.wrapping_add(1))
+                }
+                potemkin_net::PacketPayload::Tcp { header, .. } => {
+                    if payload.is_empty() {
+                        continue; // plain ACK, nothing to react to
+                    }
+                    // This answers the step we sent last; hold it against
+                    // the step's expectation.
+                    let step = &self.pack[actor.scenario].drive[actor.next_step - 1];
+                    if let Some(expect) = &step.expect {
+                        if !expect.matches(payload) {
+                            actor.aborted = true;
+                            self.aborted += 1;
+                            continue;
+                        }
+                    }
+                    if actor.next_step >= self.pack[actor.scenario].drive.len() {
+                        actor.finished = true;
+                        self.completed += 1;
+                        continue;
+                    }
+                    (header.ack, header.seq.wrapping_add(payload.len() as u32))
+                }
+                _ => continue,
+            };
+            let step = &self.pack[actor.scenario].drive[actor.next_step];
+            let data = render(&step.send, actor.target, attacker, actor.next_step as u64);
+            let request = PacketBuilder::new(attacker, actor.target).tcp_segment(
+                actor.src_port,
+                actor.port,
+                TcpFlags::PSH_ACK,
+                seq,
+                ack,
+                &data,
+            );
+            actor.next_step += 1;
+            self.requests_sent += 1;
+            let key = self.inner.packets.insert(request);
+            q.schedule(now + self.reply_delay, CellEvent::Packet(key));
+        }
+    }
+}
+
+impl HasCellWorld for SvcCellWorld {
+    fn cell(&self) -> &CellWorld {
+        &self.inner
+    }
+    fn cell_mut(&mut self) -> &mut CellWorld {
+        &mut self.inner
+    }
+}
+
+impl World for SvcCellWorld {
+    type Event = CellEvent;
+
+    fn handle(&mut self, now: SimTime, event: CellEvent, q: &mut EventQueue<CellEvent>) {
+        self.inner.handle(now, event, q);
+        self.drain_replies(now, q);
+    }
+}
+
+impl ShardWorld for SvcCellWorld {
+    type Remote = Vec<Packet>;
+
+    fn take_outbound(&mut self) -> Vec<(usize, Vec<Packet>)> {
+        self.inner.take_outbound()
+    }
+
+    fn accept_remote(
+        &mut self,
+        at: SimTime,
+        batch: Vec<Packet>,
+        queue: &mut EventQueue<CellEvent>,
+    ) {
+        self.inner.accept_remote(at, batch, queue);
+    }
+}
+
+/// A guest profile listening on every port the pack's scenarios claim
+/// (the linux-server baseline plus any missing scenario port).
+fn profile_for_pack(scenarios: &[Scenario]) -> GuestProfile {
+    let mut profile = GuestProfile::linux_server();
+    for scenario in scenarios {
+        for &port in &scenario.ports {
+            if !profile.services.iter().any(|s| s.port == port && s.proto == ServiceProto::Tcp) {
+                profile.services.push(Service { port, proto: ServiceProto::Tcp, exploit_depth: 1 });
+            }
+        }
+    }
+    profile
+}
+
+/// Builds the internal sharded config: per-cell farms with the service
+/// engine installed, light ambient radiation, no worm.
+fn sharded_config(config: &InteractionConfig) -> Result<ShardedTelescopeConfig, FarmError> {
+    let profile = profile_for_pack(config.services.pack.scenarios());
+    let mut gateway = potemkin_gateway::GatewayConfig::default();
+    gateway.service_sessions = config.session_cap;
+    let farm = crate::farm::FarmConfig::builder()
+        .gateway(gateway)
+        .servers(config.servers)
+        .profile(profile)
+        .seed(config.seed)
+        .services(config.services.clone())
+        .build()
+        .map_err(|_| FarmError::BadConfig { what: "invalid interaction farm config" })?;
+    let radiation = RadiationConfig {
+        telescope: config.telescope,
+        peak_source_rate: config.background_rate,
+        ..RadiationConfig::default()
+    };
+    let base = TelescopeConfig::builder(farm, radiation)
+        .seed(config.seed)
+        .duration(config.duration)
+        .sample_interval(SimTime::from_secs(1))
+        .tick_interval(SimTime::from_secs(1))
+        .build()
+        .map_err(|_| FarmError::BadConfig { what: "invalid interaction telescope config" })?;
+    let mut builder =
+        ShardedTelescopeConfig::builder(base).cells(config.cells).window(config.window);
+    if let Some(trace) = config.trace {
+        builder = builder.trace(trace);
+    }
+    builder.build().map_err(|_| FarmError::BadConfig { what: "invalid interaction sharded config" })
+}
+
+/// Picks actor `g`'s target address: an odd stride walks the whole
+/// power-of-two telescope without collisions, spreading consecutive
+/// actors across cells.
+fn target_for(telescope: Ipv4Prefix, g: u64) -> Ipv4Addr {
+    let idx = (g.wrapping_mul(97).wrapping_add(5)) % telescope.len();
+    telescope.addr_at(idx).expect("index is in range by construction")
+}
+
+/// Actor `g`'s source address (outside the telescope, deterministic).
+fn attacker_addr(g: u64) -> Ipv4Addr {
+    Ipv4Addr::from(u32::from(ATTACKER_BASE).wrapping_add(g as u32))
+}
+
+/// Runs a scenario-driven interaction replay on `workers` OS threads.
+///
+/// `workers == 1` runs every cell on the calling thread (the serial
+/// reference); any larger count produces a byte-identical merged report
+/// and identical fidelity metrics (`tests/prop_services.rs`).
+///
+/// # Errors
+///
+/// Returns [`FarmError::BadConfig`] when the internal telescope or
+/// sharded config fails to validate, or a farm the cells cannot build.
+pub fn run_interaction(
+    config: &InteractionConfig,
+    workers: usize,
+) -> Result<InteractionResult, FarmError> {
+    let sharded = sharded_config(config)?;
+    let PreparedRun { shards, meta } = prepare_shards(&sharded, true)?;
+
+    let pack = Arc::new(config.services.pack.scenarios().to_vec());
+    let mut svc_shards: Vec<Shard<SvcCellWorld>> = shards
+        .into_iter()
+        .map(|shard| {
+            let mut world = SvcCellWorld {
+                inner: shard.world,
+                pack: Arc::clone(&pack),
+                actors: BTreeMap::new(),
+                reply_delay: config.reply_delay,
+                requests_sent: 0,
+                completed: 0,
+                aborted: 0,
+            };
+            world.inner.capture_external = true;
+            Shard { world, queue: shard.queue }
+        })
+        .collect();
+
+    // Launch the attacker fleet: each actor's opening SYN is scheduled
+    // into the cell owning its target, staggered so VM cloning spreads
+    // over the horizon start.
+    let mut attackers = 0u64;
+    for (scenario_idx, scenario) in pack.iter().enumerate() {
+        let port = scenario.ports[0];
+        for a in 0..config.attackers_per_scenario {
+            let g = (scenario_idx * config.attackers_per_scenario + a) as u64;
+            let src = attacker_addr(g);
+            let target = target_for(config.telescope, g);
+            let src_port = 40_000 + (g % 20_000) as u16;
+            let cell = sharded.cell_map.owner(config.telescope, target, sharded.cells);
+            let start =
+                SimTime::from_micros(config.start_stagger.as_micros().saturating_mul(g + 1));
+            let shard = &mut svc_shards[cell];
+            shard.world.actors.insert(
+                src,
+                AttackerActor {
+                    scenario: scenario_idx,
+                    target,
+                    port,
+                    src_port,
+                    next_step: 0,
+                    finished: false,
+                    aborted: false,
+                },
+            );
+            let syn = PacketBuilder::new(src, target).tcp_syn(src_port, port);
+            let key = shard.world.inner.packets.insert(syn);
+            shard.queue.schedule(start, CellEvent::Packet(key));
+            attackers += 1;
+        }
+    }
+
+    let engine = run_sharded(
+        &mut svc_shards,
+        sharded.base.duration,
+        &ShardConfig { window: sharded.window, workers, tuning: sharded.tuning },
+    );
+
+    // Finalize every cell's open sessions before reading metrics, then
+    // merge in cell order (pack order within each cell is fixed, so the
+    // merged vector is layout- and worker-invariant).
+    let mut per_cell_metrics = Vec::with_capacity(svc_shards.len());
+    let mut records = Vec::new();
+    let mut svc_unclaimed = 0u64;
+    let mut drive_requests = 0u64;
+    let mut drive_completed = 0u64;
+    let mut drive_aborted = 0u64;
+    for shard in &mut svc_shards {
+        drive_requests += shard.world.requests_sent;
+        drive_completed += shard.world.completed;
+        drive_aborted += shard.world.aborted;
+        if let Some(engine) = shard.world.inner.farm.service_engine_mut() {
+            engine.finish();
+            per_cell_metrics.push(engine.metrics().to_vec());
+            records.extend(engine.records().iter().cloned());
+            svc_unclaimed += engine.unclaimed();
+        }
+    }
+    let scenarios = merge_metrics(&per_cell_metrics);
+
+    let merged = assemble_result(&sharded, &mut svc_shards, engine, &meta);
+    Ok(InteractionResult {
+        merged,
+        scenarios,
+        records,
+        attackers,
+        drive_requests,
+        drive_completed,
+        drive_aborted,
+        svc_unclaimed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use potemkin_services::pack::builtin;
+
+    fn config(attackers: usize) -> InteractionConfig {
+        InteractionConfig::builder(ServicesConfig::new(builtin()))
+            .duration(SimTime::from_secs(12))
+            .cells(4)
+            .attackers_per_scenario(attackers)
+            .build()
+            .expect("fixed interaction config is valid")
+    }
+
+    #[test]
+    fn drives_complete_and_capture_payloads() {
+        let result = run_interaction(&config(2), 1).expect("replay runs");
+        assert_eq!(result.attackers, 8);
+        assert!(result.drive_requests > 0, "actors must send requests");
+        assert_eq!(
+            result.drive_completed,
+            result.attackers,
+            "every drive script must complete: {}",
+            result.canonical_summary()
+        );
+        assert_eq!(result.drive_aborted, 0, "{}", result.canonical_summary());
+        // Every scenario captured its marked payload from every actor.
+        assert_eq!(result.scenarios.len(), 4);
+        for m in &result.scenarios {
+            assert!(m.payloads >= 2, "scenario {} captured nothing", m.scenario);
+            assert!(m.completions >= 2, "scenario {} completed nothing", m.scenario);
+        }
+        assert!(result.merged.stats.counters.get("svc_payloads_captured") >= 8);
+        assert!(!result.records.is_empty(), "transcripts must be recorded");
+    }
+
+    #[test]
+    fn summary_is_worker_invariant() {
+        let cfg = config(2);
+        let reference = run_interaction(&cfg, 1).expect("serial run");
+        for workers in [2, 4] {
+            let run = run_interaction(&cfg, workers).expect("parallel run");
+            assert_eq!(
+                run.canonical_summary(),
+                reference.canonical_summary(),
+                "fidelity summary diverged at {workers} workers"
+            );
+            assert_eq!(
+                run.merged.degradation.canonical_string(),
+                reference.merged.degradation.canonical_string(),
+                "merged report diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn session_cap_rejects_past_gateway_budget() {
+        let capped = InteractionConfig::builder(ServicesConfig::new(builtin()))
+            .duration(SimTime::from_secs(12))
+            .cells(1)
+            .attackers_per_scenario(3)
+            .session_cap(Some(1))
+            .build()
+            .expect("valid config");
+        let result = run_interaction(&capped, 1).expect("replay runs");
+        assert!(
+            result.merged.stats.counters.get("svc_sessions_rejected") > 0,
+            "a one-session cap must reject concurrent openers"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_driveless_pack() {
+        let mut scenario = builtin().scenarios()[0].clone();
+        scenario.drive.clear();
+        let pack = potemkin_services::ScenarioPack::new(vec![scenario]).expect("still valid DSL");
+        let err = InteractionConfig::builder(ServicesConfig::new(pack)).build().unwrap_err();
+        assert_eq!(err.field(), "services.pack");
+    }
+}

@@ -42,6 +42,11 @@ pub struct GatewayConfig {
     /// packet. Flow eviction outcomes are unchanged; only when the
     /// bookkeeping happens moves.
     pub batched_flow_updates: bool,
+    /// Cap on concurrently open interaction-service sessions admitted per
+    /// farm (`None` = unlimited). Checked by
+    /// [`Gateway::admit_service_session`] before the farm opens a new
+    /// scenario session.
+    pub service_sessions: Option<usize>,
 }
 
 impl Default for GatewayConfig {
@@ -51,6 +56,7 @@ impl Default for GatewayConfig {
             granularity: BindGranularity::PerDestination,
             sinkhole: "172.20.0.0/16".parse().expect("static prefix"),
             batched_flow_updates: false,
+            service_sessions: None,
         }
     }
 }
@@ -105,6 +111,13 @@ impl GatewayConfigBuilder {
     #[must_use]
     pub fn batched_flow_updates(mut self, batched: bool) -> Self {
         self.inner.batched_flow_updates = batched;
+        self
+    }
+
+    /// Caps concurrently open interaction-service sessions per farm.
+    #[must_use]
+    pub fn service_sessions(mut self, cap: Option<usize>) -> Self {
+        self.inner.service_sessions = cap;
         self
     }
 
@@ -312,6 +325,26 @@ impl Gateway {
     #[must_use]
     pub fn trace_dropped(&self) -> u64 {
         self.tracer.dropped()
+    }
+
+    /// Admission control for interaction-service sessions: whether a new
+    /// scenario session may open given `open` are already live on this
+    /// farm. Deterministic — a pure comparison against the configured cap
+    /// — and counted either way (`svc_sessions_admitted` /
+    /// `svc_sessions_rejected`). The caller owns the live count (session
+    /// eviction and timeouts happen in the service engine), so no release
+    /// bookkeeping is needed here.
+    pub fn admit_service_session(&mut self, open: usize) -> bool {
+        let admitted = match self.config.service_sessions {
+            Some(cap) => open < cap,
+            None => true,
+        };
+        if admitted {
+            self.counters.incr("svc_sessions_admitted");
+        } else {
+            self.counters.incr("svc_sessions_rejected");
+        }
+        admitted
     }
 
     /// Stalls the gateway until `now + duration` (fault injection): packets

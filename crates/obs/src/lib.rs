@@ -103,4 +103,13 @@ pub mod names {
     /// Federation: fabric deliveries shed into a cell by global admission
     /// control (instant; value = packets shed).
     pub const FED_SHED: &str = "fed.shed";
+    /// Services: a session classified and claimed by a scenario (instant;
+    /// value = scenario index in the pack).
+    pub const SVC_DETECT: &str = "svc.detect";
+    /// Services: a new interaction session opened (instant; value = live
+    /// sessions after the open).
+    pub const SVC_SESSION: &str = "svc.session";
+    /// Services: a scenario rule captured a payload (instant; value =
+    /// payload length in bytes).
+    pub const SVC_CAPTURE: &str = "svc.capture";
 }

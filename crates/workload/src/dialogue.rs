@@ -10,12 +10,15 @@
 
 /// The attacker's exploit dialogue: `depth` request/response rounds, then
 /// the payload.
+///
+/// Fields are owned so dialogues can be built from parsed scenario data
+/// (the `potemkin-services` DSL) as easily as from the static worm presets.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExploitScript {
-    name: &'static str,
+    name: String,
     port: u16,
     depth: u8,
-    payload_marker: &'static [u8],
+    payload_marker: Vec<u8>,
 }
 
 /// One attacker request within a dialogue.
@@ -57,16 +60,27 @@ impl DialogueOutcome {
 }
 
 impl ExploitScript {
-    /// Creates a script.
+    /// Creates a script. Accepts both `&'static` literals (the worm
+    /// presets) and owned data from parsed scenarios.
     #[must_use]
-    pub fn new(name: &'static str, port: u16, depth: u8, payload_marker: &'static [u8]) -> Self {
-        ExploitScript { name, port, depth: depth.max(1), payload_marker }
+    pub fn new(
+        name: impl Into<String>,
+        port: u16,
+        depth: u8,
+        payload_marker: impl Into<Vec<u8>>,
+    ) -> Self {
+        ExploitScript {
+            name: name.into(),
+            port,
+            depth: depth.max(1),
+            payload_marker: payload_marker.into(),
+        }
     }
 
     /// The exploit's name.
     #[must_use]
-    pub fn name(&self) -> &'static str {
-        self.name
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// The exploited port.
@@ -90,7 +104,7 @@ impl ExploitScript {
         let is_payload = round + 1 == self.depth;
         let mut data = format!("{}:round{}:", self.name, round).into_bytes();
         if is_payload {
-            data.extend_from_slice(self.payload_marker);
+            data.extend_from_slice(&self.payload_marker);
         }
         Some(DialogueRequest { round, data, is_payload })
     }
@@ -114,10 +128,7 @@ impl ExploitScript {
                 None => return DialogueOutcome::StalledAt { rounds: answered },
             }
         }
-        DialogueOutcome::PayloadDelivered {
-            payload: self.payload_marker.to_vec(),
-            rounds: answered,
-        }
+        DialogueOutcome::PayloadDelivered { payload: self.payload_marker.clone(), rounds: answered }
     }
 }
 

@@ -14,9 +14,14 @@
 //!   generate probe packets from infected hosts.
 //! * [`epidemic`] — the analytic SI epidemic model the simulated outbreaks
 //!   are validated against.
-//! * [`dialogue`] — multi-stage exploit dialogues for the fidelity
+//! * [`dialogue`] — fixed multi-stage exploit dialogues for the fidelity
 //!   experiment (high-interaction honeypots complete them; scripted
-//!   responders stall at their scripted depth).
+//!   responders stall at their scripted depth). These are the *attacker*
+//!   side of an exploit as a hard-coded round sequence; the *service* side
+//!   — protocol detection and data-driven interaction state machines
+//!   loaded from declarative scenario files — lives in the
+//!   `potemkin-services` crate, which builds [`ExploitScript`]s from
+//!   parsed scenario data.
 //! * [`trace`] — the timestamped packet-event container shared by all
 //!   generators.
 

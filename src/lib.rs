@@ -13,6 +13,10 @@
 //! * [`vmm`] — the simulated VMM: flash cloning + delta virtualization.
 //! * [`gateway`] — the gateway router: late binding + containment policy.
 //! * [`workload`] — telescope radiation, worm models, exploit dialogues.
+//! * [`services`] — the interaction plane: protocol detection, the
+//!   declarative scenario DSL, session capture; [`interaction`] — the
+//!   scenario-driven attacker replay driver.
+//! * [`json`] — the shared dependency-free JSON parser.
 //! * [`farm`] — the controller composing all of the above.
 //! * [`fed`] — the federation routing tier (BGP-style prefix routes, GRE
 //!   transit); [`federation`] — the federated multi-farm driver.
@@ -40,12 +44,15 @@ pub use potemkin_core::federation;
 pub use potemkin_core::parallel;
 pub use potemkin_core::report;
 pub use potemkin_core::scenario;
+pub use potemkin_core::services as interaction;
 pub use potemkin_core::{ConfigError, Error};
 pub use potemkin_federation as fed;
 pub use potemkin_gateway as gateway;
+pub use potemkin_json as json;
 pub use potemkin_metrics as metrics;
 pub use potemkin_net as net;
 pub use potemkin_obs as obs;
+pub use potemkin_services as services;
 pub use potemkin_sim as sim;
 pub use potemkin_snapshot as snapshot;
 pub use potemkin_vmm as vmm;

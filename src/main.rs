@@ -17,6 +17,9 @@
 //! potemkin federate [--farms N] [--cells N] [--workers N] [--duration SECS]
 //!                   [--seed N] [--window-ms MS] [--shed-after EVENTS]
 //!                   [--verify true]
+//! potemkin services [--scenario-dir DIR] [--duration SECS] [--cells N]
+//!                   [--workers N] [--attackers N] [--seed N]
+//!                   [--session-cap N] [--store FILE.jsonl] [--verify true]
 //! ```
 //!
 //! Each subcommand exercises the public library API end to end; the
@@ -33,9 +36,11 @@ use potemkin::farm::{FarmConfig, Honeyfarm};
 use potemkin::fed::AdmissionConfig;
 use potemkin::federation::{run_telescope_federated, FederatedTelescopeConfig};
 use potemkin::gateway::policy::PolicyConfig;
+use potemkin::interaction::{run_interaction, InteractionConfig};
 use potemkin::metrics::{ConcurrencyAnalyzer, Table};
 use potemkin::parallel::ShardedTelescopeConfig;
 use potemkin::scenario::{run_outbreak, run_telescope, OutbreakConfig, TelescopeConfig};
+use potemkin::services::{JsonlStore, ScenarioPack, ServicesConfig};
 use potemkin::sim::SimTime;
 use potemkin::vmm::guest::GuestProfile;
 use potemkin::vmm::Host;
@@ -66,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: potemkin <replay|outbreak|demand|clone|snapshot|restore|fork|federate> \
+    "usage: potemkin <replay|outbreak|demand|clone|snapshot|restore|fork|federate|services> \
      [--flag value ...]\n\
      see `src/main.rs` header for per-command flags"
         .to_string()
@@ -493,6 +498,103 @@ fn cmd_federate(args: &Args) -> Result<(), Error> {
     Ok(())
 }
 
+/// Loads every `*.json` scenario in `dir` (sorted by file name for a
+/// deterministic pack order) and runs the scenario-driven interaction
+/// replay; with `--store FILE.jsonl` every captured session transcript
+/// is exported one JSON object per line.
+fn cmd_services(args: &Args) -> Result<(), Error> {
+    let dir = args.str("scenario-dir", "examples/scenarios");
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(Error::Cli(format!("no *.json scenarios in {dir:?}")));
+    }
+    let mut sources = Vec::with_capacity(paths.len());
+    for path in &paths {
+        sources.push(std::fs::read_to_string(path)?);
+    }
+    let pack = ScenarioPack::parse_many(&sources)
+        .map_err(|e| Error::Cli(format!("scenario pack in {dir:?}: {e}")))?;
+    println!(
+        "loaded {} scenarios from {dir}: {}",
+        pack.scenarios().len(),
+        pack.scenarios().iter().map(|s| s.name.as_str()).collect::<Vec<_>>().join(", ")
+    );
+
+    let mut builder = InteractionConfig::builder(ServicesConfig::new(pack))
+        .duration(args.secs("duration", 30)?)
+        .cells(args.num("cells", 4)? as usize)
+        .attackers_per_scenario(args.num("attackers", 4)? as usize)
+        .seed(args.num("seed", 2005)?);
+    if let Some(cap) = args.flags.get("session-cap") {
+        let n = cap
+            .parse::<usize>()
+            .map_err(|_| Error::Cli(format!("--session-cap: bad number {cap:?}")))?;
+        builder = builder.session_cap(Some(n));
+    }
+    let config = builder.build()?;
+    let workers = args.num("workers", 2)? as usize;
+    let result = run_interaction(&config, workers)?;
+
+    let counters = &result.merged.stats.counters;
+    let mut t = Table::new(&["metric", "value"]).with_title("interaction services replay");
+    t.row_owned(vec!["attackers".into(), result.attackers.to_string()]);
+    t.row_owned(vec!["drive requests".into(), result.drive_requests.to_string()]);
+    t.row_owned(vec!["drives completed".into(), result.drive_completed.to_string()]);
+    t.row_owned(vec!["drives aborted".into(), result.drive_aborted.to_string()]);
+    t.row_owned(vec!["sessions opened".into(), counters.get("svc_sessions_opened").to_string()]);
+    t.row_owned(vec![
+        "sessions rejected".into(),
+        counters.get("svc_sessions_rejected").to_string(),
+    ]);
+    t.row_owned(vec![
+        "payloads captured".into(),
+        counters.get("svc_payloads_captured").to_string(),
+    ]);
+    t.row_owned(vec!["stalls".into(), counters.get("svc_stalls").to_string()]);
+    t.row_owned(vec!["unclaimed requests".into(), result.svc_unclaimed.to_string()]);
+    t.row_owned(vec!["transcripts".into(), result.records.len().to_string()]);
+    println!("{t}");
+
+    let mut fidelity =
+        Table::new(&["scenario", "sessions", "rounds", "payloads", "stalls", "completions"])
+            .with_title("per-scenario fidelity");
+    for m in &result.scenarios {
+        fidelity.row_owned(vec![
+            m.scenario.clone(),
+            m.sessions.to_string(),
+            m.rounds.to_string(),
+            m.payloads.to_string(),
+            m.stalls.to_string(),
+            m.completions.to_string(),
+        ]);
+    }
+    println!("{fidelity}");
+
+    if let Some(path) = args.flags.get("store") {
+        let mut store = JsonlStore::create(std::path::Path::new(path))?;
+        result.export_sessions(&mut store);
+        store.flush()?;
+        println!("wrote {} session transcripts to {path}", store.written());
+    }
+
+    if args.str("verify", "false") == "true" {
+        let reference = run_interaction(&config, 1)?;
+        if reference.canonical_summary() == result.canonical_summary() {
+            println!("verify: serial reference matches ({workers} workers ≡ 1 worker)");
+        } else {
+            return Err(Error::Cli(format!(
+                "verify FAILED: {workers}-worker report diverged from the serial reference"
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -510,6 +612,7 @@ fn main() -> ExitCode {
         "restore" => cmd_restore(&args),
         "fork" => cmd_fork(&args),
         "federate" => cmd_federate(&args),
+        "services" => cmd_services(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

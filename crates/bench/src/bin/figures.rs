@@ -11,7 +11,7 @@
 //! Output is plain aligned text; EXPERIMENTS.md quotes it directly.
 
 use potemkin_bench::experiments::{
-    e1, e10, e11, e12, e13, e14, e15, e16, e17, e2, e3, e4, e5, e6, e7, e8, e9,
+    e1, e10, e11, e12, e13, e14, e15, e16, e17, e18, e2, e3, e4, e5, e6, e7, e8, e9,
 };
 use potemkin_sim::SimTime;
 
@@ -32,6 +32,7 @@ struct Opts {
     snapshot_out: Option<String>,
     federation_out: Option<String>,
     services_out: Option<String>,
+    storage_out: Option<String>,
 }
 
 impl Opts {
@@ -55,6 +56,7 @@ fn parse_args() -> Opts {
         snapshot_out: None,
         federation_out: None,
         services_out: None,
+        storage_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,15 +72,17 @@ fn parse_args() -> Opts {
             "--snapshot-out" => opts.snapshot_out = args.next(),
             "--federation-out" => opts.federation_out = args.next(),
             "--services-out" => opts.services_out = args.next(),
+            "--storage-out" => opts.storage_out = args.next(),
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--fast] [--csv] [--out-dir DIR] \
-                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17]\n\
+                     [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 e18]\n\
                      --out-dir DIR   write BENCH_replay.json, BENCH_obs.json, \
                      BENCH_memory.json, BENCH_snapshot.json, BENCH_federation.json, \
-                     BENCH_services.json and trace.json into DIR\n\
+                     BENCH_services.json, BENCH_storage.json and trace.json into DIR\n\
                      (per-file aliases: --bench-out, --obs-out, --trace-out, \
-                     --memory-out, --snapshot-out, --federation-out, --services-out)"
+                     --memory-out, --snapshot-out, --federation-out, --services-out, \
+                     --storage-out)"
                 );
                 std::process::exit(0);
             }
@@ -294,6 +298,28 @@ fn main() {
         emit(&opts, &e17::sweep_table(&r));
         if let Some(path) = opts.artifact(&opts.services_out, "BENCH_services.json") {
             std::fs::write(&path, e17::bench_json(&r)).expect("write services bench json");
+            println!("wrote {path}");
+        }
+    }
+    if wants(&opts, "e18") {
+        let duration = if opts.fast { SimTime::from_secs(2) } else { SimTime::from_secs(6) };
+        let workers: &[usize] = if opts.fast { &[1, 2] } else { &[1, 2, 4] };
+        let r = e18::run(duration, workers);
+        println!(
+            "storage: {} images over {}-block chunks; sharing {:.2}x, {} dedupe hits, \
+             lazy: {}, deterministic: {}",
+            r.images,
+            r.chunk_blocks,
+            r.sharing_ratio,
+            r.after_reads.dedupe_hits,
+            r.lazy,
+            r.deterministic
+        );
+        emit(&opts, &e18::store_table(&r));
+        emit(&opts, &e18::checkpoint_table(&r));
+        emit(&opts, &e18::digest_table(&r));
+        if let Some(path) = opts.artifact(&opts.storage_out, "BENCH_storage.json") {
+            std::fs::write(&path, e18::bench_json(&r)).expect("write storage bench json");
             println!("wrote {path}");
         }
     }

@@ -19,6 +19,7 @@
 //! | [`e15`] | (extension) | hot-path tuning: load-aware sharding, adaptive windows, allocation-free packet path |
 //! | [`e16`] | (extension) | federated multi-farm telescope: BGP-style prefix routing, cross-farm worm reflection, byte-identical reports across topologies |
 //! | [`e17`] | (extension) | interaction services: scripted-banner vs scenario-engine capture rates, deterministic sharded attacker replay |
+//! | [`e18`] | (extension) | content-addressed chunked block store: farm-wide image dedupe, lazy chunk materialization, manifest checkpoints |
 
 pub mod e1;
 pub mod e10;
@@ -29,6 +30,7 @@ pub mod e14;
 pub mod e15;
 pub mod e16;
 pub mod e17;
+pub mod e18;
 pub mod e2;
 pub mod e3;
 pub mod e4;

@@ -29,7 +29,7 @@ use potemkin_vmm::cost::CostModel;
 use potemkin_vmm::guest::GuestProfile;
 use potemkin_vmm::{
     CloneTiming, DomainId, Host, ImageId, MemoryBudget, MergeReport, PressureEvent, RetryPolicy,
-    SharingReport, VmmError,
+    SharedChunkStore, SharingReport, StoreStats, VmmError,
 };
 use potemkin_workload::worm::WormSpec;
 
@@ -121,6 +121,11 @@ pub struct FarmConfig {
     /// scenario engine ([`potemkin_services`]), and captured scenario
     /// payloads flow into the farm's capture table.
     pub services: Option<ServicesConfig>,
+    /// Chunk size (in blocks) of the content-addressed store backing every
+    /// reference-image disk. `1` reproduces the flat one-word-per-chunk
+    /// layout; results are byte-identical at any value — only checkpoint
+    /// size and dedupe accounting change.
+    pub disk_chunk_blocks: u64,
 }
 
 impl FarmConfig {
@@ -148,6 +153,7 @@ impl FarmConfig {
             memory_budget_frames: None,
             merge_interval: None,
             services: None,
+            disk_chunk_blocks: potemkin_vmm::DEFAULT_CHUNK_BLOCKS,
         }
     }
 
@@ -175,6 +181,7 @@ impl FarmConfig {
             memory_budget_frames: None,
             merge_interval: None,
             services: None,
+            disk_chunk_blocks: potemkin_vmm::DEFAULT_CHUNK_BLOCKS,
         }
     }
 
@@ -329,6 +336,13 @@ impl FarmConfigBuilder {
         self
     }
 
+    /// Sets the chunk size (in blocks) of the shared disk store.
+    #[must_use]
+    pub fn disk_chunk_blocks(mut self, blocks: u64) -> Self {
+        self.inner.disk_chunk_blocks = blocks;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -358,6 +372,13 @@ impl FarmConfigBuilder {
                 "FarmConfig",
                 "merge_interval",
                 "must be > 0; use None to disable merging",
+            ));
+        }
+        if c.disk_chunk_blocks == 0 {
+            return Err(ConfigError::new(
+                "FarmConfig",
+                "disk_chunk_blocks",
+                "must be > 0; use 1 for the flat layout",
             ));
         }
         Ok(c)
@@ -502,6 +523,10 @@ pub struct Honeyfarm {
     /// Conversation state lives here, not in checkpoints: services runs
     /// are not snapshot/restored (see DESIGN.md §15).
     services: Option<ServiceEngine>,
+    /// The farm-wide content-addressed chunk store. Every host's reference
+    /// images share it, so identical golden-disk chunks are stored once
+    /// across the whole farm regardless of server or image count.
+    store: SharedChunkStore,
 }
 
 impl Honeyfarm {
@@ -535,13 +560,16 @@ impl Honeyfarm {
         if config.frames_per_server == 0 {
             return Err(FarmError::BadConfig { what: "frames_per_server must be > 0" });
         }
+        let store = SharedChunkStore::new_memory();
         let mut hosts = Vec::with_capacity(config.servers);
         let mut images = Vec::with_capacity(config.servers);
         for _ in 0..config.servers {
             let mut host = Host::new(config.frames_per_server)
                 .with_cost_model(config.cost_model)
                 .with_overhead_pages(config.overhead_pages)
-                .with_max_domains(config.max_domains_per_server);
+                .with_max_domains(config.max_domains_per_server)
+                .with_chunk_store(store.clone())
+                .with_disk_chunk_blocks(config.disk_chunk_blocks);
             let mut host_images =
                 vec![host.create_reference_image("reference", config.profile.clone())?];
             for (i, (_, profile)) in config.address_profiles.iter().enumerate() {
@@ -611,7 +639,16 @@ impl Honeyfarm {
             resident_series: TimeSeries::new(bin),
             pool: BufferPool::new(),
             services: config_services,
+            store,
         })
+    }
+
+    /// Accounting snapshot of the farm-wide chunk store: puts, dedupe
+    /// hits, lazy materializations, and resident footprint (the disk-side
+    /// analogue of [`Honeyfarm::sharing_report`]).
+    #[must_use]
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
     /// Enables tracing: the farm records on lane `base_lane`, its gateway
@@ -787,6 +824,12 @@ impl Honeyfarm {
         let sharing = self.sharing_report();
         self.sharing_series.record_max(now, sharing.ratio());
         self.resident_series.record_max(now, sharing.resident_frames as f64);
+        // Disk-side accounting rides the same cadence: trace-lane only
+        // (digest-invisible), mirroring the memory sharing samples above.
+        let store = self.store.stats();
+        self.tracer.instant(now, obs::STORE_CHUNK, store.resident_chunks);
+        self.tracer.instant(now, obs::STORE_DEDUPE, store.dedupe_hits);
+        self.tracer.instant(now, obs::STORE_MATERIALIZE, store.materialized);
         pass
     }
 
@@ -1940,6 +1983,14 @@ impl Honeyfarm {
         }
         encode_series(&mut w, &self.sharing_series);
         encode_series(&mut w, &self.resident_series);
+        // Chunk-store accounting. Resident contents are NOT walked here:
+        // each host blob carries manifest references, and restore re-puts
+        // materialized chunks from those — O(chunks) bools, not O(blocks).
+        let store = self.store.stats();
+        w.u64(store.puts);
+        w.u64(store.dedupe_hits);
+        w.u64(store.materialized);
+        w.u64(store.reads);
         // The gateway composite blob last.
         w.bytes(&self.gateway.encode_state());
         w.into_bytes()
@@ -2105,14 +2156,24 @@ impl Honeyfarm {
         }
         let sharing_series = decode_series(&mut r)?;
         let resident_series = decode_series(&mut r)?;
+        let store_puts = r.u64()?;
+        let store_dedupe = r.u64()?;
+        let store_materialized = r.u64()?;
+        let store_reads = r.u64()?;
         let gateway_blob = r.bytes()?.to_vec();
         r.finish()?;
 
         // Everything parsed; commit. Host and gateway restores mutate in
         // place, which is why whole-farm restore targets a scratch farm.
+        // The shared store is rebuilt from scratch: each host's manifest
+        // decode re-puts its materialized chunks (deduped on arrival), and
+        // the checkpointed accounting is reinstated afterwards so dedupe /
+        // materialization counters continue from the captured run.
+        self.store.clear();
         for (host, blob) in self.hosts.iter_mut().zip(&host_blobs) {
             host.restore_state(blob)?;
         }
+        self.store.set_accounting(store_puts, store_dedupe, store_materialized, store_reads);
         self.gateway.restore_state(&gateway_blob)?;
         let mut reclaim = self.config.reclaim_policy.instantiate();
         reclaim.restore_state(&reclaim_blob)?;

@@ -112,4 +112,14 @@ pub mod names {
     /// Services: a scenario rule captured a payload (instant; value =
     /// payload length in bytes).
     pub const SVC_CAPTURE: &str = "svc.capture";
+    /// Storage: resident chunks in the farm-wide content-addressed store,
+    /// sampled at merge cadence (instant; value = resident chunk count).
+    pub const STORE_CHUNK: &str = "store.chunk";
+    /// Storage: cumulative dedupe hits — puts whose content was already
+    /// stored (instant; value = hits so far).
+    pub const STORE_DEDUPE: &str = "store.dedupe";
+    /// Storage: cumulative lazy chunk materializations — base chunks
+    /// generated on first guest read, the disk-side late binding (instant;
+    /// value = materializations so far).
+    pub const STORE_MATERIALIZE: &str = "store.materialize";
 }

@@ -23,8 +23,11 @@ use crate::codec::{SnapReader, SnapWriter};
 use crate::crc::{crc32, Fnv64};
 use crate::error::SnapshotError;
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 switched disk sections from
+/// raw block walks to chunk-manifest references (geometry + materialized
+/// bits + overlay deltas); version-1 files are rejected rather than
+/// misparsed.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"PTMKSNAP";
 const END_MAGIC: &[u8; 8] = b"PSNAPEND";

@@ -1,0 +1,58 @@
+//! Typed errors for the chunk-store layer.
+
+use std::fmt;
+
+/// Errors surfaced by chunk stores and manifests.
+///
+/// Every failure is a value, never a panic: a corrupt store degrades into
+/// [`StorageError::MissingChunk`], a bad address into
+/// [`StorageError::OutOfRange`], and backing-file trouble in the
+/// directory store into [`StorageError::Io`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// A manifest referenced a chunk the store does not hold.
+    MissingChunk {
+        /// Content hash of the missing chunk.
+        hash: u64,
+    },
+    /// A block or word address fell outside the addressed object.
+    OutOfRange {
+        /// The offending address.
+        index: u64,
+        /// The object's size (blocks for manifests, words for chunks).
+        size: u64,
+    },
+    /// A directory-backed store could not read or write a backing file.
+    Io {
+        /// Which operation failed.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::MissingChunk { hash } => {
+                write!(f, "chunk {hash:016x} missing from store")
+            }
+            StorageError::OutOfRange { index, size } => {
+                write!(f, "address {index} out of range (size {size})")
+            }
+            StorageError::Io { context } => write!(f, "storage I/O failure in {context}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(StorageError::MissingChunk { hash: 0xAB }.to_string().contains("00000000000000ab"));
+        assert!(StorageError::OutOfRange { index: 9, size: 4 }.to_string().contains("9"));
+        assert!(StorageError::Io { context: "storage.dir.put" }.to_string().contains("dir.put"));
+    }
+}

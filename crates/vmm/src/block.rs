@@ -1,59 +1,157 @@
-//! Copy-on-write virtual block devices.
+//! Copy-on-write virtual block devices over the content-addressed chunk
+//! store.
 //!
 //! Potemkin clones share the reference image's disk; a clone's writes go to a
 //! private overlay (the same trick as its memory delta virtualization, at
 //! block granularity). Block *contents* are modeled as one `u64` per block,
 //! like frame contents.
+//!
+//! [`BaseDisk`] and [`CowDisk`] are thin views over `potemkin-storage`
+//! manifests: a base disk is a [`Manifest`] (ordered chunk refs) shared by
+//! every clone of the image, a clone disk is an [`OverlayManifest`] (sparse
+//! CoW delta) over that base. Identical chunks dedupe farm-wide through the
+//! [`SharedChunkStore`], and chunks materialize lazily on first guest read.
+//! The only serialization path is the manifest codec —
+//! [`BaseDisk::encode_manifest`] / [`BaseDisk::decode_manifest`] and the
+//! overlay equivalents — so checkpoints store O(chunks) + O(dirty blocks),
+//! never raw block walks.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::cell::Cell;
+use std::sync::{Arc, Mutex};
+
+use potemkin_snapshot::{SnapReader, SnapWriter, SnapshotError};
+use potemkin_storage::{
+    Manifest, OverlayManifest, SharedChunkStore, StorageError, DEFAULT_CHUNK_BLOCKS,
+};
 
 use crate::error::VmmError;
 
-/// An immutable base disk image shared by all clones of a reference image.
+fn to_bad_block(size: u64) -> impl Fn(StorageError) -> VmmError {
+    move |e| match e {
+        StorageError::OutOfRange { index, .. } => VmmError::BadBlock { block: index, size },
+        // A missing or truncated chunk is store corruption; surface it as
+        // the typed block error rather than panicking.
+        StorageError::MissingChunk { hash } => VmmError::BadBlock { block: hash, size },
+        StorageError::Io { .. } => VmmError::BadBlock { block: u64::MAX, size },
+    }
+}
+
+/// An immutable base disk image shared by all clones of a reference image:
+/// a chunk manifest over a farm-wide [`SharedChunkStore`]. Cloning the
+/// handle shares the manifest, so one clone's lazy materialization
+/// benefits every other view of the image.
 #[derive(Clone, Debug)]
 pub struct BaseDisk {
-    blocks: Arc<Vec<u64>>,
+    manifest: Arc<Mutex<Manifest>>,
+    store: SharedChunkStore,
 }
 
 impl BaseDisk {
+    /// Creates a fully lazy base disk of `size` blocks in chunks of
+    /// `chunk_blocks`, with deterministic content derived from `seed`,
+    /// backed by `store`.
+    #[must_use]
+    pub fn open(store: &SharedChunkStore, size: u64, chunk_blocks: u64, seed: u64) -> Self {
+        BaseDisk {
+            manifest: Arc::new(Mutex::new(Manifest::new(size, chunk_blocks, seed))),
+            store: store.clone(),
+        }
+    }
+
     /// Creates a base disk of `size` blocks with deterministic content
-    /// derived from `seed`.
+    /// derived from `seed`, over a fresh private in-memory store with the
+    /// default chunk size (standalone-use convenience; farm disks share
+    /// one store via [`BaseDisk::open`]).
     #[must_use]
     pub fn generate(size: u64, seed: u64) -> Self {
-        let blocks =
-            (0..size).map(|i| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i)).collect();
-        BaseDisk { blocks: Arc::new(blocks) }
+        BaseDisk::open(&SharedChunkStore::new_memory(), size, DEFAULT_CHUNK_BLOCKS, seed)
+    }
+
+    fn manifest(&self) -> std::sync::MutexGuard<'_, Manifest> {
+        self.manifest.lock().expect("disk manifest lock poisoned")
     }
 
     /// Disk size in blocks.
     #[must_use]
     pub fn size(&self) -> u64 {
-        self.blocks.len() as u64
+        self.manifest().size_blocks()
     }
 
-    /// Checkpoint support: the raw block contents.
+    /// Chunk size in blocks.
     #[must_use]
-    pub fn blocks(&self) -> &[u64] {
-        &self.blocks
+    pub fn chunk_blocks(&self) -> u64 {
+        self.manifest().chunk_blocks()
     }
 
-    /// Checkpoint support: rebuilds a base disk from raw block contents.
+    /// The content seed.
     #[must_use]
-    pub fn from_blocks(blocks: Vec<u64>) -> Self {
-        BaseDisk { blocks: Arc::new(blocks) }
+    pub fn seed(&self) -> u64 {
+        self.manifest().seed()
     }
 
-    /// Reads a block.
+    /// Chunks faulted into the store so far (late binding: 0 until the
+    /// first read).
+    #[must_use]
+    pub fn materialized_chunks(&self) -> u64 {
+        self.manifest().materialized_chunks()
+    }
+
+    /// The backing store handle.
+    #[must_use]
+    pub fn store(&self) -> &SharedChunkStore {
+        &self.store
+    }
+
+    /// Reads a block, materializing its chunk on first touch.
     pub fn read(&self, block: u64) -> Result<u64, VmmError> {
-        self.blocks
-            .get(block as usize)
-            .copied()
-            .ok_or(VmmError::BadBlock { block, size: self.size() })
+        let mut m = self.manifest();
+        let size = m.size_blocks();
+        m.read(&self.store, block).map_err(to_bad_block(size))
+    }
+
+    /// Encodes this disk through the manifest section codec: geometry plus
+    /// one materialized bit per chunk slot — the only way a base disk is
+    /// ever serialized.
+    pub fn encode_manifest(&self, w: &mut SnapWriter) {
+        self.manifest().encode(w);
+    }
+
+    /// Decodes a disk encoded by [`BaseDisk::encode_manifest`] over
+    /// `store`, re-putting materialized chunks (dedupe no-ops when the
+    /// content is already resident).
+    pub fn decode_manifest(
+        r: &mut SnapReader,
+        store: &SharedChunkStore,
+    ) -> Result<Self, SnapshotError> {
+        let m = Manifest::decode(r, store)?;
+        Ok(BaseDisk { manifest: Arc::new(Mutex::new(m)), store: store.clone() })
     }
 }
 
-/// A clone's view of a disk: the shared base plus a private write overlay.
+/// Read/write accounting for one [`CowDisk`], kept in interior cells so
+/// reads go through `&self`.
+#[derive(Clone, Debug, Default)]
+pub struct DiskStats {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+}
+
+impl DiskStats {
+    /// Lifetime read count.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Lifetime write count.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+}
+
+/// A clone's view of a disk: the shared base manifest plus a private write
+/// overlay.
 ///
 /// # Examples
 ///
@@ -71,16 +169,15 @@ impl BaseDisk {
 #[derive(Clone, Debug)]
 pub struct CowDisk {
     base: BaseDisk,
-    overlay: HashMap<u64, u64>,
-    reads: u64,
-    writes: u64,
+    overlay: OverlayManifest,
+    stats: DiskStats,
 }
 
 impl CowDisk {
     /// Creates a CoW view over `base` with an empty overlay.
     #[must_use]
     pub fn new(base: BaseDisk) -> Self {
-        CowDisk { base, overlay: HashMap::new(), reads: 0, writes: 0 }
+        CowDisk { base, overlay: OverlayManifest::new(), stats: DiskStats::default() }
     }
 
     /// Disk size in blocks.
@@ -90,16 +187,15 @@ impl CowDisk {
     }
 
     /// Reads a block (overlay first, then base).
-    pub fn read(&mut self, block: u64) -> Result<u64, VmmError> {
+    pub fn read(&self, block: u64) -> Result<u64, VmmError> {
         if block >= self.size() {
             return Err(VmmError::BadBlock { block, size: self.size() });
         }
-        self.reads += 1;
-        Ok(self
-            .overlay
-            .get(&block)
-            .copied()
-            .unwrap_or_else(|| self.base.read(block).expect("bounds checked above")))
+        self.stats.reads.set(self.stats.reads.get() + 1);
+        match self.overlay.get(block) {
+            Some(content) => Ok(content),
+            None => self.base.read(block),
+        }
     }
 
     /// Writes a block into the private overlay.
@@ -107,8 +203,8 @@ impl CowDisk {
         if block >= self.size() {
             return Err(VmmError::BadBlock { block, size: self.size() });
         }
-        self.writes += 1;
-        self.overlay.insert(block, content);
+        self.stats.writes.set(self.stats.writes.get() + 1);
+        self.overlay.set(block, content);
         Ok(())
     }
 
@@ -127,28 +223,44 @@ impl CowDisk {
     /// Lifetime read count.
     #[must_use]
     pub fn total_reads(&self) -> u64 {
-        self.reads
+        self.stats.reads()
     }
 
     /// Lifetime write count.
     #[must_use]
     pub fn total_writes(&self) -> u64 {
-        self.writes
+        self.stats.writes()
     }
 
-    /// Checkpoint support: `(overlay sorted by block, reads, writes)`.
+    /// The shared base this view overlays.
     #[must_use]
-    pub fn snapshot_parts(&self) -> (Vec<(u64, u64)>, u64, u64) {
-        let mut overlay: Vec<(u64, u64)> = self.overlay.iter().map(|(&b, &c)| (b, c)).collect();
-        overlay.sort_unstable();
-        (overlay, self.reads, self.writes)
+    pub fn base(&self) -> &BaseDisk {
+        &self.base
     }
 
-    /// Checkpoint support: rebuilds a CoW view from parts captured by
-    /// [`CowDisk::snapshot_parts`] over the given base.
+    /// The private CoW delta.
     #[must_use]
-    pub fn from_parts(base: BaseDisk, overlay: &[(u64, u64)], reads: u64, writes: u64) -> Self {
-        CowDisk { base, overlay: overlay.iter().copied().collect(), reads, writes }
+    pub fn overlay(&self) -> &OverlayManifest {
+        &self.overlay
+    }
+
+    /// Encodes the clone-private state (overlay delta + accounting)
+    /// through the overlay manifest codec: O(dirty blocks). The base is
+    /// not encoded here — it belongs to the image and restores first.
+    pub fn encode_overlay(&self, w: &mut SnapWriter) {
+        self.overlay.encode(w);
+        w.u64(self.stats.reads());
+        w.u64(self.stats.writes());
+    }
+
+    /// Decodes clone-private state encoded by [`CowDisk::encode_overlay`]
+    /// over the already-restored `base`.
+    pub fn decode_overlay(base: BaseDisk, r: &mut SnapReader) -> Result<Self, SnapshotError> {
+        let overlay = OverlayManifest::decode(r)?;
+        let stats = DiskStats::default();
+        stats.reads.set(r.u64()?);
+        stats.writes.set(r.u64()?);
+        Ok(CowDisk { base, overlay, stats })
     }
 }
 
@@ -171,8 +283,9 @@ mod tests {
     fn out_of_range_rejected() {
         let base = BaseDisk::generate(4, 1);
         assert!(base.read(4).is_err());
-        let mut disk = CowDisk::new(base);
+        let disk = CowDisk::new(base);
         assert!(disk.read(4).is_err());
+        let mut disk = disk;
         assert!(disk.write(4, 0).is_err());
     }
 
@@ -192,7 +305,7 @@ mod tests {
     #[test]
     fn unwritten_blocks_read_through() {
         let base = BaseDisk::generate(8, 9);
-        let mut d = CowDisk::new(base.clone());
+        let d = CowDisk::new(base.clone());
         for i in 0..8 {
             assert_eq!(d.read(i).unwrap(), base.read(i).unwrap());
         }
@@ -219,5 +332,77 @@ mod tests {
         assert_eq!(d.dirty_blocks(), 1);
         assert_eq!(d.read(1).unwrap(), 20);
         assert_eq!(d.total_writes(), 2);
+    }
+
+    #[test]
+    fn reads_take_shared_reference_and_still_count() {
+        let base = BaseDisk::generate(8, 1);
+        let d = CowDisk::new(base);
+        let r: &CowDisk = &d;
+        r.read(0).unwrap();
+        r.read(1).unwrap();
+        assert_eq!(d.total_reads(), 2);
+    }
+
+    #[test]
+    fn clones_share_one_manifest_and_materialize_lazily() {
+        let store = SharedChunkStore::new_memory();
+        let base = BaseDisk::open(&store, 128, 16, 42);
+        let d1 = CowDisk::new(base.clone());
+        let d2 = CowDisk::new(base.clone());
+        assert_eq!(base.materialized_chunks(), 0, "lazy until first read");
+
+        d1.read(0).unwrap();
+        assert_eq!(base.materialized_chunks(), 1);
+        // d2 reads the same chunk through the shared manifest: no new
+        // materialization.
+        d2.read(1).unwrap();
+        assert_eq!(base.materialized_chunks(), 1);
+        assert_eq!(store.stats().materialized, 1);
+    }
+
+    #[test]
+    fn same_seed_images_dedupe_across_one_store() {
+        let store = SharedChunkStore::new_memory();
+        let a = BaseDisk::open(&store, 64, 16, 7);
+        let b = BaseDisk::open(&store, 64, 16, 7);
+        for blk in 0..64 {
+            a.read(blk).unwrap();
+            b.read(blk).unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.resident_chunks, 4);
+        assert_eq!(s.dedupe_hits, 4);
+        assert!((s.sharing_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manifest_codec_is_the_one_serialization_path() {
+        let store = SharedChunkStore::new_memory();
+        let base = BaseDisk::open(&store, 100, 16, 42);
+        let mut d = CowDisk::new(base.clone());
+        d.read(50).unwrap();
+        d.write(3, 33).unwrap();
+        d.write(90, 99).unwrap();
+
+        let mut w = SnapWriter::new();
+        base.encode_manifest(&mut w);
+        d.encode_overlay(&mut w);
+        let bytes = w.into_bytes();
+
+        let fresh = SharedChunkStore::new_memory();
+        let mut r = SnapReader::new(&bytes, "test");
+        let base2 = BaseDisk::decode_manifest(&mut r, &fresh).unwrap();
+        let d2 = CowDisk::decode_overlay(base2.clone(), &mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(base2.size(), 100);
+        assert_eq!(base2.materialized_chunks(), 1);
+        assert_eq!(d2.dirty_blocks(), 2);
+        assert_eq!(d2.total_reads(), d.total_reads());
+        assert_eq!(d2.total_writes(), d.total_writes());
+        for blk in 0..100 {
+            assert_eq!(d2.read(blk).unwrap(), d.read(blk).unwrap());
+        }
     }
 }

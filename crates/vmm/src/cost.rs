@@ -122,6 +122,10 @@ pub struct CostModel {
     pub unpause: SimTime,
     /// Cost of one CoW write fault taken by a running domain.
     pub cow_fault: SimTime,
+    /// Cost of lazily materializing one disk chunk from the golden image
+    /// on first guest read (late binding for storage). Charged per chunk
+    /// faulted in, never per block.
+    pub chunk_materialize: SimTime,
     /// Fixed cost of a cold OS boot (the no-cloning baseline).
     pub cold_boot: SimTime,
     /// Cost of destroying a domain and scrubbing its private pages,
@@ -148,6 +152,7 @@ impl Default for CostModel {
             net_config: SimTime::from_millis(99),
             unpause: SimTime::from_millis(31),
             cow_fault: SimTime::from_micros(25),
+            chunk_materialize: SimTime::from_micros(250), // ~256 KiB chunk at ~1 GiB/s
             cold_boot: SimTime::from_secs(23),
             destroy_per_page: SimTime::from_nanos(150),
             destroy_fixed: SimTime::from_millis(40),

@@ -51,6 +51,11 @@ pub struct GuestProfile {
     pub memory_pages: u64,
     /// Virtual disk size in blocks.
     pub disk_blocks: u64,
+    /// Content seed of the golden disk image. Images built from profiles
+    /// with the same seed (and chunk geometry) share every base chunk in
+    /// the farm-wide store — the disk-side sharing the paper's delta
+    /// virtualization implies.
+    pub disk_seed: u64,
     /// Pages dirtied while handling one inbound service request.
     pub request_touch_pages: u64,
     /// Pages dirtied when an exploit payload executes (infection).
@@ -71,6 +76,7 @@ impl GuestProfile {
         GuestProfile {
             memory_pages: 8_192,
             disk_blocks: 4_096,
+            disk_seed: 0xD15C,
             request_touch_pages: 16,
             infection_touch_pages: 128,
             infected_dirty_rate: 64.0,
@@ -88,6 +94,7 @@ impl GuestProfile {
         GuestProfile {
             memory_pages: 32_768,
             disk_blocks: 262_144,
+            disk_seed: 0xD15C,
             request_touch_pages: 96,
             infection_touch_pages: 1_024,
             infected_dirty_rate: 256.0,
@@ -108,6 +115,7 @@ impl GuestProfile {
         GuestProfile {
             memory_pages: 32_768,
             disk_blocks: 262_144,
+            disk_seed: 0x11F5,
             request_touch_pages: 48,
             infection_touch_pages: 512,
             infected_dirty_rate: 128.0,

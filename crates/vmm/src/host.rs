@@ -10,6 +10,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use potemkin_sim::SimTime;
+use potemkin_storage::{SharedChunkStore, StoreStats, DEFAULT_CHUNK_BLOCKS};
 
 use crate::addrspace::{AddressSpace, Pte};
 use crate::block::{BaseDisk, CowDisk};
@@ -105,6 +106,13 @@ pub struct Host {
     crashes: u64,
     /// Domains lost to crashes (they were live when their host went down).
     domains_lost: u64,
+    /// The content-addressed chunk store backing every reference image's
+    /// base disk. Farm-managed hosts share one store
+    /// ([`Host::with_chunk_store`]) so identical chunks dedupe farm-wide;
+    /// a standalone host gets a private in-memory store.
+    store: SharedChunkStore,
+    /// Chunk size (in blocks) for reference images created on this host.
+    chunk_blocks: u64,
 }
 
 impl Host {
@@ -129,6 +137,8 @@ impl Host {
             pending_clone_faults: 0,
             crashes: 0,
             domains_lost: 0,
+            store: SharedChunkStore::new_memory(),
+            chunk_blocks: DEFAULT_CHUNK_BLOCKS,
         }
     }
 
@@ -151,6 +161,34 @@ impl Host {
     pub fn with_overhead_pages(mut self, pages: u64) -> Self {
         self.overhead_pages = pages;
         self
+    }
+
+    /// Backs this host's reference images with a (typically farm-shared)
+    /// chunk store instead of the private default.
+    #[must_use]
+    pub fn with_chunk_store(mut self, store: SharedChunkStore) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Overrides the chunk size (in blocks) for reference images created
+    /// on this host; 1 reproduces the flat pre-chunking layout.
+    #[must_use]
+    pub fn with_disk_chunk_blocks(mut self, blocks: u64) -> Self {
+        self.chunk_blocks = blocks.max(1);
+        self
+    }
+
+    /// The chunk store backing this host's base disks.
+    #[must_use]
+    pub fn chunk_store(&self) -> &SharedChunkStore {
+        &self.store
+    }
+
+    /// Accounting snapshot of the backing chunk store.
+    #[must_use]
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
     /// The latency model in effect.
@@ -260,7 +298,8 @@ impl Host {
             let content = GuestProfile::boot_content(id.0, pfn);
             frames.push(self.frames.alloc(content).expect("capacity checked above"));
         }
-        let disk = BaseDisk::generate(profile.disk_blocks, id.0 ^ 0xD15C);
+        let disk =
+            BaseDisk::open(&self.store, profile.disk_blocks, self.chunk_blocks, profile.disk_seed);
         self.images.insert(id, ReferenceImage::new(id, name, frames, disk, profile));
         Ok(id)
     }
@@ -683,6 +722,28 @@ impl Host {
         Ok(self.frames.read(pte.frame))
     }
 
+    /// Reads a guest disk block through the domain's CoW view, lazily
+    /// materializing the underlying chunk from the golden image on first
+    /// touch. Returns the content word and the virtual-time cost of the
+    /// read — [`CostModel::chunk_materialize`] per chunk faulted in, zero
+    /// for reads served from already-resident chunks or the overlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::NoSuchDomain`], [`VmmError::BadState`] for
+    /// non-running domains, or [`VmmError::BadBlock`].
+    pub fn read_block(&self, id: DomainId, block: u64) -> Result<(u64, SimTime), VmmError> {
+        self.ensure_alive()?;
+        let dom = self.domains.get(&id).ok_or(VmmError::NoSuchDomain(id))?;
+        if !dom.is_running() {
+            return Err(VmmError::BadState { domain: id, op: "read_block" });
+        }
+        let before = dom.disk().base().materialized_chunks();
+        let content = dom.disk().read(block)?;
+        let after = dom.disk().base().materialized_chunks();
+        Ok((content, self.cost.chunk_materialize * (after - before)))
+    }
+
     /// Writes a guest page, taking a CoW fault on the first write to a
     /// shared page.
     ///
@@ -849,13 +910,11 @@ impl Host {
             for &f in img.frames() {
                 w.u64(f.0);
             }
-            w.u64(img.disk().blocks().len() as u64);
-            for &b in img.disk().blocks() {
-                w.u64(b);
-            }
+            img.disk().encode_manifest(&mut w);
             let p = img.profile();
             w.u64(p.memory_pages);
             w.u64(p.disk_blocks);
+            w.u64(p.disk_seed);
             w.u64(p.request_touch_pages);
             w.u64(p.infection_touch_pages);
             w.f64(p.infected_dirty_rate);
@@ -902,14 +961,7 @@ impl Host {
                 w.u64(pte.frame.0);
                 w.bool(pte.writable);
             }
-            let (overlay, dreads, dwrites) = dom.disk().snapshot_parts();
-            w.u64(overlay.len() as u64);
-            for (block, content) in overlay {
-                w.u64(block);
-                w.u64(content);
-            }
-            w.u64(dreads);
-            w.u64(dwrites);
+            dom.disk().encode_overlay(&mut w);
         }
         w.into_bytes()
     }
@@ -969,13 +1021,10 @@ impl Host {
             for _ in 0..frame_count {
                 img_frames.push(crate::frame::FrameId(r.u64()?));
             }
-            let block_count = r.u64()?;
-            let mut blocks = Vec::with_capacity(block_count.min(1 << 20) as usize);
-            for _ in 0..block_count {
-                blocks.push(r.u64()?);
-            }
+            let disk = BaseDisk::decode_manifest(&mut r, &self.store)?;
             let memory_pages = r.u64()?;
             let disk_blocks = r.u64()?;
+            let disk_seed = r.u64()?;
             let request_touch_pages = r.u64()?;
             let infection_touch_pages = r.u64()?;
             let infected_dirty_rate = r.f64()?;
@@ -995,13 +1044,13 @@ impl Host {
             let profile = GuestProfile {
                 memory_pages,
                 disk_blocks,
+                disk_seed,
                 request_touch_pages,
                 infection_touch_pages,
                 infected_dirty_rate,
                 infection_disk_blocks,
                 services,
             };
-            let disk = BaseDisk::from_blocks(blocks);
             images.insert(id, ReferenceImage::new(id, name, img_frames, disk, profile));
         }
         // Domains.
@@ -1035,19 +1084,10 @@ impl Host {
                 let writable = r.bool()?;
                 entries.push(Pte { frame, writable });
             }
-            let overlay_len = r.u64()?;
-            let mut overlay = Vec::with_capacity(overlay_len.min(1 << 20) as usize);
-            for _ in 0..overlay_len {
-                let block = r.u64()?;
-                let content = r.u64()?;
-                overlay.push((block, content));
-            }
-            let disk_reads = r.u64()?;
-            let disk_writes = r.u64()?;
             // A domain's base disk always aliases its image's disk (every
             // provisioning path clones it), so restore from the image.
             let base = images.get(&image).ok_or_else(bad)?.disk().clone();
-            let disk = CowDisk::from_parts(base, &overlay, disk_reads, disk_writes);
+            let disk = CowDisk::decode_overlay(base, &mut r)?;
             let dom = Domain::from_snapshot_parts(
                 id,
                 image,

@@ -22,7 +22,10 @@
 //!   profile once.
 //! * [`domain`] — VM domains: lifecycle, memory reads/writes with CoW
 //!   write faults, devices.
-//! * [`block`] — copy-on-write virtual block devices.
+//! * [`block`] — copy-on-write virtual block devices as thin views over
+//!   `potemkin-storage` chunk manifests: base disks dedupe farm-wide
+//!   through a shared content-addressed store and materialize lazily on
+//!   first guest read.
 //! * [`clone`] — the flash-clone procedure and its per-stage timing, plus
 //!   the boot-from-scratch and eager-full-copy baselines.
 //! * [`cost`] — the latency cost model (calibrated to the paper's
@@ -64,6 +67,7 @@ pub mod host;
 pub mod memctl;
 pub mod snapshot;
 
+pub use block::{BaseDisk, CowDisk, DiskStats};
 pub use clone::{CloneTiming, RetryPolicy};
 pub use cost::{
     CostModel, StageCost, StageSpec, COLD_BOOT_STAGES, FLASH_CLONE_STAGES, FULL_COPY_STAGES,
@@ -76,6 +80,12 @@ pub use guest::GuestProfile;
 pub use host::{Host, MemoryReport};
 pub use memctl::{MemoryBudget, MergeReport, PressureEvent, SharingReport};
 pub use snapshot::ImageId;
+// The storage layer's public surface, re-exported so farm-level code can
+// share one chunk store across hosts without a direct crate dependency.
+pub use potemkin_storage::{
+    ChunkHash, ChunkRef, ChunkStore, DirChunkStore, Manifest, MemoryChunkStore, OverlayManifest,
+    SharedChunkStore, StorageError, StoreStats, DEFAULT_CHUNK_BLOCKS,
+};
 
 /// Page size used throughout the simulation (bytes).
 pub const PAGE_SIZE: u64 = 4096;
